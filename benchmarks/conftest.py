@@ -1,0 +1,33 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark runs one experiment driver in ``fast`` mode exactly once
+(the drivers are deterministic, so repeated timing rounds would only
+re-measure the same work), prints the same rows the paper reports, and
+asserts the figure's headline shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import ExperimentResult
+
+
+def run_experiment(benchmark, run_fn) -> ExperimentResult:
+    result = benchmark.pedantic(run_fn, args=(True,), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    # pytest captures stdout, so also persist the regenerated rows where a
+    # reader will find them after a `pytest benchmarks/ --benchmark-only` run.
+    os.makedirs("results", exist_ok=True)
+    with open(os.path.join("results", f"bench_{result.experiment}.txt"), "w") as f:
+        f.write(result.to_text() + "\n")
+    return result
+
+
+def series_max_x(result: ExperimentResult, name: str) -> float:
+    return max(x for x, _y in result.series[name])
+
+
+def series_min_y(result: ExperimentResult, name: str) -> float:
+    return min(y for _x, y in result.series[name])

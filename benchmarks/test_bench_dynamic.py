@@ -1,0 +1,25 @@
+"""Benchmark for the follow-the-sun dynamic-locality scenario."""
+
+from repro.experiments.extra_dynamic import run
+from conftest import run_experiment
+
+
+def test_extra_dynamic(benchmark):
+    result = run_experiment(benchmark, run)
+    rows = {(row[0], row[2]): row for row in result.rows}
+    adapting, settled = 3, 4
+    # Adaptive protocols settle to near-local latency after each handover;
+    # in the first two phases (VA, OH) they end below 3 ms.
+    for protocol in ("WPaxos fz=0", "VPaxos", "WanKeeper"):
+        for region in ("VA", "OH"):
+            assert rows[(protocol, region)][settled] < 3.0, (protocol, region)
+        # The CA phase starts expensive (everything owned elsewhere) and
+        # improves as ownership follows the sun.
+        ca = rows[(protocol, "CA")]
+        assert ca[settled] < ca[adapting]
+    # Paxos cannot adapt: settled latency equals each region's distance to
+    # the leader and never improves.
+    for region, floor in (("VA", 15), ("CA", 50)):
+        row = rows[("Paxos (OH leader)", region)]
+        assert row[settled] > floor
+        assert abs(row[settled] - row[adapting]) < 5

@@ -1,0 +1,27 @@
+"""Benchmarks for the extra tiers (paper section 4.2): scalability and
+availability."""
+
+from repro.experiments.extra_availability import run as run_availability
+from repro.experiments.extra_scalability import run as run_scalability
+from conftest import run_experiment
+
+
+def test_extra_scalability(benchmark):
+    result = run_experiment(benchmark, run_scalability)
+    rows = {row[0]: row for row in result.rows}
+    # Bigger clusters mean lower single-leader throughput (ts grows with N),
+    # and the model tracks the measurement within 15%.
+    assert rows[9][2] < rows[3][2]
+    for n, row in rows.items():
+        assert abs(row[1] - row[2]) / row[1] < 0.15
+
+
+def test_extra_availability(benchmark):
+    result = run_experiment(benchmark, run_availability)
+    note = result.notes[0]
+    paxos_floor = float(note.split("Paxos=")[1].split("%")[0])
+    wpaxos_floor = float(note.split("WPaxos=")[1].split("%")[0])
+    # Single leader: total outage during the election.  Multi-leader: the
+    # other zones never stop (paper section 1.2).
+    assert paxos_floor < 20
+    assert wpaxos_floor > 50

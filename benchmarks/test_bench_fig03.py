@@ -1,0 +1,15 @@
+"""Figure 3 benchmark: local RTT distribution fits the paper's Normal."""
+
+from repro.experiments.fig03_rtt import run
+from conftest import run_experiment
+
+
+def test_fig03_rtt_histogram(benchmark):
+    result = run_experiment(benchmark, run)
+    note = result.notes[0]
+    # Fitted parameters embedded in the note: "fitted mu=... sigma=..."
+    mu = float(note.split("mu=")[1].split(" ")[0])
+    sigma = float(note.split("sigma=")[1].split(" ")[0])
+    assert abs(mu - 0.4271) < 0.02
+    assert abs(sigma - 0.0476) < 0.015
+    assert sum(row[2] for row in result.rows) >= 2000  # all samples binned

@@ -1,0 +1,20 @@
+"""Figure 4 benchmark: queue models vs the Paxi/Paxos reference."""
+
+from repro.experiments.fig04_models import run
+from conftest import run_experiment
+
+
+def test_fig04_model_cross_validation(benchmark):
+    result = run_experiment(benchmark, run)
+    # The deterministic-service models must track the implementation within
+    # a fraction of a millisecond on average (paper: nearly identical).
+    errors = dict(
+        part.split("=") for part in result.notes[0].split(": ")[1].split(", ")
+    )
+    assert float(errors["M/D/1"]) < 0.5
+    assert float(errors["M/G/1"]) < 0.5
+    # The paper's key observation: M/D/1 and M/G/1 are nearly identical.
+    assert abs(float(errors["M/D/1"]) - float(errors["M/G/1"])) < 0.1
+    md1 = [y for _x, y in result.series["M/D/1"]]
+    mg1 = [y for _x, y in result.series["M/G/1"]]
+    assert all(abs(a - b) < 0.15 for a, b in zip(md1, mg1))

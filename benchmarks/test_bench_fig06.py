@@ -1,0 +1,20 @@
+"""Figure 6 benchmark: the four workload distributions have their shapes."""
+
+from repro.experiments.fig06_distributions import run
+from conftest import run_experiment
+
+
+def test_fig06_distributions(benchmark):
+    result = run_experiment(benchmark, run)
+    shapes = {row[0]: row[1:] for row in result.rows}
+    uniform = shapes["uniform"]
+    assert max(uniform) < 2.5 * min(uniform)
+    zipfian = shapes["zipfian"]
+    assert zipfian[0] > 0.8  # s=2 concentrates on the head
+    normal = shapes["normal"]
+    assert max(normal) in (normal[4], normal[5])  # peak at mu = K/2
+    exponential = shapes["exponential"]
+    assert exponential[0] > exponential[3] > exponential[-1]
+    # Locality: the two regions overlap only partially.
+    overlap = float(result.notes[0].split("overlap = ")[1].split(" ")[0])
+    assert 0.0 < overlap < 0.5

@@ -1,0 +1,14 @@
+"""Figure 7 benchmark: Paxi/Paxos vs Raft converge to similar throughput."""
+
+from repro.experiments.fig07_raft import run
+from conftest import run_experiment, series_max_x
+
+
+def test_fig07_paxos_vs_raft(benchmark):
+    result = run_experiment(benchmark, run)
+    paxos_peak = series_max_x(result, "Paxi/Paxos")
+    raft_peak = series_max_x(result, "etcd/Raft (reimpl.)")
+    # Both single-leader systems bottleneck near the calibrated ~8k ops/s.
+    assert 6000 < paxos_peak < 10000
+    assert 6000 < raft_peak < 10000
+    assert abs(paxos_peak - raft_peak) / paxos_peak < 0.25

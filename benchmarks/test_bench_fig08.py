@@ -1,0 +1,22 @@
+"""Figure 8 benchmark: modeled LAN curves and their headline facts."""
+
+from repro.experiments.fig08_lan_model import models, run
+from conftest import run_experiment
+
+
+def test_fig08_lan_model(benchmark):
+    result = run_experiment(benchmark, run)
+    m = models()
+    paxos = m["MultiPaxos"].max_throughput()
+    fpaxos = m["FPaxos |q2|=3"].max_throughput()
+    wpaxos = m["WPaxos"].max_throughput()
+    # Single-leader bottleneck: multi-leader WPaxos clears it sub-linearly.
+    assert fpaxos == paxos
+    assert 1.3 * paxos < wpaxos < 3.0 * paxos
+    # FPaxos buys a tiny latency edge in the LAN (paper: ~0.03 ms).
+    gap = m["MultiPaxos"].latency_ms(1000) - m["FPaxos |q2|=3"].latency_ms(1000)
+    assert 0.01 < gap < 0.08
+    # Latency curves are monotone in offered load.
+    for name, series in result.series.items():
+        ys = [y for _x, y in series]
+        assert ys == sorted(ys), name

@@ -1,0 +1,18 @@
+"""Figure 9 benchmark: the experimental LAN ordering of the five protocols."""
+
+from repro.experiments.fig09_lan_paxi import run
+from conftest import run_experiment, series_max_x
+
+
+def test_fig09_lan_ordering(benchmark):
+    result = run_experiment(benchmark, run)
+    peaks = {name: series_max_x(result, name) for name in result.series}
+    # Paper's Figure 9 ordering: hierarchical and multi-leader protocols
+    # clear the single-leader bottleneck; EPaxos trails everyone.
+    assert peaks["WanKeeper"] > peaks["WPaxos"] > peaks["Paxos"]
+    assert peaks["EPaxos"] < peaks["Paxos"]
+    assert abs(peaks["FPaxos"] - peaks["Paxos"]) / peaks["Paxos"] < 0.15
+    # Single-leader bottleneck near the 8k calibration point.
+    assert 6500 < peaks["Paxos"] < 9500
+    # Sub-linear multi-leader scaling (3 leaders, < 3x).
+    assert 1.3 < peaks["WPaxos"] / peaks["Paxos"] < 2.7

@@ -1,0 +1,17 @@
+"""Figure 10 benchmark: modeled WAN latencies and the >100 ms spread."""
+
+from repro.experiments.fig10_wan_model import run
+from conftest import run_experiment, series_min_y
+
+
+def test_fig10_wan_model(benchmark):
+    result = run_experiment(benchmark, run)
+    paxos = series_min_y(result, "MultiPaxos (CA leader)")
+    fpaxos = series_min_y(result, "FPaxos (CA leader)")
+    wpaxos = series_min_y(result, "WPaxos (locality=0.7)")
+    ep_low = series_min_y(result, "EPaxos (conflict=0.02)")
+    ep_high = series_min_y(result, "EPaxos (conflict=0.70)")
+    assert paxos - wpaxos > 100  # paper: >100 ms spread Paxos -> WPaxos
+    assert fpaxos < paxos  # flexible quorums help in WANs
+    assert ep_high > ep_low  # conflict band ordering
+    assert wpaxos < 60  # locality commits near-locally

@@ -1,0 +1,38 @@
+"""Figure 11 benchmark: per-region latency under the conflict workload."""
+
+import math
+
+from repro.experiments.fig11_conflict import run
+from conftest import run_experiment
+
+
+def _series(result, protocol, site):
+    return {x: y for x, y in result.series[f"{protocol}@{site}"]}
+
+
+def test_fig11_conflict(benchmark):
+    result = run_experiment(benchmark, run)
+    # (2) The hot object's home region (OH) keeps low, steady latency for
+    # every leader-based locality protocol.
+    for protocol in ("WPaxos fz=0", "WanKeeper", "VPaxos"):
+        oh = _series(result, protocol, "OH")
+        assert all(y < 5 for y in oh.values()), protocol
+    # (1) fz=0 protocols converge to the same per-region behaviour at full
+    # conflict: forward-to-Ohio latency.
+    for site, rtt in (("VA", 11.0), ("CA", 52.0)):
+        for protocol in ("WPaxos fz=0", "WanKeeper", "VPaxos"):
+            lat = _series(result, protocol, site)[100.0]
+            assert rtt * 0.7 < lat < rtt * 1.6, (protocol, site, lat)
+    # (3) WPaxos fz=1 approaches Paxos at 100% conflict.
+    wp1 = _series(result, "WPaxos fz=1", "VA")[100.0]
+    paxos = _series(result, "Paxos", "VA")[100.0]
+    assert abs(wp1 - paxos) / paxos < 0.35
+    # (4) EPaxos latency grows (nonlinearly) with conflict, in each region.
+    for site in ("VA", "OH", "CA"):
+        ep = _series(result, "EPaxos", site)
+        xs = sorted(ep)
+        assert ep[xs[-1]] > ep[xs[0]], site
+    # Paxos is flat: conflicts don't matter to a single serializing leader.
+    pax = _series(result, "Paxos", "CA")
+    values = [v for v in pax.values() if not math.isnan(v)]
+    assert max(values) - min(values) < 8

@@ -1,0 +1,15 @@
+"""Figure 12 benchmark: EPaxos capacity vs conflict, Paxos flat line."""
+
+from repro.experiments.fig12_epaxos_conflict import run
+from conftest import run_experiment
+
+
+def test_fig12_epaxos_conflict(benchmark):
+    result = run_experiment(benchmark, run)
+    epaxos = [y for _x, y in result.series["EPaxos"]]
+    paxos = [y for _x, y in result.series["Paxos"]]
+    assert epaxos == sorted(epaxos, reverse=True)  # monotone degradation
+    assert len(set(paxos)) == 1  # Paxos unaffected by conflicts
+    degradation = 1 - epaxos[-1] / epaxos[0]
+    assert 0.30 < degradation < 0.55  # paper: ~40%
+    assert epaxos[-1] >= paxos[0] * 0.9  # stays at/above the Paxos line

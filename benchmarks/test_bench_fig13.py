@@ -1,0 +1,24 @@
+"""Figure 13 benchmark: locality workload, per-region means and CDFs."""
+
+from repro.experiments.fig13_locality import run
+from conftest import run_experiment
+
+
+def test_fig13_locality(benchmark):
+    result = run_experiment(benchmark, run)
+    rows = {row[0]: row for row in result.rows}
+    wk = rows["WanKeeper"]
+    wp = rows["WPaxos fz=0"]
+    vp = rows["VPaxos"]
+    va, oh, ca = 1, 2, 3
+    # WanKeeper: optimal in the master region (Ohio) ...
+    assert wk[oh] < 2.0
+    assert wk[oh] <= wp[oh] + 1.5 and wk[oh] <= vp[oh] + 1.5
+    # ... at the cost of the remote regions (CA suffers most).
+    assert wk[ca] > wp[ca]
+    # WPaxos and VPaxos are balanced: every region ends up mostly local.
+    for row in (wp, vp):
+        assert row[va] < 10 and row[oh] < 10
+    # Global medians: most requests are local for all three protocols.
+    for row in (wk, wp, vp):
+        assert row[4] < 3.0  # global p50 (ms)

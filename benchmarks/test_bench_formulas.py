@@ -1,0 +1,17 @@
+"""Formulas benchmark: Eq. 1-6 corollaries and the measured cross-check."""
+
+import pytest
+
+from repro.experiments.formulas import run
+from conftest import run_experiment
+
+
+def test_formulas(benchmark):
+    result = run_experiment(benchmark, run)
+    loads = {row[0]: row[1] for row in result.rows}
+    assert loads["Paxos"] == pytest.approx(4.0)
+    assert loads["EPaxos c=0"] == pytest.approx(4 / 3, abs=1e-3)
+    assert loads["WPaxos (3x3 grid)"] == pytest.approx(4 / 3, abs=1e-3)
+    # Measured WPaxos/Paxos ratio parsed from the cross-check note.
+    ratio = float(result.notes[1].split("ratio=")[1].split(" ")[0])
+    assert 1.3 < ratio < 2.7

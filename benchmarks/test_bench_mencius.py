@@ -1,0 +1,21 @@
+"""Benchmark for the new-protocol demonstration (Mencius)."""
+
+from repro.experiments.extra_mencius import run
+from conftest import run_experiment
+
+
+def test_extra_mencius(benchmark):
+    result = run_experiment(benchmark, run)
+    values = {(row[0], row[1]): row[3] for row in result.rows}
+    # Unified theory: L(Mencius) = L(WPaxos) = 4/3 at N=9.
+    assert abs(values[("Mencius", "Eq. 3 (N=9)")] - 4 / 3) < 0.01
+    # Model and measurement agree within 15% on the new protocol.
+    model = values[("Mencius", "model LAN")]
+    measured = values[("Mencius", "measured LAN")]
+    assert abs(model - measured) / model < 0.15
+    # No single-leader bottleneck, no EPaxos penalty.
+    assert measured > 2 * values[("Paxos", "measured LAN")]
+    assert measured > 2 * values[("EPaxos", "measured LAN")]
+    # The WAN trade-off: WPaxos's local commits beat Mencius's
+    # farthest-replica pacing.
+    assert values[("Mencius", "measured WAN")] > values[("WPaxos fz=0", "measured WAN")]

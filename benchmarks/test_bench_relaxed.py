@@ -1,0 +1,25 @@
+"""Benchmark for the relaxed-consistency extension (paper section 7)."""
+
+from repro.experiments.extra_relaxed import run
+from conftest import run_experiment
+
+
+def test_extra_relaxed(benchmark):
+    result = run_experiment(benchmark, run)
+    rows = {row[0]: row for row in result.rows}
+    strong, relaxed, session = rows["strong"], rows["relaxed"], rows["session"]
+    read, write, lin, sess, staleness = 1, 2, 3, 4, 5
+    # Strong reads pay the consensus path and are linearizable.
+    assert strong[lin] and strong[sess]
+    assert strong[staleness] == 0.0
+    # Relaxed reads are an order of magnitude faster but provably stale.
+    assert relaxed[read] < strong[read] / 5
+    assert not relaxed[lin]
+    assert relaxed[staleness] > 0
+    # Session tokens restore the session guarantees at ~local latency.
+    assert session[sess] and not session[lin]
+    assert session[read] < strong[read] / 5
+    # Every observed staleness sits below the analytic bound.
+    bound = float(result.notes[0].split("= ")[1].split(" ms")[0])
+    assert relaxed[staleness] <= bound
+    assert session[staleness] <= bound

@@ -1,0 +1,15 @@
+"""Table 1 benchmark: the four queue models at the calibrated service rate."""
+
+from repro.experiments.table1_queues import run
+from conftest import run_experiment
+
+
+def test_table1_queue_models(benchmark):
+    result = run_experiment(benchmark, run)
+    assert [row[0] for row in result.rows] == ["M/M/1", "M/D/1", "M/G/1", "G/G/1"]
+    # Every model's wait grows with utilization; M/D/1 <= M/M/1 pointwise.
+    for name in ("M/M/1", "M/D/1", "M/G/1", "G/G/1"):
+        waits = [y for _x, y in result.series[name]]
+        assert waits == sorted(waits)
+    for (_u1, md1), (_u2, mm1) in zip(result.series["M/D/1"], result.series["M/M/1"]):
+        assert md1 <= mm1 + 1e-12

@@ -1,0 +1,13 @@
+"""Table 4 benchmark: the parameter/protocol matrix regenerates verbatim."""
+
+from repro.experiments.table4_params import run
+from conftest import run_experiment
+
+
+def test_table4(benchmark):
+    result = run_experiment(benchmark, run)
+    table = {row[0]: row[1] for row in result.rows}
+    assert table["L (leaders)"] == "EPaxos, WPaxos"
+    assert table["c (conflicts)"] == "Generalized Paxos, EPaxos"
+    assert table["Q (quorum)"] == "FPaxos, WPaxos"
+    assert table["l (locality)"] == "VPaxos, WPaxos, WanKeeper"

@@ -1,0 +1,81 @@
+"""A geo-replicated key-value store: choosing a protocol for your regions.
+
+The motivating scenario from the paper's introduction: a database
+replicated across N. Virginia, Ohio, and California, with mostly-local
+access per region and an occasional globally-hot object.  We run the same
+workload against four protocols and print where each one's latency comes
+from.
+
+    python examples/georeplicated_store.py
+"""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.checkers.linearizability import check_history
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+REGIONS = ("VA", "OH", "CA")
+HOT_KEY = 999_999
+
+
+def regional_workload(region_index: int) -> WorkloadSpec:
+    """90% region-local keys, 10% traffic on a shared hot object."""
+    return WorkloadSpec(
+        keys=60,
+        min_key=100_000 * (region_index + 1),
+        write_ratio=0.5,
+        conflict_ratio=0.10,
+        conflict_key=HOT_KEY,
+    )
+
+
+def run_protocol(name: str, factory, params: dict) -> None:
+    config = Config.wan(REGIONS, 3, seed=11, **params)
+    deployment = Deployment(config).start(factory)
+
+    # Pin the hot object in Ohio (the most central region) and pre-place
+    # each region's local keys in that region, like a warmed-up store.
+    oh_client = deployment.new_client(site="OH")
+    oh_client.put(HOT_KEY, "seed")
+    for i, site in enumerate(REGIONS):
+        regional = deployment.new_client(site=site)
+        for key in range(100_000 * (i + 1), 100_000 * (i + 1) + 60):
+            regional.put(key, "seed")
+    deployment.run_for(2.0)
+
+    spec = {site: regional_workload(i) for i, site in enumerate(REGIONS)}
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency=9)
+    result = bench.run(duration=2.0, warmup=1.0, settle=0.0)
+
+    per_region = "  ".join(
+        f"{site}={result.per_site[site].mean:6.2f}ms" if site in result.per_site else f"{site}=   n/a"
+        for site in REGIONS
+    )
+    ok = check_history(deployment.history.snapshot()).ok
+    print(f"{name:<22} {per_region}  p99={result.latency.p99:7.2f}ms  linearizable={ok}")
+
+
+def main() -> None:
+    print(f"{'protocol':<22} per-region mean latency")
+    run_protocol("Paxos (OH leader)", MultiPaxos, {"leader": NodeID(2, 1)})
+    run_protocol("EPaxos", EPaxos, {})
+    run_protocol("WPaxos fz=0", WPaxos, {"fz": 0})
+    run_protocol("WanKeeper", WanKeeper, {})
+    run_protocol("VPaxos", VPaxos, {})
+    print(
+        "\nReading the numbers: the locality-aware multi-leader protocols"
+        " (WPaxos / WanKeeper / VPaxos) serve region-local keys at ~1 ms and"
+        " only pay a WAN trip for the hot object, while the single leader"
+        " taxes every remote region and EPaxos pays its large fast quorum."
+    )
+
+
+if __name__ == "__main__":
+    main()

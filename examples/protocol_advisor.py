@@ -1,0 +1,75 @@
+"""Back-of-the-envelope protocol selection and performance forecasting.
+
+Walks the paper's Figure-14 flowchart for a deployment described on the
+command line, then uses the distilled formulas (Equations 1-7) to forecast
+capacity and latency for the candidate protocol families.
+
+    python examples/protocol_advisor.py --wan --locality --dynamic --dc-failure
+    python examples/protocol_advisor.py            # a LAN deployment
+"""
+
+import argparse
+
+from repro.core.advisor import DeploymentProfile, recommend
+from repro.core.latency import expected_latency
+from repro.core.load import capacity, load, majority
+from repro.core.topology import aws_wan
+
+
+def forecast(n: int, regions: tuple[str, ...]) -> None:
+    """Equations 1-7 evaluated for the classic protocol shapes."""
+    per_region = max(1, n // len(regions))
+    topo = aws_wan(regions, per_region)
+    # Representative deployment delays: DL = mean RTT to a central leader,
+    # DQ = majority quorum RTT from it.
+    leader = per_region  # first node of regions[1]
+    rtts = sorted(topo.rtts_from(leader))
+    d_leader = sum(rtts) / len(rtts)
+    d_quorum = rtts[majority(n) - 2] if majority(n) >= 2 else 0.0
+    print(f"\nforecast for N={n} over {', '.join(regions)} "
+          f"(DL~{d_leader:.0f} ms, DQ~{d_quorum:.0f} ms):")
+    print(f"{'shape':<26}{'load':>7}{'capacity':>10}{'latency(l=0.8,c=0.1)':>22}")
+    shapes = {
+        "single leader (L=1)": (1, majority(n), 0.0, 0.0),
+        "leaderless (L=N)": (n, majority(n), 0.1, 0.0),
+        f"multi-leader (L={len(regions)})": (len(regions), n // len(regions), 0.0, 0.8),
+    }
+    for name, (leaders, quorum, conflict, locality) in shapes.items():
+        protocol_load = load(leaders, quorum, conflict)
+        latency = expected_latency(conflict, locality, d_leader, d_quorum)
+        print(
+            f"{name:<26}{protocol_load:>7.2f}{capacity(leaders, quorum, conflict):>10.2f}"
+            f"{latency:>20.1f} ms"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-consensus", action="store_true", help="plain replication suffices")
+    parser.add_argument("--wan", action="store_true", help="multi-region deployment")
+    parser.add_argument("--locality", action="store_true", help="workload has access locality")
+    parser.add_argument("--read-heavy", action="store_true", help="more reads than writes")
+    parser.add_argument("--dynamic", action="store_true", help="locality shifts over time")
+    parser.add_argument("--dc-failure", action="store_true", help="must survive a region outage")
+    parser.add_argument("--nodes", type=int, default=9)
+    args = parser.parse_args()
+
+    profile = DeploymentProfile(
+        needs_consensus=not args.no_consensus,
+        wan=args.wan,
+        workload_has_locality=args.locality,
+        read_heavy=args.read_heavy,
+        locality_is_dynamic=args.dynamic,
+        datacenter_failure_is_concern=args.dc_failure,
+    )
+    rec = recommend(profile)
+    print(f"recommended family: {rec.category}")
+    print(f"consider: {', '.join(rec.protocols)}")
+    print(f"why: {rec.rationale}")
+
+    if args.wan:
+        forecast(args.nodes, ("VA", "OH", "CA"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""repro: reproduction of "Dissecting the Performance of Strongly-Consistent
+Replication Protocols" (SIGMOD 2019).
+
+Two complementary prongs, mirroring the paper:
+
+- :mod:`repro.core` — the queueing-theory analytic models and the distilled
+  load/capacity/latency formulas (paper sections 3 and 6);
+- :mod:`repro.paxi` + :mod:`repro.protocols` — a Python port of the Paxi
+  prototyping framework and the protocols it evaluates, running on the
+  discrete-event simulator in :mod:`repro.sim` (paper sections 4 and 5).
+"""
+
+__version__ = "1.0.0"

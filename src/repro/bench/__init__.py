@@ -1,0 +1,1 @@
+"""Benchmark harness: workload generation and latency/throughput drivers."""

@@ -1,0 +1,144 @@
+"""Nemesis: seeded, composable fault schedules (paper section 4.2).
+
+The paper motivates Paxi's fault injection by how laborious tools like
+Jepsen and Chaos Monkey are to drive: "testing for availability ... requires
+laborious manual work to simulate all combinations of failures".  A
+:class:`Nemesis` automates that combination search — it draws a random
+schedule of crashes, drops, slow links, flaky links, and partitions from a
+seed, applies it to a deployment, and reports the schedule so any failing
+combination replays exactly.
+
+Used by the property-based safety tests and available to users::
+
+    nemesis = Nemesis(seed=7, horizon=2.0)
+    schedule = nemesis.unleash(deployment)   # returns the applied events
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+
+KINDS = ("crash", "drop", "slow", "flaky", "partition")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, fully describing how to replay it."""
+
+    kind: str
+    start: float
+    duration: float
+    victim: NodeID | None = None  # crash
+    src: NodeID | None = None  # drop / slow / flaky
+    dst: NodeID | None = None
+    probability: float = 0.5  # flaky
+    group: tuple[NodeID, ...] = ()  # partition minority
+
+    def __str__(self) -> str:
+        target = self.victim or (f"{self.src}->{self.dst}" if self.src else self.group)
+        return f"{self.kind}({target}) @{self.start:.2f}s for {self.duration:.2f}s"
+
+
+@dataclass
+class Nemesis:
+    """Draws and applies a random fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Schedule seed; the same seed over the same node set produces the
+        same schedule.
+    horizon:
+        Time window (virtual seconds) the events are scattered over.
+    events:
+        How many faults to draw.
+    kinds:
+        Fault classes to draw from; restrict e.g. to ``("drop", "flaky")``
+        for protocols without crash recovery.
+    spare:
+        Nodes never crashed or isolated (e.g. a leader whose failover is
+        out of scope, or enough nodes to preserve quorums).
+    max_partition_size:
+        Largest minority a partition may cut off.
+    """
+
+    seed: int = 0
+    horizon: float = 1.0
+    events: int = 3
+    kinds: Sequence[str] = KINDS
+    spare: Sequence[NodeID] = ()
+    max_partition_size: int = 2
+    max_duration: float = 0.4
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kinds) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds {unknown!r}")
+
+    def schedule(self, nodes: Sequence[NodeID]) -> list[FaultEvent]:
+        """Draw the fault schedule for ``nodes`` without applying it."""
+        rng = random.Random(self.seed)
+        eligible = [n for n in nodes if n not in set(self.spare)]
+        if not eligible:
+            return []
+        out: list[FaultEvent] = []
+        for _ in range(self.events):
+            kind = rng.choice(list(self.kinds))
+            start = rng.uniform(0.0, self.horizon)
+            duration = rng.uniform(0.05, self.max_duration)
+            if kind == "crash":
+                out.append(FaultEvent(kind, start, duration, victim=rng.choice(eligible)))
+            elif kind == "partition":
+                size = rng.randint(1, min(self.max_partition_size, len(eligible)))
+                minority = tuple(rng.sample(eligible, size))
+                out.append(FaultEvent(kind, start, duration, group=minority))
+            else:
+                src = rng.choice(list(nodes))
+                dst = rng.choice([n for n in nodes if n != src])
+                out.append(
+                    FaultEvent(
+                        kind,
+                        start,
+                        duration,
+                        src=src,
+                        dst=dst,
+                        probability=rng.uniform(0.2, 0.8),
+                    )
+                )
+        out.sort(key=lambda e: e.start)
+        return out
+
+    def unleash(self, deployment: Deployment, at: float | None = None) -> list[FaultEvent]:
+        """Draw a schedule and inject it into ``deployment``.
+
+        ``at`` offsets every event (default: the deployment's current
+        time).  Returns the applied events for logging/replay.
+        """
+        base = deployment.now if at is None else at
+        events = self.schedule(list(deployment.config.node_ids))
+        for event in events:
+            start = base + event.start
+            if event.kind == "crash":
+                deployment.crash(event.victim, event.duration, at=start)
+            elif event.kind == "drop":
+                deployment.drop(event.src, event.dst, event.duration, at=start)
+            elif event.kind == "slow":
+                deployment.slow(event.src, event.dst, event.duration, at=start)
+            elif event.kind == "flaky":
+                deployment.flaky(
+                    event.src, event.dst, event.duration, event.probability, at=start
+                )
+            else:  # partition
+                everyone = set(deployment.config.node_ids) | {
+                    client.address for client in deployment.clients
+                }
+                minority = set(event.group)
+                deployment.cluster.partition(
+                    [minority, everyone - minority], event.duration, at=start
+                )
+        return events

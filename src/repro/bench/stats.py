@@ -1,0 +1,91 @@
+"""Latency statistics: summaries, percentiles, CDFs, histograms."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of a latency sample, in the sample's own unit."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile {q} outside [0, 1]")
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def cdf(samples: Sequence[float], points: int = 100) -> list[tuple[float, float]]:
+    """An empirical CDF as (value, cumulative probability) pairs."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    step = max(1, n // points)
+    curve = [(ordered[i], (i + 1) / n) for i in range(0, n, step)]
+    if curve[-1][0] != ordered[-1]:
+        curve.append((ordered[-1], 1.0))
+    return curve
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 20
+) -> list[tuple[float, float, int]]:
+    """Equal-width histogram as (bin_low, bin_high, count) triples."""
+    if not samples:
+        return []
+    lo, hi = min(samples), max(samples)
+    if hi == lo:
+        return [(lo, hi, len(samples))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = min(int((sample - lo) / width), bins - 1)
+        counts[index] += 1
+    return [(lo + i * width, lo + (i + 1) * width, counts[i]) for i in range(bins)]
+
+
+def mean(samples: Sequence[float]) -> float:
+    return sum(samples) / len(samples) if samples else math.nan
+
+
+def stddev(samples: Sequence[float]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((s - mu) ** 2 for s in samples) / (len(samples) - 1))

@@ -1,0 +1,77 @@
+"""Saturation sweeps: latency-vs-throughput curves.
+
+The paper's performance tier "increases the benchmark throughput (via
+increasing the concurrency level of the workload generator) until the
+system is saturated and throughput stops increasing or latency starts to
+climb" (section 4.2).  :func:`closed_loop_sweep` implements exactly that and
+returns one point per concurrency level; :func:`max_throughput` extracts the
+knee of the curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench.benchmarker import ClosedLoopBenchmark, SpecBySite
+from repro.paxi.deployment import Deployment
+
+DEFAULT_CONCURRENCIES = (1, 2, 4, 8, 16, 32, 64, 96, 128)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a latency-throughput curve."""
+
+    concurrency: int
+    throughput: float  # ops per virtual second
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    completed: int
+
+
+def closed_loop_sweep(
+    make_deployment: Callable[[], Deployment],
+    spec: SpecBySite,
+    concurrencies: Sequence[int] = DEFAULT_CONCURRENCIES,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    settle: float = 0.5,
+    sites: list[str] | None = None,
+) -> list[SweepPoint]:
+    """One fresh deployment + run per concurrency level."""
+    points: list[SweepPoint] = []
+    for concurrency in concurrencies:
+        deployment = make_deployment()
+        bench = ClosedLoopBenchmark(deployment, spec, concurrency, sites)
+        result = bench.run(duration, warmup, settle)
+        points.append(
+            SweepPoint(
+                concurrency=concurrency,
+                throughput=result.throughput,
+                mean_latency_ms=result.latency.mean,
+                p50_latency_ms=result.latency.p50,
+                p99_latency_ms=result.latency.p99,
+                completed=result.completed,
+            )
+        )
+    return points
+
+
+def max_throughput(points: Sequence[SweepPoint]) -> float:
+    """The highest observed throughput across the sweep."""
+    return max((p.throughput for p in points), default=0.0)
+
+
+def format_curve(points: Sequence[SweepPoint], label: str = "") -> str:
+    """A printable table of the curve (one row per concurrency level)."""
+    header = f"{'clients':>8} {'ops/s':>10} {'mean ms':>9} {'p50 ms':>8} {'p99 ms':>8}"
+    if label:
+        header = f"-- {label} --\n" + header
+    rows = [
+        f"{p.concurrency:>8} {p.throughput:>10.0f} {p.mean_latency_ms:>9.3f} "
+        f"{p.p50_latency_ms:>8.3f} {p.p99_latency_ms:>8.3f}"
+        for p in points
+    ]
+    return "\n".join([header, *rows])

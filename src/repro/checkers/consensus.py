@@ -1,0 +1,79 @@
+"""Consensus checker (paper section 4.2).
+
+Client-observed linearizability can hold even when the replicated state
+machines diverge, so Paxi additionally validates *consensus*: for every
+data record, the per-node version histories must share a common prefix.
+We collect each replica's multi-version chain per key and verify that any
+two chains agree on their overlapping prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+
+
+@dataclass(frozen=True)
+class PrefixViolation:
+    """Two nodes disagree on the committed history of one key."""
+
+    key: Hashable
+    node_a: NodeID
+    node_b: NodeID
+    position: int
+    value_a: Any
+    value_b: Any
+
+
+@dataclass
+class ConsensusResult:
+    ok: bool
+    violations: list[PrefixViolation] = field(default_factory=list)
+    checked_keys: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def common_prefix_violations(
+    histories: dict[NodeID, list[Any]], key: Hashable = None
+) -> list[PrefixViolation]:
+    """Pairwise common-prefix check over per-node value histories."""
+    violations: list[PrefixViolation] = []
+    nodes = sorted(histories)
+    for index, node_a in enumerate(nodes):
+        for node_b in nodes[index + 1 :]:
+            chain_a = histories[node_a]
+            chain_b = histories[node_b]
+            for position in range(min(len(chain_a), len(chain_b))):
+                if chain_a[position] != chain_b[position]:
+                    violations.append(
+                        PrefixViolation(
+                            key=key,
+                            node_a=node_a,
+                            node_b=node_b,
+                            position=position,
+                            value_a=chain_a[position],
+                            value_b=chain_b[position],
+                        )
+                    )
+                    break
+    return violations
+
+
+def check_deployment(deployment: Deployment) -> ConsensusResult:
+    """Check every key across every replica of a deployment."""
+    keys: set[Hashable] = set()
+    for replica in deployment.replicas.values():
+        keys.update(replica.store.keys())
+    violations: list[PrefixViolation] = []
+    for key in keys:
+        histories = {
+            node_id: replica.store.history(key)
+            for node_id, replica in deployment.replicas.items()
+        }
+        violations.extend(common_prefix_violations(histories, key))
+    return ConsensusResult(ok=not violations, violations=violations, checked_keys=len(keys))

@@ -1,0 +1,214 @@
+"""Offline read/write linearizability checker (paper section 4.2).
+
+The paper adopts the simple offline checker from Facebook's TAO consistency
+study: per key, take all operations sorted by invocation time, maintain a
+graph whose vertices are operations and whose edges are ordering
+constraints, and report a violation if the graph has a cycle; additionally
+report the individual *anomalous reads* — reads that returned a value no
+linearizable execution could return.
+
+Assumptions (guaranteed by the workload generator): every write value is
+unique per key, and keys are independent registers.
+
+Constraint edges per key:
+
+- **real time**: ``a -> b`` whenever ``a`` returned before ``b`` was invoked;
+- **read-from**: ``w(v) -> r`` whenever read ``r`` returned ``v`` written by
+  ``w(v)`` (a read of the initial value reads from a virtual write that
+  precedes everything);
+- **no intervening write**: ``r -> w2`` for every write ``w2`` that
+  real-time-follows the write ``r`` read from — if ``w2`` were ordered
+  before ``r``, ``r`` could not have returned ``v`` any more.
+
+A cycle then corresponds exactly to a future or stale read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.errors import CheckerError
+from repro.paxi.history import Operation
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One anomalous read, with the reason it is not linearizable."""
+
+    read: Operation
+    kind: str  # "dirty-read" | "future-read" | "stale-read" | "lost-update"
+    detail: str
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a linearizability check."""
+
+    ok: bool
+    anomalies: list[Anomaly] = field(default_factory=list)
+    checked_operations: int = 0
+    checked_keys: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_history(operations: Iterable[Operation]) -> CheckResult:
+    """Check a full multi-key history; keys are independent registers."""
+    per_key: dict[Hashable, list[Operation]] = {}
+    count = 0
+    for op in operations:
+        per_key.setdefault(op.key, []).append(op)
+        count += 1
+    anomalies: list[Anomaly] = []
+    for ops in per_key.values():
+        ops.sort(key=lambda o: (o.invoked_at, o.returned_at))
+        anomalies.extend(_check_key(ops))
+    return CheckResult(
+        ok=not anomalies,
+        anomalies=anomalies,
+        checked_operations=count,
+        checked_keys=len(per_key),
+    )
+
+
+def _check_key(ops: list[Operation]) -> list[Anomaly]:
+    """Anomalous-read detection for one key (TAO-style)."""
+    writes = [op for op in ops if not op.is_read]
+    write_by_value: dict[Hashable, Operation] = {}
+    for w in writes:
+        if w.value in write_by_value:
+            raise CheckerError(
+                f"duplicate write value {w.value!r}; the checker needs "
+                "unique write values per key"
+            )
+        write_by_value[w.value] = w
+    anomalies: list[Anomaly] = []
+    for read in ops:
+        if not read.is_read:
+            continue
+        anomalies.extend(_check_read(read, writes, write_by_value))
+    return anomalies
+
+
+def _check_read(
+    read: Operation,
+    writes: list[Operation],
+    write_by_value: dict[Hashable, Operation],
+) -> list[Anomaly]:
+    value = read.output
+    if value is None:
+        # Reading the initial value: anomalous if any write strictly
+        # preceded the read in real time.
+        for w in writes:
+            if w.returned_at < read.invoked_at:
+                return [
+                    Anomaly(
+                        read,
+                        "stale-read",
+                        f"returned initial value although write of {w.value!r} "
+                        f"completed at {w.returned_at:.6f} before the read "
+                        f"began at {read.invoked_at:.6f}",
+                    )
+                ]
+        return []
+    source = write_by_value.get(value)
+    if source is None:
+        return [
+            Anomaly(read, "dirty-read", f"returned {value!r}, which no client wrote")
+        ]
+    if source.invoked_at > read.returned_at:
+        return [
+            Anomaly(
+                read,
+                "future-read",
+                f"returned {value!r} before its write was invoked "
+                f"({source.invoked_at:.6f} > {read.returned_at:.6f})",
+            )
+        ]
+    # Stale read: some other write strictly follows the source write and
+    # strictly precedes the read.
+    for w2 in writes:
+        if w2 is source:
+            continue
+        if w2.invoked_at > source.returned_at and w2.returned_at < read.invoked_at:
+            return [
+                Anomaly(
+                    read,
+                    "stale-read",
+                    f"returned {value!r} although {w2.value!r} was written "
+                    f"strictly in between",
+                )
+            ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Graph form (cycle detection), as described in the paper
+# ----------------------------------------------------------------------
+
+
+def constraint_graph(ops: list[Operation]) -> dict[int, set[int]]:
+    """Build the constraint graph for one key's operations.
+
+    Vertices are indices into ``ops``; returns an adjacency mapping.
+    """
+    ops = sorted(ops, key=lambda o: (o.invoked_at, o.returned_at))
+    writes = [(i, op) for i, op in enumerate(ops) if not op.is_read]
+    by_value = {op.value: i for i, op in writes}
+    edges: dict[int, set[int]] = {i: set() for i in range(len(ops))}
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and a.returned_at < b.invoked_at:
+                edges[i].add(j)  # real-time order
+    for i, op in enumerate(ops):
+        if not op.is_read:
+            continue
+        if op.output is None:
+            # Reads-from the virtual initial write: must precede every write.
+            for j, _w in writes:
+                edges[i].add(j)
+            continue
+        source = by_value.get(op.output)
+        if source is None:
+            continue  # dirty read; caught by check_history
+        edges[source].add(i)  # read-from
+        for j, w2 in writes:
+            if j != source and w2.invoked_at > ops[source].returned_at:
+                edges[i].add(j)  # no intervening write
+    return edges
+
+
+def has_cycle(edges: dict[int, set[int]]) -> bool:
+    """Iterative three-color DFS cycle detection."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in edges}
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, Iterable[int]]] = [(root, iter(edges[root]))]
+        color[root] = GRAY
+        while stack:
+            vertex, neighbors = stack[-1]
+            advanced = False
+            for nxt in neighbors:
+                if color[nxt] == GRAY:
+                    return True
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(edges[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = BLACK
+                stack.pop()
+    return False
+
+
+def check_history_graph(operations: Iterable[Operation]) -> bool:
+    """Graph/cycle formulation of the same check: True iff linearizable."""
+    per_key: dict[Hashable, list[Operation]] = {}
+    for op in operations:
+        per_key.setdefault(op.key, []).append(op)
+    return all(not has_cycle(constraint_graph(ops)) for ops in per_key.values())

@@ -1,0 +1,192 @@
+"""Relaxed-consistency checkers: bounded staleness and session guarantees.
+
+The paper closes by naming its future work: "we aim to extend our
+analytical model to cover replication protocols with relaxed consistency
+guarantees, such as bounded-consistency and session consistency"
+(section 7).  These checkers make those guarantees testable on the same
+operation histories the linearizability checker consumes:
+
+- **bounded staleness**: every read must return a value that was current
+  no more than ``delta`` seconds before the read was invoked.  At
+  ``delta = 0`` this is exactly the linearizability stale-read rule.
+- **session guarantees** (per client): *read-your-writes* — a read must
+  never return a value older than the client's own latest completed write
+  to that key — and *monotonic reads* — successive reads must never go
+  backwards in (provable) write order.
+
+As with the linearizability checker, write values must be unique per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.paxi.history import Operation
+
+
+@dataclass(frozen=True)
+class StalenessViolation:
+    read: Operation
+    overwritten_by: Operation
+    staleness: float  # seconds beyond the allowed bound
+
+    def __str__(self) -> str:
+        return (
+            f"read of {self.read.output!r} on {self.read.key!r} was "
+            f"overwritten by {self.overwritten_by.value!r} "
+            f"{self.staleness:.4f}s beyond the bound"
+        )
+
+
+@dataclass(frozen=True)
+class SessionViolation:
+    kind: str  # "read-your-writes" | "monotonic-reads"
+    client: Hashable
+    read: Operation
+    detail: str
+
+
+@dataclass
+class RelaxedCheckResult:
+    ok: bool
+    staleness_violations: list[StalenessViolation] = field(default_factory=list)
+    session_violations: list[SessionViolation] = field(default_factory=list)
+    max_staleness: float = 0.0  # worst observed provable staleness (s)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _group(operations: Iterable[Operation]) -> dict[Hashable, list[Operation]]:
+    grouped: dict[Hashable, list[Operation]] = {}
+    for op in operations:
+        grouped.setdefault(op.key, []).append(op)
+    for ops in grouped.values():
+        ops.sort(key=lambda o: (o.invoked_at, o.returned_at))
+    return grouped
+
+
+def observed_staleness(read: Operation, writes: list[Operation]) -> float:
+    """Provable staleness of one read, in seconds.
+
+    If the read returned ``v`` and some other write strictly followed
+    ``w(v)`` and completed at time ``t < read.invoked_at``, the value was
+    provably stale for at least ``read.invoked_at - t`` seconds.  Returns
+    0.0 for a read no one can prove stale.
+    """
+    if not read.is_read:
+        raise ValueError("staleness is defined for reads")
+    if read.output is None:
+        overwrite_times = [w.returned_at for w in writes if w.returned_at < read.invoked_at]
+        return read.invoked_at - min(overwrite_times) if overwrite_times else 0.0
+    source = next((w for w in writes if w.value == read.output), None)
+    if source is None:
+        return 0.0  # dirty read; the linearizability checker's department
+    staleness = 0.0
+    for w2 in writes:
+        if w2 is source:
+            continue
+        if w2.invoked_at > source.returned_at and w2.returned_at < read.invoked_at:
+            staleness = max(staleness, read.invoked_at - w2.returned_at)
+    return staleness
+
+
+def check_bounded_staleness(
+    operations: Iterable[Operation], delta: float
+) -> RelaxedCheckResult:
+    """Every read must be at most ``delta`` seconds stale."""
+    if delta < 0:
+        raise ValueError(f"staleness bound must be non-negative, got {delta}")
+    result = RelaxedCheckResult(ok=True)
+    for ops in _group(operations).values():
+        writes = [op for op in ops if not op.is_read]
+        for read in ops:
+            if not read.is_read:
+                continue
+            staleness = observed_staleness(read, writes)
+            result.max_staleness = max(result.max_staleness, staleness)
+            if staleness > delta:
+                overwriter = max(
+                    (
+                        w
+                        for w in writes
+                        if w.returned_at < read.invoked_at
+                    ),
+                    key=lambda w: w.returned_at,
+                )
+                result.staleness_violations.append(
+                    StalenessViolation(read, overwriter, staleness - delta)
+                )
+    result.ok = not result.staleness_violations
+    return result
+
+
+def check_session(operations: Iterable[Operation]) -> RelaxedCheckResult:
+    """Read-your-writes and monotonic reads, per client and key."""
+    result = RelaxedCheckResult(ok=True)
+    ops = sorted(operations, key=lambda o: (o.invoked_at, o.returned_at))
+    grouped = _group(ops)
+    for key, key_ops in grouped.items():
+        writes = [op for op in key_ops if not op.is_read]
+        write_index = {w.value: i for i, w in enumerate(writes)}
+        write_op = {w.value: w for w in writes}
+        per_client_last_write: dict[Hashable, Operation] = {}
+        per_client_last_read_value: dict[Hashable, object] = {}
+        for op in key_ops:
+            client = op.client
+            if not op.is_read:
+                per_client_last_write[client] = op
+                continue
+            # Read-your-writes: the client's own completed write must be
+            # visible (the read can return it, or anything that provably
+            # followed it — never something that provably preceded it).
+            own = per_client_last_write.get(client)
+            if own is not None and own.returned_at < op.invoked_at:
+                if op.output is None:
+                    result.session_violations.append(
+                        SessionViolation(
+                            "read-your-writes",
+                            client,
+                            op,
+                            f"returned initial value after own write {own.value!r}",
+                        )
+                    )
+                else:
+                    seen = write_op.get(op.output)
+                    if (
+                        seen is not None
+                        and seen.returned_at < own.invoked_at
+                    ):
+                        result.session_violations.append(
+                            SessionViolation(
+                                "read-your-writes",
+                                client,
+                                op,
+                                f"returned {op.output!r}, which precedes own "
+                                f"write {own.value!r}",
+                            )
+                        )
+            # Monotonic reads: cannot go provably backwards.
+            previous = per_client_last_read_value.get(client)
+            if previous is not None and op.output is not None and previous != op.output:
+                prev_write = write_op.get(previous)
+                this_write = write_op.get(op.output)
+                if (
+                    prev_write is not None
+                    and this_write is not None
+                    and this_write.returned_at < prev_write.invoked_at
+                ):
+                    result.session_violations.append(
+                        SessionViolation(
+                            "monotonic-reads",
+                            client,
+                            op,
+                            f"read {op.output!r} after having read the "
+                            f"strictly newer {previous!r}",
+                        )
+                    )
+            if op.output is not None and op.output in write_index:
+                per_client_last_read_value[client] = op.output
+    result.ok = not result.session_violations
+    return result

@@ -1,0 +1,136 @@
+"""Protocol selection flowchart (paper Figure 14) and Table 4 as code.
+
+:func:`recommend` walks the paper's decision flowchart over a structured
+description of a deployment and returns the protocol family the paper
+suggests, with the paper's rationale attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Table 4: which distilled parameter each protocol explores.
+PARAMETERS_EXPLORED: dict[str, tuple[str, ...]] = {
+    "L (leaders)": ("EPaxos", "WPaxos"),
+    "c (conflicts)": ("Generalized Paxos", "EPaxos"),
+    "Q (quorum)": ("FPaxos", "WPaxos"),
+    "l (locality)": ("VPaxos", "WPaxos", "WanKeeper"),
+}
+
+
+@dataclass(frozen=True)
+class DeploymentProfile:
+    """Answers to the flowchart's questions, in the order asked."""
+
+    needs_consensus: bool = True
+    wan: bool = False
+    workload_has_locality: bool = False
+    read_heavy: bool = False  # more reads than writes
+    locality_is_dynamic: bool = False
+    datacenter_failure_is_concern: bool = False
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One leaf of the flowchart."""
+
+    category: str
+    protocols: tuple[str, ...]
+    rationale: str
+
+
+NO_CONSENSUS = Recommendation(
+    category="no-consensus",
+    protocols=("Atomic Storage", "Chain Replication", "Eventually-consistent replication"),
+    rationale=(
+        "Consensus protocols implement SMR for critical coordination tasks; "
+        "consensus is not required to provide read/write linearizability to clients."
+    ),
+)
+
+LAN_SINGLE_LEADER = Recommendation(
+    category="single-leader",
+    protocols=("Multi-Paxos", "Raft", "Zab"),
+    rationale=(
+        "Deployment with a small number of nodes in LAN preserves decent "
+        "performance even with single-leader protocols, while benefiting "
+        "from a simple implementation."
+    ),
+)
+
+LEADERLESS = Recommendation(
+    category="leaderless",
+    protocols=("Generalized Paxos", "EPaxos"),
+    rationale=(
+        "More frequent read operations mean fewer interfering commands, "
+        "which benefits the leaderless approach."
+    ),
+)
+
+STATIC_SHARDING = Recommendation(
+    category="sharded",
+    protocols=("Paxos Groups",),
+    rationale=(
+        "Static locality means a sharding technique works in the "
+        "best-case scenario."
+    ),
+)
+
+HIERARCHICAL = Recommendation(
+    category="hierarchical",
+    protocols=("Vertical Paxos", "WanKeeper"),
+    rationale=(
+        "The group of replicas can be deployed in one region and managed "
+        "by a master or hierarchical architecture."
+    ),
+)
+
+ADAPTIVE_MULTILEADER = Recommendation(
+    category="adaptive-multi-leader",
+    protocols=("WPaxos", "Vertical Paxos with cross-region Paxos groups"),
+    rationale=(
+        "A multi-leader protocol that dynamically adapts to locality and "
+        "tolerates datacenter failures is the best fit."
+    ),
+)
+
+
+def recommend(profile: DeploymentProfile) -> Recommendation:
+    """Walk Figure 14's flowchart and return the recommended family."""
+    if not profile.needs_consensus:
+        return NO_CONSENSUS
+    if not profile.wan:
+        return LAN_SINGLE_LEADER
+    if not profile.workload_has_locality:
+        if profile.read_heavy:
+            return LEADERLESS
+        return LAN_SINGLE_LEADER
+    if not profile.locality_is_dynamic:
+        return STATIC_SHARDING
+    if profile.datacenter_failure_is_concern:
+        return ADAPTIVE_MULTILEADER
+    return HIERARCHICAL
+
+
+def all_paths() -> list[tuple[DeploymentProfile, Recommendation]]:
+    """Every distinct flowchart path, for documentation and testing."""
+    profiles = [
+        DeploymentProfile(needs_consensus=False),
+        DeploymentProfile(wan=False),
+        DeploymentProfile(wan=True, workload_has_locality=False, read_heavy=True),
+        DeploymentProfile(wan=True, workload_has_locality=False, read_heavy=False),
+        DeploymentProfile(wan=True, workload_has_locality=True, locality_is_dynamic=False),
+        DeploymentProfile(
+            wan=True,
+            workload_has_locality=True,
+            locality_is_dynamic=True,
+            datacenter_failure_is_concern=True,
+        ),
+        DeploymentProfile(
+            wan=True,
+            workload_has_locality=True,
+            locality_is_dynamic=True,
+            datacenter_failure_is_concern=False,
+        ),
+    ]
+    return [(profile, recommend(profile)) for profile in profiles]

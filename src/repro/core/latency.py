@@ -1,0 +1,89 @@
+"""The distilled WAN latency formula (paper section 6.2, Equation 7).
+
+    Latency(S) = (1+c) * ((1-l) * (DL + DQ) + l * DQ)
+
+where ``c`` is the conflict probability, ``l`` the probability a request is
+local to its leader, ``DL`` the round trip from the request's origin to the
+operation leader, and ``DQ`` the leader's quorum round trip.
+
+For EPaxos ``l = 1`` (every node leads its own commands) and ``c`` is
+workload-specific; for the other protocols the paper takes ``c = 0`` and
+``l`` workload-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+def expected_latency(
+    conflict: float,
+    locality: float,
+    d_leader: float,
+    d_quorum: float,
+) -> float:
+    """Equation 7, in whatever time unit ``d_leader``/``d_quorum`` use."""
+    if not 0.0 <= conflict <= 1.0:
+        raise ModelError(f"conflict {conflict} outside [0, 1]")
+    if not 0.0 <= locality <= 1.0:
+        raise ModelError(f"locality {locality} outside [0, 1]")
+    if d_leader < 0 or d_quorum < 0:
+        raise ModelError("network delays must be non-negative")
+    return (1.0 + conflict) * (
+        (1.0 - locality) * (d_leader + d_quorum) + locality * d_quorum
+    )
+
+
+@dataclass(frozen=True)
+class FormulaInputs:
+    """The six distilled parameters of the paper's unified theory."""
+
+    leaders: float  # L: number of (operation) leaders
+    quorum: float  # Q: quorum size
+    conflict: float  # c: conflict probability
+    locality: float  # l: locality
+    d_leader: float  # DL: RTT to the leader
+    d_quorum: float  # DQ: RTT to the quorum
+
+    def latency(self) -> float:
+        return expected_latency(self.conflict, self.locality, self.d_leader, self.d_quorum)
+
+    def load(self) -> float:
+        from repro.core.load import load
+
+        return load(self.leaders, self.quorum, self.conflict)
+
+    def capacity(self) -> float:
+        return 1.0 / self.load()
+
+
+def epaxos_inputs(n: int, conflict: float, d_quorum: float) -> FormulaInputs:
+    """EPaxos under the unified theory: L = N, l = 1 (section 6.2)."""
+    from repro.core.load import majority
+
+    return FormulaInputs(
+        leaders=n,
+        quorum=majority(n),
+        conflict=conflict,
+        locality=1.0,
+        d_leader=0.0,
+        d_quorum=d_quorum,
+    )
+
+
+def single_leader_inputs(
+    n: int, locality: float, d_leader: float, d_quorum: float
+) -> FormulaInputs:
+    """MultiPaxos-style protocols: L = 1, c = 0 (section 6.2)."""
+    from repro.core.load import majority
+
+    return FormulaInputs(
+        leaders=1,
+        quorum=majority(n),
+        conflict=0.0,
+        locality=locality,
+        d_leader=d_leader,
+        d_quorum=d_quorum,
+    )

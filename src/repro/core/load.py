@@ -1,0 +1,82 @@
+"""Load and capacity formulas (paper section 6.1, Equations 1-6).
+
+**Load** ``L(S)`` is the average number of operations the busiest node
+performs per request, where one operation is the work of handling one
+round-trip exchange with another node.  **Capacity** is its reciprocal:
+
+    Cap(S) = 1 / L(S)                                           (Eq. 1)
+
+    L(S) = (1/L)(1+c)(Q-1) + (1 - 1/L)(1+c)                     (Eq. 2)
+         = (1+c)(Q + L - 2) / L                                 (Eq. 3)
+
+with ``L`` leaders, quorum size ``Q``, and conflict probability ``c``.
+Equation 3 assumes the thrifty optimization (the leader contacts only
+``Q`` nodes); without it use ``Q = N - 1``.
+
+Specializations at N nodes (Equations 4-6):
+
+    L(Paxos)  = floor(N/2)                  (L=1, c=0, Q=floor(N/2)+1)
+    L(EPaxos) = (1+c)(floor(N/2)+N-1)/N     (L=N, Q=floor(N/2)+1)
+    L(WPaxos) = (N/L + L - 2)/L             (c=0, grid q2 of size N/L)
+
+At N = 9 these give 4, 4/3 (1+c), and 4/3 — the paper's corollary that
+WPaxos has the smallest load and hence the highest capacity of the three.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def _check(leaders: float, quorum: float, conflict: float) -> None:
+    if leaders < 1:
+        raise ModelError(f"need at least one leader, got {leaders}")
+    if quorum < 1:
+        raise ModelError(f"quorum must be at least 1, got {quorum}")
+    if not 0.0 <= conflict <= 1.0:
+        raise ModelError(f"conflict probability {conflict} outside [0, 1]")
+
+
+def load(leaders: float, quorum: float, conflict: float = 0.0) -> float:
+    """Equation 3: ``L(S) = (1+c)(Q + L - 2) / L``."""
+    _check(leaders, quorum, conflict)
+    return (1.0 + conflict) * (quorum + leaders - 2.0) / leaders
+
+
+def load_two_term(leaders: float, quorum: float, conflict: float = 0.0) -> float:
+    """Equation 2, the un-simplified form (kept separate so tests can prove
+    the algebraic identity with Equation 3)."""
+    _check(leaders, quorum, conflict)
+    lead_share = 1.0 / leaders
+    return lead_share * (1.0 + conflict) * (quorum - 1.0) + (1.0 - lead_share) * (
+        1.0 + conflict
+    )
+
+
+def capacity(leaders: float, quorum: float, conflict: float = 0.0) -> float:
+    """Equation 1: ``Cap(S) = 1 / L(S)`` (in busiest-node operations)."""
+    return 1.0 / load(leaders, quorum, conflict)
+
+
+def majority(n: int) -> int:
+    """``floor(N/2) + 1``."""
+    if n < 1:
+        raise ModelError(f"need at least one node, got {n}")
+    return n // 2 + 1
+
+
+def load_paxos(n: int) -> float:
+    """Equation 4: single leader, no conflicts, majority quorum."""
+    return load(1, majority(n), 0.0)
+
+
+def load_epaxos(n: int, conflict: float = 0.0) -> float:
+    """Equation 5: every node is an opportunistic leader (L = N)."""
+    return load(n, majority(n), conflict)
+
+
+def load_wpaxos(n: int, leaders: int) -> float:
+    """Equation 6: grid phase-2 quorum of size N/L, one leader per zone."""
+    if leaders < 1 or n % leaders != 0:
+        raise ModelError(f"{leaders} leaders do not evenly divide {n} nodes")
+    return load(leaders, n // leaders, 0.0)

@@ -1,0 +1,575 @@
+"""Per-protocol analytic performance models (paper sections 3 and 5).
+
+Each model computes, for a system-wide arrival rate ``λ`` (rounds/second):
+
+- the **work** the busiest node does per request, split by role (leader of
+  its own rounds, follower in others' rounds, forwarder of mislocated
+  requests), which yields the maximum throughput ``µ = 1 / work``;
+- the **queue wait** ``wQ`` at that node via an M/D/1 queue (the paper's
+  chosen approximation, Figure 4);
+- the **network delay** ``DL + DQ``: client-to-leader round trip plus the
+  quorum wait, where ``DQ`` is a k-order statistic of normal RTTs in the
+  LAN and the (Q-1)-th smallest mean RTT in the WAN (section 3.3);
+- the average **latency** ``wQ + ts + DL + DQ``.
+
+Models provided: MultiPaxos, FPaxos, EPaxos (with conflict ratio ``c`` and
+the paper's processing penalty), and WPaxos (grid quorums, locality ``l``)
+— the four protocols in the paper's model figures (8, 10, 12) — plus
+WanKeeper and VPaxos (hierarchical/locality designs of Figures 9/11/13)
+and Mencius (the rotating-leader demonstration protocol).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.order_stats import expected_kth_normal_blom, kth_smallest
+from repro.core.queueing import MD1
+from repro.core.service import RoundWork, ServiceParams
+from repro.core.topology import Topology
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One (throughput, latency) point of a modeled curve."""
+
+    throughput: float  # rounds per second
+    latency_ms: float
+
+
+def quorum_delay_ms(topology: Topology, leader: int, q: int) -> float:
+    """Expected RTT of the reply that completes a Q-quorum at ``leader``.
+
+    The leader self-votes, so it waits for the (Q-1)-th follower reply.
+    In a single-site (LAN) topology all RTTs share one normal distribution
+    and we take the expected (Q-1)-th order statistic of N-1 draws; in a
+    WAN we take the (Q-1)-th smallest mean RTT (section 3.3).
+    """
+    if q <= 1:
+        return 0.0
+    n = topology.n_nodes
+    if q > n:
+        raise ModelError(f"quorum {q} larger than cluster {n}")
+    if len(topology.sites) == 1:
+        local = topology.local
+        return expected_kth_normal_blom(q - 1, n - 1, local.mean_ms, local.sigma_ms)
+    return kth_smallest(topology.rtts_from(leader), q - 1)
+
+
+def mean_client_rtt_ms(topology: Topology, target_site: str, client_sites: list[str]) -> float:
+    """Average RTT from a uniform mix of client sites to ``target_site``."""
+    if not client_sites:
+        raise ModelError("no client sites given")
+    return sum(
+        topology.site_rtt_mean_ms(site, target_site) for site in client_sites
+    ) / len(client_sites)
+
+
+@dataclass
+class _BusyNode:
+    """Work mix at the busiest node: (fraction of system λ, per-job work)."""
+
+    roles: list[tuple[float, float]] = field(default_factory=list)  # (rate frac, seconds)
+
+    def add(self, rate_fraction: float, service_seconds: float) -> None:
+        if rate_fraction > 0 and service_seconds > 0:
+            self.roles.append((rate_fraction, service_seconds))
+
+    def work_per_request(self) -> float:
+        """Seconds of queue occupancy per system-wide request."""
+        return sum(frac * seconds for frac, seconds in self.roles)
+
+    def wait_time(self, system_rate: float) -> float:
+        """M/D/1 queue wait at this node for system arrival rate λ."""
+        arrival = system_rate * sum(frac for frac, _ in self.roles)
+        mean_service = self.work_per_request() / sum(frac for frac, _ in self.roles)
+        return MD1.from_service_time(mean_service).wait_time(arrival)
+
+
+class ProtocolModel:
+    """Base class: subclasses fill in the busy-node mix and network delays."""
+
+    name = "?"
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.params = params if params is not None else ServiceParams()
+        self.client_sites = (
+            client_sites if client_sites is not None else list(topology.sites)
+        )
+        self.n = topology.n_nodes
+
+    # -- subclass hooks -------------------------------------------------
+
+    def busy_node(self) -> _BusyNode:
+        raise NotImplementedError
+
+    def network_delay_ms(self) -> float:
+        """Average DL + DQ over the client mix."""
+        raise NotImplementedError
+
+    def round_service_time(self) -> float:
+        """ts for one round at the round's leader."""
+        raise NotImplementedError
+
+    # -- derived quantities ----------------------------------------------
+
+    def max_throughput(self) -> float:
+        """Highest sustainable system rate (busiest node at ρ = 1)."""
+        return 1.0 / self.busy_node().work_per_request()
+
+    def latency_s(self, system_rate: float) -> float:
+        """Average request latency (seconds) at arrival rate λ."""
+        wq = self.busy_node().wait_time(system_rate)
+        if math.isinf(wq):
+            return math.inf
+        return wq + self.round_service_time() + self.network_delay_ms() / 1e3
+
+    def latency_ms(self, system_rate: float) -> float:
+        return self.latency_s(system_rate) * 1e3
+
+    def curve(self, points: int = 25, max_fraction: float = 0.98) -> list[ModelPoint]:
+        """Latency-vs-throughput curve up to ``max_fraction`` of saturation."""
+        peak = self.max_throughput()
+        out: list[ModelPoint] = []
+        for i in range(1, points + 1):
+            rate = peak * max_fraction * i / points
+            out.append(ModelPoint(rate, self.latency_ms(rate)))
+        return out
+
+
+class PaxosModel(ProtocolModel):
+    """Single-leader MultiPaxos (paper Table 2 and section 3.3)."""
+
+    name = "MultiPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        leader: int = 0,
+    ) -> None:
+        super().__init__(topology, params, client_sites)
+        self.leader = leader
+
+    @property
+    def quorum_size(self) -> int:
+        return self.n // 2 + 1
+
+    def round_service_time(self) -> float:
+        # ts = 2*to + N*ti + 2N*m/b (Table 2)
+        return RoundWork(
+            incoming=self.n, serializations=2, nic_messages=2 * self.n
+        ).service_time(self.params)
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        node.add(1.0, self.round_service_time())  # the single leader leads all
+        return node
+
+    def network_delay_ms(self) -> float:
+        leader_site = self.topology.node_site(self.leader)
+        dl = mean_client_rtt_ms(self.topology, leader_site, self.client_sites)
+        dq = quorum_delay_ms(self.topology, self.leader, self.quorum_size)
+        return dl + dq
+
+
+class FPaxosModel(PaxosModel):
+    """FPaxos: phase-2 quorum of ``q2`` (paper section 2; |q2|=3 at N=9)."""
+
+    name = "FPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        q2: int = 3,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        leader: int = 0,
+    ) -> None:
+        super().__init__(topology, params, client_sites, leader)
+        if not 1 <= q2 <= self.n:
+            raise ModelError(f"q2 {q2} outside [1, {self.n}]")
+        self.q2 = q2
+
+    @property
+    def quorum_size(self) -> int:
+        return self.q2
+
+
+class EPaxosModel(ProtocolModel):
+    """EPaxos: leaderless, conflict-sensitive (paper sections 3.4 and 5).
+
+    ``conflict`` is the probability ``c`` that a command interferes with a
+    concurrent one and needs the extra Accept round.  ``cpu_penalty`` and
+    ``size_penalty`` implement the paper's message-processing penalty for
+    dependency computation and fatter messages.
+    """
+
+    name = "EPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        conflict: float = 0.0,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        cpu_penalty: float = 1.3,
+        size_penalty: float = 2.0,
+    ) -> None:
+        super().__init__(topology, params, client_sites)
+        if not 0.0 <= conflict <= 1.0:
+            raise ModelError(f"conflict ratio {conflict} outside [0, 1]")
+        self.conflict = conflict
+        self.eparams = self.params.scaled(cpu_penalty, size_penalty)
+
+    @property
+    def fast_quorum_size(self) -> int:
+        return math.ceil(3 * self.n / 4)
+
+    @property
+    def slow_quorum_size(self) -> int:
+        return self.n // 2 + 1
+
+    def round_service_time(self) -> float:
+        c = self.conflict
+        fast = RoundWork(
+            incoming=1 + (self.n - 1),  # client request + all replies (full repl.)
+            serializations=2,  # PreAccept broadcast + client reply
+            nic_messages=2 * self.n,
+        )
+        extra = RoundWork(  # Accept round on conflict
+            incoming=self.slow_quorum_size - 1,
+            serializations=1,
+            nic_messages=1 + (self.n - 1) + (self.slow_quorum_size - 1),
+        )
+        return (fast + extra.scale(c)).service_time(self.eparams)
+
+    def _follower_work(self) -> float:
+        c = self.conflict
+        per_round = RoundWork(incoming=1, serializations=1, nic_messages=2)
+        return (per_round + per_round.scale(c)).service_time(self.eparams)
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        share = 1.0 / self.n  # every node leads an equal share
+        node.add(share, self.round_service_time())
+        node.add(1.0 - share, self._follower_work())
+        return node
+
+    def network_delay_ms(self) -> float:
+        total = 0.0
+        for index, site in enumerate(self.client_sites):
+            leader = self._nearest_node(site)
+            dl = self.topology.site_rtt_mean_ms(site, self.topology.node_site(leader))
+            dq_fast = quorum_delay_ms(self.topology, leader, self.fast_quorum_size)
+            dq_slow = quorum_delay_ms(self.topology, leader, self.slow_quorum_size)
+            latency = dl + dq_fast + self.conflict * dq_slow
+            total += latency
+        return total / len(self.client_sites)
+
+    def _nearest_node(self, site: str) -> int:
+        return min(
+            range(self.n),
+            key=lambda i: self.topology.site_rtt_mean_ms(site, self.topology.node_site(i)),
+        )
+
+
+class WPaxosModel(ProtocolModel):
+    """WPaxos: one leader per zone, flexible grid quorums, locality ``l``.
+
+    ``fz`` zones of failures are tolerated; with ``fz = 0`` phase-2 commits
+    inside the leader's own zone, with ``fz = 1`` it must also reach the
+    nearest other zone (paper sections 2 and 5.3).
+    """
+
+    name = "WPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        zones: int,
+        nodes_per_zone: int,
+        locality: float = 1.0,
+        fz: int = 0,
+        f: int | None = None,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+    ) -> None:
+        super().__init__(topology, params, client_sites)
+        if zones * nodes_per_zone != self.n:
+            raise ModelError(
+                f"{zones}x{nodes_per_zone} grid does not cover {self.n} nodes"
+            )
+        if not 0.0 <= locality <= 1.0:
+            raise ModelError(f"locality {locality} outside [0, 1]")
+        if not 0 <= fz < zones:
+            raise ModelError(f"fz {fz} outside [0, {zones - 1}]")
+        self.zones = zones
+        self.nodes_per_zone = nodes_per_zone
+        self.locality = locality
+        self.fz = fz
+        self.f = f if f is not None else (nodes_per_zone - 1) // 2
+
+    @property
+    def leaders(self) -> int:
+        return self.zones
+
+    def _zone_site(self, zone_index: int) -> str:
+        return self.topology.node_site(zone_index * self.nodes_per_zone)
+
+    def round_service_time(self) -> float:
+        # Full replication: the leader still broadcasts to everyone and
+        # processes every reply (the paper's evaluation setting).
+        return RoundWork(
+            incoming=self.n, serializations=2, nic_messages=2 * self.n
+        ).service_time(self.params)
+
+    def _follower_work(self) -> float:
+        return RoundWork(incoming=1, serializations=1, nic_messages=2).service_time(self.params)
+
+    def _forward_work(self) -> float:
+        return RoundWork(incoming=1, serializations=1, nic_messages=2).service_time(self.params)
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        share = 1.0 / self.leaders
+        node.add(share, self.round_service_time())
+        node.add(1.0 - share, self._follower_work())
+        # Requests arriving at this leader for objects owned elsewhere are
+        # forwarded to the owner.
+        node.add(share * (1.0 - self.locality), self._forward_work())
+        return node
+
+    def _dq_ms(self, zone_index: int) -> float:
+        """Phase-2 quorum delay for a leader in ``zone_index``."""
+        site = self._zone_site(zone_index)
+        # f+1 acks in fz+1 zones; the leader's own zone is effectively a
+        # local k-order statistic, remote zones add their site RTT.
+        local = self.topology.local
+        k = min(self.f + 1, max(self.nodes_per_zone - 1, 1))
+        local_dq = (
+            expected_kth_normal_blom(
+                k, max(self.nodes_per_zone - 1, k), local.mean_ms, local.sigma_ms
+            )
+            if self.nodes_per_zone > 1
+            else 0.0
+        )
+        if self.fz == 0:
+            return local_dq
+        other_rtts = sorted(
+            self.topology.site_rtt_mean_ms(site, self._zone_site(z))
+            for z in range(self.zones)
+            if z != zone_index
+        )
+        return max(local_dq, other_rtts[self.fz - 1])
+
+    def network_delay_ms(self) -> float:
+        """Formula-7 style: local requests pay DQ only, remote ones also
+        pay the round trip to the owner's zone."""
+        total = 0.0
+        for site in self.client_sites:
+            zone_index = self._site_zone(site)
+            dq_local = self._dq_ms(zone_index) + self.topology.local.mean_ms
+            remote_zones = [z for z in range(self.zones) if z != zone_index]
+            if remote_zones:
+                dl_remote = sum(
+                    self.topology.site_rtt_mean_ms(site, self._zone_site(z))
+                    for z in remote_zones
+                ) / len(remote_zones)
+                dq_remote = sum(self._dq_ms(z) for z in remote_zones) / len(remote_zones)
+            else:
+                dl_remote, dq_remote = 0.0, dq_local
+            local_latency = dq_local
+            remote_latency = dl_remote + dq_remote
+            total += self.locality * local_latency + (1.0 - self.locality) * remote_latency
+        return total / len(self.client_sites)
+
+    def _site_zone(self, site: str) -> int:
+        for z in range(self.zones):
+            if self._zone_site(z) == site:
+                return z
+        return 0
+
+
+class WanKeeperModel(ProtocolModel):
+    """WanKeeper: hierarchical token broker (paper section 2).
+
+    Requests for tokens a zone holds commit inside the zone's own Paxos
+    group (``R`` nodes); requests for contested tokens travel to the master
+    zone and execute in *its* group.  ``locality`` is the fraction of
+    requests hitting a token the client's zone holds; the remainder pays a
+    round trip to the master.  Group rounds are small (R-node quorums), so
+    per-leader work is lower than WPaxos's full replication — the reason
+    WanKeeper tops Figure 9.
+    """
+
+    name = "WanKeeper"
+
+    def __init__(
+        self,
+        topology: Topology,
+        zones: int,
+        nodes_per_zone: int,
+        locality: float = 1.0,
+        master_zone: int = 1,  # index into zones (0-based)
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+    ) -> None:
+        super().__init__(topology, params, client_sites)
+        if zones * nodes_per_zone != self.n:
+            raise ModelError(
+                f"{zones}x{nodes_per_zone} grid does not cover {self.n} nodes"
+            )
+        if not 0.0 <= locality <= 1.0:
+            raise ModelError(f"locality {locality} outside [0, 1]")
+        if not 0 <= master_zone < zones:
+            raise ModelError(f"master zone {master_zone} outside [0, {zones - 1}]")
+        self.zones = zones
+        self.nodes_per_zone = nodes_per_zone
+        self.locality = locality
+        self.master_zone = master_zone
+
+    def _zone_site(self, zone_index: int) -> str:
+        return self.topology.node_site(zone_index * self.nodes_per_zone)
+
+    def round_service_time(self) -> float:
+        # A group round touches only the R-node zone group.
+        r = self.nodes_per_zone
+        return RoundWork(incoming=r, serializations=2, nic_messages=2 * r).service_time(
+            self.params
+        )
+
+    def _follower_work(self) -> float:
+        return RoundWork(incoming=1, serializations=1, nic_messages=2).service_time(self.params)
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        # The master leader is the busiest node: it leads its own zone's
+        # share plus every non-local (contested) request from the others.
+        local_share = self.locality * (1.0 / self.zones)
+        master_extra = (1.0 - self.locality) * ((self.zones - 1) / self.zones)
+        node.add(local_share + master_extra, self.round_service_time())
+        # Follower work for its own zone-group rounds lands on zone mates,
+        # not on the leader; the leader additionally pays receive/forward
+        # for escalations it did not originate.
+        node.add(master_extra, self._follower_work())
+        return node
+
+    def _group_dq_ms(self) -> float:
+        local = self.topology.local
+        k = max(1, self.nodes_per_zone // 2)  # majority of R, self-voting
+        if self.nodes_per_zone == 1:
+            return 0.0
+        return expected_kth_normal_blom(
+            k, self.nodes_per_zone - 1, local.mean_ms, local.sigma_ms
+        )
+
+    def network_delay_ms(self) -> float:
+        master_site = self._zone_site(self.master_zone)
+        dq = self._group_dq_ms()
+        total = 0.0
+        for site in self.client_sites:
+            local_latency = self.topology.local.mean_ms + dq
+            remote_latency = (
+                self.topology.site_rtt_mean_ms(site, master_site)
+                + self.topology.local.mean_ms
+                + dq
+            )
+            total += self.locality * local_latency + (1.0 - self.locality) * remote_latency
+        return total / len(self.client_sites)
+
+
+class VPaxosModel(WanKeeperModel):
+    """Vertical Paxos: like WanKeeper, but the master only *relocates*
+    objects; contested commands still execute at some zone group, so the
+    master never becomes an execution hotspot.  Non-local requests pay the
+    round trip to the owner zone instead of the master."""
+
+    name = "VPaxos"
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        # Every zone leader ends up with an even share (relocation keeps
+        # ownership where the traffic is); forwarded commands add one
+        # receive/forward on the requester side.
+        share = 1.0 / self.zones
+        node.add(share, self.round_service_time())
+        node.add(share * (1.0 - self.locality), self._follower_work())
+        return node
+
+    def network_delay_ms(self) -> float:
+        dq = self._group_dq_ms()
+        total = 0.0
+        for site in self.client_sites:
+            zone_index = next(
+                (z for z in range(self.zones) if self._zone_site(z) == site), 0
+            )
+            other = [z for z in range(self.zones) if z != zone_index]
+            local_latency = self.topology.local.mean_ms + dq
+            if other:
+                dl_remote = sum(
+                    self.topology.site_rtt_mean_ms(site, self._zone_site(z))
+                    for z in other
+                ) / len(other)
+            else:
+                dl_remote = 0.0
+            remote_latency = dl_remote + self.topology.local.mean_ms + dq
+            total += self.locality * local_latency + (1.0 - self.locality) * remote_latency
+        return total / len(self.client_sites)
+
+
+class MenciusModel(ProtocolModel):
+    """Mencius: rotating slot ownership (framework-demonstration protocol).
+
+    Every node leads 1/N of the slots, so the busiest node carries the same
+    mix as EPaxos without the dependency penalty — high capacity.  The
+    trade-off shows in latency: execution is strict slot order, so every
+    command also waits for the **farthest** replica's skip/commit to arrive
+    (``DQ`` is the maximum peer delay, not a quorum order statistic).
+    """
+
+    name = "Mencius"
+
+    def round_service_time(self) -> float:
+        # Accept broadcast + acks + commit broadcast at the slot owner.
+        return RoundWork(
+            incoming=self.n, serializations=3, nic_messages=3 * self.n
+        ).service_time(self.params)
+
+    def _follower_work(self) -> float:
+        # Receive accept, ack it, receive the commit.
+        return RoundWork(incoming=2, serializations=1, nic_messages=3).service_time(self.params)
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        share = 1.0 / self.n
+        node.add(share, self.round_service_time())
+        node.add(1.0 - share, self._follower_work())
+        return node
+
+    def network_delay_ms(self) -> float:
+        total = 0.0
+        for site in self.client_sites:
+            nearest = min(
+                range(self.n),
+                key=lambda i: self.topology.site_rtt_mean_ms(site, self.topology.node_site(i)),
+            )
+            dl = self.topology.site_rtt_mean_ms(site, self.topology.node_site(nearest))
+            if len(self.topology.sites) == 1:
+                local = self.topology.local
+                dq = expected_kth_normal_blom(
+                    self.n - 1, self.n - 1, local.mean_ms, local.sigma_ms
+                )
+            else:
+                dq = max(self.topology.rtts_from(nearest))
+            total += dl + dq
+        return total / len(self.client_sites)

@@ -1,0 +1,186 @@
+"""Single-server queueing models (paper Table 1).
+
+Four approximations of the average queue waiting time ``Wq``, differing in
+their inter-arrival and service-time assumptions:
+
+=========  ==================  =======================  =============================================
+model      arrivals            service                  Wq
+=========  ==================  =======================  =============================================
+M/M/1      Poisson, rate λ     exponential, rate µ      ρ² / (λ(1-ρ))
+M/D/1      Poisson             constant s, µ = 1/s      ρ / (2µ(1-ρ))
+M/G/1      Poisson             general (σ known)        (λ²σ² + ρ²) / (2λ(1-ρ))
+G/G/1      general             general                  ≈ ρ²(1+Cs)(Ca+ρ²Cs) / (2λ(1-ρ)(1+ρ²Cs))
+=========  ==================  =======================  =============================================
+
+where ``ρ = λ/µ`` and ``Ca``/``Cs`` are the squared coefficients of
+variation of inter-arrival and service times.  The paper compares all four
+against a reference Paxos implementation (Figure 4) and adopts **M/D/1**
+for the remainder of its analysis since it tracks M/G/1 and the reference
+almost exactly while being the simplest.
+
+All times are in seconds.  A saturated or overloaded queue (ρ >= 1) has
+infinite expected wait; we return ``math.inf`` rather than raising so that
+latency-throughput curves can be plotted right up to the wall.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> float:
+    """Validate rates and return the utilization ρ."""
+    if arrival_rate <= 0:
+        raise ModelError(f"arrival rate must be positive, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ModelError(f"service rate must be positive, got {service_rate}")
+    return arrival_rate / service_rate
+
+
+class QueueModel(ABC):
+    """Common interface: expected queue wait for a given arrival rate."""
+
+    name: str = "?"
+
+    @property
+    @abstractmethod
+    def service_rate(self) -> float:
+        """µ, the maximum sustainable request rate."""
+
+    @abstractmethod
+    def wait_time(self, arrival_rate: float) -> float:
+        """Expected time in queue (excluding service), seconds."""
+
+    def utilization(self, arrival_rate: float) -> float:
+        return _check_rates(arrival_rate, self.service_rate)
+
+    def sojourn_time(self, arrival_rate: float) -> float:
+        """Expected wait plus one service time."""
+        return self.wait_time(arrival_rate) + 1.0 / self.service_rate
+
+
+@dataclass(frozen=True)
+class MM1(QueueModel):
+    """Poisson arrivals, exponential service."""
+
+    mu: float
+    name: str = "M/M/1"
+
+    @property
+    def service_rate(self) -> float:
+        return self.mu
+
+    def wait_time(self, arrival_rate: float) -> float:
+        rho = _check_rates(arrival_rate, self.mu)
+        if rho >= 1.0:
+            return math.inf
+        return rho**2 / (arrival_rate * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MD1(QueueModel):
+    """Poisson arrivals, deterministic (constant) service.
+
+    The paper's model of choice: protocol rounds do near-identical work, so
+    a constant service time is a good fit.
+    """
+
+    mu: float
+    name: str = "M/D/1"
+
+    @property
+    def service_rate(self) -> float:
+        return self.mu
+
+    def wait_time(self, arrival_rate: float) -> float:
+        rho = _check_rates(arrival_rate, self.mu)
+        if rho >= 1.0:
+            return math.inf
+        return rho / (2.0 * self.mu * (1.0 - rho))
+
+    @staticmethod
+    def from_service_time(service_time: float) -> "MD1":
+        if service_time <= 0:
+            raise ModelError(f"service time must be positive, got {service_time}")
+        return MD1(1.0 / service_time)
+
+
+@dataclass(frozen=True)
+class MG1(QueueModel):
+    """Poisson arrivals, general service with known standard deviation
+    (the Pollaczek-Khinchine formula, as written in the paper's Table 1)."""
+
+    mu: float
+    service_sigma: float
+    name: str = "M/G/1"
+
+    @property
+    def service_rate(self) -> float:
+        return self.mu
+
+    def wait_time(self, arrival_rate: float) -> float:
+        rho = _check_rates(arrival_rate, self.mu)
+        if rho >= 1.0:
+            return math.inf
+        numerator = arrival_rate**2 * self.service_sigma**2 + rho**2
+        return numerator / (2.0 * arrival_rate * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class GG1(QueueModel):
+    """General arrivals and service (Allen-Cunneen-style approximation, as
+    written in the paper's Table 1).
+
+    ``ca2``/``cs2`` are squared coefficients of variation of inter-arrival
+    and service times (1.0 reduces toward M/M/1 behaviour).
+    """
+
+    mu: float
+    ca2: float = 1.0
+    cs2: float = 1.0
+    name: str = "G/G/1"
+
+    def __post_init__(self) -> None:
+        if self.ca2 < 0 or self.cs2 < 0:
+            raise ModelError("coefficients of variation must be non-negative")
+
+    @property
+    def service_rate(self) -> float:
+        return self.mu
+
+    def wait_time(self, arrival_rate: float) -> float:
+        rho = _check_rates(arrival_rate, self.mu)
+        if rho >= 1.0:
+            return math.inf
+        numerator = rho**2 * (1.0 + self.cs2) * (self.ca2 + rho**2 * self.cs2)
+        denominator = 2.0 * arrival_rate * (1.0 - rho) * (1.0 + rho**2 * self.cs2)
+        return numerator / denominator
+
+
+ALL_MODELS = ("M/M/1", "M/D/1", "M/G/1", "G/G/1")
+
+
+def make_model(
+    name: str,
+    service_time: float,
+    service_sigma: float = 0.0,
+    ca2: float = 1.0,
+) -> QueueModel:
+    """Factory over the four Table-1 models from a mean service time."""
+    if service_time <= 0:
+        raise ModelError(f"service time must be positive, got {service_time}")
+    mu = 1.0 / service_time
+    if name == "M/M/1":
+        return MM1(mu)
+    if name == "M/D/1":
+        return MD1(mu)
+    if name == "M/G/1":
+        return MG1(mu, service_sigma)
+    if name == "G/G/1":
+        cs2 = (service_sigma * mu) ** 2
+        return GG1(mu, ca2=ca2, cs2=cs2)
+    raise ModelError(f"unknown queue model {name!r}; expected one of {ALL_MODELS}")

@@ -1,0 +1,95 @@
+"""Analytic model for relaxed-consistency replication (paper section 7).
+
+The paper's closing future work: extend the model to bounded and session
+consistency.  Relaxing reads changes the model in three ways:
+
+1. **read latency** collapses to the client's local round trip (no quorum,
+   no leader trip): ``L_read = D_local``;
+2. **leader load** shrinks: only the write fraction ``W`` of requests
+   reaches the leader's queue, so capacity grows from ``mu`` to ``mu / W``;
+3. a **staleness bound** appears: a replica's state lags the leader by at
+   most the commit-propagation period plus one one-way delay, so
+   ``delta <= heartbeat_interval + d_leader_replica / 2`` (plus queueing,
+   which vanishes at low utilization).
+
+:class:`RelaxedPaxosModel` extends the single-leader model with these
+rules; session consistency adds a version-token wait that is zero in the
+steady state and at most ``delta`` after the client's own write.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.protocol_models import PaxosModel
+from repro.core.topology import Topology
+from repro.errors import ModelError
+from repro.core.service import ServiceParams
+
+
+@dataclass(frozen=True)
+class StalenessBound:
+    """The model's promise for relaxed reads at one replica."""
+
+    heartbeat_interval: float  # commit-watermark period (s)
+    one_way_delay: float  # leader -> replica (s)
+
+    @property
+    def delta(self) -> float:
+        """Worst-case provable staleness in seconds (low utilization)."""
+        return self.heartbeat_interval + self.one_way_delay
+
+
+class RelaxedPaxosModel(PaxosModel):
+    """MultiPaxos with relaxed local reads: only writes use consensus."""
+
+    name = "RelaxedPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        write_ratio: float = 0.5,
+        heartbeat_interval: float = 0.02,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        leader: int = 0,
+    ) -> None:
+        if not 0.0 < write_ratio <= 1.0:
+            raise ModelError(f"write ratio {write_ratio} outside (0, 1]")
+        super().__init__(topology, params, client_sites, leader)
+        self.write_ratio = write_ratio
+        self.heartbeat_interval = heartbeat_interval
+
+    def busy_node(self):
+        node = super().busy_node()
+        # Only the write fraction reaches the leader's queue.
+        node.roles = [(frac * self.write_ratio, s) for frac, s in node.roles]
+        return node
+
+    def read_latency_ms(self) -> float:
+        """Local read: one client-replica round trip, averaged over sites."""
+        local = self.topology.local.mean_ms
+        return local  # clients read from a replica in their own site
+
+    def write_latency_ms(self, system_rate: float) -> float:
+        """Writes still pay the full consensus path."""
+        wq = self.busy_node().wait_time(system_rate)
+        if math.isinf(wq):
+            return math.inf
+        return (wq + self.round_service_time()) * 1e3 + super().network_delay_ms()
+
+    def latency_ms(self, system_rate: float) -> float:
+        write = self.write_latency_ms(system_rate)
+        if math.isinf(write):
+            return math.inf
+        return self.write_ratio * write + (1 - self.write_ratio) * self.read_latency_ms()
+
+    def latency_s(self, system_rate: float) -> float:
+        return self.latency_ms(system_rate) / 1e3
+
+    def staleness_bound(self, replica_site: str) -> StalenessBound:
+        """Promise for reads served at ``replica_site``."""
+        leader_site = self.topology.node_site(self.leader)
+        one_way_ms = self.topology.site_rtt_mean_ms(leader_site, replica_site) / 2.0
+        return StalenessBound(self.heartbeat_interval, one_way_ms / 1e3)

@@ -1,0 +1,119 @@
+"""Round service-time accounting (paper section 3.3 and Table 2).
+
+A round's service time ``ts`` measures how long the leader's single
+CPU+NIC queue is occupied per consensus round:
+
+    ts = tCPU + tNIC
+    tCPU = (outgoing serializations) * to + (incoming messages) * ti
+    tNIC = (NIC transmissions) * m / b
+
+For a Paxos phase-2 round with N nodes the leader receives one client
+request and N-1 follower acks (``N * ti``), serializes one broadcast and one
+client reply (``2 * to``), and pushes ``2N`` messages through the NIC:
+``ts = 2*to + N*ti + 2N*m/b`` — Table 2's formula.
+
+Maximum throughput is the reciprocal of the per-request occupancy of the
+busiest node: ``µ = 1 / ts`` for single-leader protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ServiceParams:
+    """Analytic counterparts of :class:`repro.sim.server.ServiceProfile`.
+
+    Defaults match the simulator's calibration (m5.large-like: a 9-node
+    Paxos leader saturates near 8,000 rounds/s).
+    """
+
+    t_in: float = 10e-6  # ti: processing time for an incoming message
+    t_out: float = 10e-6  # to: processing time for an outgoing message
+    message_bytes: float = 100.0  # m: message size
+    bandwidth_bps: float = 1e9 / 8.0  # b: bytes per second
+
+    def __post_init__(self) -> None:
+        if min(self.t_in, self.t_out) < 0:
+            raise ModelError("per-message CPU times must be non-negative")
+        if self.message_bytes < 0:
+            raise ModelError("message size must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ModelError("bandwidth must be positive")
+
+    @property
+    def nic_time(self) -> float:
+        """Seconds to push one message through the NIC."""
+        return self.message_bytes / self.bandwidth_bps
+
+    def scaled(self, cpu_weight: float = 1.0, size_factor: float = 1.0) -> "ServiceParams":
+        """Penalized costs (the paper penalizes EPaxos message processing
+        and message size to account for dependency computation)."""
+        return ServiceParams(
+            t_in=self.t_in * cpu_weight,
+            t_out=self.t_out * cpu_weight,
+            message_bytes=self.message_bytes * size_factor,
+            bandwidth_bps=self.bandwidth_bps,
+        )
+
+
+@dataclass(frozen=True)
+class RoundWork:
+    """Message counts one node handles for one round in one role."""
+
+    incoming: float = 0.0  # messages received and deserialized
+    serializations: float = 0.0  # distinct outgoing messages serialized
+    nic_messages: float = 0.0  # total messages through the NIC (in + out)
+
+    def service_time(self, params: ServiceParams) -> float:
+        """Queue occupancy in seconds for this work."""
+        return (
+            self.incoming * params.t_in
+            + self.serializations * params.t_out
+            + self.nic_messages * params.nic_time
+        )
+
+    def __add__(self, other: "RoundWork") -> "RoundWork":
+        return RoundWork(
+            self.incoming + other.incoming,
+            self.serializations + other.serializations,
+            self.nic_messages + other.nic_messages,
+        )
+
+    def scale(self, factor: float) -> "RoundWork":
+        return RoundWork(
+            self.incoming * factor,
+            self.serializations * factor,
+            self.nic_messages * factor,
+        )
+
+
+def paxos_leader_work(n: int) -> RoundWork:
+    """Leader-side work of one Paxos phase-2 round in an N-node cluster:
+    N incoming (client request + N-1 acks), 2 serializations (broadcast +
+    client reply), and 2N NIC transmissions (Table 2)."""
+    if n < 1:
+        raise ModelError(f"need at least one node, got {n}")
+    return RoundWork(incoming=n, serializations=2, nic_messages=2 * n)
+
+
+def paxos_follower_work() -> RoundWork:
+    """Follower-side work: receive one accept, send one ack (2 messages,
+    as the paper notes in section 5.2)."""
+    return RoundWork(incoming=1, serializations=1, nic_messages=2)
+
+
+def paxos_service_time(n: int, params: ServiceParams | None = None) -> float:
+    """Table 2: ``ts = 2*to + N*ti + 2N*m/b``."""
+    p = params if params is not None else ServiceParams()
+    return paxos_leader_work(n).service_time(p)
+
+
+def max_throughput(service_time: float) -> float:
+    """``µ = 1/ts`` (paper section 3.3)."""
+    if service_time <= 0:
+        raise ModelError(f"service time must be positive, got {service_time}")
+    return 1.0 / service_time

@@ -1,0 +1,191 @@
+"""Deployment topologies: sites, inter-site round-trip times, node placement.
+
+The paper evaluates in two settings (section 5):
+
+- **LAN**: one AWS availability zone, where round-trip times are
+  approximately normal with mean 0.4271 ms and standard deviation 0.0476 ms
+  (Figure 3).
+- **WAN**: five AWS regions — N. Virginia (VA), Ohio (OH), California (CA),
+  Ireland (IR), Japan (JP) — with large, asymmetric inter-region delays.
+
+A :class:`Topology` owns the site list, the RTT matrix between sites (in
+milliseconds), the intra-site RTT distribution, and the placement of replica
+nodes onto sites.  Both the analytic models (:mod:`repro.core`) and the
+simulator (:mod:`repro.sim.network`) consume the same topology objects, which
+is what lets the two prongs cross-validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+# Figure 3 of the paper: local-area RTT within one AWS region.
+LOCAL_RTT_MEAN_MS = 0.4271
+LOCAL_RTT_SIGMA_MS = 0.0476
+
+# Representative inter-region RTTs (milliseconds) between the five AWS
+# regions the paper deploys in.  Sources: publicly reported AWS
+# inter-region latency matrices contemporary with the paper.
+AWS_REGIONS = ("VA", "OH", "CA", "IR", "JP")
+
+_AWS_RTT_MS: dict[frozenset[str], float] = {
+    frozenset({"VA", "OH"}): 11.0,
+    frozenset({"VA", "CA"}): 62.0,
+    frozenset({"VA", "IR"}): 75.0,
+    frozenset({"VA", "JP"}): 162.0,
+    frozenset({"OH", "CA"}): 52.0,
+    frozenset({"OH", "IR"}): 86.0,
+    frozenset({"OH", "JP"}): 145.0,
+    frozenset({"CA", "IR"}): 138.0,
+    frozenset({"CA", "JP"}): 107.0,
+    frozenset({"IR", "JP"}): 212.0,
+}
+
+# Jitter on WAN paths, as a fraction of the mean one-way delay.
+WAN_JITTER_FRACTION = 0.02
+
+
+@dataclass(frozen=True)
+class RttDistribution:
+    """A normal RTT distribution in milliseconds."""
+
+    mean_ms: float
+    sigma_ms: float
+
+    def one_way(self) -> "RttDistribution":
+        """The corresponding one-way delay distribution (RTT halved)."""
+        return RttDistribution(self.mean_ms / 2.0, self.sigma_ms / 2.0)
+
+
+@dataclass
+class Topology:
+    """Sites, inter-site RTTs, and node placement for one deployment.
+
+    Parameters
+    ----------
+    sites:
+        Ordered site (region) names.
+    rtt_ms:
+        Mapping from unordered site pairs to mean RTT in milliseconds.
+        Pairs of a site with itself are implied by ``local``.
+    local:
+        Intra-site RTT distribution (applies within every site, and between
+        a client and a replica in the same site).
+    node_sites:
+        ``node_sites[i]`` is the site of replica node ``i``.
+    """
+
+    sites: tuple[str, ...]
+    rtt_ms: dict[frozenset[str], float]
+    local: RttDistribution = field(
+        default_factory=lambda: RttDistribution(LOCAL_RTT_MEAN_MS, LOCAL_RTT_SIGMA_MS)
+    )
+    node_sites: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        site_set = set(self.sites)
+        if len(site_set) != len(self.sites):
+            raise ConfigError(f"duplicate sites in {self.sites!r}")
+        for pair in self.rtt_ms:
+            unknown = set(pair) - site_set
+            if unknown:
+                raise ConfigError(f"RTT entry references unknown sites {unknown!r}")
+        for site in self.node_sites:
+            if site not in site_set:
+                raise ConfigError(f"node placed in unknown site {site!r}")
+
+    # ------------------------------------------------------------------
+    # Site-level queries
+    # ------------------------------------------------------------------
+
+    def site_rtt(self, a: str, b: str) -> RttDistribution:
+        """RTT distribution between sites ``a`` and ``b`` (in ms)."""
+        if a == b:
+            return self.local
+        key = frozenset({a, b})
+        try:
+            mean = self.rtt_ms[key]
+        except KeyError:
+            raise ConfigError(f"no RTT configured between {a!r} and {b!r}") from None
+        return RttDistribution(mean, mean * WAN_JITTER_FRACTION)
+
+    def site_rtt_mean_ms(self, a: str, b: str) -> float:
+        return self.site_rtt(a, b).mean_ms
+
+    # ------------------------------------------------------------------
+    # Node-level queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_sites)
+
+    def node_site(self, node: int) -> str:
+        return self.node_sites[node]
+
+    def node_rtt(self, a: int, b: int) -> RttDistribution:
+        """RTT distribution between replica nodes ``a`` and ``b``."""
+        return self.site_rtt(self.node_sites[a], self.node_sites[b])
+
+    def nodes_in_site(self, site: str) -> list[int]:
+        return [i for i, s in enumerate(self.node_sites) if s == site]
+
+    def rtts_from(self, node: int) -> list[float]:
+        """Mean RTTs (ms) from ``node`` to every other node, unsorted."""
+        return [
+            self.node_rtt(node, other).mean_ms
+            for other in range(self.n_nodes)
+            if other != node
+        ]
+
+    def with_nodes(self, node_sites: list[str] | tuple[str, ...]) -> "Topology":
+        """A copy of this topology with a different node placement."""
+        return Topology(
+            sites=self.sites,
+            rtt_ms=dict(self.rtt_ms),
+            local=self.local,
+            node_sites=tuple(node_sites),
+        )
+
+
+def lan(n_nodes: int = 9) -> Topology:
+    """A single-site LAN deployment with ``n_nodes`` replicas.
+
+    Matches the paper's LAN experiments: every pair of nodes (and every
+    client-node pair) sees RTT ~ Normal(0.4271 ms, 0.0476 ms).
+    """
+    if n_nodes < 1:
+        raise ConfigError("LAN needs at least one node")
+    return Topology(
+        sites=("LAN",),
+        rtt_ms={},
+        node_sites=("LAN",) * n_nodes,
+    )
+
+
+def aws_wan(
+    regions: tuple[str, ...] = AWS_REGIONS,
+    nodes_per_region: int = 1,
+) -> Topology:
+    """The paper's 5-region AWS WAN deployment (section 5).
+
+    ``nodes_per_region`` controls grid-style deployments: the WPaxos and
+    WanKeeper experiments use 3 regions x 3 nodes, the 5-region EPaxos model
+    uses one node per region, etc.
+    """
+    unknown = set(regions) - set(AWS_REGIONS)
+    if unknown:
+        raise ConfigError(f"unknown AWS regions {unknown!r}")
+    if nodes_per_region < 1:
+        raise ConfigError("need at least one node per region")
+    placement: list[str] = []
+    for region in regions:
+        placement.extend([region] * nodes_per_region)
+    rtts = {
+        pair: ms
+        for pair, ms in _AWS_RTT_MS.items()
+        if pair <= set(regions)
+    }
+    return Topology(sites=tuple(regions), rtt_ms=rtts, node_sites=tuple(placement))

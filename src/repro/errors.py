@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A replication protocol violated one of its own preconditions."""
+
+
+class QuorumError(ReproError):
+    """A quorum system was constructed or used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class CheckerError(ReproError):
+    """A correctness checker received a malformed history."""
+
+
+class ModelError(ReproError):
+    """An analytic model was evaluated outside its domain."""

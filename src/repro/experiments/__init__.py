@@ -1,0 +1,65 @@
+"""Per-figure/table experiment drivers and their registry.
+
+Each module exposes ``run(fast=False) -> ExperimentResult``.  Run one from
+the command line with::
+
+    python -m repro.experiments fig09 [--fast]
+    python -m repro.experiments all --fast
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.common import ExperimentResult
+
+
+def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
+    from repro.experiments import (
+        extra_availability,
+        extra_dynamic,
+        extra_mencius,
+        extra_relaxed,
+        extra_scalability,
+        fig03_rtt,
+        fig04_models,
+        fig06_distributions,
+        fig07_raft,
+        fig08_lan_model,
+        fig09_lan_paxi,
+        fig10_wan_model,
+        fig11_conflict,
+        fig12_epaxos_conflict,
+        fig13_locality,
+        fig14_advisor,
+        formulas,
+        table1_queues,
+        table4_params,
+    )
+
+    return {
+        "fig03": fig03_rtt.run,
+        "table1": table1_queues.run,
+        "fig04": fig04_models.run,
+        "fig06": fig06_distributions.run,
+        "fig07": fig07_raft.run,
+        "fig08": fig08_lan_model.run,
+        "fig09": fig09_lan_paxi.run,
+        "fig10": fig10_wan_model.run,
+        "fig11": fig11_conflict.run,
+        "fig12": fig12_epaxos_conflict.run,
+        "fig13": fig13_locality.run,
+        "table4": table4_params.run,
+        "fig14": fig14_advisor.run,
+        "formulas": formulas.run,
+        "extra_scalability": extra_scalability.run,
+        "extra_availability": extra_availability.run,
+        "extra_relaxed": extra_relaxed.run,
+        "extra_dynamic": extra_dynamic.run,
+        "extra_mencius": extra_mencius.run,
+    }
+
+
+EXPERIMENTS = _registry()
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,43 @@
+"""CLI entry point: python -m repro.experiments <id>|all [--fast] [--csv DIR]."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to reproduce ('all' runs every one)",
+    )
+    parser.add_argument("--fast", action="store_true", help="shrunken sweep for quick runs")
+    parser.add_argument("--csv", metavar="DIR", default=None, help="also write CSV output")
+    parser.add_argument("--plot", action="store_true", help="render the series as an ASCII chart")
+    args = parser.parse_args(argv)
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        result = EXPERIMENTS[name](args.fast)
+        print(result.to_text())
+        if args.plot:
+            from repro.experiments.plotting import plot_result
+
+            print()
+            print(plot_result(result))
+        print()
+        if args.csv is not None:
+            path = result.write_csv(args.csv)
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

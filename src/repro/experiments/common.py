@@ -1,0 +1,134 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every driver exposes ``run(fast=False) -> ExperimentResult``.  ``fast``
+shrinks durations/sweeps so the driver doubles as a pytest-benchmark
+target; the full mode reproduces the paper-scale sweep.  Results carry
+printable rows plus named (x, y) series and can be dumped to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.bench.benchmarker import BenchmarkResult, ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+
+Factory = Callable[[Deployment, Any], Any]
+
+
+@dataclass
+class ExperimentResult:
+    """Printable outcome of one table/figure reproduction."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        widths = [
+            max(len(str(h)), *(len(_fmt(row[i])) for row in self.rows)) if self.rows else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(str(h).rjust(w) for h, w in zip(self.headers, widths)))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def write_csv(self, directory: str = "results") -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment}.csv")
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+        return path
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_sim_benchmark(
+    factory,
+    config: Config,
+    spec,
+    concurrency: int,
+    duration: float,
+    warmup: float,
+    settle: float = 0.5,
+    sites: list[str] | None = None,
+    retry_timeout: float | None = None,
+    prime: Callable[[Deployment], None] | None = None,
+) -> tuple[Deployment, BenchmarkResult]:
+    """One fresh deployment + closed-loop run, with optional priming
+    (e.g. seeding hot-key ownership at a particular region)."""
+    deployment = Deployment(config).start(factory)
+    if prime is not None:
+        prime(deployment)
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency, sites, retry_timeout)
+    result = bench.run(duration, warmup, settle)
+    return deployment, result
+
+
+def prime_key_at(deployment: Deployment, site: str, key, settle: float = 0.5) -> None:
+    """Write ``key`` once from ``site`` so its ownership/token starts there
+    (the paper pins the conflict object and the initial object placement
+    to the Ohio region)."""
+    client = deployment.new_client(site=site)
+    client.put(key, f"prime-{site}")
+    deployment.run_for(settle)
+
+
+def region_spec(
+    region_index: int,
+    keys_per_region: int = 100,
+    conflict_ratio: float = 0.0,
+    conflict_key=777_777,
+    write_ratio: float = 0.5,
+) -> WorkloadSpec:
+    """Per-region key ranges with an optional shared hot key — the paper's
+    WAN conflict workload (section 5.3)."""
+    return WorkloadSpec(
+        keys=keys_per_region,
+        min_key=1_000_000 * (region_index + 1),
+        write_ratio=write_ratio,
+        conflict_ratio=conflict_ratio,
+        conflict_key=conflict_key,
+    )
+
+
+def locality_spec(
+    region_index: int,
+    keys_total: int = 180,
+    sigma: float | None = None,
+    write_ratio: float = 0.5,
+) -> WorkloadSpec:
+    """The paper's locality workload: one shared key pool, per-region
+    normal popularity with distinct means (Figure 6).
+
+    The default sigma puts region means one third of the key space apart
+    with visibly overlapping tails, like the paper's Figure 6: most keys
+    are region-local, a boundary band is shared between neighbours."""
+    if sigma is None:
+        sigma = keys_total / 9.0
+    mu = keys_total * (2 * region_index + 1) / 6.0  # evenly spaced means
+    return WorkloadSpec(
+        keys=keys_total,
+        write_ratio=write_ratio,
+        distribution="normal",
+        mu=mu,
+        sigma=sigma,
+    )

@@ -1,0 +1,103 @@
+"""Relaxed consistency (paper section 7's future work), measured.
+
+Three read policies over the same 3-region MultiPaxos deployment with the
+leader in Ohio:
+
+- **strong**: reads go through consensus (linearizable);
+- **relaxed**: reads are served by the nearest replica's local state
+  machine (bounded staleness);
+- **session**: relaxed reads carrying version tokens (read-your-writes +
+  monotonic reads).
+
+For each policy we report read/write latency per region, which guarantees
+hold (checked, not assumed), the worst observed staleness, and the
+analytic staleness bound from :class:`repro.core.relaxed.RelaxedPaxosModel`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.checkers.linearizability import check_history
+from repro.checkers.staleness import check_bounded_staleness, check_session
+from repro.core.relaxed import RelaxedPaxosModel
+from repro.core.topology import aws_wan
+from repro.experiments.common import ExperimentResult
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+
+REGIONS = ("VA", "OH", "CA")
+
+
+def _run_policy(policy: str, duration: float, warmup: float):
+    relaxed = policy != "strong"
+    cfg = Config.wan(
+        REGIONS, 3, seed=29, relaxed_reads=relaxed, leader=NodeID(2, 1)
+    )
+    deployment = Deployment(cfg).start(MultiPaxos)
+    bench = ClosedLoopBenchmark(
+        deployment, WorkloadSpec(keys=5, write_ratio=0.5), concurrency=9
+    )
+    for client, _generator in bench._drivers:
+        client.local_reads = relaxed
+        client.session_reads = policy == "session"
+    bench.run(duration=duration, warmup=warmup, settle=0.5)
+    ops = deployment.history.snapshot()
+    reads = [op for op in deployment.history.operations if op.is_read]
+    writes = [op for op in deployment.history.operations if not op.is_read]
+    read_ms = sum(op.latency for op in reads) / max(1, len(reads)) * 1e3
+    write_ms = sum(op.latency for op in writes) / max(1, len(writes)) * 1e3
+    staleness = check_bounded_staleness(ops, delta=float("inf"))
+    return {
+        "read_ms": read_ms,
+        "write_ms": write_ms,
+        "linearizable": check_history(ops).ok,
+        "session_ok": check_session(ops).ok,
+        "max_staleness_ms": staleness.max_staleness * 1e3,
+    }
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duration = 1.5 if fast else 4.0
+    warmup = 0.5 if fast else 1.5
+    result = ExperimentResult(
+        experiment="extra_relaxed",
+        title="Relaxed consistency: latency vs guarantees (3 regions, OH leader)",
+        headers=[
+            "policy",
+            "read_ms",
+            "write_ms",
+            "linearizable",
+            "session",
+            "max_staleness_ms",
+        ],
+    )
+    for policy in ("strong", "relaxed", "session"):
+        outcome = _run_policy(policy, duration, warmup)
+        result.rows.append(
+            [
+                policy,
+                round(outcome["read_ms"], 2),
+                round(outcome["write_ms"], 2),
+                outcome["linearizable"],
+                outcome["session_ok"],
+                round(outcome["max_staleness_ms"], 2),
+            ]
+        )
+        result.series[policy] = [(0.0, outcome["read_ms"]), (1.0, outcome["max_staleness_ms"])]
+    model = RelaxedPaxosModel(
+        aws_wan(REGIONS, 3), write_ratio=0.5, heartbeat_interval=0.02, leader=3
+    )
+    bound_ms = max(model.staleness_bound(site).delta for site in REGIONS) * 1e3
+    result.notes.append(
+        f"model staleness bound: heartbeat + one-way delay = {bound_ms:.1f} ms "
+        "(every measured staleness must sit below it)"
+    )
+    result.notes.append(
+        f"model relaxed capacity gain: writes-only leader load -> "
+        f"{model.max_throughput():.0f}/s vs strong "
+        f"{model.max_throughput() * model.write_ratio:.0f}/s"
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Scalability tier (paper section 4.2): throughput vs cluster size and
+dataset size.
+
+Not a numbered figure in the paper, but one of the four benchmark tiers the
+Paxi benchmarker supports: "we support benchmarking scalability by adding
+more nodes into system configuration and by increasing the size of the
+dataset (K)".  We sweep N for MultiPaxos and WPaxos (model + measured) and
+K for WPaxos (per-object state grows, throughput should not collapse).
+"""
+
+from __future__ import annotations
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.core.protocol_models import PaxosModel, WPaxosModel
+from repro.core.topology import lan
+from repro.experiments.common import ExperimentResult
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.wpaxos import WPaxos
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    sizes = ((1, 3), (3, 3)) if fast else ((1, 3), (1, 5), (3, 3), (3, 5), (5, 5))
+    duration = 0.25 if fast else 0.6
+    result = ExperimentResult(
+        experiment="extra_scalability",
+        title="Scalability: saturation throughput vs cluster size (LAN)",
+        headers=["N", "paxos_model", "paxos_measured", "wpaxos_model", "wpaxos_measured"],
+    )
+    for zones, per_zone in sizes:
+        n = zones * per_zone
+        paxos_model = PaxosModel(lan(n)).max_throughput()
+        wpaxos_model = (
+            WPaxosModel(lan(n), zones=zones, nodes_per_zone=per_zone, locality=1 / zones).max_throughput()
+            if zones > 1
+            else float("nan")
+        )
+        paxos_measured = _measure(MultiPaxos, zones, per_zone, duration)
+        wpaxos_measured = _measure(WPaxos, zones, per_zone, duration) if zones > 1 else float("nan")
+        result.rows.append(
+            [n, round(paxos_model), round(paxos_measured), _maybe_round(wpaxos_model), _maybe_round(wpaxos_measured)]
+        )
+        result.series.setdefault("Paxos model", []).append((n, paxos_model))
+        result.series.setdefault("Paxos measured", []).append((n, paxos_measured))
+    # Dataset-size sweep: K should not change throughput materially.
+    key_counts = (100, 10_000) if fast else (100, 1_000, 10_000, 50_000)
+    for keys in key_counts:
+        measured = _measure(WPaxos, 3, 3, duration, keys=keys)
+        result.series.setdefault("WPaxos vs K", []).append((keys, measured))
+        result.notes.append(f"WPaxos 3x3 with K={keys}: {measured:.0f} ops/s")
+    return result
+
+
+def _measure(factory, zones: int, per_zone: int, duration: float, keys: int = 1000) -> float:
+    deployment = Deployment(Config.lan(zones, per_zone, seed=81)).start(factory)
+    bench = ClosedLoopBenchmark(deployment, WorkloadSpec(keys=keys), concurrency=128)
+    return bench.run(duration=duration, warmup=duration * 0.2, settle=0.05).throughput
+
+
+def _maybe_round(value: float):
+    return value if value != value else round(value)  # NaN-safe

@@ -1,0 +1,114 @@
+"""Figure 11: protocol latency under a conflict workload, per region.
+
+The paper's WAN conflict experiment (section 5.3): 3 regions (VA, OH, CA)
+x 3 nodes, one designated "hot" object placed in Ohio, and a dial for the
+fraction of requests that target it.  Per-region average latency is plotted
+for WPaxos fz=0, WPaxos fz=1, WanKeeper, EPaxos, VPaxos, and Paxos.
+
+Shapes to reproduce:
+
+1. fz=0 protocols (WPaxos fz=0, WanKeeper, VPaxos) behave the same in each
+   panel: local commits for non-interfering commands, a forwarding trip to
+   Ohio for interfering ones;
+2. the hot object's home region (Ohio) keeps low, steady latency;
+3. among region-fault-tolerant protocols, WPaxos fz=1 is best until 100%
+   conflict where it approaches Paxos;
+4. EPaxos latency grows nonlinearly with the conflict ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.common import (
+    ExperimentResult,
+    prime_key_at,
+    region_spec,
+    run_sim_benchmark,
+)
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+REGIONS = ("VA", "OH", "CA")
+HOT_KEY = 777_777
+
+
+def _configs(seed: int) -> dict[str, tuple[Callable, Config]]:
+    return {
+        "WPaxos fz=0": (WPaxos, Config.wan(REGIONS, 3, seed=seed, fz=0)),
+        "WPaxos fz=1": (WPaxos, Config.wan(REGIONS, 3, seed=seed, fz=1)),
+        "WanKeeper": (WanKeeper, Config.wan(REGIONS, 3, seed=seed)),
+        "EPaxos": (EPaxos, Config.wan(REGIONS, 3, seed=seed)),
+        "VPaxos": (VPaxos, Config.wan(REGIONS, 3, seed=seed)),
+        # The paper's Paxos leader sits with the hot object's region (OH).
+        "Paxos": (MultiPaxos, Config.wan(REGIONS, 3, seed=seed, leader=None)),
+    }
+
+
+def _prime(deployment: Deployment, keys_per_region: int) -> None:
+    """Pin the hot object in Ohio and pre-place each region's local key
+    range in its own region, mirroring the settled state the paper's
+    60-second runs reach."""
+    prime_key_at(deployment, "OH", HOT_KEY, settle=0.0)
+    for i, site in enumerate(REGIONS):
+        client = deployment.new_client(site=site)
+        base = 1_000_000 * (i + 1)
+        for key in range(base, base + keys_per_region):
+            client.put(key, f"prime-{site}")
+    deployment.run_for(2.0)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    conflicts = (0.0, 0.5, 1.0) if fast else (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    duration = 1.5 if fast else 3.0
+    warmup = 1.0 if fast else 2.0
+    keys_per_region = 40 if fast else 60
+    result = ExperimentResult(
+        experiment="fig11",
+        title="Per-region latency (ms) under the conflict workload",
+        headers=["protocol", "conflict_%", *REGIONS],
+    )
+    from repro.paxi.ids import NodeID
+
+    for name, (factory, base_cfg) in _configs(41).items():
+        for conflict in conflicts:
+            params = dict(base_cfg.params)
+            if name == "Paxos":
+                params["leader"] = NodeID(2, 1)  # OH hosts the single leader
+            cfg = Config(
+                topology=base_cfg.topology,
+                node_ids=base_cfg.node_ids,
+                profile=base_cfg.profile,
+                seed=base_cfg.seed + int(conflict * 100),
+                params={k: v for k, v in params.items() if v is not None},
+            )
+            spec = {
+                site: region_spec(
+                    i, keys_per_region=keys_per_region, conflict_ratio=conflict, conflict_key=HOT_KEY
+                )
+                for i, site in enumerate(REGIONS)
+            }
+            deployment, bench = run_sim_benchmark(
+                factory,
+                cfg,
+                spec,
+                concurrency=6,
+                duration=duration,
+                warmup=warmup,
+                settle=0.3,
+                prime=lambda dep: _prime(dep, keys_per_region),
+            )
+            means = [
+                bench.per_site.get(site).mean if site in bench.per_site else float("nan")
+                for site in REGIONS
+            ]
+            result.rows.append([name, round(conflict * 100), *[round(m, 2) for m in means]])
+            for site, mean in zip(REGIONS, means):
+                result.series.setdefault(f"{name}@{site}", []).append((conflict * 100, mean))
+    result.notes.append("hot object primed in OH; per-region client pools with local key ranges")
+    return result

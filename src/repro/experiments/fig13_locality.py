@@ -1,0 +1,90 @@
+"""Figure 13: locality-aware protocols under the locality workload.
+
+The paper's locality experiment (section 5.3): WPaxos, WanKeeper, and the
+augmented Vertical Paxos across VA/OH/CA with per-region normal key
+popularity, all objects initially placed in Ohio, fz=0, and the
+three-consecutive access policy.  Two views:
+
+- (a) average latency per region — WanKeeper is optimal in Ohio (the
+  master keeps contested tokens) at the expense of the other regions;
+  WPaxos and VPaxos are balanced and nearly identical;
+- (b) the latency CDF over all requests — WanKeeper shows more WAN-priced
+  requests than WPaxos/VPaxos.  The paper's panel also overlays Paxos,
+  EPaxos, and WPaxos fz=2 for reference; we include them too.
+"""
+
+from __future__ import annotations
+
+from repro.bench.stats import cdf
+from repro.experiments.common import ExperimentResult, locality_spec, run_sim_benchmark
+from repro.paxi.config import Config
+from repro.paxi.ids import NodeID
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+REGIONS = ("VA", "OH", "CA")
+
+
+def _prime_all_objects_in_ohio(deployment, keys_total: int) -> None:
+    """The paper starts the experiment 'by initially placing all objects in
+    the Ohio region'."""
+    client = deployment.new_client(site="OH")
+    for key in range(keys_total):
+        client.put(key, f"seed{key}")
+    deployment.run_for(1.0)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    keys_total = 90 if fast else 180
+    duration = 2.0 if fast else 6.0
+    warmup = 2.0 if fast else 4.0
+    concurrency = 12
+    protocols = {
+        "WPaxos fz=0": (WPaxos, {"fz": 0}),
+        "WanKeeper": (WanKeeper, {}),
+        "VPaxos": (VPaxos, {}),
+    }
+    if not fast:
+        protocols.update(
+            {
+                "Paxos": (MultiPaxos, {"leader": NodeID(2, 1)}),
+                "EPaxos": (EPaxos, {}),
+                "WPaxos fz=2": (WPaxos, {"fz": 2}),
+            }
+        )
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Locality workload: per-region mean latency (ms) and CDFs",
+        headers=["protocol", *REGIONS, "global_p50", "global_p95"],
+    )
+    for name, (factory, params) in protocols.items():
+        cfg = Config.wan(REGIONS, 3, seed=61, **params)
+        spec = {
+            site: locality_spec(i, keys_total=keys_total)
+            for i, site in enumerate(REGIONS)
+        }
+        _deployment, bench = run_sim_benchmark(
+            factory,
+            cfg,
+            spec,
+            concurrency=concurrency,
+            duration=duration,
+            warmup=warmup,
+            settle=0.3,
+            prime=lambda dep: _prime_all_objects_in_ohio(dep, keys_total),
+        )
+        means = [
+            bench.per_site[site].mean if site in bench.per_site else float("nan")
+            for site in REGIONS
+        ]
+        result.rows.append(
+            [name, *[round(m, 2) for m in means], round(bench.latency.p50, 2), round(bench.latency.p95, 2)]
+        )
+        result.series[f"{name} CDF"] = cdf(bench.latencies_ms, points=50)
+        for site, mean in zip(REGIONS, means):
+            result.series.setdefault(f"{name}@{site}", []).append((0.0, mean))
+    result.notes.append("all objects initially in OH; normal per-region popularity; fz=0")
+    return result

@@ -1,0 +1,27 @@
+"""Figure 14: the protocol-selection flowchart, exercised end to end."""
+
+from __future__ import annotations
+
+from repro.core.advisor import all_paths
+from repro.experiments.common import ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig14",
+        title="Consensus protocol selection flowchart (all paths)",
+        headers=["consensus", "wan", "locality", "read-heavy", "dynamic", "dc-failure", "recommendation"],
+    )
+    for profile, rec in all_paths():
+        result.rows.append(
+            [
+                profile.needs_consensus,
+                profile.wan,
+                profile.workload_has_locality,
+                profile.read_heavy,
+                profile.locality_is_dynamic,
+                profile.datacenter_failure_is_concern,
+                " / ".join(rec.protocols),
+            ]
+        )
+    return result

@@ -1,0 +1,62 @@
+"""Terminal ASCII charts for experiment series.
+
+The experiment CLI can render each result's (x, y) series as a small
+scatter chart (``python -m repro.experiments fig09 --plot``), which is how
+the figures read without a graphics stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult
+
+MARKS = "ox+*#@%&$ABCDEFGH"
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one shared-axis ASCII canvas."""
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return "(no finite data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        mark = MARKS[index % len(MARKS)]
+        legend.append(f"{mark}={name}")
+        for x, y in values:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y_label} [{y_lo:.3g} .. {y_hi:.3g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:.3g} .. {x_hi:.3g}]    " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_result(result: ExperimentResult, width: int = 72, height: int = 20) -> str:
+    """Chart all of a result's series (capped to the first 8 for legibility)."""
+    series = dict(list(result.series.items())[:8])
+    if not series:
+        return "(no series to plot)"
+    return ascii_chart(series, width=width, height=height)

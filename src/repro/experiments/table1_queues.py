@@ -1,0 +1,39 @@
+"""Table 1: queue types, assumptions, and their waiting times.
+
+Evaluates all four queue approximations — M/M/1, M/D/1, M/G/1, G/G/1 —
+over a utilization sweep at the calibrated Paxos service rate, printing the
+Wq each formula yields (the quantitative content behind Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.queueing import ALL_MODELS, make_model
+from repro.core.service import paxos_service_time
+from repro.experiments.common import ExperimentResult
+
+ASSUMPTIONS = {
+    "M/M/1": ("Poisson process rate lambda", "Exponential distribution rate mu"),
+    "M/D/1": ("Poisson process", "Constant s, rate mu = 1/s"),
+    "M/G/1": ("Poisson process", "General distribution"),
+    "G/G/1": ("General distribution", "General distribution"),
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    service_time = paxos_service_time(9)
+    service_sigma = service_time * 0.2  # moderate service-time variability
+    utilizations = (0.3, 0.6, 0.9) if fast else (0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+    result = ExperimentResult(
+        experiment="table1",
+        title="Queue types and waiting times (Wq, ms) at mu=1/ts(Paxos, N=9)",
+        headers=["model", "arrivals", "service", *[f"rho={u}" for u in utilizations]],
+    )
+    mu = 1.0 / service_time
+    for name in ALL_MODELS:
+        model = make_model(name, service_time, service_sigma)
+        waits = [model.wait_time(u * mu) * 1e3 for u in utilizations]
+        arrivals, service = ASSUMPTIONS[name]
+        result.rows.append([name, arrivals, service, *[round(w, 4) for w in waits]])
+        result.series[name] = [(u, w) for u, w in zip(utilizations, waits)]
+    result.notes.append(f"service time ts = {service_time * 1e6:.1f} us, mu = {mu:.0f}/s")
+    return result

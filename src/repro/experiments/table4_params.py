@@ -1,0 +1,17 @@
+"""Table 4: the distilled parameter each protocol family explores."""
+
+from __future__ import annotations
+
+from repro.core.advisor import PARAMETERS_EXPLORED
+from repro.experiments.common import ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table4",
+        title="Parameters explored by the protocols",
+        headers=["parameter", "protocols"],
+    )
+    for parameter, protocols in PARAMETERS_EXPLORED.items():
+        result.rows.append([parameter, ", ".join(protocols)])
+    return result

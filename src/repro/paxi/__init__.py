@@ -1,0 +1,45 @@
+"""Python port of the Paxi prototyping framework (paper section 4).
+
+Paxi factors strongly-consistent replication protocols into shared building
+blocks — configuration, quorum systems, networking, a multi-version
+key-value store, a client library, and a benchmarker — so that a protocol
+implementation only supplies its message types and replica logic.  This
+package reproduces that architecture on top of :mod:`repro.sim`.
+"""
+
+from repro.paxi.ids import NodeID, grid_ids
+from repro.paxi.message import Command, ClientRequest, ClientReply, Message
+from repro.paxi.quorum import (
+    MajorityQuorum,
+    ThresholdQuorum,
+    FastQuorum,
+    GridQuorum,
+    GroupQuorum,
+)
+from repro.paxi.config import Config
+from repro.paxi.node import Replica
+from repro.paxi.deployment import Deployment
+from repro.paxi.client import Client
+from repro.paxi.kvstore import MultiVersionStore
+from repro.paxi.history import HistoryRecorder, Operation
+
+__all__ = [
+    "NodeID",
+    "grid_ids",
+    "Command",
+    "ClientRequest",
+    "ClientReply",
+    "Message",
+    "MajorityQuorum",
+    "ThresholdQuorum",
+    "FastQuorum",
+    "GridQuorum",
+    "GroupQuorum",
+    "Config",
+    "Replica",
+    "Deployment",
+    "Client",
+    "MultiVersionStore",
+    "HistoryRecorder",
+    "Operation",
+]

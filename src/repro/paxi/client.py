@@ -1,0 +1,208 @@
+"""Client library (paper section 4.1, "RESTful client" + fault commands).
+
+A :class:`Client` issues read/write commands against any replica, measures
+per-request latency in virtual time, records the operation history for the
+checkers, and exposes the paper's four fault-injection commands —
+``crash``, ``drop``, ``slow``, ``flaky`` — exactly as the Paxi client
+library does.
+
+Clients are load generators, not modeled machines: they have no processing
+queue of their own (their cost is part of ``DL``, the client-to-leader
+round trip, via the network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Hashable
+
+from repro.errors import SimulationError
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest, Command
+from repro.sim.clock import EventHandle
+
+OnDone = Callable[[ClientReply, float], None]
+
+
+@dataclass
+class _Pending:
+    command: Command
+    target: NodeID
+    invoked_at: float
+    on_done: OnDone | None
+    history_token: int = 0
+    retries: int = 0
+    retry_handle: EventHandle | None = None
+
+
+class Client:
+    """A benchmark client bound to one site."""
+
+    def __init__(self, deployment: Deployment, address: Hashable, site: str) -> None:
+        self.deployment = deployment
+        self.address = address
+        self.site = site
+        self._network = deployment.cluster.network
+        self._loop = deployment.cluster.loop
+        self._pending: dict[int, _Pending] = {}
+        self._next_request_id = 0
+        self.retry_timeout: float | None = None
+        self.max_retries: int = 8
+        self.completed = 0
+        self.failed = 0
+        deployment.cluster.add_lightweight_endpoint(address, site, self._on_receive)
+        self._preferred = self._spread_preferences(deployment, address, site)
+        # Replicas advertise the current leader in their replies; later
+        # requests go straight there instead of paying a forwarding hop.
+        self._sticky: NodeID | None = None
+        # Session consistency (relaxed-read protocols): remember the latest
+        # version token per key and attach it to reads, guaranteeing
+        # read-your-writes and monotonic reads without consensus rounds.
+        self.session_reads = False
+        # Relaxed-read routing: send reads to the nearest replica even when
+        # a leader hint is cached (writes still follow the hint).
+        self.local_reads = False
+        self._key_versions: dict[Hashable, int] = {}
+
+    @staticmethod
+    def _spread_preferences(
+        deployment: Deployment, address: Hashable, site: str
+    ) -> list[NodeID]:
+        """Nearest-first node ranking, rotated among equal-distance nodes so
+        that co-located clients spread across replicas instead of piling on
+        one (essential for multi-leader protocols in a LAN, where every
+        replica is equidistant)."""
+        ordered = deployment.nearest_nodes(site)
+        topology = deployment.config.topology
+        head_rtt = topology.site_rtt_mean_ms(site, deployment.config.site_of(ordered[0]))
+        head = [
+            nid
+            for nid in ordered
+            if topology.site_rtt_mean_ms(site, deployment.config.site_of(nid)) == head_rtt
+        ]
+        tail = ordered[len(head) :]
+        # Rotate by the client's creation sequence number (string hashing is
+        # process-randomized and would break run-to-run determinism).
+        seq = address[1] if isinstance(address, tuple) and len(address) == 2 else 0
+        rotation = int(seq) % len(head)
+        return head[rotation:] + head[:rotation] + tail
+
+    # ------------------------------------------------------------------
+    # Issuing requests
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        command: Command,
+        target: NodeID | None = None,
+        on_done: OnDone | None = None,
+    ) -> int:
+        """Send ``command`` to ``target`` (default: nearest replica).
+
+        Returns the request id.  ``on_done(reply, latency)`` fires when the
+        reply arrives; the completed operation is also appended to the
+        deployment-wide history for the checkers.
+        """
+        if target is None:
+            if self.local_reads and command.is_read:
+                target = self._preferred[0]
+            else:
+                target = self._sticky if self._sticky is not None else self._preferred[0]
+        if self.session_reads and command.is_read:
+            command = replace(command, min_version=self._key_versions.get(command.key, 0))
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        pending = _Pending(command, target, self._loop.now, on_done)
+        pending.history_token = self.deployment.history.begin(
+            self.address, command.op, command.key, command.value, pending.invoked_at
+        )
+        self._pending[request_id] = pending
+        self._transmit(request_id, pending)
+        return request_id
+
+    def get(self, key: Hashable, target: NodeID | None = None, on_done: OnDone | None = None) -> int:
+        return self.invoke(Command.get(key), target, on_done)
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        target: NodeID | None = None,
+        on_done: OnDone | None = None,
+    ) -> int:
+        return self.invoke(Command.put(key, value), target, on_done)
+
+    def _transmit(self, request_id: int, pending: _Pending) -> None:
+        request = ClientRequest(
+            command=pending.command, client=self.address, request_id=request_id
+        )
+        self._network.transit(self.address, pending.target, request, ClientRequest.SIZE_BYTES)
+        if self.retry_timeout is not None:
+            pending.retry_handle = self._loop.call_after(
+                self.retry_timeout, self._on_timeout, request_id
+            )
+
+    def _on_timeout(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        self._sticky = None  # the cached leader may be the failed node
+        if pending.retries > self.max_retries:
+            del self._pending[request_id]
+            self.failed += 1
+            return
+        # Rotate to the next-nearest replica, the Paxi client's failover.
+        ring = self._preferred
+        next_index = (ring.index(pending.target) + 1) % len(ring)
+        pending.target = ring[next_index]
+        self._transmit(request_id, pending)
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+
+    def _on_receive(self, src: Hashable, message: Any, size_bytes: int) -> None:
+        if not isinstance(message, ClientReply):
+            raise SimulationError(f"client got unexpected {type(message).__name__}")
+        pending = self._pending.pop(message.request_id, None)
+        if pending is None:
+            return  # stale reply after a retry already completed
+        if pending.retry_handle is not None:
+            pending.retry_handle.cancel()
+        if message.leader_hint is not None:
+            self._sticky = message.leader_hint
+        if message.version:
+            key = pending.command.key
+            self._key_versions[key] = max(self._key_versions.get(key, 0), message.version)
+        now = self._loop.now
+        latency = now - pending.invoked_at
+        self.completed += 1
+        self.deployment.history.complete(pending.history_token, message.value, now)
+        if pending.on_done is not None:
+            pending.on_done(message, latency)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Fault-injection commands (paper section 4.2, "Availability")
+    # ------------------------------------------------------------------
+
+    def crash(self, node: NodeID, duration: float) -> None:
+        """Freeze ``node`` for ``duration`` seconds."""
+        self.deployment.crash(node, duration)
+
+    def drop(self, src: NodeID, dst: NodeID, duration: float) -> None:
+        """Drop every message from ``src`` to ``dst`` for ``duration`` s."""
+        self.deployment.drop(src, dst, duration)
+
+    def slow(self, src: NodeID, dst: NodeID, duration: float) -> None:
+        """Delay messages from ``src`` to ``dst`` for ``duration`` s."""
+        self.deployment.slow(src, dst, duration)
+
+    def flaky(self, src: NodeID, dst: NodeID, duration: float, probability: float = 0.5) -> None:
+        """Randomly drop messages from ``src`` to ``dst``."""
+        self.deployment.flaky(src, dst, duration, probability)

@@ -1,0 +1,154 @@
+"""Deployment: wires a protocol onto a simulated cluster.
+
+A :class:`Deployment` owns the :class:`~repro.sim.cluster.Cluster`, builds
+one replica per configured node via a protocol factory, creates clients, and
+collects the global operation history for the checkers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.errors import ConfigError, SimulationError
+from repro.paxi.config import Config
+from repro.paxi.history import HistoryRecorder
+from repro.paxi.ids import NodeID
+from repro.sim.cluster import Cluster
+from repro.sim.network import FaultPlan
+from repro.sim.server import Server
+
+if TYPE_CHECKING:
+    from repro.paxi.client import Client
+    from repro.paxi.node import Replica
+
+ReplicaFactory = Callable[["Deployment", NodeID], "Replica"]
+
+
+class Deployment:
+    """A running (simulated) cluster of protocol replicas plus clients."""
+
+    def __init__(self, config: Config, faults: FaultPlan | None = None) -> None:
+        self.config = config
+        self.cluster = Cluster(
+            config.topology, seed=config.seed, profile=config.profile, faults=faults
+        )
+        self.history = HistoryRecorder()
+        self.replicas: dict[NodeID, "Replica"] = {}
+        self.clients: list["Client"] = []
+        self._client_seq = 0
+        self._pending_attach: NodeID | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def start(self, factory: ReplicaFactory) -> "Deployment":
+        """Instantiate one replica per configured node."""
+        if self.replicas:
+            raise SimulationError("deployment already started")
+        for node_id in self.config.node_ids:
+            replica = factory(self, node_id)
+            if node_id not in self.replicas:
+                raise SimulationError(
+                    f"factory for {node_id} did not attach its replica"
+                )
+            if self.replicas[node_id] is not replica:
+                raise SimulationError(f"replica mismatch at {node_id}")
+        return self
+
+    def attach_replica(self, replica: "Replica") -> Server:
+        """Called from ``Replica.__init__``: create the machine and register
+        the replica as its network endpoint."""
+        node_id = replica.id
+        if node_id not in self.config.node_ids:
+            raise ConfigError(f"{node_id} is not in the configuration")
+        if node_id in self.replicas:
+            raise SimulationError(f"replica {node_id} already attached")
+        self.replicas[node_id] = replica
+        site = self.config.site_of(node_id)
+        return self.cluster.add_server(node_id, site, replica.on_network_receive)
+
+    def new_client(self, site: str | None = None, zone: int | None = None) -> "Client":
+        """Create a client co-located with the replicas of ``site``/``zone``.
+
+        With neither given, clients round-robin across sites, mirroring the
+        paper's benchmarker spreading load over regions.
+        """
+        from repro.paxi.client import Client
+
+        if site is None and zone is not None:
+            site = self.config.zone_site(zone)
+        if site is None:
+            sites = self.config.topology.sites
+            site = sites[self._client_seq % len(sites)]
+        if site not in self.config.topology.sites:
+            raise ConfigError(f"unknown client site {site!r}")
+        self._client_seq += 1
+        client = Client(self, ("client", self._client_seq), site)
+        self.clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def replica(self, node_id: NodeID) -> "Replica":
+        return self.replicas[node_id]
+
+    def nearest_nodes(self, site: str) -> list[NodeID]:
+        """Replica IDs sorted nearest-first from ``site``."""
+        topo = self.config.topology
+        return sorted(
+            self.config.node_ids,
+            key=lambda nid: (topo.site_rtt_mean_ms(site, self.config.site_of(nid)), nid),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution and fault injection passthroughs
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.cluster.now
+
+    def run_for(self, seconds: float) -> None:
+        self.cluster.run_for(seconds)
+
+    def run_until(self, deadline: float) -> None:
+        self.cluster.run_until(deadline)
+
+    def drain(self, max_events: int | None = None) -> None:
+        self.cluster.drain(max_events)
+
+    def verify(self) -> tuple[bool, bool]:
+        """Run the paper's two correctness checkers over this deployment.
+
+        Returns ``(linearizable, consensus_ok)`` — the Paxi benchmarker's
+        "LinearizabilityCheck" option (Table 3) plus the consensus checker.
+        """
+        from repro.checkers.consensus import check_deployment
+        from repro.checkers.linearizability import check_history
+
+        return (
+            check_history(self.history.snapshot()).ok,
+            check_deployment(self).ok,
+        )
+
+    def crash(self, node_id: NodeID, duration: float, at: float | None = None) -> None:
+        self.cluster.crash(node_id, duration, at)
+
+    def drop(self, src: Hashable, dst: Hashable, duration: float, at: float | None = None) -> None:
+        self.cluster.drop(src, dst, duration, at)
+
+    def slow(self, src: Hashable, dst: Hashable, duration: float, at: float | None = None) -> None:
+        self.cluster.slow(src, dst, duration, at)
+
+    def flaky(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        duration: float,
+        probability: float = 0.5,
+        at: float | None = None,
+    ) -> None:
+        self.cluster.flaky(src, dst, duration, probability, at)

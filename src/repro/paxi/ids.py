@@ -1,0 +1,47 @@
+"""Node identifiers.
+
+Paxi names each node ``zone.node`` (e.g. ``1.3`` is node 3 in zone 1).  The
+zone component is what lets grid quorum systems, WPaxos, WanKeeper, and the
+WAN experiments reason about region placement directly from the ID.
+Zones and node numbers are 1-based, following the Go implementation.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import ConfigError
+
+
+class NodeID(NamedTuple):
+    """A ``zone.node`` identifier."""
+
+    zone: int
+    node: int
+
+    def __str__(self) -> str:
+        return f"{self.zone}.{self.node}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeID":
+        """Parse ``"zone.node"`` into a :class:`NodeID`."""
+        zone_str, sep, node_str = text.partition(".")
+        if not sep:
+            raise ConfigError(f"malformed node id {text!r}, expected 'zone.node'")
+        try:
+            return cls(int(zone_str), int(node_str))
+        except ValueError:
+            raise ConfigError(f"malformed node id {text!r}") from None
+
+
+def grid_ids(zones: int, nodes_per_zone: int) -> tuple[NodeID, ...]:
+    """All node IDs for a ``zones x nodes_per_zone`` deployment, zone-major."""
+    if zones < 1 or nodes_per_zone < 1:
+        raise ConfigError(
+            f"grid needs positive dimensions, got {zones}x{nodes_per_zone}"
+        )
+    return tuple(
+        NodeID(zone, node)
+        for zone in range(1, zones + 1)
+        for node in range(1, nodes_per_zone + 1)
+    )

@@ -1,0 +1,83 @@
+"""In-memory multi-version key-value store (paper section 4.1, "Data store").
+
+Each replica owns a private store used as its deterministic state machine.
+Every write creates a new version, and the full per-key version history is
+retained so the consensus checker can compare state-machine histories across
+nodes (the paper's consensus checker verifies all nodes' per-record
+histories share a common prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.paxi.message import Command
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    number: int
+    value: Any
+
+
+class MultiVersionStore:
+    """A deterministic multi-version map from keys to version chains."""
+
+    def __init__(self) -> None:
+        self._chains: dict[Hashable, list[Version]] = {}
+        self.executions = 0
+
+    def execute(self, command: Command) -> Any:
+        """Apply ``command`` and return the value the client should see.
+
+        Reads return the latest committed value (or ``None`` for a key that
+        was never written); writes append a new version and return the value
+        they wrote, which lets the linearizability checker treat the reply
+        as an acknowledgment.
+        """
+        self.executions += 1
+        chain = self._chains.get(command.key)
+        if command.is_read:
+            return chain[-1].value if chain else None
+        if chain is None:
+            chain = []
+            self._chains[command.key] = chain
+        chain.append(Version(len(chain) + 1, command.value))
+        return command.value
+
+    def read(self, key: Hashable) -> Any:
+        """Current value of ``key`` without counting as an execution."""
+        chain = self._chains.get(key)
+        return chain[-1].value if chain else None
+
+    def version(self, key: Hashable) -> int:
+        """Number of committed writes to ``key``."""
+        chain = self._chains.get(key)
+        return chain[-1].number if chain else 0
+
+    def history(self, key: Hashable) -> list[Any]:
+        """All values ever written to ``key``, oldest first."""
+        return [v.value for v in self._chains.get(key, [])]
+
+    def adopt(self, key: Hashable, values: list[Any]) -> None:
+        """Replace ``key``'s chain with ``values`` if it is an extension.
+
+        Used when object ownership migrates between replication groups
+        (WanKeeper token transfer, Vertical Paxos reassignment): the new
+        group splices in the full committed history so that per-key
+        histories remain common-prefix consistent across all nodes.
+        A shorter (stale) incoming chain is ignored.
+        """
+        current = self._chains.get(key, [])
+        if len(values) <= len(current):
+            return
+        self._chains[key] = [Version(i + 1, v) for i, v in enumerate(values)]
+
+    def keys(self) -> list[Hashable]:
+        return list(self._chains)
+
+    def __len__(self) -> int:
+        return len(self._chains)

@@ -1,0 +1,104 @@
+"""Message base types shared by every protocol.
+
+A protocol contributes its own dataclasses derived from :class:`Message`;
+the framework only needs two pieces of metadata from each type:
+
+- ``SIZE_BYTES`` — nominal serialized size, charged to NICs and bandwidth
+  (the paper notes EPaxos messages are bigger because they carry dependency
+  lists, which its model penalizes);
+- ``WEIGHT`` — CPU multiplier applied to the per-message processing costs
+  ``t_in``/``t_out`` (the paper's model "penalizes the message processing to
+  account for extra resources required to compute dependencies and resolve
+  conflicts" in EPaxos, section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+class Message:
+    """Base class for protocol and client messages."""
+
+    SIZE_BYTES: int = 100
+    WEIGHT: float = 1.0
+
+    @classmethod
+    def size_bytes(cls) -> int:
+        return cls.SIZE_BYTES
+
+    @classmethod
+    def weight(cls) -> float:
+        return cls.WEIGHT
+
+
+GET = "GET"
+PUT = "PUT"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A state-machine command against the key-value store.
+
+    ``min_version`` supports session-consistent relaxed reads (the paper's
+    section-7 future work): a replica serving the read locally must have
+    executed at least that many writes to the key first.  It is zero — no
+    constraint — for strongly-consistent protocols.
+    """
+
+    op: str
+    key: Hashable
+    value: Any = None
+    min_version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in (GET, PUT):
+            raise ValueError(f"unknown op {self.op!r}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == GET
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == PUT
+
+    def conflicts_with(self, other: "Command") -> bool:
+        """Two commands interfere iff they touch the same key and at least
+        one of them writes (the standard EPaxos interference relation)."""
+        return self.key == other.key and (self.is_write or other.is_write)
+
+    @staticmethod
+    def get(key: Hashable) -> "Command":
+        return Command(GET, key)
+
+    @staticmethod
+    def put(key: Hashable, value: Any) -> "Command":
+        return Command(PUT, key, value)
+
+
+@dataclass(frozen=True)
+class ClientRequest(Message):
+    """A client-originated request for one command."""
+
+    SIZE_BYTES = 120
+
+    command: Command = field(default_factory=lambda: Command(GET, 0))
+    client: Hashable = None
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class ClientReply(Message):
+    """The reply a replica sends once a command has been committed and
+    executed (or rejected)."""
+
+    SIZE_BYTES = 120
+
+    request_id: int = 0
+    ok: bool = True
+    value: Any = None
+    replied_by: Hashable = None
+    leader_hint: Hashable = None
+    version: int = 0  # key version after this command (session tokens)

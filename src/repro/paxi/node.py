@@ -1,0 +1,136 @@
+"""Replica runtime: event-handler registration and message passing.
+
+Paxi deliberately avoids blocking primitives: every protocol is a set of
+event handlers over a ``Send / Broadcast / Multicast`` message-passing
+interface (paper section 4.1, "Networking").  :class:`Replica` provides that
+interface on top of the simulated machine and network:
+
+- every received message is charged ``t_in`` (scaled by the message type's
+  ``WEIGHT``) plus NIC time on the replica's single CPU+NIC queue before its
+  handler runs;
+- every send is charged ``t_out`` plus NIC time; a broadcast pays ``t_out``
+  once and NIC time per copy, matching the paper's accounting.
+
+Protocol implementations subclass :class:`Replica`, call :meth:`register`
+for each of their message dataclasses, and use ``send`` / ``broadcast`` /
+``set_timer`` — nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
+
+from repro.errors import ProtocolError
+from repro.paxi.ids import NodeID
+from repro.paxi.kvstore import MultiVersionStore
+from repro.sim.clock import EventHandle
+
+if TYPE_CHECKING:
+    from repro.paxi.deployment import Deployment
+
+
+class Replica:
+    """Base class for protocol replicas."""
+
+    def __init__(self, deployment: "Deployment", node_id: NodeID) -> None:
+        self.deployment = deployment
+        self.id = node_id
+        self.config = deployment.config
+        self.store = MultiVersionStore()
+        self._handlers: dict[type, Callable[[Hashable, Any], None]] = {}
+        self._server = deployment.attach_replica(self)
+        self.loop = deployment.cluster.loop
+        self._network = deployment.cluster.network
+        self._profile = deployment.config.profile
+
+    # ------------------------------------------------------------------
+    # Identity and membership
+    # ------------------------------------------------------------------
+
+    @property
+    def peers(self) -> list[NodeID]:
+        """Every other replica in the deployment."""
+        return [nid for nid in self.config.node_ids if nid != self.id]
+
+    @property
+    def site(self) -> str:
+        return self.config.site_of(self.id)
+
+    def zone_peers(self, zone: int | None = None) -> list[NodeID]:
+        """Replicas in ``zone`` (default: this replica's zone), self excluded."""
+        z = self.id.zone if zone is None else zone
+        return [nid for nid in self.config.ids_in_zone(z) if nid != self.id]
+
+    # ------------------------------------------------------------------
+    # Handler registration and dispatch
+    # ------------------------------------------------------------------
+
+    def register(self, message_type: type, handler: Callable[[Hashable, Any], None]) -> None:
+        """Route messages of exactly ``message_type`` to ``handler(src, msg)``."""
+        if message_type in self._handlers:
+            raise ProtocolError(
+                f"{self.id}: handler for {message_type.__name__} already registered"
+            )
+        self._handlers[message_type] = handler
+
+    def on_network_receive(self, src: Hashable, message: Any, size_bytes: int) -> None:
+        """Entry point from the network: charge the queue, then dispatch."""
+        weight = getattr(type(message), "WEIGHT", 1.0)
+        cost = self._profile.incoming_cost(size_bytes, weight)
+        self._server.submit(cost, self._dispatch, src, message)
+
+    def _dispatch(self, src: Hashable, message: Any) -> None:
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise ProtocolError(
+                f"{self.id}: no handler for {type(message).__name__}"
+            )
+        handler(src, message)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, dst: Hashable, message: Any) -> None:
+        """Send one message; charges ``t_out`` + one NIC transmission."""
+        size = getattr(type(message), "SIZE_BYTES", 100)
+        weight = getattr(type(message), "WEIGHT", 1.0)
+        cost = self._profile.outgoing_cost(size, copies=1, weight=weight)
+        self._server.submit(cost, self._network.transit, self.id, dst, message, size)
+
+    def multicast(self, dsts: Iterable[Hashable], message: Any) -> None:
+        """Send to several peers; serialization is paid once."""
+        targets = [d for d in dsts if d != self.id]
+        if not targets:
+            return
+        size = getattr(type(message), "SIZE_BYTES", 100)
+        weight = getattr(type(message), "WEIGHT", 1.0)
+        cost = self._profile.outgoing_cost(size, copies=len(targets), weight=weight)
+        self._server.submit(cost, self._transit_all, targets, message, size)
+
+    def broadcast(self, message: Any) -> None:
+        """Send to every other replica."""
+        self.multicast(self.peers, message)
+
+    def _transit_all(self, targets: list[Hashable], message: Any, size: int) -> None:
+        for dst in targets:
+            self._network.transit(self.id, dst, message, size)
+
+    # ------------------------------------------------------------------
+    # Timers and local work
+    # ------------------------------------------------------------------
+
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds unless cancelled."""
+        return self.loop.call_after(delay, fn, *args)
+
+    def local_work(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Charge ``cost`` seconds of CPU on this replica, then run ``fn``."""
+        self._server.submit(cost, fn, *args)
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.id}>"

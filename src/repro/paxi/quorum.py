@@ -1,0 +1,221 @@
+"""Quorum systems (paper section 4.1).
+
+Paxi ships several quorum systems behind one two-method interface —
+``ack()`` and ``satisfied()`` — so that protocols can probe the quorum
+design space without changing their own code.  We provide the same five
+families the paper lists: simple majority, fast quorum, grid quorum,
+flexible grid, and group quorums.
+
+Each object tracks the votes of **one** round; protocols construct a fresh
+instance (or call :meth:`reset`) per ballot/slot.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.errors import QuorumError
+from repro.paxi.ids import NodeID
+
+
+class Quorum(ABC):
+    """Vote tracker for a single round."""
+
+    def __init__(self, ids: Iterable[NodeID]) -> None:
+        self.ids: tuple[NodeID, ...] = tuple(ids)
+        if not self.ids:
+            raise QuorumError("quorum over an empty node set")
+        if len(set(self.ids)) != len(self.ids):
+            raise QuorumError(f"duplicate node ids in quorum: {self.ids!r}")
+        self.acks: set[NodeID] = set()
+        self.nacks: set[NodeID] = set()
+
+    def ack(self, node: NodeID) -> None:
+        """Record a positive vote from ``node``."""
+        if node not in self.ids:
+            raise QuorumError(f"vote from {node} outside quorum members {self.ids!r}")
+        self.acks.add(node)
+
+    def nack(self, node: NodeID) -> None:
+        """Record a negative vote (rejection) from ``node``."""
+        if node not in self.ids:
+            raise QuorumError(f"vote from {node} outside quorum members {self.ids!r}")
+        self.nacks.add(node)
+
+    def reset(self) -> None:
+        self.acks.clear()
+        self.nacks.clear()
+
+    @abstractmethod
+    def satisfied(self) -> bool:
+        """True once the recorded acks form a quorum."""
+
+    def defeated(self) -> bool:
+        """True once satisfaction has become impossible given the nacks."""
+        alive = [n for n in self.ids if n not in self.nacks]
+        probe = type(self).__new__(type(self))
+        probe.__dict__.update(self.__dict__)
+        probe.acks = set(alive)
+        return not probe.satisfied()
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Minimum number of acks that can satisfy the quorum (thrifty hint)."""
+
+
+class MajorityQuorum(Quorum):
+    """Simple majority: ``floor(N/2) + 1`` acks."""
+
+    def satisfied(self) -> bool:
+        return len(self.acks) >= self.size
+
+    @property
+    def size(self) -> int:
+        return len(self.ids) // 2 + 1
+
+
+class ThresholdQuorum(Quorum):
+    """Any fixed number of acks out of the member set.
+
+    This is the building block for FPaxos: phase-1 uses ``N - q2 + 1`` and
+    phase-2 uses ``q2``, which guarantees q1/q2 intersection.
+    """
+
+    def __init__(self, ids: Iterable[NodeID], threshold: int) -> None:
+        super().__init__(ids)
+        if not 1 <= threshold <= len(self.ids):
+            raise QuorumError(
+                f"threshold {threshold} outside [1, {len(self.ids)}]"
+            )
+        self._threshold = threshold
+
+    def satisfied(self) -> bool:
+        return len(self.acks) >= self._threshold
+
+    @property
+    def size(self) -> int:
+        return self._threshold
+
+
+class FastQuorum(Quorum):
+    """EPaxos-style fast quorum, approximately 3/4 of all nodes (paper
+    section 2): defaults to ``ceil(3N/4)`` acks."""
+
+    def __init__(self, ids: Iterable[NodeID], size: int | None = None) -> None:
+        super().__init__(ids)
+        n = len(self.ids)
+        self._size = size if size is not None else math.ceil(3 * n / 4)
+        if not 1 <= self._size <= n:
+            raise QuorumError(f"fast quorum size {self._size} outside [1, {n}]")
+
+    def satisfied(self) -> bool:
+        return len(self.acks) >= self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+
+class GridQuorum(Quorum):
+    """WPaxos flexible grid quorum over a ``Z x R`` zone grid.
+
+    With per-zone fault tolerance ``f`` and zone fault tolerance ``fz``:
+
+    - phase-1 (leader election / object stealing) needs ``R - f`` acks in
+      each of ``Z - fz`` distinct zones;
+    - phase-2 (replication) needs ``f + 1`` acks in each of ``fz + 1``
+      distinct zones.
+
+    Any phase-1 quorum intersects any phase-2 quorum, which is the safety
+    condition inherited from Flexible Paxos.
+    """
+
+    def __init__(
+        self,
+        ids: Iterable[NodeID],
+        phase: int,
+        f: int = 0,
+        fz: int = 0,
+    ) -> None:
+        super().__init__(ids)
+        if phase not in (1, 2):
+            raise QuorumError(f"grid quorum phase must be 1 or 2, got {phase}")
+        self._phase = phase
+        self._f = f
+        self._fz = fz
+        self._zones: dict[int, set[NodeID]] = {}
+        for node in self.ids:
+            self._zones.setdefault(node.zone, set()).add(node)
+        zone_count = len(self._zones)
+        per_zone = min(len(members) for members in self._zones.values())
+        if phase == 1:
+            self._zones_needed = zone_count - fz
+            self._per_zone_needed = per_zone - f
+        else:
+            self._zones_needed = fz + 1
+            self._per_zone_needed = f + 1
+        if self._zones_needed < 1 or self._zones_needed > zone_count:
+            raise QuorumError(
+                f"fz={fz} infeasible for {zone_count} zones in phase {phase}"
+            )
+        if self._per_zone_needed < 1 or self._per_zone_needed > per_zone:
+            raise QuorumError(
+                f"f={f} infeasible for {per_zone} nodes per zone in phase {phase}"
+            )
+
+    def satisfied(self) -> bool:
+        complete_zones = sum(
+            1
+            for members in self._zones.values()
+            if len(self.acks & members) >= self._per_zone_needed
+        )
+        return complete_zones >= self._zones_needed
+
+    @property
+    def size(self) -> int:
+        return self._zones_needed * self._per_zone_needed
+
+    @property
+    def zones_needed(self) -> int:
+        return self._zones_needed
+
+    @property
+    def per_zone_needed(self) -> int:
+        return self._per_zone_needed
+
+    def preferred_members(self, anchor_zone: int, topology_order: Sequence[int] | None = None) -> list[NodeID]:
+        """A minimal member set satisfying the quorum, preferring
+        ``anchor_zone`` and then zones in ``topology_order`` (nearest-first).
+
+        Used by thrifty senders: a WPaxos leader in zone ``z`` with fz=0
+        replicates only within its own zone.
+        """
+        zone_order = [anchor_zone] if anchor_zone in self._zones else []
+        remaining = [z for z in sorted(self._zones) if z != anchor_zone]
+        if topology_order is not None:
+            order_index = {z: i for i, z in enumerate(topology_order)}
+            remaining.sort(key=lambda z: order_index.get(z, len(order_index)))
+        zone_order.extend(remaining)
+        members: list[NodeID] = []
+        for zone in zone_order[: self._zones_needed]:
+            zone_members = sorted(self._zones[zone])
+            members.extend(zone_members[: self._per_zone_needed])
+        return members
+
+
+class GroupQuorum(Quorum):
+    """Majority within one designated group of nodes.
+
+    WanKeeper and Vertical Paxos run an ordinary Paxos inside each region;
+    their quorums are majorities of the regional group only.
+    """
+
+    def satisfied(self) -> bool:
+        return len(self.acks) >= self.size
+
+    @property
+    def size(self) -> int:
+        return len(self.ids) // 2 + 1

@@ -1,0 +1,37 @@
+"""Protocol implementations over the Paxi framework.
+
+One module per protocol the paper evaluates; :data:`PROTOCOLS` maps the
+paper's names to classes for registries and CLIs.
+"""
+
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.fpaxos import FPaxos
+from repro.protocols.mencius import Mencius
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+PROTOCOLS = {
+    "Paxos": MultiPaxos,
+    "FPaxos": FPaxos,
+    "Raft": Raft,
+    "EPaxos": EPaxos,
+    "WPaxos": WPaxos,
+    "WanKeeper": WanKeeper,
+    "VPaxos": VPaxos,
+    "Mencius": Mencius,
+}
+
+__all__ = [
+    "MultiPaxos",
+    "FPaxos",
+    "Raft",
+    "EPaxos",
+    "WPaxos",
+    "WanKeeper",
+    "VPaxos",
+    "Mencius",
+    "PROTOCOLS",
+]

@@ -1,0 +1,33 @@
+"""Ballot numbers shared by every Paxos-family protocol.
+
+A ballot is a pair ``(counter, node_id)`` ordered lexicographically, so two
+nodes can never mint the same ballot and every ballot has a unique owner.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.paxi.ids import NodeID
+
+
+class Ballot(NamedTuple):
+    """A totally-ordered, owner-tagged ballot number."""
+
+    counter: int
+    owner: NodeID
+
+    def next(self, owner: NodeID) -> "Ballot":
+        """The smallest ballot larger than this one owned by ``owner``."""
+        return Ballot(self.counter + 1, owner)
+
+    def __str__(self) -> str:
+        return f"{self.counter}@{self.owner}"
+
+
+ZERO = Ballot(0, NodeID(0, 0))
+
+
+def initial_ballot(owner: NodeID) -> Ballot:
+    """The first ballot a node uses when it tries to lead."""
+    return Ballot(1, owner)

@@ -1,0 +1,136 @@
+"""Replicated command log shared by the Paxos-family protocols.
+
+A :class:`CommandLog` tracks per-slot entries through the accept -> commit ->
+execute lifecycle and maintains the highest *contiguous* committed slot,
+which is what leaders piggyback onto later messages in place of an explicit
+commit phase (the paper's phase-3 optimization, section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import ProtocolError
+from repro.paxi.message import Command
+from repro.paxi.quorum import Quorum
+from repro.protocols.ballot import Ballot
+
+
+@dataclass
+class RequestInfo:
+    """Where to send the reply once a command executes."""
+
+    client: Hashable
+    request_id: int
+
+
+@dataclass
+class Entry:
+    """One slot of the replicated log.
+
+    ``command`` may be ``None`` for a no-op proposed to fill a gap during
+    leader recovery.
+    """
+
+    ballot: Ballot
+    command: Command | None
+    request: RequestInfo | None = None
+    quorum: Quorum | None = None
+    committed: bool = False
+    executed: bool = False
+
+
+@dataclass
+class CommandLog:
+    """Slot-indexed log with commit/execute frontiers (slots are 1-based)."""
+
+    entries: dict[int, Entry] = field(default_factory=dict)
+    next_slot: int = 1
+    execute_index: int = 1  # next slot to execute
+
+    def append(
+        self,
+        ballot: Ballot,
+        command: Command | None,
+        request: RequestInfo | None = None,
+        quorum: Quorum | None = None,
+    ) -> int:
+        """Leader-side: place a command in the next free slot."""
+        slot = self.next_slot
+        self.next_slot += 1
+        self.entries[slot] = Entry(ballot, command, request, quorum)
+        return slot
+
+    def accept(
+        self,
+        slot: int,
+        ballot: Ballot,
+        command: Command | None,
+        request: RequestInfo | None = None,
+    ) -> None:
+        """Follower-side: record an accepted (slot, ballot, command).
+
+        A committed entry is never overwritten — commitment is final even if
+        a laggard leader re-sends with a stale ballot.
+        """
+        existing = self.entries.get(slot)
+        if existing is not None and existing.committed:
+            return
+        if existing is not None and existing.ballot > ballot:
+            return
+        self.entries[slot] = Entry(ballot, command, request)
+        if slot >= self.next_slot:
+            self.next_slot = slot + 1
+
+    def commit(self, slot: int) -> None:
+        entry = self.entries.get(slot)
+        if entry is None:
+            raise ProtocolError(f"commit of unknown slot {slot}")
+        entry.committed = True
+
+    def commit_upto(self) -> int:
+        """Highest slot S such that every slot <= S is committed."""
+        upto = self.execute_index - 1
+        while self.entries.get(upto + 1) is not None and self.entries[upto + 1].committed:
+            upto += 1
+        return upto
+
+    def executable(self) -> list[tuple[int, Entry]]:
+        """Contiguous run of committed-but-unexecuted entries, in order.
+
+        The caller is expected to execute them and then call
+        :meth:`mark_executed` for each.
+        """
+        runnable: list[tuple[int, Entry]] = []
+        slot = self.execute_index
+        while True:
+            entry = self.entries.get(slot)
+            if entry is None or not entry.committed or entry.executed:
+                break
+            runnable.append((slot, entry))
+            slot += 1
+        return runnable
+
+    def mark_executed(self, slot: int) -> None:
+        entry = self.entries.get(slot)
+        if entry is None or not entry.committed:
+            raise ProtocolError(f"cannot execute uncommitted slot {slot}")
+        entry.executed = True
+        if slot == self.execute_index:
+            while self.entries.get(self.execute_index) is not None and self.entries[
+                self.execute_index
+            ].executed:
+                self.execute_index += 1
+
+    def uncommitted(self) -> dict[int, Entry]:
+        """Accepted-but-uncommitted entries (what P1b messages carry)."""
+        return {
+            slot: entry
+            for slot, entry in self.entries.items()
+            if not entry.committed
+        }
+
+    def missing_slots(self, upto: int) -> list[int]:
+        """Slots <= ``upto`` this log has never accepted (gap-fill targets)."""
+        return [slot for slot in range(1, upto + 1) if slot not in self.entries]

@@ -1,0 +1,279 @@
+"""Mencius (Mao, Junqueira, Marzullo, OSDI 2008): rotating-leader consensus.
+
+The paper cites Mencius among the works that observed the single-leader
+bottleneck (section 5.2) and closes by anticipating that its framework
+"will lead the way to the development of new protocols".  This module is
+that demonstration: a complete additional protocol built on the same Paxi
+building blocks, used to contrast the *rotating* multi-leader design point
+with WPaxos's *locality* -based one.
+
+Design (simplified Mencius):
+
+- the slot space is partitioned round-robin: node ``i`` of ``N`` owns slots
+  ``i, i+N, i+2N, ...`` and is the pre-agreed leader for them, so commands
+  commit in one phase-2 round from any node — no single leader;
+- when a node sees another node's accept for slot ``s``, it **skips** all
+  of its own unused slots below ``s`` (broadcasting a skip range) so the
+  shared log keeps advancing even for idle nodes;
+- execution is strictly in slot order, so a command's latency includes
+  waiting for every other node's skips — the known Mencius trade-off: the
+  slowest/most distant replica paces everyone (unlike EPaxos, which only
+  waits for a fast quorum, or WPaxos, which commits locally).
+
+Like the paper's EPaxos evaluation, this implements the failure-free path
+(no revocation of a crashed node's slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import Replica
+from repro.paxi.quorum import MajorityQuorum, Quorum
+from repro.protocols.log import RequestInfo
+
+
+@dataclass(frozen=True)
+class MAccept(Message):
+    """Accept for a slot its sender owns (phase-2 only, by construction)."""
+
+    slot: int = 0
+    command: Command | None = None
+    request: RequestInfo | None = None
+
+
+@dataclass(frozen=True)
+class MAcceptAck(Message):
+    slot: int = 0
+
+
+@dataclass(frozen=True)
+class MCommit(Message):
+    slot: int = 0
+    command: Command | None = None
+    request: RequestInfo | None = None
+
+
+@dataclass(frozen=True)
+class MSkip(Message):
+    """``owner`` skips every slot it owns in ``[from_slot, below)``."""
+
+    from_slot: int = 0
+    below: int = 0
+
+
+@dataclass
+class _MSlot:
+    command: Command | None = None
+    request: RequestInfo | None = None
+    committed: bool = False
+    executed: bool = False
+    skipped: bool = False
+    quorum: Quorum | None = None
+
+
+class Mencius(Replica):
+    """A Mencius replica.
+
+    Recognized config params:
+
+    - ``skip_flush_interval``: how often an idle node re-announces its skip
+      frontier so laggards can execute (default 0.02 s).
+    """
+
+    def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
+        super().__init__(deployment, node_id)
+        self.order = list(self.config.node_ids)
+        self.index = self.order.index(node_id)
+        self.n = len(self.order)
+        self.flush_interval: float = self.config.param("skip_flush_interval", 0.02)
+        self.slots: dict[int, _MSlot] = {}
+        self.next_own_slot = self.index  # slots are 0-based: index, index+N, ...
+        self.execute_index = 0
+        self.skip_below: dict[int, int] = {i: 0 for i in range(self.n)}
+        self._request_cache: dict[tuple[Hashable, int], Any] = {}
+        self._retransmit: dict[int, float] = {}
+        self.retransmit_timeout: float = self.config.param("retransmit_timeout", 0.3)
+
+        self.register(ClientRequest, self.on_client_request)
+        self.register(MAccept, self.on_accept)
+        self.register(MAcceptAck, self.on_accept_ack)
+        self.register(MCommit, self.on_commit)
+        self.register(MSkip, self.on_skip)
+        self.set_timer(self.flush_interval, self._flush_tick)
+
+    # ------------------------------------------------------------------
+    # Slot arithmetic
+    # ------------------------------------------------------------------
+
+    def owner_of(self, slot: int) -> int:
+        return slot % self.n
+
+    def _own_unused_below(self, below: int) -> tuple[int, int] | None:
+        """Range of this node's unused own slots strictly below ``below``."""
+        if self.next_own_slot >= below:
+            return None
+        start = self.next_own_slot
+        # Advance our own frontier past the skipped range.
+        while self.next_own_slot < below:
+            self.next_own_slot += self.n
+        return (start, below)
+
+    # ------------------------------------------------------------------
+    # Proposing
+    # ------------------------------------------------------------------
+
+    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+        cache_key = (m.client, m.request_id)
+        if cache_key in self._request_cache:
+            self.send(
+                m.client,
+                ClientReply(
+                    request_id=m.request_id,
+                    ok=True,
+                    value=self._request_cache[cache_key],
+                    replied_by=self.id,
+                ),
+            )
+            return
+        slot = self.next_own_slot
+        self.next_own_slot += self.n
+        quorum = MajorityQuorum(self.config.node_ids)
+        quorum.ack(self.id)
+        self.slots[slot] = _MSlot(
+            command=m.command, request=RequestInfo(m.client, m.request_id), quorum=quorum
+        )
+        self._retransmit[slot] = self.now
+        self.broadcast(MAccept(slot=slot, command=m.command, request=self.slots[slot].request))
+
+    # ------------------------------------------------------------------
+    # Acceptor side
+    # ------------------------------------------------------------------
+
+    def on_accept(self, src: Hashable, m: MAccept) -> None:
+        entry = self.slots.setdefault(m.slot, _MSlot())
+        if entry.command is None:
+            entry.command = m.command
+            entry.request = m.request
+        self.send(src, MAcceptAck(slot=m.slot))
+        self._skip_up_to(m.slot)
+
+    def _skip_up_to(self, slot: int) -> None:
+        """Seeing activity at ``slot`` means our own earlier slots would
+        block execution: give them up (the Mencius skip rule)."""
+        skipped = self._own_unused_below(slot)
+        if skipped is not None:
+            start, below = skipped
+            self._apply_skip(self.index, start, below)
+            self.broadcast(MSkip(from_slot=start, below=below))
+            self._try_execute()
+
+    def on_skip(self, src: Hashable, m: MSkip) -> None:
+        owner = self.order.index(src)
+        self._apply_skip(owner, m.from_slot, m.below)
+        self._try_execute()
+
+    def _apply_skip(self, owner: int, from_slot: int, below: int) -> None:
+        self.skip_below[owner] = max(self.skip_below[owner], below)
+        slot = from_slot
+        while slot < below:
+            if self.owner_of(slot) == owner:
+                entry = self.slots.setdefault(slot, _MSlot())
+                if entry.command is None and not entry.committed:
+                    entry.skipped = True
+                    entry.committed = True
+            slot += 1
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def on_accept_ack(self, src: Hashable, m: MAcceptAck) -> None:
+        entry = self.slots.get(m.slot)
+        if entry is None or entry.quorum is None or entry.committed:
+            return
+        entry.quorum.ack(src)
+        if entry.quorum.satisfied():
+            entry.committed = True
+            self._retransmit.pop(m.slot, None)
+            self.broadcast(MCommit(slot=m.slot, command=entry.command, request=entry.request))
+            self._try_execute()
+
+    def on_commit(self, src: Hashable, m: MCommit) -> None:
+        entry = self.slots.setdefault(m.slot, _MSlot())
+        if entry.command is None:
+            entry.command = m.command
+            entry.request = m.request
+        entry.committed = True
+        self._skip_up_to(m.slot)
+        self._try_execute()
+
+    # ------------------------------------------------------------------
+    # Execution: strict slot order
+    # ------------------------------------------------------------------
+
+    def _try_execute(self) -> None:
+        while True:
+            entry = self.slots.get(self.execute_index)
+            if entry is None or not entry.committed or entry.executed:
+                break
+            entry.executed = True
+            value = None
+            if entry.command is not None and not entry.skipped:
+                cache_key = None
+                if entry.request is not None:
+                    cache_key = (entry.request.client, entry.request.request_id)
+                if cache_key is not None and cache_key in self._request_cache:
+                    value = self._request_cache[cache_key]
+                else:
+                    value = self.store.execute(entry.command)
+                    if cache_key is not None:
+                        self._request_cache[cache_key] = value
+            if (
+                entry.request is not None
+                and self.owner_of(self.execute_index) == self.index
+            ):
+                self.send(
+                    entry.request.client,
+                    ClientReply(
+                        request_id=entry.request.request_id,
+                        ok=True,
+                        value=value,
+                        replied_by=self.id,
+                    ),
+                )
+            self.execute_index += 1
+
+    # ------------------------------------------------------------------
+    # Liveness: idle-skip announcements and retransmission
+    # ------------------------------------------------------------------
+
+    def _flush_tick(self) -> None:
+        # Re-announce our skip frontier so replicas that missed a skip (or
+        # joined the conversation late) can keep executing.
+        frontier = self.next_own_slot
+        known = self.skip_below[self.index]
+        if frontier > known:
+            # We have not used slots in [known-aligned, frontier): they are
+            # live proposals, not skips, so only announce genuinely unused
+            # ranges (handled by _skip_up_to); here we just retransmit.
+            pass
+        now = self.now
+        for slot, sent_at in list(self._retransmit.items()):
+            if now - sent_at < self.retransmit_timeout:
+                continue
+            entry = self.slots.get(slot)
+            if entry is None or entry.committed or entry.quorum is None:
+                self._retransmit.pop(slot, None)
+                continue
+            self._retransmit[slot] = now
+            behind = [p for p in self.peers if p not in entry.quorum.acks]
+            if behind:
+                self.multicast(
+                    behind, MAccept(slot=slot, command=entry.command, request=entry.request)
+                )
+        self.set_timer(self.flush_interval, self._flush_tick)

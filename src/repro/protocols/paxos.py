@@ -1,0 +1,556 @@
+"""MultiPaxos: single stable leader, majority quorums (paper section 2).
+
+The implementation follows the paper's description and optimizations:
+
+- **multi-decree**: the leader runs phase-1 once and then drives every slot
+  through phase-2 only, as long as its ballot stays the highest seen;
+- **piggybacked commit**: phase-3 rides on the next phase-2 broadcast as a
+  ``commit_upto`` watermark (plus a periodic heartbeat that doubles as the
+  liveness signal for leader election);
+- **full replication**: the leader broadcasts accepts to every replica
+  (the paper's evaluation setting), with a thrifty option for the analytic
+  comparisons;
+- **forwarding**: any replica accepts client requests and forwards them to
+  the leader; replies carry a leader hint so clients go direct afterwards.
+
+Leader failure is handled with randomized election timeouts: a replica that
+stops hearing from the leader runs phase-1 with a higher ballot, recovers
+uncommitted entries from its phase-1 quorum, and takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import Replica
+from repro.paxi.quorum import MajorityQuorum, Quorum
+from repro.protocols.ballot import Ballot, ZERO, initial_ballot
+from repro.protocols.log import CommandLog, Entry, RequestInfo
+
+# Transferable snapshot of one log entry: (slot, ballot, command, request, committed)
+EntrySnapshot = tuple[int, Ballot, Command | None, RequestInfo | None, bool]
+
+
+@dataclass(frozen=True)
+class P1a(Message):
+    """Phase-1a: ``lead with ballot b?`` plus the candidate's commit frontier."""
+
+    ballot: Ballot = ZERO
+    commit_upto: int = 0
+
+
+@dataclass(frozen=True)
+class P1b(Message):
+    """Phase-1b: promise (or rejection) with the follower's log suffix."""
+
+    SIZE_BYTES = 400
+
+    ballot: Ballot = ZERO
+    ok: bool = True
+    entries: tuple[EntrySnapshot, ...] = ()
+
+
+@dataclass(frozen=True)
+class P2a(Message):
+    """Phase-2a: accept this command in this slot (carries commit watermark)."""
+
+    ballot: Ballot = ZERO
+    slot: int = 0
+    command: Command | None = None
+    request: RequestInfo | None = None
+    commit_upto: int = 0
+
+
+@dataclass(frozen=True)
+class P2b(Message):
+    """Phase-2b: accepted (or rejected because of a higher promise)."""
+
+    ballot: Ballot = ZERO
+    slot: int = 0
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class Commit(Message):
+    """Periodic commit watermark broadcast; doubles as leader heartbeat."""
+
+    ballot: Ballot = ZERO
+    commit_upto: int = 0
+
+
+@dataclass(frozen=True)
+class FillRequest(Message):
+    """Ask the leader for slots this replica never received."""
+
+    slots: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FillReply(Message):
+    SIZE_BYTES = 400
+
+    entries: tuple[EntrySnapshot, ...] = ()
+
+
+class MultiPaxos(Replica):
+    """A MultiPaxos replica.
+
+    Recognized config params:
+
+    - ``leader``: initial leader :class:`NodeID` (default: first node);
+    - ``heartbeat_interval``: seconds between commit/heartbeat broadcasts
+      (default 0.02; ``None`` disables);
+    - ``election_timeout``: base follower timeout before starting phase-1
+      (default ``None`` = failover disabled, the paper's steady-state
+      benchmarks);
+    - ``thrifty``: leader sends P2a only to a minimal quorum (default False,
+      the paper's full-replication evaluation setting);
+    - ``relaxed_reads``: serve reads from any replica's local state machine
+      without a consensus round (default False).  This implements the
+      paper's section-7 future work: consistency relaxes from
+      linearizability to bounded staleness, and to session consistency
+      (read-your-writes + monotonic reads) when clients send version
+      tokens (``Client.session_reads``).
+    """
+
+    def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
+        super().__init__(deployment, node_id)
+        params = self.config.params
+        self.initial_leader: NodeID = params.get("leader", self.config.node_ids[0])
+        self.heartbeat_interval: float | None = params.get("heartbeat_interval", 0.02)
+        self.election_timeout: float | None = params.get("election_timeout")
+        self.thrifty: bool = bool(params.get("thrifty", False))
+        self.relaxed_reads: bool = bool(params.get("relaxed_reads", False))
+
+        self.promised: Ballot = ZERO
+        self.ballot: Ballot = ZERO  # own ballot while leading / campaigning
+        self.active = False  # completed phase-1 and currently leading
+        self.leader_hint: NodeID = self.initial_leader
+        self.log = CommandLog()
+
+        self._p1_quorum: Quorum | None = None
+        self._p1_entries: dict[int, EntrySnapshot] = {}
+        self._buffered: list[tuple[Hashable, ClientRequest]] = []
+        self._request_cache: dict[tuple[Hashable, int], Any] = {}
+        self._inflight: set[tuple[Hashable, int]] = set()
+        self._fill_outstanding = False
+        self.retransmit_timeout: float = params.get("retransmit_timeout", 0.3)
+        self._uncommitted_slots: dict[int, float] = {}  # slot -> last sent at
+        self._read_waiters: dict[Hashable, list[ClientRequest]] = {}
+        self._heartbeat_armed = False
+        self._election_handle = None
+        self._rng = deployment.cluster.streams.stream(f"paxos-{node_id}")
+
+        self.register(ClientRequest, self.on_client_request)
+        self.register(P1a, self.on_p1a)
+        self.register(P1b, self.on_p1b)
+        self.register(P2a, self.on_p2a)
+        self.register(P2b, self.on_p2b)
+        self.register(Commit, self.on_commit)
+        self.register(FillRequest, self.on_fill_request)
+        self.register(FillReply, self.on_fill_reply)
+
+        if self.id == self.initial_leader:
+            self.set_timer(0.0, self.start_phase1)
+        elif self.election_timeout is not None:
+            self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Quorum construction (overridden by FPaxos)
+    # ------------------------------------------------------------------
+
+    def phase1_quorum(self) -> Quorum:
+        return MajorityQuorum(self.config.node_ids)
+
+    def phase2_quorum(self) -> Quorum:
+        return MajorityQuorum(self.config.node_ids)
+
+    def phase2_targets(self) -> list[NodeID]:
+        """Peers to send P2a to (everyone, or a minimal set when thrifty)."""
+        if not self.thrifty:
+            return self.peers
+        needed = self.phase2_quorum().size - 1  # leader self-votes
+        ordered = self.deployment.nearest_nodes(self.site)
+        return [nid for nid in ordered if nid != self.id][:needed]
+
+    # ------------------------------------------------------------------
+    # Phase 1: leader (re-)election
+    # ------------------------------------------------------------------
+
+    def start_phase1(self) -> None:
+        """Campaign to lead with a ballot above everything seen so far."""
+        self.ballot = Ballot(max(self.promised.counter, self.ballot.counter) + 1, self.id)
+        if self.ballot <= self.promised:
+            self.ballot = initial_ballot(self.id)
+        self.promised = self.ballot
+        self.active = False
+        self.leader_hint = self.id
+        self._p1_quorum = self.phase1_quorum()
+        self._p1_quorum.ack(self.id)
+        self._p1_entries = {}
+        self._merge_snapshots(self._own_snapshots())
+        if self._p1_quorum.satisfied():  # single-node cluster
+            self._become_leader()
+            return
+        self.broadcast(P1a(ballot=self.ballot, commit_upto=self.log.commit_upto()))
+
+    def _own_snapshots(self) -> tuple[EntrySnapshot, ...]:
+        return tuple(
+            (slot, e.ballot, e.command, e.request, e.committed)
+            for slot, e in sorted(self.log.entries.items())
+        )
+
+    def _merge_snapshots(self, snapshots: tuple[EntrySnapshot, ...]) -> None:
+        for slot, ballot, command, request, committed in snapshots:
+            current = self._p1_entries.get(slot)
+            if current is not None and current[4]:
+                continue  # already have a committed value for the slot
+            if committed or current is None or ballot > current[1]:
+                self._p1_entries[slot] = (slot, ballot, command, request, committed)
+
+    def _drain_buffered(self) -> None:
+        """Forward requests buffered during a failed candidacy to whoever
+        won; otherwise they would wait for an election that may be
+        disabled."""
+        if self.active or self.leader_hint == self.id or not self._buffered:
+            return
+        self._p1_quorum = None
+        buffered, self._buffered = self._buffered, []
+        for _src, request in buffered:
+            self.send(self.leader_hint, request)
+
+    def on_p1a(self, src: Hashable, m: P1a) -> None:
+        if m.ballot > self.promised:
+            self.promised = m.ballot
+            self.leader_hint = m.ballot.owner
+            if self.active:
+                self.active = False  # step down
+            self._drain_buffered()
+            suffix = tuple(
+                (slot, e.ballot, e.command, e.request, e.committed)
+                for slot, e in sorted(self.log.entries.items())
+                if slot > m.commit_upto
+            )
+            self.send(src, P1b(ballot=m.ballot, ok=True, entries=suffix))
+            self._reset_election_timer()
+        else:
+            self.send(src, P1b(ballot=self.promised, ok=False))
+
+    def on_p1b(self, src: Hashable, m: P1b) -> None:
+        if not m.ok:
+            if m.ballot > self.promised:
+                self.promised = m.ballot
+                self.leader_hint = m.ballot.owner
+                self._p1_quorum = None
+                self._reset_election_timer()
+                self._drain_buffered()
+            return
+        if self._p1_quorum is None or m.ballot != self.ballot or self.active:
+            return
+        self._merge_snapshots(m.entries)
+        self._p1_quorum.ack(src)
+        if self._p1_quorum.satisfied():
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.active = True
+        self._p1_quorum = None
+        self.leader_hint = self.id
+        max_slot = max(self._p1_entries, default=0)
+        max_slot = max(max_slot, self.log.next_slot - 1)
+        # Adopt committed entries; re-propose uncommitted ones with our
+        # ballot; fill gaps with no-ops (paper section 2: the leader must
+        # instruct followers to accept pending commands it learned).
+        for slot in range(1, max_slot + 1):
+            local = self.log.entries.get(slot)
+            if local is not None and local.committed:
+                continue
+            learned = self._p1_entries.get(slot)
+            if learned is not None and learned[4]:
+                self.log.accept(slot, learned[1], learned[2], learned[3])
+                self.log.commit(slot)
+                continue
+            command = learned[2] if learned is not None else None
+            request = learned[3] if learned is not None else None
+            self._repropose(slot, command, request)
+        self.log.next_slot = max(self.log.next_slot, max_slot + 1)
+        self._p1_entries = {}
+        self._advance_execution()
+        if self.heartbeat_interval is not None and not self._heartbeat_armed:
+            self._heartbeat_armed = True
+            self.set_timer(self.heartbeat_interval, self._heartbeat)
+        buffered, self._buffered = self._buffered, []
+        for src, request in buffered:
+            self.on_client_request(src, request)
+
+    def _repropose(self, slot: int, command: Command | None, request: RequestInfo | None) -> None:
+        quorum = self.phase2_quorum()
+        quorum.ack(self.id)
+        self.log.entries[slot] = Entry(self.ballot, command, request, quorum)
+        self.log.next_slot = max(self.log.next_slot, slot + 1)
+        self._uncommitted_slots[slot] = self.now
+        self.multicast(
+            self.phase2_targets(),
+            P2a(
+                ballot=self.ballot,
+                slot=slot,
+                command=command,
+                request=request,
+                commit_upto=self.log.commit_upto(),
+            ),
+        )
+        if quorum.satisfied():
+            self._on_slot_committed(slot)
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+        if self.relaxed_reads and m.command.is_read:
+            self._serve_local_read(m)
+            return
+        key = (m.client, m.request_id)
+        if key in self._request_cache:
+            self.send(
+                m.client,
+                ClientReply(
+                    request_id=m.request_id,
+                    ok=True,
+                    value=self._request_cache[key],
+                    replied_by=self.id,
+                    leader_hint=self.leader_hint if not self.active else self.id,
+                ),
+            )
+            return
+        if self.active:
+            if key in self._inflight:
+                return  # duplicate while the original is still committing
+            self._inflight.add(key)
+            self._propose(m.command, RequestInfo(m.client, m.request_id))
+        elif self.leader_hint != self.id:
+            self.send(self.leader_hint, m)  # forward to the believed leader
+        else:
+            self._buffered.append((src, m))
+
+    def _serve_local_read(self, m: ClientRequest) -> None:
+        """Relaxed read: answer from the local state machine.  A session
+        token (``min_version``) defers the reply until this replica has
+        executed that many writes to the key, giving read-your-writes and
+        monotonic reads without a consensus round."""
+        key = m.command.key
+        if self.store.version(key) < m.command.min_version:
+            self._read_waiters.setdefault(key, []).append(m)
+            return
+        self.send(
+            m.client,
+            ClientReply(
+                request_id=m.request_id,
+                ok=True,
+                value=self.store.read(key),
+                replied_by=self.id,
+                version=self.store.version(key),
+            ),
+        )
+
+    def _drain_read_waiters(self, key: Hashable) -> None:
+        waiters = self._read_waiters.get(key)
+        if not waiters:
+            return
+        ready = [m for m in waiters if self.store.version(key) >= m.command.min_version]
+        if ready:
+            self._read_waiters[key] = [m for m in waiters if m not in ready]
+            for m in ready:
+                self._serve_local_read(m)
+
+    def _propose(self, command: Command | None, request: RequestInfo | None) -> None:
+        quorum = self.phase2_quorum()
+        quorum.ack(self.id)
+        slot = self.log.append(self.ballot, command, request, quorum)
+        self._uncommitted_slots[slot] = self.now
+        self.multicast(
+            self.phase2_targets(),
+            P2a(
+                ballot=self.ballot,
+                slot=slot,
+                command=command,
+                request=request,
+                commit_upto=self.log.commit_upto(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+
+    def on_p2a(self, src: Hashable, m: P2a) -> None:
+        if m.ballot >= self.promised:
+            self.promised = m.ballot
+            if self.active and m.ballot.owner != self.id:
+                self.active = False
+            self.leader_hint = m.ballot.owner
+            self._drain_buffered()
+            self.log.accept(m.slot, m.ballot, m.command, m.request)
+            self.send(src, P2b(ballot=m.ballot, slot=m.slot, ok=True))
+            self._apply_commit_watermark(m.commit_upto, src)
+            self._reset_election_timer()
+        else:
+            self.send(src, P2b(ballot=self.promised, slot=m.slot, ok=False))
+
+    def on_p2b(self, src: Hashable, m: P2b) -> None:
+        if not m.ok:
+            if m.ballot > self.promised:
+                self.promised = m.ballot
+                self.leader_hint = m.ballot.owner
+                self.active = False
+                self._reset_election_timer()
+            return
+        if not self.active or m.ballot != self.ballot:
+            return
+        entry = self.log.entries.get(m.slot)
+        if entry is None or entry.quorum is None or entry.committed:
+            return
+        entry.quorum.ack(src)
+        if entry.quorum.satisfied():
+            self._on_slot_committed(m.slot)
+
+    def _on_slot_committed(self, slot: int) -> None:
+        self.log.commit(slot)
+        self._uncommitted_slots.pop(slot, None)
+        self._advance_execution()
+
+    # ------------------------------------------------------------------
+    # Commit propagation and execution
+    # ------------------------------------------------------------------
+
+    def on_commit(self, src: Hashable, m: Commit) -> None:
+        if m.ballot >= self.promised:
+            self.promised = m.ballot
+            self.leader_hint = m.ballot.owner
+            self._drain_buffered()
+            self._apply_commit_watermark(m.commit_upto, src)
+            self._reset_election_timer()
+
+    def _apply_commit_watermark(self, upto: int, leader: Hashable) -> None:
+        for slot in range(self.log.execute_index, upto + 1):
+            entry = self.log.entries.get(slot)
+            if entry is not None and not entry.committed:
+                entry.committed = True
+        missing = self.log.missing_slots(upto)
+        if missing and not self._fill_outstanding:
+            self._fill_outstanding = True
+            self.send(leader, FillRequest(slots=tuple(missing[:64])))
+        self._advance_execution()
+
+    def on_fill_request(self, src: Hashable, m: FillRequest) -> None:
+        entries = tuple(
+            (slot, e.ballot, e.command, e.request, e.committed)
+            for slot in m.slots
+            if (e := self.log.entries.get(slot)) is not None
+        )
+        self.send(src, FillReply(entries=entries))
+
+    def on_fill_reply(self, src: Hashable, m: FillReply) -> None:
+        self._fill_outstanding = False
+        for slot, ballot, command, request, committed in m.entries:
+            if committed:
+                self.log.accept(slot, ballot, command, request)
+                self.log.commit(slot)
+        self._advance_execution()
+
+    def _advance_execution(self) -> None:
+        for slot, entry in self.log.executable():
+            value = None
+            if entry.command is not None:
+                request_key = None
+                if entry.request is not None:
+                    request_key = (entry.request.client, entry.request.request_id)
+                if request_key is not None and request_key in self._request_cache:
+                    value = self._request_cache[request_key]
+                else:
+                    value = self.store.execute(entry.command)
+                    if request_key is not None:
+                        self._request_cache[request_key] = value
+                        self._inflight.discard(request_key)
+            self.log.mark_executed(slot)
+            if entry.command is not None and entry.command.is_write:
+                self._drain_read_waiters(entry.command.key)
+            if (
+                entry.request is not None
+                and entry.ballot.owner == self.id
+                and self.active
+            ):
+                self.send(
+                    entry.request.client,
+                    ClientReply(
+                        request_id=entry.request.request_id,
+                        ok=True,
+                        value=value,
+                        replied_by=self.id,
+                        leader_hint=self.id,
+                        version=(
+                            self.store.version(entry.command.key)
+                            if entry.command is not None
+                            else 0
+                        ),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Heartbeats and elections
+    # ------------------------------------------------------------------
+
+    def _heartbeat(self) -> None:
+        if not self.active:
+            self._heartbeat_armed = False
+            return
+        self.broadcast(Commit(ballot=self.ballot, commit_upto=self.log.commit_upto()))
+        self._retransmit_uncommitted()
+        self.set_timer(self.heartbeat_interval, self._heartbeat)
+
+    def _retransmit_uncommitted(self) -> None:
+        """Re-send accepts that lost their race with the network: in normal
+        operation slots commit well within one heartbeat, so this only
+        fires after drops or partitions (liveness, not the common path)."""
+        upto = self.log.commit_upto()
+        now = self.now
+        for slot in sorted(self._uncommitted_slots):
+            if now - self._uncommitted_slots[slot] < self.retransmit_timeout:
+                continue  # acks are plausibly still in flight
+            entry = self.log.entries.get(slot)
+            if entry is None or entry.committed or entry.quorum is None:
+                self._uncommitted_slots.pop(slot, None)
+                continue
+            if entry.ballot != self.ballot:
+                continue
+            self._uncommitted_slots[slot] = now
+            behind = [p for p in self.phase2_targets() if p not in entry.quorum.acks]
+            if behind:
+                self.multicast(
+                    behind,
+                    P2a(
+                        ballot=self.ballot,
+                        slot=slot,
+                        command=entry.command,
+                        request=entry.request,
+                        commit_upto=upto,
+                    ),
+                )
+
+    def _reset_election_timer(self) -> None:
+        if self.election_timeout is None:
+            return
+        if self._election_handle is not None:
+            self._election_handle.cancel()
+        delay = self.election_timeout * (1.0 + self._rng.random())
+        self._election_handle = self.set_timer(delay, self._election_expired)
+
+    def _election_expired(self) -> None:
+        if self.active:
+            return
+        self.start_phase1()
+        self._reset_election_timer()

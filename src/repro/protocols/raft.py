@@ -1,0 +1,360 @@
+"""Raft (Ongaro & Ousterhout 2014) — the etcd stand-in for Figure 7.
+
+The paper cross-validates Paxi by benchmarking its Paxos against etcd's
+Raft and arguing that "without considering reconfiguration and recovery
+differences, Paxos and Raft are essentially the same protocol with a single
+stable leader driving the command replication".  We implement Raft from the
+paper's cited description — terms, randomized election timeouts,
+AppendEntries replication with per-follower ``nextIndex`` backtracking, and
+commit via majority ``matchIndex`` — over the same Paxi substrate, which
+reproduces exactly that comparison.
+
+Like etcd in the paper's setup, persistence/snapshotting is disabled (the
+simulator has no durable storage) and replies are sent only after commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import Replica
+from repro.protocols.log import RequestInfo
+
+# One replicated log record: (term, command, request-info)
+LogRecord = tuple[int, Command | None, RequestInfo | None]
+
+FOLLOWER, CANDIDATE, LEADER = "follower", "candidate", "leader"
+
+
+@dataclass(frozen=True)
+class RequestVote(Message):
+    term: int = 0
+    last_log_index: int = 0
+    last_log_term: int = 0
+
+
+@dataclass(frozen=True)
+class VoteReply(Message):
+    term: int = 0
+    granted: bool = False
+
+
+@dataclass(frozen=True)
+class AppendEntries(Message):
+    SIZE_BYTES = 150
+
+    term: int = 0
+    prev_index: int = 0
+    prev_term: int = 0
+    entries: tuple[tuple[int, LogRecord], ...] = ()  # (index, record)
+    leader_commit: int = 0
+
+
+@dataclass(frozen=True)
+class AppendReply(Message):
+    term: int = 0
+    success: bool = False
+    match_index: int = 0
+
+
+class Raft(Replica):
+    """A Raft replica.
+
+    Recognized config params:
+
+    - ``leader``: node that runs the first election immediately (avoids a
+      cold-start election race in benchmarks; default first node);
+    - ``heartbeat_interval``: leader heartbeat period (default 0.02 s);
+    - ``election_timeout``: base election timeout (default 0.15 s).
+    """
+
+    def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
+        super().__init__(deployment, node_id)
+        params = self.config.params
+        self.heartbeat_interval: float = params.get("heartbeat_interval", 0.02)
+        self.election_timeout: float = params.get("election_timeout", 0.15)
+        bootstrap_leader: NodeID = params.get("leader", self.config.node_ids[0])
+
+        self.term = 0
+        self.state = FOLLOWER
+        self.voted_for: NodeID | None = None
+        self.leader_hint: NodeID | None = bootstrap_leader
+        self.log: list[tuple[int, LogRecord]] = []  # [(index, record)], 1-based
+        self.commit_index = 0
+        self.last_applied = 0
+        self._votes: set[NodeID] = set()
+        self._next_index: dict[NodeID, int] = {}
+        self._match_index: dict[NodeID, int] = {}
+        self._request_cache: dict[tuple[Hashable, int], Any] = {}
+        self._election_handle = None
+        self._rng = deployment.cluster.streams.stream(f"raft-{node_id}")
+
+        self.register(ClientRequest, self.on_client_request)
+        self.register(RequestVote, self.on_request_vote)
+        self.register(VoteReply, self.on_vote_reply)
+        self.register(AppendEntries, self.on_append_entries)
+        self.register(AppendReply, self.on_append_reply)
+
+        if self.id == bootstrap_leader:
+            self.set_timer(0.0, self._start_election)
+        else:
+            self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Log helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def last_log_index(self) -> int:
+        return self.log[-1][0] if self.log else 0
+
+    @property
+    def last_log_term(self) -> int:
+        return self.log[-1][1][0] if self.log else 0
+
+    def _term_at(self, index: int) -> int:
+        if index == 0:
+            return 0
+        return self.log[index - 1][1][0]
+
+    # ------------------------------------------------------------------
+    # Elections
+    # ------------------------------------------------------------------
+
+    def _reset_election_timer(self) -> None:
+        if self._election_handle is not None:
+            self._election_handle.cancel()
+        delay = self.election_timeout * (1.0 + self._rng.random())
+        self._election_handle = self.set_timer(delay, self._election_expired)
+
+    def _election_expired(self) -> None:
+        if self.state != LEADER:
+            self._start_election()
+        self._reset_election_timer()
+
+    def _start_election(self) -> None:
+        self.term += 1
+        self.state = CANDIDATE
+        self.voted_for = self.id
+        self._votes = {self.id}
+        if len(self.config.node_ids) == 1:
+            self._become_leader()
+            return
+        self.broadcast(
+            RequestVote(
+                term=self.term,
+                last_log_index=self.last_log_index,
+                last_log_term=self.last_log_term,
+            )
+        )
+
+    def on_request_vote(self, src: Hashable, m: RequestVote) -> None:
+        if m.term > self.term:
+            self._step_down(m.term)
+        up_to_date = (m.last_log_term, m.last_log_index) >= (
+            self.last_log_term,
+            self.last_log_index,
+        )
+        grant = (
+            m.term == self.term
+            and self.voted_for in (None, src)
+            and up_to_date
+        )
+        if grant:
+            self.voted_for = src
+            self._reset_election_timer()
+        self.send(src, VoteReply(term=self.term, granted=grant))
+
+    def on_vote_reply(self, src: Hashable, m: VoteReply) -> None:
+        if m.term > self.term:
+            self._step_down(m.term)
+            return
+        if self.state != CANDIDATE or m.term != self.term or not m.granted:
+            return
+        self._votes.add(src)
+        if len(self._votes) >= len(self.config.node_ids) // 2 + 1:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.state = LEADER
+        self.leader_hint = self.id
+        next_index = self.last_log_index + 1
+        self._next_index = {peer: next_index for peer in self.peers}
+        self._match_index = {peer: 0 for peer in self.peers}
+        self._broadcast_heartbeat()
+        self.set_timer(self.heartbeat_interval, self._heartbeat_tick)
+
+    def _step_down(self, term: int) -> None:
+        self.term = term
+        self.state = FOLLOWER
+        self.voted_for = None
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+        key = (m.client, m.request_id)
+        if key in self._request_cache:
+            self.send(
+                m.client,
+                ClientReply(
+                    request_id=m.request_id,
+                    ok=True,
+                    value=self._request_cache[key],
+                    replied_by=self.id,
+                    leader_hint=self.leader_hint,
+                ),
+            )
+            return
+        if self.state != LEADER:
+            if self.leader_hint is not None and self.leader_hint != self.id:
+                self.send(self.leader_hint, m)
+            # else: drop; the client's retry will find the new leader
+            return
+        index = self.last_log_index + 1
+        record: LogRecord = (self.term, m.command, RequestInfo(m.client, m.request_id))
+        self.log.append((index, record))
+        self._replicate()
+
+    def _replicate(self) -> None:
+        """Send each follower everything from its nextIndex onward."""
+        groups: dict[int, list[NodeID]] = {}
+        for peer in self.peers:
+            groups.setdefault(self._next_index[peer], []).append(peer)
+        for next_index, peers in groups.items():
+            prev_index = next_index - 1
+            entries = tuple(self.log[next_index - 1 :])
+            self.multicast(
+                peers,
+                AppendEntries(
+                    term=self.term,
+                    prev_index=prev_index,
+                    prev_term=self._term_at(prev_index),
+                    entries=entries,
+                    leader_commit=self.commit_index,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def on_append_entries(self, src: Hashable, m: AppendEntries) -> None:
+        if m.term > self.term:
+            self._step_down(m.term)
+        if m.term < self.term:
+            self.send(src, AppendReply(term=self.term, success=False))
+            return
+        self.state = FOLLOWER
+        self.leader_hint = src
+        self._reset_election_timer()
+        if m.prev_index > self.last_log_index or self._term_at(m.prev_index) != m.prev_term:
+            self.send(
+                src,
+                AppendReply(term=self.term, success=False, match_index=self.commit_index),
+            )
+            return
+        for index, record in m.entries:
+            if index <= self.last_log_index and self._term_at(index) != record[0]:
+                del self.log[index - 1 :]  # conflict: truncate the suffix
+            if index > self.last_log_index:
+                self.log.append((index, record))
+        if m.leader_commit > self.commit_index:
+            self.commit_index = min(m.leader_commit, self.last_log_index)
+            self._apply()
+        # Report how far we provably match the LEADER's log — not our own
+        # length, which may include a divergent suffix from a dead leader.
+        match = m.prev_index + len(m.entries)
+        self.send(src, AppendReply(term=self.term, success=True, match_index=match))
+
+    def on_append_reply(self, src: Hashable, m: AppendReply) -> None:
+        if m.term > self.term:
+            self._step_down(m.term)
+            return
+        if self.state != LEADER or m.term != self.term:
+            return
+        if not m.success:
+            # Back the follower up (fast: jump to its reported match point).
+            self._next_index[src] = max(1, min(self._next_index[src] - 1, m.match_index + 1))
+            self._replicate_to(src)
+            return
+        self._match_index[src] = max(self._match_index[src], m.match_index)
+        self._next_index[src] = self._match_index[src] + 1
+        self._advance_commit()
+
+    def _replicate_to(self, peer: NodeID) -> None:
+        next_index = self._next_index[peer]
+        prev_index = next_index - 1
+        entries = tuple(self.log[next_index - 1 :])
+        self.send(
+            peer,
+            AppendEntries(
+                term=self.term,
+                prev_index=prev_index,
+                prev_term=self._term_at(prev_index),
+                entries=entries,
+                leader_commit=self.commit_index,
+            ),
+        )
+
+    def _advance_commit(self) -> None:
+        majority = len(self.config.node_ids) // 2 + 1
+        for index in range(self.last_log_index, self.commit_index, -1):
+            replicated = 1 + sum(1 for m in self._match_index.values() if m >= index)
+            if replicated >= majority and self._term_at(index) == self.term:
+                self.commit_index = index
+                self._apply()
+                break
+
+    def _apply(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            _index, (term, command, request) = self.log[self.last_applied - 1]
+            value = None
+            if command is not None:
+                request_key = None
+                if request is not None:
+                    request_key = (request.client, request.request_id)
+                if request_key is not None and request_key in self._request_cache:
+                    value = self._request_cache[request_key]
+                else:
+                    value = self.store.execute(command)
+                    if request_key is not None:
+                        self._request_cache[request_key] = value
+            if request is not None and self.state == LEADER and term == self.term:
+                self.send(
+                    request.client,
+                    ClientReply(
+                        request_id=request.request_id,
+                        ok=True,
+                        value=value,
+                        replied_by=self.id,
+                        leader_hint=self.id,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self.state != LEADER:
+            return
+        self._broadcast_heartbeat()
+        self.set_timer(self.heartbeat_interval, self._heartbeat_tick)
+
+    def _broadcast_heartbeat(self) -> None:
+        self.broadcast(
+            AppendEntries(
+                term=self.term,
+                prev_index=self.last_log_index,
+                prev_term=self.last_log_term,
+                entries=(),
+                leader_commit=self.commit_index,
+            )
+        )

@@ -1,0 +1,551 @@
+"""WPaxos (Ailijiang et al. 2017): multi-leader WAN Paxos (paper section 2).
+
+Every designated leader node can *own* objects and run phase-2 on them
+independently; ownership moves between leaders by running phase-1 **per
+object** over the WAN (object stealing), so no external master is needed.
+Quorums are flexible grids over the ``zones x nodes_per_zone`` deployment:
+
+- phase-1 (stealing): ``R - f`` acks in each of ``Z - fz`` zones,
+- phase-2 (replication): ``f + 1`` acks in each of ``fz + 1`` zones,
+
+so with ``fz = 0`` commands commit entirely inside the owner's zone, and
+with ``fz = 1`` they additionally reach the nearest other zone (tolerating
+a full region failure).
+
+Per the paper's evaluation setup, only one node per zone acts as a leader
+(matching WanKeeper's deployment), commands are replicated to **all** nodes
+(full replication), and ownership moves under the "simple three-consecutive
+access policy": a leader steals an object after serving three consecutive
+non-owned requests for it, otherwise it forwards to the current owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import ConfigError
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import Replica
+from repro.paxi.quorum import GridQuorum, Quorum
+from repro.protocols.ballot import Ballot, ZERO
+from repro.protocols.log import RequestInfo
+
+# (slot, ballot, command, request, committed)
+EntrySnapshot = tuple[int, Ballot, Command | None, RequestInfo | None, bool]
+
+
+@dataclass(frozen=True)
+class WP1a(Message):
+    """Per-object phase-1: steal ownership of ``key`` with ``ballot``."""
+
+    key: Hashable = None
+    ballot: Ballot = ZERO
+    commit_upto: int = 0
+
+
+@dataclass(frozen=True)
+class WP1b(Message):
+    SIZE_BYTES = 300
+
+    key: Hashable = None
+    ballot: Ballot = ZERO
+    ok: bool = True
+    entries: tuple[EntrySnapshot, ...] = ()
+    next_slot: int = 1
+
+
+@dataclass(frozen=True)
+class WP2a(Message):
+    key: Hashable = None
+    ballot: Ballot = ZERO
+    slot: int = 0
+    command: Command | None = None
+    request: RequestInfo | None = None
+    commit_upto: int = 0
+
+
+@dataclass(frozen=True)
+class WP2b(Message):
+    key: Hashable = None
+    ballot: Ballot = ZERO
+    slot: int = 0
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class WFlush(Message):
+    """Batched per-object commit watermarks (piggybacked commit phase)."""
+
+    SIZE_BYTES = 200
+
+    watermarks: tuple[tuple[Hashable, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class WFillRequest(Message):
+    key: Hashable = None
+    slots: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class WFillReply(Message):
+    SIZE_BYTES = 300
+
+    key: Hashable = None
+    entries: tuple[EntrySnapshot, ...] = ()
+
+
+@dataclass
+class _Slot:
+    ballot: Ballot
+    command: Command | None
+    request: RequestInfo | None = None
+    quorum: Quorum | None = None
+    committed: bool = False
+    executed: bool = False
+
+
+@dataclass
+class _ObjectState:
+    """Everything one replica knows about one object."""
+
+    ballot: Ballot = ZERO  # highest promised ballot for this object
+    owner: NodeID | None = None
+    active: bool = False  # this node currently owns the object
+    slots: dict[int, _Slot] = field(default_factory=dict)
+    next_slot: int = 1
+    execute_index: int = 1
+    p1_quorum: Quorum | None = None
+    p1_entries: dict[int, EntrySnapshot] = field(default_factory=dict)
+    pending: list[ClientRequest] = field(default_factory=list)
+    steal_streak: int = 0
+    forwarded: set = field(default_factory=set)  # (client, request_id) we forwarded
+    # Flush countdown: re-broadcast the watermark for a few intervals so a
+    # single lost WFlush cannot strand a follower (decremented per tick).
+    dirty_watermark: int = 0
+    fill_outstanding: bool = False
+
+    def commit_upto(self) -> int:
+        upto = self.execute_index - 1
+        while upto + 1 in self.slots and self.slots[upto + 1].committed:
+            upto += 1
+        return upto
+
+
+class WPaxos(Replica):
+    """A WPaxos replica.
+
+    Recognized config params:
+
+    - ``fz``: zone fault tolerance (default 0);
+    - ``f``: per-zone fault tolerance (default ``(R-1)//2``);
+    - ``steal_threshold``: consecutive non-owned accesses before stealing
+      (default 3; 1 = steal immediately);
+    - ``leaders_per_zone``: nodes per zone allowed to lead (default 1);
+    - ``flush_interval``: watermark broadcast period (default 0.02 s).
+    """
+
+    def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
+        super().__init__(deployment, node_id)
+        zones = len(self.config.zones)
+        per_zone = self.config.n // zones
+        if zones * per_zone != self.config.n:
+            raise ConfigError("WPaxos needs a rectangular zone grid")
+        self.fz: int = self.config.param("fz", 0)
+        self.f: int = self.config.param("f", (per_zone - 1) // 2)
+        self.steal_threshold: int = self.config.param("steal_threshold", 3)
+        self.leaders_per_zone: int = self.config.param("leaders_per_zone", 1)
+        self.flush_interval: float = self.config.param("flush_interval", 0.02)
+        self.retransmit_timeout: float = self.config.param("retransmit_timeout", 0.3)
+        self.objects: dict[Hashable, _ObjectState] = {}
+        self._pending_slots: dict[tuple[Hashable, int], float] = {}
+        self._request_cache: dict[tuple[Hashable, int], Any] = {}
+
+        self.register(ClientRequest, self.on_client_request)
+        self.register(WP1a, self.on_p1a)
+        self.register(WP1b, self.on_p1b)
+        self.register(WP2a, self.on_p2a)
+        self.register(WP2b, self.on_p2b)
+        self.register(WFlush, self.on_flush)
+        self.register(WFillRequest, self.on_fill_request)
+        self.register(WFillReply, self.on_fill_reply)
+
+        if self.is_leader_node:
+            self.set_timer(self.flush_interval, self._flush_tick)
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leader_node(self) -> bool:
+        """Per the paper's setup, only the first ``leaders_per_zone`` nodes
+        of each zone act as leaders."""
+        return self.id.node <= self.leaders_per_zone
+
+    @property
+    def zone_leader(self) -> NodeID:
+        return NodeID(self.id.zone, 1)
+
+    def _object(self, key: Hashable) -> _ObjectState:
+        state = self.objects.get(key)
+        if state is None:
+            state = _ObjectState()
+            self.objects[key] = state
+        return state
+
+    def _phase1_quorum(self) -> Quorum:
+        return GridQuorum(self.config.node_ids, phase=1, f=self.f, fz=self.fz)
+
+    def _phase2_quorum(self) -> Quorum:
+        return GridQuorum(self.config.node_ids, phase=2, f=self.f, fz=self.fz)
+
+    # ------------------------------------------------------------------
+    # Client requests: own, steal, or forward
+    # ------------------------------------------------------------------
+
+    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+        cache_key = (m.client, m.request_id)
+        if cache_key in self._request_cache:
+            self.send(
+                m.client,
+                ClientReply(
+                    request_id=m.request_id,
+                    ok=True,
+                    value=self._request_cache[cache_key],
+                    replied_by=self.id,
+                ),
+            )
+            return
+        if not self.is_leader_node:
+            self.send(self.zone_leader, m)
+            return
+        state = self._object(m.command.key)
+        if state.active:
+            self._propose(m.command.key, state, m.command, RequestInfo(m.client, m.request_id))
+            return
+        if state.p1_quorum is not None:
+            state.pending.append(m)  # steal already in flight
+            return
+        if state.owner is None:
+            self._start_steal(m.command.key, state, m)
+            return
+        state.steal_streak += 1
+        if state.steal_streak >= self.steal_threshold:
+            self._start_steal(m.command.key, state, m)
+        else:
+            state.forwarded.add((m.client, m.request_id))
+            self.send(state.owner, m)
+
+    # ------------------------------------------------------------------
+    # Phase 1: object stealing
+    # ------------------------------------------------------------------
+
+    def _start_steal(self, key: Hashable, state: _ObjectState, request: ClientRequest) -> None:
+        state.steal_streak = 0
+        state.pending.append(request)
+        ballot = Ballot(state.ballot.counter + 1, self.id)
+        state.ballot = ballot
+        state.owner = self.id
+        state.p1_quorum = self._phase1_quorum()
+        state.p1_quorum.ack(self.id)
+        state.p1_entries = {}
+        self._merge_snapshots(state, self._own_snapshots(state))
+        self.broadcast(WP1a(key=key, ballot=ballot, commit_upto=state.commit_upto()))
+        if state.p1_quorum.satisfied():
+            self._acquire(key, state)
+
+    def _own_snapshots(self, state: _ObjectState) -> tuple[EntrySnapshot, ...]:
+        return tuple(
+            (slot, s.ballot, s.command, s.request, s.committed)
+            for slot, s in sorted(state.slots.items())
+        )
+
+    def _merge_snapshots(self, state: _ObjectState, snapshots: tuple[EntrySnapshot, ...]) -> None:
+        for slot, ballot, command, request, committed in snapshots:
+            current = state.p1_entries.get(slot)
+            if current is not None and current[4]:
+                continue
+            if committed or current is None or ballot > current[1]:
+                state.p1_entries[slot] = (slot, ballot, command, request, committed)
+
+    def _abandon_candidacy(self, state: _ObjectState) -> None:
+        """A higher ballot beat our in-flight steal: drop the candidacy and
+        re-route everything we had buffered to the winner."""
+        if state.p1_quorum is None or state.ballot.owner == self.id:
+            return
+        state.p1_quorum = None
+        state.p1_entries = {}
+        pending, state.pending = state.pending, []
+        for request in pending:
+            self.send(state.owner, request)
+
+    def on_p1a(self, src: Hashable, m: WP1a) -> None:
+        state = self._object(m.key)
+        if m.ballot > state.ballot:
+            state.ballot = m.ballot
+            state.owner = m.ballot.owner
+            if state.active:
+                state.active = False  # ownership stolen away
+            self._abandon_candidacy(state)
+            suffix = tuple(
+                (slot, s.ballot, s.command, s.request, s.committed)
+                for slot, s in sorted(state.slots.items())
+                if slot > m.commit_upto
+            )
+            self.send(
+                src,
+                WP1b(key=m.key, ballot=m.ballot, ok=True, entries=suffix, next_slot=state.next_slot),
+            )
+        else:
+            self.send(src, WP1b(key=m.key, ballot=state.ballot, ok=False))
+
+    def on_p1b(self, src: Hashable, m: WP1b) -> None:
+        state = self._object(m.key)
+        if not m.ok:
+            if m.ballot > state.ballot:
+                state.ballot = m.ballot
+                state.owner = m.ballot.owner
+            self._abandon_candidacy(state)
+            return
+        if state.p1_quorum is None or m.ballot != state.ballot or state.active:
+            return
+        self._merge_snapshots(state, m.entries)
+        state.next_slot = max(state.next_slot, m.next_slot)
+        state.p1_quorum.ack(src)
+        if state.p1_quorum.satisfied():
+            self._acquire(m.key, state)
+
+    def _acquire(self, key: Hashable, state: _ObjectState) -> None:
+        state.active = True
+        state.owner = self.id
+        state.p1_quorum = None
+        max_slot = max(state.p1_entries, default=0)
+        max_slot = max(max_slot, state.next_slot - 1)
+        for slot in range(1, max_slot + 1):
+            local = state.slots.get(slot)
+            if local is not None and local.committed:
+                continue
+            learned = state.p1_entries.get(slot)
+            if learned is not None and learned[4]:
+                state.slots[slot] = _Slot(learned[1], learned[2], learned[3], committed=True)
+                continue
+            command = learned[2] if learned is not None else None
+            request = learned[3] if learned is not None else None
+            self._propose_at(key, state, slot, command, request)
+        state.next_slot = max(state.next_slot, max_slot + 1)
+        state.p1_entries = {}
+        self._advance_execution(key, state)
+        pending, state.pending = state.pending, []
+        for request in pending:
+            self.on_client_request(request.client, request)
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+
+    def _propose(
+        self,
+        key: Hashable,
+        state: _ObjectState,
+        command: Command | None,
+        request: RequestInfo | None,
+    ) -> None:
+        slot = state.next_slot
+        state.next_slot += 1
+        self._propose_at(key, state, slot, command, request)
+
+    def _propose_at(
+        self,
+        key: Hashable,
+        state: _ObjectState,
+        slot: int,
+        command: Command | None,
+        request: RequestInfo | None,
+    ) -> None:
+        quorum = self._phase2_quorum()
+        quorum.ack(self.id)
+        state.slots[slot] = _Slot(state.ballot, command, request, quorum)
+        state.next_slot = max(state.next_slot, slot + 1)
+        self._pending_slots[(key, slot)] = self.now
+        self.broadcast(
+            WP2a(
+                key=key,
+                ballot=state.ballot,
+                slot=slot,
+                command=command,
+                request=request,
+                commit_upto=state.commit_upto(),
+            )
+        )
+        if quorum.satisfied():
+            self._commit_slot(key, state, slot)
+
+    def on_p2a(self, src: Hashable, m: WP2a) -> None:
+        state = self._object(m.key)
+        if m.ballot >= state.ballot:
+            state.ballot = m.ballot
+            state.owner = m.ballot.owner
+            if state.active and m.ballot.owner != self.id:
+                state.active = False
+            if m.ballot.owner != self.id:
+                self._abandon_candidacy(state)
+            existing = state.slots.get(m.slot)
+            if existing is None or (not existing.committed and existing.ballot <= m.ballot):
+                state.slots[m.slot] = _Slot(m.ballot, m.command, m.request)
+            state.next_slot = max(state.next_slot, m.slot + 1)
+            if self.is_leader_node and m.ballot.owner != self.id:
+                # A command we forwarded ourselves still counts toward our
+                # streak; anyone else's access breaks the "consecutive" run.
+                request_key = (
+                    (m.request.client, m.request.request_id)
+                    if m.request is not None
+                    else None
+                )
+                if request_key is not None and request_key in state.forwarded:
+                    state.forwarded.discard(request_key)
+                else:
+                    state.steal_streak = 0
+            self.send(src, WP2b(key=m.key, ballot=m.ballot, slot=m.slot, ok=True))
+            self._apply_watermark(m.key, state, m.commit_upto, src)
+        else:
+            self.send(src, WP2b(key=m.key, ballot=state.ballot, slot=m.slot, ok=False))
+
+    def on_p2b(self, src: Hashable, m: WP2b) -> None:
+        state = self._object(m.key)
+        if not m.ok:
+            if m.ballot > state.ballot:
+                state.ballot = m.ballot
+                state.owner = m.ballot.owner
+                state.active = False
+            return
+        if not state.active or m.ballot != state.ballot:
+            return
+        slot = state.slots.get(m.slot)
+        if slot is None or slot.quorum is None or slot.committed:
+            return
+        slot.quorum.ack(src)
+        if slot.quorum.satisfied():
+            self._commit_slot(m.key, state, m.slot)
+
+    def _commit_slot(self, key: Hashable, state: _ObjectState, slot: int) -> None:
+        state.slots[slot].committed = True
+        self._pending_slots.pop((key, slot), None)
+        state.dirty_watermark = 3
+        self._advance_execution(key, state)
+
+    # ------------------------------------------------------------------
+    # Commit watermarks, gap filling, execution
+    # ------------------------------------------------------------------
+
+    def _flush_tick(self) -> None:
+        dirty: list[tuple[Hashable, int]] = []
+        for key, state in self.objects.items():
+            if state.active and state.dirty_watermark > 0:
+                dirty.append((key, state.commit_upto()))
+                state.dirty_watermark -= 1
+        if dirty:
+            self.broadcast(WFlush(watermarks=tuple(dirty)))
+        self._retransmit_pending()
+        self.set_timer(self.flush_interval, self._flush_tick)
+
+    def _retransmit_pending(self) -> None:
+        """Re-send accepts lost to drops/partitions (liveness only: in
+        normal operation slots commit well inside the grace period)."""
+        now = self.now
+        for (key, slot), sent_at in list(self._pending_slots.items()):
+            if now - sent_at < self.retransmit_timeout:
+                continue
+            state = self.objects.get(key)
+            entry = state.slots.get(slot) if state is not None else None
+            if (
+                state is None
+                or entry is None
+                or entry.committed
+                or entry.quorum is None
+                or not state.active
+                or entry.ballot != state.ballot
+            ):
+                self._pending_slots.pop((key, slot), None)
+                continue
+            self._pending_slots[(key, slot)] = now
+            behind = [p for p in self.peers if p not in entry.quorum.acks]
+            if behind:
+                self.multicast(
+                    behind,
+                    WP2a(
+                        key=key,
+                        ballot=state.ballot,
+                        slot=slot,
+                        command=entry.command,
+                        request=entry.request,
+                        commit_upto=state.commit_upto(),
+                    ),
+                )
+
+    def on_flush(self, src: Hashable, m: WFlush) -> None:
+        for key, upto in m.watermarks:
+            state = self._object(key)
+            self._apply_watermark(key, state, upto, src)
+
+    def _apply_watermark(self, key: Hashable, state: _ObjectState, upto: int, origin: Hashable) -> None:
+        for slot in range(state.execute_index, upto + 1):
+            entry = state.slots.get(slot)
+            if entry is not None:
+                entry.committed = True
+        missing = [s for s in range(1, upto + 1) if s not in state.slots]
+        if missing and not state.fill_outstanding:
+            state.fill_outstanding = True
+            self.send(origin, WFillRequest(key=key, slots=tuple(missing[:64])))
+        self._advance_execution(key, state)
+
+    def on_fill_request(self, src: Hashable, m: WFillRequest) -> None:
+        state = self._object(m.key)
+        entries = tuple(
+            (slot, s.ballot, s.command, s.request, s.committed)
+            for slot in m.slots
+            if (s := state.slots.get(slot)) is not None
+        )
+        self.send(src, WFillReply(key=m.key, entries=entries))
+
+    def on_fill_reply(self, src: Hashable, m: WFillReply) -> None:
+        state = self._object(m.key)
+        state.fill_outstanding = False
+        for slot, ballot, command, request, committed in m.entries:
+            if committed and slot not in state.slots:
+                state.slots[slot] = _Slot(ballot, command, request, committed=True)
+            elif committed:
+                state.slots[slot].committed = True
+        self._advance_execution(m.key, state)
+
+    def _advance_execution(self, key: Hashable, state: _ObjectState) -> None:
+        while True:
+            entry = state.slots.get(state.execute_index)
+            if entry is None or not entry.committed or entry.executed:
+                break
+            value = None
+            if entry.command is not None:
+                request_key = None
+                if entry.request is not None:
+                    request_key = (entry.request.client, entry.request.request_id)
+                if request_key is not None and request_key in self._request_cache:
+                    value = self._request_cache[request_key]
+                else:
+                    value = self.store.execute(entry.command)
+                    if request_key is not None:
+                        self._request_cache[request_key] = value
+            entry.executed = True
+            state.execute_index += 1
+            if entry.request is not None and entry.ballot.owner == self.id and state.active:
+                self.send(
+                    entry.request.client,
+                    ClientReply(
+                        request_id=entry.request.request_id,
+                        ok=True,
+                        value=value,
+                        replied_by=self.id,
+                    ),
+                )

@@ -1,0 +1,135 @@
+"""Virtual clock and event loop.
+
+The entire empirical prong of the reproduction runs on virtual time: one
+:class:`EventLoop` per simulation, a heap of pending events, and a
+monotonically advancing clock.  All times are in **seconds** of virtual time.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(a per-loop sequence number breaks ties), so a fixed seed yields a bit-for-bit
+identical run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+# Sentinel used to mark cancelled events without rebuilding the heap.
+_CANCELLED = object()
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is a no-op."""
+        self._entry[-1] = _CANCELLED
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[-1] is _CANCELLED
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event is (or was) due to fire."""
+        return self._entry[0]
+
+
+class EventLoop:
+    """A discrete-event scheduler over virtual time.
+
+    Usage::
+
+        loop = EventLoop()
+        loop.call_at(1.5, handler, arg)
+        loop.call_after(0.25, handler2)
+        loop.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[list] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_fired
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at virtual time ``when``.
+
+        ``when`` must not be in the past; scheduling at exactly ``now`` is
+        allowed and fires in FIFO order relative to other events at ``now``.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.9f} before now={self._now:.9f}"
+            )
+        entry = [when, next(self._seq), args, fn]
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def stop(self) -> None:
+        """Request the current ``run``/``run_until`` call to return."""
+        self._stopped = True
+
+    def run_until(self, deadline: float) -> None:
+        """Execute events in time order until ``deadline`` (inclusive).
+
+        The clock is left at ``deadline`` even if the heap drains earlier, so
+        repeated calls advance time monotonically.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            when = self._heap[0][0]
+            if when > deadline:
+                break
+            when, _seq, args, fn = heapq.heappop(self._heap)
+            if fn is _CANCELLED:
+                continue
+            self._now = when
+            self._events_fired += 1
+            fn(*args)
+        if not self._stopped and self._now < deadline:
+            self._now = deadline
+
+    def run(self, max_events: int | None = None) -> None:
+        """Execute events until the heap is empty (or ``max_events`` fire)."""
+        self._stopped = False
+        fired = 0
+        while self._heap and not self._stopped:
+            if max_events is not None and fired >= max_events:
+                return
+            when, _seq, args, fn = heapq.heappop(self._heap)
+            if fn is _CANCELLED:
+                continue
+            self._now = when
+            self._events_fired += 1
+            fired += 1
+            fn(*args)
+
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._heap)

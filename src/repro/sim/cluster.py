@@ -1,0 +1,142 @@
+"""Cluster assembly: one event loop, one network, many servers.
+
+A :class:`Cluster` is the simulated counterpart of an EC2 deployment: it
+owns the virtual clock, the seeded random streams, the network (with its
+fault plan), and a :class:`~repro.sim.server.Server` per machine.  The Paxi
+layer (:mod:`repro.paxi`) builds replicas and clients on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.core.topology import Topology
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+from repro.sim.network import FaultPlan, Network
+from repro.sim.random import RandomStreams
+from repro.sim.server import Server, ServiceProfile
+
+
+class Cluster:
+    """A simulated deployment: clock + network + per-machine servers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 0,
+        profile: ServiceProfile | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.topology = topology
+        self.loop = EventLoop()
+        self.streams = RandomStreams(seed)
+        self.faults = faults if faults is not None else FaultPlan()
+        self.network = Network(self.loop, topology, self.streams, self.faults)
+        self.default_profile = profile if profile is not None else ServiceProfile()
+        self._servers: dict[Hashable, Server] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+
+    def add_server(
+        self,
+        address: Hashable,
+        site: str,
+        on_receive: Callable[[Hashable, Any, int], None],
+        profile: ServiceProfile | None = None,
+    ) -> Server:
+        """Create a machine at ``site`` and hook it into the network.
+
+        ``on_receive(src, message, size)`` fires when a message arrives at
+        the machine's NIC; charging the processing cost to the machine's
+        queue is the caller's job (the Paxi node runtime does this).
+        """
+        if address in self._servers:
+            raise SimulationError(f"server {address!r} already exists")
+        server = Server(self.loop, name=str(address))
+        self._servers[address] = server
+        self.network.register(address, site, on_receive)
+        return server
+
+    def add_lightweight_endpoint(
+        self,
+        address: Hashable,
+        site: str,
+        on_receive: Callable[[Hashable, Any, int], None],
+    ) -> None:
+        """Register an endpoint with no processing queue (used by clients).
+
+        The paper's benchmark clients are load generators, not modeled
+        machines, so their processing cost is negligible by construction.
+        """
+        self.network.register(address, site, on_receive)
+
+    def server(self, address: Hashable) -> Server:
+        try:
+            return self._servers[address]
+        except KeyError:
+            raise SimulationError(f"no server at address {address!r}") from None
+
+    @property
+    def servers(self) -> dict[Hashable, Server]:
+        return dict(self._servers)
+
+    # ------------------------------------------------------------------
+    # Fault injection (the paper's client-library commands, section 4.2)
+    # ------------------------------------------------------------------
+
+    def crash(self, address: Hashable, duration: float, at: float | None = None) -> None:
+        """Freeze the machine at ``address`` for ``duration`` seconds."""
+        when = self.loop.now if at is None else at
+        self.loop.call_at(when, self.server(address).freeze, duration)
+
+    def drop(self, src: Hashable, dst: Hashable, duration: float, at: float | None = None) -> None:
+        start = self.loop.now if at is None else at
+        self.faults.drop(src, dst, start, duration)
+
+    def slow(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        duration: float,
+        at: float | None = None,
+        extra_delay_mean: float = 0.05,
+        extra_delay_sigma: float = 0.01,
+    ) -> None:
+        start = self.loop.now if at is None else at
+        self.faults.slow(src, dst, start, duration, extra_delay_mean, extra_delay_sigma)
+
+    def flaky(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        duration: float,
+        probability: float = 0.5,
+        at: float | None = None,
+    ) -> None:
+        start = self.loop.now if at is None else at
+        self.faults.flaky(src, dst, start, duration, probability)
+
+    def partition(self, groups: list[set], duration: float, at: float | None = None) -> None:
+        start = self.loop.now if at is None else at
+        self.faults.partition(groups, start, duration)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def run_for(self, seconds: float) -> None:
+        self.loop.run_until(self.loop.now + seconds)
+
+    def run_until(self, deadline: float) -> None:
+        self.loop.run_until(deadline)
+
+    def drain(self, max_events: int | None = None) -> None:
+        """Run until no events remain (useful in small tests)."""
+        self.loop.run(max_events)

@@ -1,0 +1,200 @@
+"""Simulated network: latency sampling and fault injection.
+
+One :class:`Network` instance carries every message in a simulation.  Each
+endpoint (replica or client) registers an address, a site, and a delivery
+callback.  Transit delay between two endpoints is sampled from the one-way
+version of the topology's site-pair RTT distribution, so intra-site traffic
+follows the paper's Figure-3 normal distribution and WAN traffic follows the
+AWS inter-region matrix.
+
+Fault injection implements the paper's four client-library commands
+(section 4.2, "Availability"):
+
+- ``Crash(node, t)`` — handled by :meth:`repro.sim.server.Server.freeze`,
+- ``Drop(i, j, t)`` — drop every message from ``i`` to ``j``,
+- ``Slow(i, j, t)`` — delay messages by a random extra amount,
+- ``Flaky(i, j, t)`` — drop messages with some probability,
+
+plus network partitions, which the paper lists as a hard-to-produce failure
+that a simulated transport makes trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.core.topology import Topology
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+from repro.sim.random import RandomStreams, truncated_normal
+
+Address = Hashable
+
+
+@dataclass
+class _FaultRule:
+    """One active fault: a predicate plus an effect on matching messages."""
+
+    kind: str  # "drop" | "flaky" | "slow" | "partition"
+    src: Address | None
+    dst: Address | None
+    start: float
+    end: float
+    probability: float = 1.0
+    extra_delay_mean: float = 0.0
+    extra_delay_sigma: float = 0.0
+    groups: tuple[frozenset, ...] = ()
+
+    def matches(self, now: float, src: Address, dst: Address) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.kind == "partition":
+            src_group = next((g for g in self.groups if src in g), None)
+            dst_group = next((g for g in self.groups if dst in g), None)
+            return src_group is not None and dst_group is not None and src_group is not dst_group
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A schedule of network faults, evaluated per message."""
+
+    def __init__(self) -> None:
+        self._rules: list[_FaultRule] = []
+
+    def drop(self, src: Address | None, dst: Address | None, start: float, duration: float) -> None:
+        """Drop every message from ``src`` to ``dst`` during the window."""
+        self._rules.append(_FaultRule("drop", src, dst, start, start + duration))
+
+    def flaky(
+        self,
+        src: Address | None,
+        dst: Address | None,
+        start: float,
+        duration: float,
+        probability: float = 0.5,
+    ) -> None:
+        """Drop messages with ``probability`` during the window."""
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"flaky probability {probability!r} outside [0, 1]")
+        self._rules.append(
+            _FaultRule("flaky", src, dst, start, start + duration, probability=probability)
+        )
+
+    def slow(
+        self,
+        src: Address | None,
+        dst: Address | None,
+        start: float,
+        duration: float,
+        extra_delay_mean: float = 0.05,
+        extra_delay_sigma: float = 0.01,
+    ) -> None:
+        """Add a random extra delay to messages during the window."""
+        self._rules.append(
+            _FaultRule(
+                "slow",
+                src,
+                dst,
+                start,
+                start + duration,
+                extra_delay_mean=extra_delay_mean,
+                extra_delay_sigma=extra_delay_sigma,
+            )
+        )
+
+    def partition(self, groups: list[set], start: float, duration: float) -> None:
+        """Disconnect the given endpoint groups from each other."""
+        frozen = tuple(frozenset(g) for g in groups)
+        self._rules.append(
+            _FaultRule("partition", None, None, start, start + duration, groups=frozen)
+        )
+
+    def active_rules(self, now: float, src: Address, dst: Address) -> list[_FaultRule]:
+        return [rule for rule in self._rules if rule.matches(now, src, dst)]
+
+
+@dataclass
+class NetworkStats:
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_link: dict = field(default_factory=dict)
+
+
+class Network:
+    """Delivers messages between registered endpoints with sampled delays."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        streams: RandomStreams,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self._loop = loop
+        self._topology = topology
+        self._rng = streams.stream("network")
+        self.faults = faults if faults is not None else FaultPlan()
+        self._sites: dict[Address, str] = {}
+        self._receivers: dict[Address, Callable[[Address, Any, int], None]] = {}
+        self.stats = NetworkStats()
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def register(
+        self,
+        address: Address,
+        site: str,
+        on_receive: Callable[[Address, Any, int], None],
+    ) -> None:
+        """Attach an endpoint.  ``on_receive(src, message, size)`` fires on
+        delivery (the receiver is responsible for charging its own queue)."""
+        if site not in self._topology.sites:
+            raise SimulationError(f"site {site!r} not in topology {self._topology.sites!r}")
+        if address in self._receivers:
+            raise SimulationError(f"address {address!r} already registered")
+        self._sites[address] = site
+        self._receivers[address] = on_receive
+
+    def site_of(self, address: Address) -> str:
+        return self._sites[address]
+
+    def one_way_delay(self, src: Address, dst: Address) -> float:
+        """Sample a one-way transit delay in **seconds**."""
+        dist = self._topology.site_rtt(self._sites[src], self._sites[dst]).one_way()
+        delay_ms = truncated_normal(self._rng, dist.mean_ms, dist.sigma_ms, floor=0.0)
+        return delay_ms / 1e3
+
+    def transit(self, src: Address, dst: Address, message: Any, size_bytes: int) -> None:
+        """Carry ``message`` from ``src`` to ``dst``, applying faults."""
+        if dst not in self._receivers:
+            raise SimulationError(f"unknown destination {dst!r}")
+        now = self._loop.now
+        delay = self.one_way_delay(src, dst)
+        for rule in self.faults.active_rules(now, src, dst):
+            if rule.kind in ("drop", "partition"):
+                self.stats.messages_dropped += 1
+                return
+            if rule.kind == "flaky":
+                if self._rng.random() < rule.probability:
+                    self.stats.messages_dropped += 1
+                    return
+            elif rule.kind == "slow":
+                delay += abs(
+                    truncated_normal(
+                        self._rng, rule.extra_delay_mean, rule.extra_delay_sigma, floor=0.0
+                    )
+                )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        link = (self._sites[src], self._sites[dst])
+        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        receiver = self._receivers[dst]
+        self._loop.call_after(delay, receiver, src, message, size_bytes)

@@ -1,0 +1,59 @@
+"""Seeded random-number streams.
+
+Each simulation component (network pair latencies, workload generation,
+service-time jitter, ...) draws from its own named stream so that adding a
+new consumer of randomness does not perturb the draws seen by existing ones.
+Streams are derived deterministically from a single root seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RandomStreams:
+    """A family of independent ``random.Random`` streams under one seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The per-stream seed mixes the root seed with a CRC of the name, so
+        distinct names yield (practically) independent streams and the same
+        (seed, name) pair always yields the same sequence.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            substream_seed = (self._seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+            rng = random.Random(substream_seed)
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child family of streams (e.g. one per cluster)."""
+        child_seed = (self._seed << 16) ^ zlib.crc32(name.encode("utf-8"))
+        return RandomStreams(child_seed)
+
+
+def truncated_normal(rng: random.Random, mu: float, sigma: float, floor: float = 0.0) -> float:
+    """Sample Normal(mu, sigma) truncated below at ``floor`` by resampling.
+
+    Network delays are modeled as normal per the paper (Figure 3) but can
+    never be negative; resampling preserves the shape near the mean far
+    better than clamping when ``mu`` is several sigmas above ``floor``.
+    """
+    for _ in range(64):
+        value = rng.gauss(mu, sigma)
+        if value > floor:
+            return value
+    # Pathological parameters (mu far below floor): fall back to the floor
+    # plus a small positive offset so the simulation can proceed.
+    return floor + abs(sigma) * 1e-3

@@ -1,0 +1,146 @@
+"""Simulated machine: a single CPU+NIC processing queue.
+
+The paper's model (section 3.2) treats each node as *one* FIFO queue through
+which every incoming and outgoing message passes, combining CPU and NIC into
+a single server.  This module implements exactly that abstraction for the
+empirical prong, which is what makes the simulator and the analytic model
+directly comparable.
+
+Costs are charged per message:
+
+- an incoming message costs ``t_in`` of CPU plus ``size/bandwidth`` of NIC,
+- an outgoing unicast costs ``t_out`` plus ``size/bandwidth``,
+- an outgoing broadcast costs ``t_out`` **once** (the CPU serializes the
+  message a single time, as the paper notes) plus one NIC transmission per
+  destination.
+
+Fault injection: ``freeze(duration)`` models the paper's ``Crash(t)`` client
+command — the node stops draining its queue for ``duration`` seconds; queued
+work is not lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Per-node processing costs (all in seconds / bytes-per-second).
+
+    Defaults are calibrated so that a 9-node single-leader Paxos saturates
+    around 8,000 rounds/s, the figure the paper reports for m5.large
+    instances (Figure 7): ``ts = 2*t_out + N*t_in + 2*N*size/bandwidth``
+    = 2*10us + 9*10us + 18*0.8us = 124.4 us -> ~8,040 rounds/s.
+    """
+
+    t_in: float = 10e-6
+    t_out: float = 10e-6
+    bandwidth_bps: float = 1e9 / 8.0  # 1 Gb/s expressed in bytes per second
+    default_message_bytes: int = 100
+
+    def nic_seconds(self, size_bytes: int) -> float:
+        """Time to push ``size_bytes`` through the NIC."""
+        return size_bytes / self.bandwidth_bps
+
+    def incoming_cost(self, size_bytes: int, weight: float = 1.0) -> float:
+        """Queue occupancy for one received message."""
+        return self.t_in * weight + self.nic_seconds(size_bytes)
+
+    def outgoing_cost(self, size_bytes: int, copies: int = 1, weight: float = 1.0) -> float:
+        """Queue occupancy for sending one message to ``copies`` peers.
+
+        Serialization (``t_out``) is paid once; NIC transmission is paid per
+        copy, matching the paper's broadcast accounting.
+        """
+        if copies < 1:
+            raise SimulationError(f"outgoing message needs >=1 copy, got {copies}")
+        return self.t_out * weight + copies * self.nic_seconds(size_bytes)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate occupancy statistics for one server."""
+
+    jobs_completed: int = 0
+    busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    max_queue_length: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the server spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / elapsed)
+
+    def mean_wait(self) -> float:
+        """Average queueing delay (seconds) across completed jobs."""
+        if self.jobs_completed == 0:
+            return 0.0
+        return self.wait_seconds / self.jobs_completed
+
+
+class Server:
+    """A FIFO single-server work queue on virtual time.
+
+    ``submit(cost, fn, *args)`` enqueues a job that will occupy the server
+    for ``cost`` seconds once it reaches the head of the queue, then invoke
+    ``fn(*args)``.
+    """
+
+    def __init__(self, loop: EventLoop, name: str = "server") -> None:
+        self._loop = loop
+        self.name = name
+        self._queue: deque[tuple[float, float, Callable[..., Any], tuple]] = deque()
+        self._busy = False
+        self._frozen_until = 0.0
+        self.stats = ServerStats()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    @property
+    def frozen(self) -> bool:
+        return self._loop.now < self._frozen_until
+
+    def submit(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Enqueue a job costing ``cost`` seconds, completing with ``fn``."""
+        if cost < 0:
+            raise SimulationError(f"negative job cost {cost!r}")
+        self._queue.append((self._loop.now, cost, fn, args))
+        self.stats.max_queue_length = max(self.stats.max_queue_length, self.queue_length)
+        self._maybe_start()
+
+    def freeze(self, duration: float) -> None:
+        """Stop draining the queue for ``duration`` seconds (Crash(t))."""
+        if duration < 0:
+            raise SimulationError(f"negative freeze duration {duration!r}")
+        self._frozen_until = max(self._frozen_until, self._loop.now + duration)
+        if not self._busy:
+            # Re-check the queue once the freeze lifts.
+            self._loop.call_at(self._frozen_until, self._maybe_start)
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        if self.frozen:
+            self._loop.call_at(self._frozen_until, self._maybe_start)
+            return
+        enqueued_at, cost, fn, args = self._queue.popleft()
+        self._busy = True
+        now = self._loop.now
+        self.stats.wait_seconds += now - enqueued_at
+        self._loop.call_after(cost, self._complete, cost, fn, args)
+
+    def _complete(self, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+        self._busy = False
+        self.stats.jobs_completed += 1
+        self.stats.busy_seconds += cost
+        fn(*args)
+        self._maybe_start()

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.benchmarker import BenchmarkResult, ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.checkers.consensus import check_deployment
+from repro.checkers.linearizability import check_history
+
+
+def run_protocol(
+    factory,
+    config: Config,
+    spec: WorkloadSpec | dict | None = None,
+    concurrency: int = 4,
+    duration: float = 0.2,
+    warmup: float = 0.02,
+    settle: float = 0.05,
+    sites: list[str] | None = None,
+) -> tuple[Deployment, BenchmarkResult]:
+    """Start a deployment, drive a short workload, return both."""
+    if spec is None:
+        spec = WorkloadSpec(keys=50)
+    deployment = Deployment(config).start(factory)
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency, sites)
+    result = bench.run(duration, warmup, settle)
+    return deployment, result
+
+
+def assert_correct(deployment: Deployment) -> None:
+    """Both paper checkers must pass on the deployment's history."""
+    linearizable = check_history(deployment.history.snapshot())
+    assert linearizable.ok, [a.detail for a in linearizable.anomalies[:3]]
+    consensus = check_deployment(deployment)
+    assert consensus.ok, consensus.violations[:3]
+
+
+@pytest.fixture
+def lan9() -> Config:
+    return Config.lan(zones=3, nodes_per_zone=3, seed=42)
+
+
+@pytest.fixture
+def wan3x3() -> Config:
+    return Config.wan(("VA", "OH", "CA"), 3, seed=42)

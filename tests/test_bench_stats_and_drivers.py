@@ -1,0 +1,137 @@
+"""Tests for latency statistics and benchmark drivers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.benchmarker import ClosedLoopBenchmark, OpenLoopBenchmark
+from repro.bench.stats import LatencySummary, cdf, histogram, mean, percentile, stddev
+from repro.bench.sweep import SweepPoint, closed_loop_sweep, format_curve, max_throughput
+from repro.bench.workload import WorkloadSpec
+from repro.errors import WorkloadError
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+
+
+class TestStats:
+    def test_summary_of_empty(self):
+        s = LatencySummary.of([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_summary_basic(self):
+        s = LatencySummary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+
+    def test_percentile_domain(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_cdf_monotone_and_complete(self):
+        curve = cdf(list(range(100)), points=10)
+        values = [v for v, _p in curve]
+        probs = [p for _v, p in curve]
+        assert values == sorted(values)
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0
+
+    def test_histogram_counts_everything(self):
+        bins = histogram([1.0, 2.0, 3.0, 4.0, 5.0], bins=2)
+        assert sum(count for _lo, _hi, count in bins) == 5
+
+    def test_histogram_degenerate(self):
+        assert histogram([2.0, 2.0]) == [(2.0, 2.0, 2)]
+
+    def test_mean_stddev(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert stddev([1.0, 3.0]) == pytest.approx(math.sqrt(2))
+        assert stddev([1.0]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False), min_size=1, max_size=50))
+    def test_percentiles_bounded_by_extremes(self, samples):
+        ordered = sorted(samples)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            p = percentile(ordered, q)
+            assert ordered[0] - 1e-9 <= p <= ordered[-1] + 1e-9
+
+
+def make_paxos():
+    return Deployment(Config.lan(1, 3, seed=8)).start(MultiPaxos)
+
+
+class TestClosedLoop:
+    def test_concurrency_validated(self):
+        with pytest.raises(WorkloadError):
+            ClosedLoopBenchmark(make_paxos(), WorkloadSpec(), concurrency=0)
+
+    def test_collects_throughput_and_latency(self):
+        bench = ClosedLoopBenchmark(make_paxos(), WorkloadSpec(keys=10), concurrency=2)
+        result = bench.run(duration=0.2, warmup=0.05, settle=0.02)
+        assert result.completed > 50
+        assert result.throughput == pytest.approx(result.completed / result.window)
+        assert 0.5 < result.latency.mean < 5.0  # milliseconds
+
+    def test_higher_concurrency_more_throughput_below_saturation(self):
+        r1 = ClosedLoopBenchmark(make_paxos(), WorkloadSpec(keys=10), 1).run(0.2, 0.05, 0.02)
+        r4 = ClosedLoopBenchmark(make_paxos(), WorkloadSpec(keys=10), 4).run(0.2, 0.05, 0.02)
+        assert r4.throughput > 2 * r1.throughput
+
+    def test_per_site_breakdown(self):
+        dep = Deployment(Config.wan(("VA", "OH"), 1, seed=8)).start(MultiPaxos)
+        bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=10), concurrency=4)
+        result = bench.run(duration=0.4, warmup=0.1, settle=0.3)
+        assert set(result.per_site) == {"VA", "OH"}
+
+    def test_spec_per_site_mapping_required(self):
+        dep = Deployment(Config.wan(("VA", "OH"), 1, seed=8)).start(MultiPaxos)
+        with pytest.raises(WorkloadError):
+            ClosedLoopBenchmark(dep, {"VA": WorkloadSpec()}, concurrency=2)
+
+
+class TestOpenLoop:
+    def test_rate_validated(self):
+        with pytest.raises(WorkloadError):
+            OpenLoopBenchmark(make_paxos(), WorkloadSpec(), rate=0.0)
+
+    def test_achieves_offered_rate_below_saturation(self):
+        bench = OpenLoopBenchmark(make_paxos(), WorkloadSpec(keys=10), rate=2000.0)
+        result = bench.run(duration=0.5, warmup=0.1, settle=0.02)
+        assert result.throughput == pytest.approx(2000.0, rel=0.15)
+
+    def test_latency_grows_near_saturation(self):
+        # A 9-node cluster saturates near 8k ops/s (the paper's calibration);
+        # offering ~95% of that must inflate queueing delay visibly.
+        def make9():
+            return Deployment(Config.lan(3, 3, seed=8)).start(MultiPaxos)
+
+        lo = OpenLoopBenchmark(make9(), WorkloadSpec(keys=10), rate=2000.0).run(0.4, 0.1, 0.02)
+        hi = OpenLoopBenchmark(make9(), WorkloadSpec(keys=10), rate=7600.0).run(0.4, 0.1, 0.02)
+        assert hi.latency.mean > 1.5 * lo.latency.mean
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        points = closed_loop_sweep(
+            make_paxos, WorkloadSpec(keys=10), concurrencies=(1, 8), duration=0.15, warmup=0.03, settle=0.02
+        )
+        assert [p.concurrency for p in points] == [1, 8]
+        assert points[1].throughput > points[0].throughput
+        assert max_throughput(points) == points[1].throughput
+
+    def test_format_curve(self):
+        text = format_curve([SweepPoint(1, 1000.0, 1.0, 1.0, 2.0, 100)], label="x")
+        assert "x" in text and "1000" in text
+
+    def test_max_throughput_empty(self):
+        assert max_throughput([]) == 0.0

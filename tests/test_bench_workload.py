@@ -1,0 +1,142 @@
+"""Tests for the Table-3 workload generator."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.workload import WorkloadGenerator, WorkloadSpec
+from repro.errors import WorkloadError
+
+
+def gen(spec, seed=0, name="t"):
+    return WorkloadGenerator(spec, random.Random(seed), name=name)
+
+
+def sample_keys(spec, n=4000, seed=0, now=0.0):
+    g = gen(spec, seed)
+    return [g.next_command(now).key for _ in range(n)]
+
+
+class TestSpecValidation:
+    def test_defaults_match_table3(self):
+        spec = WorkloadSpec()
+        assert spec.keys == 1000
+        assert spec.write_ratio == 0.5
+        assert spec.distribution == "uniform"
+        assert spec.sigma == 60.0
+        assert spec.speed_ms == 500.0
+        assert spec.zipfian_s == 2.0
+        assert spec.zipfian_v == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"keys": 0},
+            {"write_ratio": 1.5},
+            {"distribution": "pareto"},
+            {"conflict_ratio": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_with_locality(self):
+        spec = WorkloadSpec().with_locality(250.0)
+        assert spec.distribution == "normal"
+        assert spec.mu == 250.0
+
+
+class TestWriteRatio:
+    @pytest.mark.parametrize("ratio", [0.0, 0.5, 1.0])
+    def test_observed_ratio(self, ratio):
+        g = gen(WorkloadSpec(write_ratio=ratio))
+        commands = [g.next_command() for _ in range(2000)]
+        writes = sum(1 for c in commands if c.is_write)
+        assert writes == pytest.approx(2000 * ratio, abs=80)
+
+    def test_write_values_unique(self):
+        g = gen(WorkloadSpec(write_ratio=1.0))
+        values = [g.next_command().value for _ in range(500)]
+        assert len(set(values)) == 500
+
+    def test_values_distinct_across_generators(self):
+        a = gen(WorkloadSpec(write_ratio=1.0), name="a")
+        b = gen(WorkloadSpec(write_ratio=1.0), name="b")
+        va = {a.next_command().value for _ in range(100)}
+        vb = {b.next_command().value for _ in range(100)}
+        assert not va & vb
+
+
+class TestDistributions:
+    def test_uniform_covers_key_space(self):
+        keys = sample_keys(WorkloadSpec(keys=20, distribution="uniform"))
+        counts = Counter(keys)
+        assert set(counts) == set(range(20))
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_min_key_offset(self):
+        keys = sample_keys(WorkloadSpec(keys=10, min_key=100))
+        assert all(100 <= k < 110 for k in keys)
+
+    def test_normal_concentrates_near_mu(self):
+        keys = sample_keys(WorkloadSpec(keys=1000, distribution="normal", mu=500, sigma=20))
+        near = sum(1 for k in keys if 440 <= k <= 560)
+        assert near / len(keys) > 0.95
+
+    def test_normal_wraps_around_keyspace(self):
+        keys = sample_keys(WorkloadSpec(keys=100, distribution="normal", mu=0, sigma=10))
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_moving_hotspot_drifts(self):
+        spec = WorkloadSpec(keys=1000, distribution="normal", mu=0, sigma=5, move=True, speed_ms=1.0)
+        early = sample_keys(spec, n=500, now=0.0)
+        late = sample_keys(spec, n=500, now=0.5)  # 500 ms -> mu moved 500 keys
+        # Early keys cluster at the wrap point (0/999); late keys at ~500.
+        assert sum(1 for k in early if k < 20 or k > 980) > 400
+        assert sum(1 for k in late if 480 <= k <= 520) > 400
+
+    def test_zipfian_head_heavy(self):
+        keys = sample_keys(WorkloadSpec(keys=100, distribution="zipfian"))
+        counts = Counter(keys)
+        assert counts[0] > counts.get(1, 0) >= counts.get(5, 0)
+        assert counts[0] / len(keys) > 0.4  # s=2 is very skewed
+
+    def test_exponential_decays(self):
+        keys = sample_keys(WorkloadSpec(keys=100, distribution="exponential", exponential_scale=10))
+        counts = Counter(keys)
+        assert sum(counts[k] for k in range(10)) > sum(counts.get(k, 0) for k in range(10, 100))
+
+    def test_all_keys_in_range(self):
+        for dist in ("uniform", "normal", "zipfian", "exponential"):
+            keys = sample_keys(WorkloadSpec(keys=50, distribution=dist), n=1000)
+            assert all(0 <= k < 50 for k in keys), dist
+
+
+class TestConflict:
+    def test_conflict_ratio_targets_hot_key(self):
+        spec = WorkloadSpec(keys=100, conflict_ratio=0.4, conflict_key=7)
+        keys = sample_keys(spec)
+        hot = sum(1 for k in keys if k == 7)
+        assert hot / len(keys) == pytest.approx(0.4, abs=0.05)
+
+    def test_conflict_key_defaults_to_min_key(self):
+        spec = WorkloadSpec(keys=100, min_key=50, conflict_ratio=1.0)
+        keys = sample_keys(spec, n=100)
+        assert set(keys) == {50}
+
+    def test_zero_conflict_never_forced(self):
+        spec = WorkloadSpec(keys=100, conflict_ratio=0.0, conflict_key=7)
+        keys = sample_keys(spec)
+        assert sum(1 for k in keys if k == 7) < len(keys) * 0.05
+
+
+@given(st.integers(min_value=1, max_value=200), st.sampled_from(["uniform", "normal", "zipfian", "exponential"]))
+def test_generator_respects_key_bounds(keys, dist):
+    spec = WorkloadSpec(keys=keys, distribution=dist)
+    g = gen(spec, seed=keys)
+    for _ in range(100):
+        cmd = g.next_command()
+        assert 0 <= cmd.key < keys

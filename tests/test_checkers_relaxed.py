@@ -1,0 +1,168 @@
+"""Tests for the relaxed-consistency checkers and model (section-7 work)."""
+
+import math
+
+import pytest
+
+from repro.checkers.staleness import (
+    check_bounded_staleness,
+    check_session,
+    observed_staleness,
+)
+from repro.core.relaxed import RelaxedPaxosModel, StalenessBound
+from repro.core.protocol_models import PaxosModel
+from repro.core.topology import aws_wan, lan
+from repro.errors import ModelError
+from repro.paxi.history import Operation
+
+
+def w(value, t0, t1, client="c", key="k"):
+    return Operation(client, "PUT", key, value, value, t0, t1)
+
+
+def r(output, t0, t1, client="c", key="k"):
+    return Operation(client, "GET", key, None, output, t0, t1)
+
+
+class TestObservedStaleness:
+    def test_fresh_read_is_zero(self):
+        writes = [w("a", 0, 1)]
+        assert observed_staleness(r("a", 2, 3), writes) == 0.0
+
+    def test_stale_read_measures_overwrite_age(self):
+        writes = [w("a", 0, 1), w("b", 2, 3)]
+        # "b" completed at t=3; the read of "a" began at t=10.
+        assert observed_staleness(r("a", 10, 11), writes) == pytest.approx(7.0)
+
+    def test_multiple_overwrites_count_from_the_first(self):
+        # "a" stopped being current when "b" completed at t=3, so a read at
+        # t=10 returned a value 7 seconds out of date (a bound of 5 s would
+        # not have permitted it, even though "c" is only 5 s old).
+        writes = [w("a", 0, 1), w("b", 2, 3), w("c", 4, 5)]
+        assert observed_staleness(r("a", 10, 11), writes) == pytest.approx(7.0)
+
+    def test_initial_read_staleness(self):
+        writes = [w("a", 0, 1)]
+        assert observed_staleness(r(None, 4, 5), writes) == pytest.approx(3.0)
+
+    def test_concurrent_write_not_counted(self):
+        writes = [w("a", 0, 1), w("b", 2, 20)]  # still in flight at read
+        assert observed_staleness(r("a", 10, 11), writes) == 0.0
+
+    def test_rejects_writes(self):
+        with pytest.raises(ValueError):
+            observed_staleness(w("a", 0, 1), [])
+
+
+class TestBoundedStaleness:
+    def test_zero_delta_equals_linearizability_staleness(self):
+        history = [w("a", 0, 1), w("b", 2, 3), r("a", 4, 5)]
+        assert not check_bounded_staleness(history, 0.0).ok
+        assert check_bounded_staleness(history, 2.0).ok  # 1s stale <= 2s
+
+    def test_max_staleness_reported(self):
+        history = [w("a", 0, 1), w("b", 2, 3), r("a", 10, 11)]
+        result = check_bounded_staleness(history, 100.0)
+        assert result.ok
+        assert result.max_staleness == pytest.approx(7.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            check_bounded_staleness([], -1.0)
+
+    def test_keys_independent(self):
+        history = [
+            w("a", 0, 1, key="x"),
+            w("b", 2, 3, key="y"),
+            r("a", 4, 5, key="x"),  # fresh for x: no x-write intervened
+        ]
+        assert check_bounded_staleness(history, 0.0).ok
+
+
+class TestSession:
+    def test_read_your_writes_violation(self):
+        history = [
+            w("v1", 0, 1, client="c1"),
+            w("v2", 2, 3, client="c1"),
+            r("v1", 4, 5, client="c1"),  # c1 reads its own older write
+        ]
+        result = check_session(history)
+        assert not result.ok
+        assert result.session_violations[0].kind == "read-your-writes"
+
+    def test_read_none_after_own_write(self):
+        history = [w("v1", 0, 1, client="c1"), r(None, 2, 3, client="c1")]
+        assert not check_session(history).ok
+
+    def test_other_clients_stale_reads_allowed(self):
+        # c2 never wrote: reading the older value is session-legal.
+        history = [
+            w("v1", 0, 1, client="c1"),
+            w("v2", 2, 3, client="c1"),
+            r("v1", 4, 5, client="c2"),
+        ]
+        assert check_session(history).ok
+
+    def test_monotonic_reads_violation(self):
+        history = [
+            w("v1", 0, 1, client="c1"),
+            w("v2", 2, 3, client="c1"),
+            r("v2", 4, 5, client="c2"),
+            r("v1", 6, 7, client="c2"),  # goes backwards
+        ]
+        result = check_session(history)
+        assert not result.ok
+        assert result.session_violations[0].kind == "monotonic-reads"
+
+    def test_monotonic_reads_forward_ok(self):
+        history = [
+            w("v1", 0, 1, client="c1"),
+            w("v2", 2, 3, client="c1"),
+            r("v1", 4, 5, client="c2"),
+            r("v2", 6, 7, client="c2"),
+        ]
+        assert check_session(history).ok
+
+    def test_own_fresh_read_ok(self):
+        history = [w("v1", 0, 1, client="c1"), r("v1", 2, 3, client="c1")]
+        assert check_session(history).ok
+
+
+class TestRelaxedModel:
+    def test_capacity_scales_with_write_ratio(self):
+        topo = lan(9)
+        strong = PaxosModel(topo).max_throughput()
+        half = RelaxedPaxosModel(topo, write_ratio=0.5).max_throughput()
+        tenth = RelaxedPaxosModel(topo, write_ratio=0.1).max_throughput()
+        assert half == pytest.approx(strong * 2, rel=0.01)
+        assert tenth == pytest.approx(strong * 10, rel=0.01)
+
+    def test_read_latency_is_local(self):
+        model = RelaxedPaxosModel(aws_wan(("VA", "OH", "CA"), 3), leader=3)
+        assert model.read_latency_ms() < 1.0
+
+    def test_mixed_latency_below_strong(self):
+        topo = aws_wan(("VA", "OH", "CA"), 3)
+        strong = PaxosModel(topo, leader=3).latency_ms(100)
+        relaxed = RelaxedPaxosModel(topo, write_ratio=0.5, leader=3).latency_ms(100)
+        assert relaxed < strong
+
+    def test_staleness_bound_components(self):
+        bound = StalenessBound(heartbeat_interval=0.02, one_way_delay=0.026)
+        assert bound.delta == pytest.approx(0.046)
+
+    def test_bound_grows_with_distance(self):
+        model = RelaxedPaxosModel(aws_wan(("VA", "OH", "CA"), 3), leader=3)
+        assert (
+            model.staleness_bound("CA").delta
+            > model.staleness_bound("VA").delta
+            > model.staleness_bound("OH").delta
+        )
+
+    def test_write_ratio_validated(self):
+        with pytest.raises(ModelError):
+            RelaxedPaxosModel(lan(9), write_ratio=0.0)
+
+    def test_saturated_latency_infinite(self):
+        model = RelaxedPaxosModel(lan(9), write_ratio=0.5)
+        assert math.isinf(model.latency_ms(model.max_throughput() * 1.1))

@@ -1,0 +1,98 @@
+"""Tests for JSON configuration round trips, Deployment.verify, plotting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.plotting import ascii_chart, plot_result
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+from repro.sim.server import ServiceProfile
+
+
+class TestConfigJson:
+    def test_lan_roundtrip(self):
+        original = Config.lan(3, 3, seed=42, q2_size=3, thrifty=True)
+        restored = Config.from_json(original.to_json())
+        assert restored.n == original.n
+        assert restored.seed == 42
+        assert restored.params == original.params
+        assert restored.topology.sites == ("LAN",)
+
+    def test_wan_roundtrip(self):
+        original = Config.wan(("VA", "OH", "CA"), 3, seed=7, fz=1)
+        restored = Config.from_json(original.to_json())
+        assert restored.topology.sites == ("VA", "OH", "CA")
+        assert restored.param("fz") == 1
+        assert restored.node_ids == original.node_ids
+
+    def test_node_id_params_roundtrip(self):
+        original = Config.lan(3, 3, leader=NodeID(2, 1))
+        restored = Config.from_json(original.to_json())
+        assert restored.param("leader") == NodeID(2, 1)
+        assert isinstance(restored.param("leader"), NodeID)
+
+    def test_profile_roundtrip(self):
+        profile = ServiceProfile(t_in=5e-6, t_out=7e-6)
+        original = Config.lan(1, 3, profile=profile)
+        restored = Config.from_json(original.to_json())
+        assert restored.profile.t_in == pytest.approx(5e-6)
+        assert restored.profile.t_out == pytest.approx(7e-6)
+
+    def test_restored_config_actually_runs(self):
+        restored = Config.from_json(Config.lan(1, 3, seed=5).to_json())
+        dep = Deployment(restored).start(MultiPaxos)
+        client = dep.new_client()
+        seen = []
+        dep.run_for(0.01)
+        client.put("k", 1, on_done=lambda r, l: seen.append(r.value))
+        dep.run_for(0.05)
+        assert seen == [1]
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigError):
+            Config.from_json("{not json")
+
+
+class TestDeploymentVerify:
+    def test_verify_clean_run(self):
+        dep = Deployment(Config.lan(1, 3, seed=1)).start(MultiPaxos)
+        client = dep.new_client()
+        dep.run_for(0.01)
+        client.put("k", "v")
+        dep.run_for(0.05)
+        client.get("k")
+        dep.run_for(0.05)
+        assert dep.verify() == (True, True)
+
+
+class TestPlotting:
+    def test_chart_contains_marks_and_axes(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o" in chart and "x" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "[0 .. 1]" in chart
+
+    def test_constant_series_no_division_by_zero(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in chart
+
+    def test_non_finite_points_skipped(self):
+        chart = ascii_chart({"s": [(0, float("inf")), (1, 2)]})
+        assert "o" in chart
+
+    def test_all_non_finite(self):
+        assert "no finite data" in ascii_chart({"s": [(0, float("nan"))]})
+
+    def test_plot_result_empty(self):
+        result = ExperimentResult("x", "t", ["a"])
+        assert "no series" in plot_result(result)
+
+    def test_plot_result_caps_series(self):
+        result = ExperimentResult("x", "t", ["a"])
+        for i in range(12):
+            result.series[f"s{i}"] = [(0, i), (1, i)]
+        chart = plot_result(result)
+        assert "s0" in chart and "s7" in chart and "s8" not in chart

@@ -1,0 +1,99 @@
+"""Tests for the Figure-14 flowchart and Table 4."""
+
+from repro.core.advisor import (
+    PARAMETERS_EXPLORED,
+    DeploymentProfile,
+    all_paths,
+    recommend,
+)
+
+
+def test_no_consensus_needed():
+    rec = recommend(DeploymentProfile(needs_consensus=False))
+    assert rec.category == "no-consensus"
+    assert "Chain Replication" in rec.protocols
+
+
+def test_lan_gets_single_leader():
+    rec = recommend(DeploymentProfile(wan=False))
+    assert rec.category == "single-leader"
+    assert set(rec.protocols) == {"Multi-Paxos", "Raft", "Zab"}
+
+
+def test_wan_read_heavy_no_locality_gets_leaderless():
+    rec = recommend(
+        DeploymentProfile(wan=True, workload_has_locality=False, read_heavy=True)
+    )
+    assert "EPaxos" in rec.protocols
+    assert "Generalized Paxos" in rec.protocols
+
+
+def test_wan_write_heavy_no_locality_gets_single_leader():
+    rec = recommend(
+        DeploymentProfile(wan=True, workload_has_locality=False, read_heavy=False)
+    )
+    assert rec.category == "single-leader"
+
+
+def test_static_locality_gets_sharding():
+    rec = recommend(
+        DeploymentProfile(wan=True, workload_has_locality=True, locality_is_dynamic=False)
+    )
+    assert rec.protocols == ("Paxos Groups",)
+
+
+def test_dynamic_locality_with_dc_failure_concern_gets_wpaxos():
+    rec = recommend(
+        DeploymentProfile(
+            wan=True,
+            workload_has_locality=True,
+            locality_is_dynamic=True,
+            datacenter_failure_is_concern=True,
+        )
+    )
+    assert rec.category == "adaptive-multi-leader"
+    assert "WPaxos" in rec.protocols
+
+
+def test_dynamic_locality_without_dc_failure_concern_gets_hierarchical():
+    rec = recommend(
+        DeploymentProfile(
+            wan=True,
+            workload_has_locality=True,
+            locality_is_dynamic=True,
+            datacenter_failure_is_concern=False,
+        )
+    )
+    assert set(rec.protocols) == {"Vertical Paxos", "WanKeeper"}
+
+
+def test_all_paths_covers_every_leaf():
+    paths = all_paths()
+    categories = {rec.category for _profile, rec in paths}
+    assert categories == {
+        "no-consensus",
+        "single-leader",
+        "leaderless",
+        "sharded",
+        "adaptive-multi-leader",
+        "hierarchical",
+    }
+
+
+def test_every_recommendation_has_rationale():
+    for _profile, rec in all_paths():
+        assert rec.rationale
+        assert rec.protocols
+
+
+def test_table4_parameters():
+    """Table 4 verbatim: which protocols explore which parameter."""
+    assert PARAMETERS_EXPLORED["L (leaders)"] == ("EPaxos", "WPaxos")
+    assert PARAMETERS_EXPLORED["c (conflicts)"] == ("Generalized Paxos", "EPaxos")
+    assert PARAMETERS_EXPLORED["Q (quorum)"] == ("FPaxos", "WPaxos")
+    assert PARAMETERS_EXPLORED["l (locality)"] == ("VPaxos", "WPaxos", "WanKeeper")
+
+
+def test_wpaxos_explores_most_parameters():
+    count = sum(1 for protos in PARAMETERS_EXPLORED.values() if "WPaxos" in protos)
+    assert count == 3

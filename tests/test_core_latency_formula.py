@@ -1,0 +1,75 @@
+"""Tests for the distilled latency formula (Equation 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.latency import (
+    FormulaInputs,
+    epaxos_inputs,
+    expected_latency,
+    single_leader_inputs,
+)
+from repro.errors import ModelError
+
+probability = st.floats(min_value=0.0, max_value=1.0)
+delay = st.floats(min_value=0.0, max_value=500.0)
+
+
+class TestEquation7:
+    def test_fully_local_pays_only_quorum(self):
+        assert expected_latency(0.0, 1.0, 100.0, 5.0) == pytest.approx(5.0)
+
+    def test_fully_remote_pays_leader_and_quorum(self):
+        assert expected_latency(0.0, 0.0, 100.0, 5.0) == pytest.approx(105.0)
+
+    def test_conflict_doubles_at_c1(self):
+        base = expected_latency(0.0, 0.5, 100.0, 5.0)
+        assert expected_latency(1.0, 0.5, 100.0, 5.0) == pytest.approx(2 * base)
+
+    def test_worked_example(self):
+        # (1+0.2) * ((1-0.7)*(80+10) + 0.7*10) = 1.2 * (27 + 7) = 40.8
+        assert expected_latency(0.2, 0.7, 80.0, 10.0) == pytest.approx(40.8)
+
+    @given(probability, probability, delay, delay)
+    def test_nonnegative(self, c, loc, dl, dq):
+        assert expected_latency(c, loc, dl, dq) >= 0.0
+
+    @given(probability, delay, delay)
+    def test_locality_never_hurts(self, c, dl, dq):
+        """More locality cannot increase latency (DL >= 0)."""
+        lo = expected_latency(c, 0.3, dl, dq)
+        hi = expected_latency(c, 0.8, dl, dq)
+        assert hi <= lo + 1e-9
+
+    @given(probability, delay, delay)
+    def test_conflict_never_helps(self, loc, dl, dq):
+        assert expected_latency(0.9, loc, dl, dq) >= expected_latency(0.1, loc, dl, dq)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            expected_latency(-0.1, 0.5, 1, 1)
+        with pytest.raises(ModelError):
+            expected_latency(0.5, 1.5, 1, 1)
+        with pytest.raises(ModelError):
+            expected_latency(0.5, 0.5, -1, 1)
+
+
+class TestFormulaInputs:
+    def test_epaxos_inputs_per_paper(self):
+        """Section 6.2: for EPaxos l = 1 and c is workload-specific."""
+        inputs = epaxos_inputs(9, conflict=0.3, d_quorum=12.0)
+        assert inputs.leaders == 9
+        assert inputs.locality == 1.0
+        assert inputs.quorum == 5
+        assert inputs.latency() == pytest.approx(1.3 * 12.0)
+
+    def test_single_leader_inputs_per_paper(self):
+        inputs = single_leader_inputs(9, locality=0.4, d_leader=50.0, d_quorum=10.0)
+        assert inputs.leaders == 1
+        assert inputs.conflict == 0.0
+        assert inputs.latency() == pytest.approx(0.6 * 60.0 + 0.4 * 10.0)
+
+    def test_load_and_capacity_route_to_eq3(self):
+        inputs = FormulaInputs(3, 3, 0.0, 1.0, 0.0, 1.0)
+        assert inputs.load() == pytest.approx(4.0 / 3.0)
+        assert inputs.capacity() == pytest.approx(3.0 / 4.0)

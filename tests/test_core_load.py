@@ -1,0 +1,97 @@
+"""Tests for the distilled load/capacity formulas (Equations 1-6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.load import (
+    capacity,
+    load,
+    load_epaxos,
+    load_paxos,
+    load_two_term,
+    load_wpaxos,
+    majority,
+)
+from repro.errors import ModelError
+
+
+class TestPaperCorollaries:
+    """Section 6.1 works the formulas at N = 9; we must match exactly."""
+
+    def test_load_paxos_is_4(self):
+        assert load_paxos(9) == pytest.approx(4.0)
+
+    def test_load_epaxos_is_4_thirds_times_conflict(self):
+        assert load_epaxos(9, 0.0) == pytest.approx(4.0 / 3.0)
+        assert load_epaxos(9, 1.0) == pytest.approx(8.0 / 3.0)
+        assert load_epaxos(9, 0.5) == pytest.approx(2.0)
+
+    def test_load_wpaxos_is_4_thirds(self):
+        assert load_wpaxos(9, 3) == pytest.approx(4.0 / 3.0)
+
+    def test_wpaxos_has_smallest_load_at_n9(self):
+        """The paper's conclusion: WPaxos < EPaxos (any c > 0) < Paxos."""
+        assert load_wpaxos(9, 3) <= load_epaxos(9, 0.0) < load_paxos(9)
+        assert load_wpaxos(9, 3) < load_epaxos(9, 0.25)
+
+
+class TestFormulaAlgebra:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_eq2_equals_eq3(self, leaders, quorum, conflict):
+        """Equation 3 is the simplified form of Equation 2."""
+        assert load(leaders, quorum, conflict) == pytest.approx(
+            load_two_term(leaders, quorum, conflict)
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=2, max_value=50),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_capacity_is_reciprocal(self, leaders, quorum, conflict):
+        assert capacity(leaders, quorum, conflict) == pytest.approx(
+            1.0 / load(leaders, quorum, conflict)
+        )
+
+    @given(st.integers(min_value=2, max_value=40), st.floats(min_value=0.0, max_value=0.99))
+    def test_conflict_always_increases_load(self, quorum, conflict):
+        assert load(3, quorum, conflict + 0.01) > load(3, quorum, conflict)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_more_leaders_reduce_load_without_conflict(self, leaders):
+        """The paper's protocol-level advice: increase leaders (at c = 0)."""
+        q = 5
+        assert load(leaders + 1, q, 0.0) <= load(leaders, q, 0.0) + 1e-12
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("n,q", [(1, 1), (3, 2), (5, 3), (9, 5), (10, 6)])
+    def test_majority(self, n, q):
+        assert majority(n) == q
+
+    def test_majority_validation(self):
+        with pytest.raises(ModelError):
+            majority(0)
+
+    def test_load_validation(self):
+        with pytest.raises(ModelError):
+            load(0, 3)
+        with pytest.raises(ModelError):
+            load(1, 0)
+        with pytest.raises(ModelError):
+            load(1, 3, 1.5)
+
+    def test_wpaxos_divisibility(self):
+        with pytest.raises(ModelError):
+            load_wpaxos(9, 4)
+
+
+def test_conflict_interplay_example():
+    """Section 6.3's worked warning: extra leaders help until conflicts bite.
+    At N = 9, EPaxos with c = 1 still loads below Paxos (8/3 < 4), matching
+    'better throughput than Paxos even with 100% conflict' in the model."""
+    assert load_epaxos(9, 1.0) < load_paxos(9)

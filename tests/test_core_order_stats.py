@@ -1,0 +1,116 @@
+"""Unit and property tests for k-order statistics of RTTs."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.order_stats import (
+    expected_kth_normal,
+    expected_kth_normal_blom,
+    kth_smallest,
+    normal_quantile,
+)
+from repro.errors import ModelError
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert normal_quantile(0.84134) == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.1, 0.3, 0.45):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p), abs=1e-7)
+
+    def test_tails(self):
+        assert normal_quantile(1e-9) < -5
+        assert normal_quantile(1 - 1e-9) > 5
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.5, 2.0])
+    def test_domain(self, p):
+        with pytest.raises(ModelError):
+            normal_quantile(p)
+
+    def test_agrees_with_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for p in (0.001, 0.01, 0.2, 0.5, 0.77, 0.999):
+            assert normal_quantile(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-7)
+
+
+class TestBlom:
+    def test_median_order_statistic_near_mu(self):
+        # The middle order statistic of an odd sample sits at the mean.
+        assert expected_kth_normal_blom(3, 5, 10.0, 2.0) == pytest.approx(10.0, abs=0.01)
+
+    def test_extremes_straddle_mu(self):
+        lo = expected_kth_normal_blom(1, 9, 0.0, 1.0)
+        hi = expected_kth_normal_blom(9, 9, 0.0, 1.0)
+        assert lo < 0 < hi
+        assert lo == pytest.approx(-hi, abs=1e-9)
+
+    def test_monotone_in_k(self):
+        values = [expected_kth_normal_blom(k, 8, 5.0, 1.0) for k in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_agrees_with_monte_carlo(self):
+        """The paper uses Monte Carlo; Blom must agree closely for the
+        quorum sizes we care about (the reason we default to Blom)."""
+        rng = random.Random(123)
+        for k, n in ((3, 8), (4, 8), (2, 4), (6, 8)):
+            mc = expected_kth_normal(k, n, 0.4271, 0.0476, samples=40_000, rng=rng)
+            blom = expected_kth_normal_blom(k, n, 0.4271, 0.0476)
+            assert mc == pytest.approx(blom, abs=0.003)
+
+    def test_invalid_k(self):
+        with pytest.raises(ModelError):
+            expected_kth_normal_blom(0, 5, 0, 1)
+        with pytest.raises(ModelError):
+            expected_kth_normal_blom(6, 5, 0, 1)
+
+
+class TestMonteCarlo:
+    def test_deterministic_with_default_rng(self):
+        a = expected_kth_normal(2, 5, 0.0, 1.0, samples=500)
+        b = expected_kth_normal(2, 5, 0.0, 1.0, samples=500)
+        assert a == b
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ModelError):
+            expected_kth_normal(1, 2, 0, 1, samples=0)
+
+
+class TestKthSmallest:
+    def test_basic(self):
+        assert kth_smallest([30.0, 10.0, 20.0], 1) == 10.0
+        assert kth_smallest([30.0, 10.0, 20.0], 2) == 20.0
+        assert kth_smallest([30.0, 10.0, 20.0], 3) == 30.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ModelError):
+            kth_smallest([1.0], 2)
+        with pytest.raises(ModelError):
+            kth_smallest([], 1)
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=0.01, max_value=5.0),
+)
+def test_blom_order_statistics_are_sorted_and_centered(n, mu, sigma):
+    values = [expected_kth_normal_blom(k, n, mu, sigma) for k in range(1, n + 1)]
+    assert values == sorted(values)
+    mid = sum(values) / n
+    assert math.isclose(mid, mu, abs_tol=sigma)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False), min_size=1, max_size=20))
+def test_kth_smallest_matches_sort(values):
+    for k in range(1, len(values) + 1):
+        assert kth_smallest(values, k) == sorted(values)[k - 1]

@@ -1,0 +1,125 @@
+"""Unit and property tests for the Table-1 queueing models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.queueing import GG1, MD1, MG1, MM1, ALL_MODELS, make_model
+from repro.errors import ModelError
+
+MU = 8000.0
+
+
+class TestMM1:
+    def test_textbook_value(self):
+        # M/M/1 with rho = 0.5: Wq = rho^2/(lambda (1-rho)) = 0.25/(4000*0.5)
+        q = MM1(MU)
+        assert q.wait_time(4000.0) == pytest.approx(0.25 / (4000.0 * 0.5))
+
+    def test_saturated_is_infinite(self):
+        assert MM1(MU).wait_time(MU) == math.inf
+        assert MM1(MU).wait_time(MU * 2) == math.inf
+
+    def test_sojourn_adds_service(self):
+        q = MM1(MU)
+        assert q.sojourn_time(4000.0) == pytest.approx(q.wait_time(4000.0) + 1 / MU)
+
+
+class TestMD1:
+    def test_md1_is_half_of_mm1(self):
+        """Classic result: deterministic service halves the M/M/1 wait."""
+        lam = 6000.0
+        assert MD1(MU).wait_time(lam) == pytest.approx(MM1(MU).wait_time(lam) / 2)
+
+    def test_from_service_time(self):
+        q = MD1.from_service_time(125e-6)
+        assert q.service_rate == pytest.approx(8000.0)
+
+    def test_from_service_time_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            MD1.from_service_time(0.0)
+
+
+class TestMG1:
+    def test_zero_variance_reduces_to_md1(self):
+        lam = 5000.0
+        assert MG1(MU, service_sigma=0.0).wait_time(lam) == pytest.approx(
+            MD1(MU).wait_time(lam)
+        )
+
+    def test_exponential_variance_reduces_to_mm1(self):
+        # For exponential service, sigma = 1/mu, and M/G/1 == M/M/1.
+        lam = 5000.0
+        assert MG1(MU, service_sigma=1 / MU).wait_time(lam) == pytest.approx(
+            MM1(MU).wait_time(lam)
+        )
+
+    def test_more_variance_more_wait(self):
+        lam = 5000.0
+        low = MG1(MU, service_sigma=0.5 / MU).wait_time(lam)
+        high = MG1(MU, service_sigma=2.0 / MU).wait_time(lam)
+        assert high > low
+
+
+class TestGG1:
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ModelError):
+            GG1(MU, ca2=-1.0)
+
+    def test_finite_below_saturation(self):
+        assert GG1(MU, 1.0, 1.0).wait_time(7000.0) < math.inf
+
+    def test_saturated_is_infinite(self):
+        assert GG1(MU).wait_time(MU) == math.inf
+
+
+class TestFactory:
+    def test_all_four_models(self):
+        for name in ALL_MODELS:
+            model = make_model(name, service_time=125e-6, service_sigma=20e-6)
+            assert model.name == name
+            assert model.service_rate == pytest.approx(8000.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError):
+            make_model("M/X/1", 1e-3)
+
+    def test_nonpositive_service_time_rejected(self):
+        with pytest.raises(ModelError):
+            make_model("M/M/1", 0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("model", [MM1(MU), MD1(MU), MG1(MU, 1e-5), GG1(MU)])
+    def test_nonpositive_arrival_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.wait_time(0.0)
+
+    def test_utilization(self):
+        assert MD1(MU).utilization(4000.0) == pytest.approx(0.5)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.97),
+    st.floats(min_value=0.01, max_value=0.97),
+)
+def test_wait_time_monotone_in_utilization(rho_a, rho_b):
+    """Property: every model's wait is nondecreasing in utilization."""
+    lo, hi = sorted((rho_a, rho_b))
+    for model in (MM1(MU), MD1(MU), MG1(MU, 1e-5), GG1(MU, 1.0, 1.0)):
+        assert model.wait_time(hi * MU) >= model.wait_time(lo * MU) - 1e-15
+
+
+@given(st.floats(min_value=0.01, max_value=0.95))
+def test_md1_never_waits_longer_than_mm1(rho):
+    """Property: deterministic service always beats exponential service."""
+    lam = rho * MU
+    assert MD1(MU).wait_time(lam) <= MM1(MU).wait_time(lam) + 1e-15
+
+
+@given(st.floats(min_value=0.001, max_value=0.2))
+def test_light_traffic_wait_is_small(rho):
+    """Property: at low utilization, queue wait is far below service time."""
+    lam = rho * MU
+    assert MD1(MU).wait_time(lam) < 1.0 / MU

@@ -1,0 +1,85 @@
+"""Unit tests for service-time accounting (Table 2)."""
+
+import pytest
+
+from repro.core.service import (
+    RoundWork,
+    ServiceParams,
+    max_throughput,
+    paxos_follower_work,
+    paxos_leader_work,
+    paxos_service_time,
+)
+from repro.errors import ModelError
+
+
+class TestServiceParams:
+    def test_nic_time(self):
+        p = ServiceParams(message_bytes=125, bandwidth_bps=1000.0)
+        assert p.nic_time == pytest.approx(0.125)
+
+    def test_scaled_penalizes_cpu_and_size(self):
+        p = ServiceParams(t_in=1e-6, t_out=2e-6, message_bytes=100)
+        q = p.scaled(cpu_weight=1.3, size_factor=2.0)
+        assert q.t_in == pytest.approx(1.3e-6)
+        assert q.t_out == pytest.approx(2.6e-6)
+        assert q.message_bytes == pytest.approx(200)
+        assert q.bandwidth_bps == p.bandwidth_bps
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ServiceParams(t_in=-1e-6)
+        with pytest.raises(ModelError):
+            ServiceParams(bandwidth_bps=0)
+
+
+class TestRoundWork:
+    def test_service_time_formula(self):
+        p = ServiceParams(t_in=10e-6, t_out=10e-6, message_bytes=100, bandwidth_bps=1e9 / 8)
+        work = RoundWork(incoming=9, serializations=2, nic_messages=18)
+        # ts = 2*to + 9*ti + 18*m/b
+        expected = 2 * 10e-6 + 9 * 10e-6 + 18 * (100 / (1e9 / 8))
+        assert work.service_time(p) == pytest.approx(expected)
+
+    def test_addition_and_scaling(self):
+        a = RoundWork(1, 2, 3)
+        b = RoundWork(10, 20, 30)
+        total = a + b
+        assert (total.incoming, total.serializations, total.nic_messages) == (11, 22, 33)
+        half = b.scale(0.5)
+        assert (half.incoming, half.serializations, half.nic_messages) == (5, 10, 15)
+
+
+class TestPaxosAccounting:
+    def test_table2_formula(self):
+        """ts = 2*to + N*ti + 2N*m/b, verbatim from Table 2."""
+        p = ServiceParams()
+        n = 9
+        expected = 2 * p.t_out + n * p.t_in + 2 * n * p.nic_time
+        assert paxos_service_time(n, p) == pytest.approx(expected)
+
+    def test_leader_vs_follower_message_counts(self):
+        """Paper section 5.2: 11 messages at the leader vs 2 at a follower
+        for a 9-node cluster."""
+        leader = paxos_leader_work(9)
+        follower = paxos_follower_work()
+        # Leader: N incoming + 1 broadcast + 1 reply = N + 2 logical messages.
+        assert leader.incoming + leader.serializations == 11
+        assert follower.incoming + follower.serializations == 2
+
+    def test_calibrated_max_throughput(self):
+        """Default parameters put 9-node Paxos at ~8,000 rounds/s (Fig. 7)."""
+        mu = max_throughput(paxos_service_time(9))
+        assert mu == pytest.approx(8000, rel=0.05)
+
+    def test_service_time_grows_with_n(self):
+        times = [paxos_service_time(n) for n in (3, 5, 9, 15)]
+        assert times == sorted(times)
+
+    def test_invalid_n(self):
+        with pytest.raises(ModelError):
+            paxos_leader_work(0)
+
+    def test_max_throughput_validation(self):
+        with pytest.raises(ModelError):
+            max_throughput(0.0)

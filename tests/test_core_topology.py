@@ -1,0 +1,104 @@
+"""Unit tests for deployment topologies."""
+
+import pytest
+
+from repro.core.topology import (
+    AWS_REGIONS,
+    LOCAL_RTT_MEAN_MS,
+    LOCAL_RTT_SIGMA_MS,
+    RttDistribution,
+    Topology,
+    aws_wan,
+    lan,
+)
+from repro.errors import ConfigError
+
+
+class TestLan:
+    def test_single_site(self):
+        topo = lan(9)
+        assert topo.sites == ("LAN",)
+        assert topo.n_nodes == 9
+        assert all(site == "LAN" for site in topo.node_sites)
+
+    def test_local_rtt_matches_paper_figure3(self):
+        topo = lan(3)
+        dist = topo.site_rtt("LAN", "LAN")
+        assert dist.mean_ms == pytest.approx(LOCAL_RTT_MEAN_MS)
+        assert dist.sigma_ms == pytest.approx(LOCAL_RTT_SIGMA_MS)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ConfigError):
+            lan(0)
+
+
+class TestAwsWan:
+    def test_default_five_regions(self):
+        topo = aws_wan()
+        assert topo.sites == AWS_REGIONS
+        assert topo.n_nodes == 5
+
+    def test_nodes_per_region(self):
+        topo = aws_wan(("VA", "OH", "CA"), 3)
+        assert topo.n_nodes == 9
+        assert topo.nodes_in_site("OH") == [3, 4, 5]
+
+    def test_rtt_symmetry(self):
+        topo = aws_wan()
+        assert topo.site_rtt_mean_ms("VA", "JP") == topo.site_rtt_mean_ms("JP", "VA")
+
+    def test_intra_region_is_local(self):
+        topo = aws_wan(("VA", "OH"), 2)
+        assert topo.site_rtt("VA", "VA").mean_ms == pytest.approx(LOCAL_RTT_MEAN_MS)
+
+    def test_asymmetric_distances(self):
+        """The paper stresses that WAN distances are non-uniform: VA-OH is
+        far closer than IR-JP."""
+        topo = aws_wan()
+        assert topo.site_rtt_mean_ms("VA", "OH") < 20
+        assert topo.site_rtt_mean_ms("IR", "JP") > 150
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ConfigError):
+            aws_wan(("VA", "Narnia"))
+
+    def test_zero_nodes_per_region_rejected(self):
+        with pytest.raises(ConfigError):
+            aws_wan(("VA",), 0)
+
+
+class TestTopologyQueries:
+    def test_node_rtt_uses_sites(self):
+        topo = aws_wan(("VA", "JP"), 1)
+        assert topo.node_rtt(0, 1).mean_ms == pytest.approx(162.0)
+
+    def test_rtts_from_excludes_self(self):
+        topo = aws_wan(("VA", "OH", "CA"), 1)
+        rtts = topo.rtts_from(0)
+        assert len(rtts) == 2
+        assert sorted(rtts) == [11.0, 62.0]
+
+    def test_with_nodes_replaces_placement(self):
+        topo = aws_wan(("VA", "OH"), 1).with_nodes(["OH", "OH", "VA"])
+        assert topo.n_nodes == 3
+        assert topo.node_site(0) == "OH"
+
+    def test_missing_rtt_raises(self):
+        topo = Topology(sites=("A", "B"), rtt_ms={}, node_sites=("A", "B"))
+        with pytest.raises(ConfigError):
+            topo.site_rtt("A", "B")
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(sites=("A", "A"), rtt_ms={})
+
+    def test_unknown_node_site_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(sites=("A",), rtt_ms={}, node_sites=("B",))
+
+
+def test_one_way_halves_rtt():
+    dist = RttDistribution(100.0, 10.0)
+    one_way = dist.one_way()
+    assert one_way.mean_ms == 50.0
+    assert one_way.sigma_ms == 5.0

@@ -1,0 +1,93 @@
+"""Smoke tests for the experiment registry and the cheap drivers.
+
+The expensive simulation drivers are exercised by the benchmark harness
+(``pytest benchmarks/ --benchmark-only``); here we verify the registry,
+the result plumbing, and the analytic drivers end to end.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import ExperimentResult, locality_spec, region_spec
+
+
+EXPECTED_IDS = {
+    "fig03",
+    "table1",
+    "fig04",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table4",
+    "fig14",
+    "formulas",
+    "extra_scalability",
+    "extra_availability",
+    "extra_relaxed",
+    "extra_dynamic",
+    "extra_mencius",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(EXPERIMENTS) == EXPECTED_IDS
+
+
+def test_result_text_and_csv(tmp_path):
+    result = ExperimentResult(
+        experiment="demo",
+        title="demo table",
+        headers=["a", "b"],
+        rows=[[1, 2.5], ["x", 3]],
+        notes=["hello"],
+    )
+    text = result.to_text()
+    assert "demo table" in text and "hello" in text and "2.500" in text
+    path = result.write_csv(str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as f:
+        assert f.readline().strip() == "a,b"
+
+
+@pytest.mark.parametrize("name", ["table1", "fig08", "fig10", "fig12", "table4", "fig14"])
+def test_analytic_drivers_run_fast(name):
+    result = EXPERIMENTS[name](True)
+    assert result.experiment == name
+    assert result.rows
+
+
+def test_fig03_calibration():
+    result = EXPERIMENTS["fig03"](True)
+    note = result.notes[0]
+    mu = float(note.split("mu=")[1].split(" ")[0])
+    assert abs(mu - 0.4271) < 0.02
+
+
+def test_region_spec_isolates_key_ranges():
+    a = region_spec(0, keys_per_region=10)
+    b = region_spec(1, keys_per_region=10)
+    assert a.min_key + a.keys <= b.min_key
+    assert a.conflict_key == b.conflict_key  # the shared hot object
+
+
+def test_locality_spec_spreads_means():
+    specs = [locality_spec(i, keys_total=180) for i in range(3)]
+    mus = [s.mu for s in specs]
+    assert mus == sorted(mus)
+    assert mus[1] - mus[0] == pytest.approx(60)
+    assert all(s.distribution == "normal" for s in specs)
+
+
+def test_cli_main(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Parameters explored" in out

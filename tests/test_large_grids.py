@@ -1,0 +1,87 @@
+"""Larger-grid deployments: the quorum math beyond the paper's 3x3."""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID, grid_ids
+from repro.paxi.message import Command
+from repro.paxi.quorum import GridQuorum
+from repro.protocols.epaxos import CommitMsg, EPaxos
+from repro.protocols.wpaxos import WPaxos
+
+from tests.conftest import assert_correct
+
+
+def test_wpaxos_5x5_grid_f2():
+    """A 5x5 grid with f=2, fz=1: phase-2 needs 3 acks in 2 zones."""
+    cfg = Config.lan(5, 5, seed=71, f=2, fz=1)
+    dep = Deployment(cfg).start(WPaxos)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=100), concurrency=16)
+    result = bench.run(duration=0.3, warmup=0.05, settle=0.05)
+    assert result.completed > 300
+    dep.run_for(0.3)
+    assert_correct(dep)
+
+
+def test_wpaxos_grid_quorum_sizes_5x5():
+    ids = grid_ids(5, 5)
+    q1 = GridQuorum(ids, phase=1, f=2, fz=1)
+    q2 = GridQuorum(ids, phase=2, f=2, fz=1)
+    assert q1.zones_needed == 4 and q1.per_zone_needed == 3
+    assert q2.zones_needed == 2 and q2.per_zone_needed == 3
+
+
+def test_wpaxos_wide_flat_grid():
+    """9 zones x 1 node (one replica per region), f=0 fz=0: every object
+    commits at its owner alone, like a sharded store."""
+    cfg = Config.lan(9, 1, seed=72, f=0, fz=0, steal_threshold=1)
+    dep = Deployment(cfg).start(WPaxos)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=200), concurrency=16)
+    result = bench.run(duration=0.3, warmup=0.05, settle=0.05)
+    assert result.completed > 500
+    dep.run_for(0.3)
+    assert_correct(dep)
+
+
+def test_epaxos_executes_mutual_dependency_cycle():
+    """Two concurrently-committed instances that depend on each other form
+    an SCC; every replica must execute them in the same (seq, id) order."""
+    dep = Deployment(Config.lan(1, 3, seed=73)).start(EPaxos)
+    a_id = (NodeID(1, 1), 1)
+    b_id = (NodeID(1, 2), 1)
+    observer = dep.replicas[NodeID(1, 3)]
+    # Deliver commits with mutual deps in an arbitrary order.
+    observer.on_commit(
+        NodeID(1, 1),
+        CommitMsg(instance=a_id, command=Command.put("k", "A"), deps=frozenset({b_id}), seq=2),
+    )
+    observer.on_commit(
+        NodeID(1, 2),
+        CommitMsg(instance=b_id, command=Command.put("k", "B"), deps=frozenset({a_id}), seq=1),
+    )
+    # SCC executed by ascending seq: B (seq 1) before A (seq 2).
+    assert observer.store.history("k") == ["B", "A"]
+
+    # A second replica receiving the same commits in the opposite order
+    # must produce the identical history.
+    other = dep.replicas[NodeID(1, 1)]
+    other.on_commit(
+        NodeID(1, 2),
+        CommitMsg(instance=b_id, command=Command.put("k", "B"), deps=frozenset({a_id}), seq=1),
+    )
+    other.on_commit(
+        NodeID(1, 1),
+        CommitMsg(instance=a_id, command=Command.put("k", "A"), deps=frozenset({b_id}), seq=2),
+    )
+    assert other.store.history("k") == ["B", "A"]
+
+
+def test_epaxos_larger_cluster():
+    cfg = Config.lan(5, 3, seed=74)  # N = 15, fast quorum = 12
+    dep = Deployment(cfg).start(EPaxos)
+    assert dep.replicas[NodeID(1, 1)].fast_quorum_size == 12
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=50), concurrency=8)
+    result = bench.run(duration=0.3, warmup=0.05, settle=0.05)
+    assert result.completed > 200
+    assert_correct(dep)

@@ -1,0 +1,108 @@
+"""Network-partition tests (the fault class the paper lists as hardest to
+produce on real clusters and trivial in a simulated transport)."""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import LEADER, Raft
+
+from tests.conftest import assert_correct
+
+
+def _split(deployment, minority: list[NodeID], duration: float, at: float) -> None:
+    everyone = set(deployment.config.node_ids) | {
+        client.address for client in deployment.clients
+    }
+    majority_side = everyone - set(minority)
+    deployment.cluster.partition([set(minority), majority_side], duration, at)
+
+
+def test_paxos_majority_side_keeps_committing():
+    cfg = Config.lan(3, 3, seed=61)
+    dep = Deployment(cfg).start(MultiPaxos)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=10), concurrency=4, retry_timeout=0.4)
+    # Partition away 4 nodes (leader keeps a 5-node majority).
+    minority = [NodeID(2, 2), NodeID(2, 3), NodeID(3, 2), NodeID(3, 3)]
+    _split(dep, minority, duration=0.5, at=0.3)
+    result = bench.run(duration=1.2, warmup=0.1, settle=0.05)
+    during = [
+        op for op in dep.history.operations if 0.4 < op.returned_at < 0.8
+    ]
+    assert len(during) > 200  # majority side barely noticed
+    dep.run_for(1.0)  # heal + repair
+    assert_correct(dep)
+
+
+def test_paxos_leader_in_minority_stalls_until_heal():
+    """Elections disabled: a leader cut off from the majority cannot commit
+    (safety over liveness), and catches up after the partition heals."""
+    cfg = Config.lan(3, 3, seed=62)
+    dep = Deployment(cfg).start(MultiPaxos)
+    client = dep.new_client()
+    dep.run_for(0.05)
+    client.put("k", "before")
+    dep.run_for(0.05)
+    # Leader 1.1 and the client alone on one side.
+    minority = [NodeID(1, 1)]
+    everyone = set(dep.config.node_ids) | {client.address}
+    dep.cluster.partition(
+        [{NodeID(1, 1), client.address}, everyone - {NodeID(1, 1), client.address}],
+        duration=0.5,
+        at=dep.now,
+    )
+    done = []
+    client.put("k", "during", on_done=lambda r, l: done.append(r.value))
+    dep.run_for(0.3)
+    assert done == []  # no majority, no commit
+    dep.run_for(1.0)  # heal: the accept finally gathers its quorum
+    assert done == ["during"]
+    assert_correct(dep)
+
+
+def test_wpaxos_owner_recovers_after_partition():
+    """An owner partitioned from its zone retransmits the lost accepts once
+    the partition heals (the liveness path added for drops/partitions)."""
+    from repro.protocols.wpaxos import WPaxos
+
+    cfg = Config.lan(3, 3, seed=64)
+    dep = Deployment(cfg).start(WPaxos)
+    client = dep.new_client()
+    client.put("obj", "seed", target=NodeID(1, 1))
+    dep.run_for(0.05)
+    # Cut the owner off from everyone (its fz=0 quorum needs a zone-mate).
+    everyone = set(dep.config.node_ids) | {client.address}
+    dep.cluster.partition(
+        [{NodeID(1, 1), client.address}, everyone - {NodeID(1, 1), client.address}],
+        duration=0.5,
+        at=dep.now,
+    )
+    done = []
+    client.put("obj", "during", target=NodeID(1, 1), on_done=lambda r, l: done.append(r.value))
+    dep.run_for(0.3)
+    assert done == []
+    dep.run_for(1.5)  # heal; retransmission completes the round
+    assert done == ["during"]
+    assert_correct(dep)
+
+
+def test_raft_elects_on_majority_side_of_partition():
+    cfg = Config.lan(3, 3, seed=63)
+    dep = Deployment(cfg).start(Raft)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=10), concurrency=4, retry_timeout=0.3)
+    # Isolate the leader (1.1) alone; the other 8 elect a replacement.
+    everyone = set(dep.config.node_ids) | {
+        ("client", i) for i in range(1, 6)
+    }
+    dep.cluster.partition(
+        [{NodeID(1, 1)}, everyone - {NodeID(1, 1)}], duration=1.2, at=0.3
+    )
+    result = bench.run(duration=2.0, warmup=0.1, settle=0.05)
+    leaders = [r.id for r in dep.replicas.values() if r.state == LEADER and r.id != NodeID(1, 1)]
+    assert leaders  # someone else took over
+    late = [op for op in dep.history.operations if op.returned_at > 1.0]
+    assert len(late) > 100
+    dep.run_for(1.0)
+    assert_correct(dep)

@@ -1,0 +1,123 @@
+"""Tests for the client library: retries, failover, stickiness, faults."""
+
+import pytest
+
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientReply, ClientRequest
+from repro.paxi.node import Replica
+
+
+class Echo(Replica):
+    def __init__(self, deployment, node_id):
+        super().__init__(deployment, node_id)
+        self.served = 0
+        self.register(ClientRequest, self.on_request)
+
+    def on_request(self, src, m):
+        self.served += 1
+        value = self.store.execute(m.command)
+        self.send(
+            m.client,
+            ClientReply(request_id=m.request_id, ok=True, value=value, replied_by=self.id),
+        )
+
+
+class Mute(Replica):
+    """Never replies — forces client timeouts."""
+
+    def __init__(self, deployment, node_id):
+        super().__init__(deployment, node_id)
+        self.register(ClientRequest, lambda src, m: None)
+
+
+def test_retry_rotates_to_next_replica():
+    dep = Deployment(Config.lan(1, 3, seed=1)).start(Echo)
+    client = dep.new_client()
+    client.retry_timeout = 0.05
+    first = client._preferred[0]
+    dep.drop(client.address, first, duration=0.2, at=0.0)
+    done = []
+    client.put("k", 1, on_done=lambda r, l: done.append(r.replied_by))
+    dep.run_for(0.3)
+    assert done and done[0] != first  # failed over to another node
+    assert client.completed == 1
+    assert client.failed == 0
+
+
+def test_gives_up_after_max_retries():
+    dep = Deployment(Config.lan(1, 2, seed=2)).start(Mute)
+    client = dep.new_client()
+    client.retry_timeout = 0.02
+    client.max_retries = 3
+    client.put("k", 1)
+    dep.run_for(1.0)
+    assert client.failed == 1
+    assert client.outstanding == 0
+    # The abandoned write stays in the history as possibly-effective.
+    assert dep.history.in_flight == 1
+
+
+def test_stale_reply_after_retry_is_ignored():
+    dep = Deployment(Config.lan(1, 3, seed=3)).start(Echo)
+    client = dep.new_client()
+    client.retry_timeout = 0.0005  # shorter than one network delay
+    done = []
+    client.put("k", 1, on_done=lambda r, l: done.append(r.replied_by))
+    dep.run_for(0.5)
+    # Both the original and the retry may execute, but exactly one
+    # completion is reported.
+    assert len(done) == 1
+    assert client.completed == 1
+
+
+def test_sticky_hint_cleared_on_timeout():
+    dep = Deployment(Config.lan(1, 3, seed=4)).start(Echo)
+    client = dep.new_client()
+    client.retry_timeout = 0.05
+    client._sticky = NodeID(1, 2)
+    dep.drop(client.address, NodeID(1, 2), duration=0.2, at=0.0)
+    client.put("k", 1)
+    dep.run_for(0.3)
+    assert client._sticky is None or client._sticky != NodeID(1, 2) or client.completed == 1
+
+
+def test_no_retry_by_default():
+    dep = Deployment(Config.lan(1, 2, seed=5)).start(Mute)
+    client = dep.new_client()
+    client.put("k", 1)
+    dep.run_for(0.5)
+    assert client.outstanding == 1  # waits forever, never fails
+    assert client.failed == 0
+
+
+def test_client_fault_commands_delegate():
+    dep = Deployment(Config.lan(1, 3, seed=6)).start(Echo)
+    client = dep.new_client()
+    client.crash(NodeID(1, 2), duration=0.5)
+    client.drop(NodeID(1, 1), NodeID(1, 2), duration=0.5)
+    client.slow(NodeID(1, 2), NodeID(1, 3), duration=0.5)
+    client.flaky(NodeID(1, 3), NodeID(1, 1), duration=0.5, probability=0.3)
+    # Crash registered as a server freeze; the drop rule is active.
+    assert dep.cluster.server(NodeID(1, 2)) is not None
+    dep.run_for(0.01)
+    assert dep.cluster.server(NodeID(1, 2)).frozen
+    rules = dep.cluster.faults.active_rules(0.1, NodeID(1, 1), NodeID(1, 2))
+    assert any(rule.kind == "drop" for rule in rules)
+
+
+def test_explicit_target_overrides_preference():
+    dep = Deployment(Config.lan(1, 3, seed=7)).start(Echo)
+    client = dep.new_client()
+    target = NodeID(1, 3)
+    client.put("k", 1, target=target)
+    dep.run_for(0.05)
+    assert dep.replicas[target].served == 1
+
+
+def test_request_ids_monotone():
+    dep = Deployment(Config.lan(1, 1, seed=8)).start(Echo)
+    client = dep.new_client()
+    ids = [client.put("k", i) for i in range(5)]
+    assert ids == sorted(ids) and len(set(ids)) == 5

@@ -1,0 +1,88 @@
+"""Unit tests for node IDs, commands, and message metadata."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.paxi.ids import NodeID, grid_ids
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
+
+
+class TestNodeID:
+    def test_string_form(self):
+        assert str(NodeID(2, 3)) == "2.3"
+
+    def test_parse_roundtrip(self):
+        assert NodeID.parse("4.7") == NodeID(4, 7)
+
+    @pytest.mark.parametrize("text", ["", "3", "a.b", "1.2.3x"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ConfigError):
+            NodeID.parse(text)
+
+    def test_ordering_is_zone_major(self):
+        assert NodeID(1, 9) < NodeID(2, 1)
+
+
+class TestGridIds:
+    def test_shape(self):
+        ids = grid_ids(3, 3)
+        assert len(ids) == 9
+        assert ids[0] == NodeID(1, 1)
+        assert ids[-1] == NodeID(3, 3)
+
+    def test_zone_major_layout(self):
+        ids = grid_ids(2, 2)
+        assert ids == (NodeID(1, 1), NodeID(1, 2), NodeID(2, 1), NodeID(2, 2))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            grid_ids(0, 3)
+
+
+class TestCommand:
+    def test_get_and_put_constructors(self):
+        get = Command.get("k")
+        put = Command.put("k", 5)
+        assert get.is_read and not get.is_write
+        assert put.is_write and not put.is_read
+        assert put.value == 5
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Command("DELETE", "k")
+
+    def test_conflicts_same_key_write(self):
+        r = Command.get("k")
+        w = Command.put("k", 1)
+        w2 = Command.put("k", 2)
+        assert w.conflicts_with(w2)
+        assert r.conflicts_with(w)
+        assert w.conflicts_with(r)
+
+    def test_reads_never_conflict(self):
+        assert not Command.get("k").conflicts_with(Command.get("k"))
+
+    def test_different_keys_never_conflict(self):
+        assert not Command.put("a", 1).conflicts_with(Command.put("b", 2))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Command.get("k").op = "PUT"
+
+
+class TestMessageMetadata:
+    def test_defaults(self):
+        assert Message.size_bytes() == 100
+        assert Message.weight() == 1.0
+
+    def test_client_messages_sized(self):
+        assert ClientRequest.SIZE_BYTES == 120
+        assert ClientReply.SIZE_BYTES == 120
+
+    def test_epaxos_messages_penalized(self):
+        """The paper penalizes EPaxos message processing and size."""
+        from repro.protocols.epaxos import Accept, CommitMsg, PreAccept, PreAcceptOK
+
+        for cls in (PreAccept, PreAcceptOK, Accept, CommitMsg):
+            assert cls.WEIGHT > 1.0
+            assert cls.SIZE_BYTES >= 200

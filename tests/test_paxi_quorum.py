@@ -1,0 +1,205 @@
+"""Unit and property tests for the quorum systems (paper section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuorumError
+from repro.paxi.ids import NodeID, grid_ids
+from repro.paxi.quorum import (
+    FastQuorum,
+    GridQuorum,
+    GroupQuorum,
+    MajorityQuorum,
+    ThresholdQuorum,
+)
+
+IDS9 = grid_ids(3, 3)
+IDS5 = grid_ids(1, 5)
+
+
+class TestMajority:
+    def test_satisfied_at_majority(self):
+        q = MajorityQuorum(IDS5)
+        for nid in IDS5[:2]:
+            q.ack(nid)
+        assert not q.satisfied()
+        q.ack(IDS5[2])
+        assert q.satisfied()
+
+    def test_size(self):
+        assert MajorityQuorum(IDS9).size == 5
+        assert MajorityQuorum(IDS5).size == 3
+
+    def test_duplicate_acks_count_once(self):
+        q = MajorityQuorum(IDS5)
+        for _ in range(10):
+            q.ack(IDS5[0])
+        assert not q.satisfied()
+
+    def test_foreign_vote_rejected(self):
+        q = MajorityQuorum(IDS5)
+        with pytest.raises(QuorumError):
+            q.ack(NodeID(9, 9))
+
+    def test_reset(self):
+        q = MajorityQuorum(IDS5)
+        for nid in IDS5[:3]:
+            q.ack(nid)
+        assert q.satisfied()
+        q.reset()
+        assert not q.satisfied()
+
+    def test_defeated_when_majority_nacks(self):
+        q = MajorityQuorum(IDS5)
+        for nid in IDS5[:3]:
+            q.nack(nid)
+        assert q.defeated()
+
+    def test_not_defeated_with_minority_nacks(self):
+        q = MajorityQuorum(IDS5)
+        q.nack(IDS5[0])
+        assert not q.defeated()
+
+    def test_empty_quorum_rejected(self):
+        with pytest.raises(QuorumError):
+            MajorityQuorum([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(QuorumError):
+            MajorityQuorum([IDS5[0], IDS5[0]])
+
+
+class TestThreshold:
+    def test_fpaxos_pairing(self):
+        """FPaxos at N=9 with |q2|=3: q1 must be 7 so they intersect."""
+        q2 = ThresholdQuorum(IDS9, 3)
+        q1 = ThresholdQuorum(IDS9, 9 - 3 + 1)
+        assert q1.size + q2.size == 10  # > N guarantees intersection
+
+    def test_threshold_bounds(self):
+        with pytest.raises(QuorumError):
+            ThresholdQuorum(IDS5, 0)
+        with pytest.raises(QuorumError):
+            ThresholdQuorum(IDS5, 6)
+
+    def test_satisfied_exactly_at_threshold(self):
+        q = ThresholdQuorum(IDS5, 2)
+        q.ack(IDS5[0])
+        assert not q.satisfied()
+        q.ack(IDS5[4])
+        assert q.satisfied()
+
+
+class TestFast:
+    def test_default_is_three_quarters(self):
+        """Paper section 2: fast quorum is 'approximately 3/4ths of all
+        nodes'."""
+        assert FastQuorum(IDS9).size == 7  # ceil(27/4)
+        assert FastQuorum(IDS5).size == 4  # ceil(15/4)
+
+    def test_explicit_size(self):
+        assert FastQuorum(IDS5, size=3).size == 3
+
+    def test_size_bounds(self):
+        with pytest.raises(QuorumError):
+            FastQuorum(IDS5, size=6)
+
+
+class TestGrid:
+    def test_phase2_fz0_is_zone_local(self):
+        """fz=0, f=1 on a 3x3 grid: 2 acks in one zone suffice."""
+        q = GridQuorum(IDS9, phase=2, f=1, fz=0)
+        q.ack(NodeID(1, 1))
+        assert not q.satisfied()
+        q.ack(NodeID(1, 2))
+        assert q.satisfied()
+
+    def test_phase2_acks_across_zones_do_not_count(self):
+        q = GridQuorum(IDS9, phase=2, f=1, fz=0)
+        q.ack(NodeID(1, 1))
+        q.ack(NodeID(2, 1))
+        q.ack(NodeID(3, 1))
+        assert not q.satisfied()  # one ack in each zone completes none
+
+    def test_phase2_fz1_needs_two_zones(self):
+        q = GridQuorum(IDS9, phase=2, f=1, fz=1)
+        q.ack(NodeID(1, 1))
+        q.ack(NodeID(1, 2))
+        assert not q.satisfied()
+        q.ack(NodeID(2, 1))
+        q.ack(NodeID(2, 3))
+        assert q.satisfied()
+
+    def test_phase1_fz0_needs_all_zones(self):
+        q = GridQuorum(IDS9, phase=1, f=1, fz=0)
+        for zone in (1, 2):
+            q.ack(NodeID(zone, 1))
+            q.ack(NodeID(zone, 2))
+        assert not q.satisfied()
+        q.ack(NodeID(3, 2))
+        q.ack(NodeID(3, 3))
+        assert q.satisfied()
+
+    def test_size_hints(self):
+        assert GridQuorum(IDS9, phase=2, f=1, fz=0).size == 2
+        assert GridQuorum(IDS9, phase=1, f=1, fz=0).size == 6
+
+    def test_invalid_phase(self):
+        with pytest.raises(QuorumError):
+            GridQuorum(IDS9, phase=3)
+
+    def test_infeasible_parameters(self):
+        with pytest.raises(QuorumError):
+            GridQuorum(IDS9, phase=1, f=3, fz=0)  # f >= nodes per zone
+        with pytest.raises(QuorumError):
+            GridQuorum(IDS9, phase=2, f=1, fz=3)  # fz+1 > zones
+
+    def test_preferred_members_anchor_zone_first(self):
+        q = GridQuorum(IDS9, phase=2, f=1, fz=1)
+        members = q.preferred_members(anchor_zone=2, topology_order=[2, 1, 3])
+        assert members[0].zone == 2
+        zones = {m.zone for m in members}
+        assert zones == {2, 1}
+        assert len(members) == 4
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=3))
+def test_grid_q1_q2_always_intersect(f, fz):
+    """Safety property: any satisfied phase-1 ack set intersects any
+    satisfied phase-2 ack set, for every feasible (f, fz) on grids."""
+    for zones, per_zone in ((3, 3), (5, 2), (2, 5), (4, 4)):
+        ids = grid_ids(zones, per_zone)
+        if f >= per_zone or fz >= zones:
+            continue
+        q1 = GridQuorum(ids, phase=1, f=f, fz=fz)
+        q2 = GridQuorum(ids, phase=2, f=f, fz=fz)
+        # Adversarial minimal quorums: q1 takes the FIRST (R-f) nodes of the
+        # FIRST (Z-fz) zones; q2 takes the LAST (f+1) nodes of the LAST
+        # (fz+1) zones; they must still share a node by counting.
+        q1_set = {
+            NodeID(z, n)
+            for z in range(1, zones - fz + 1)
+            for n in range(1, per_zone - f + 1)
+        }
+        q2_set = {
+            NodeID(z, n)
+            for z in range(zones - fz, zones + 1)
+            for n in range(per_zone - f, per_zone + 1)
+        }
+        for nid in q1_set:
+            q1.ack(nid)
+        for nid in q2_set:
+            q2.ack(nid)
+        assert q1.satisfied() and q2.satisfied()
+        assert q1_set & q2_set, f"disjoint quorums for f={f} fz={fz} {zones}x{per_zone}"
+
+
+class TestGroup:
+    def test_majority_within_group(self):
+        group = [NodeID(2, n) for n in range(1, 4)]
+        q = GroupQuorum(group)
+        q.ack(group[0])
+        assert not q.satisfied()
+        q.ack(group[2])
+        assert q.satisfied()
+        assert q.size == 2

@@ -1,0 +1,138 @@
+"""Integration tests for Vertical Paxos."""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.vpaxos import VPaxos
+
+from tests.conftest import assert_correct, run_protocol
+
+WAN = ("VA", "OH", "CA")
+
+
+def wan_cfg(seed=1, **params):
+    return Config.wan(WAN, 3, seed=seed, **params)
+
+
+def test_first_access_assigns_to_requesting_zone():
+    dep = Deployment(wan_cfg()).start(VPaxos)
+    client = dep.new_client(site="CA")
+    seen = []
+    client.put("k", "v", target=NodeID(3, 1), on_done=lambda r, l: seen.append(r.value))
+    dep.run_for(0.5)
+    assert seen == ["v"]
+    assert "k" in dep.replicas[NodeID(3, 1)].owned
+    master = dep.replicas[NodeID(2, 1)]
+    assert master._mapping["k"].owner == 3
+
+
+def test_remote_access_forwards_to_owner():
+    dep = Deployment(wan_cfg()).start(VPaxos)
+    ca = dep.new_client(site="CA")
+    va = dep.new_client(site="VA")
+    ca.put("k", "ca", target=NodeID(3, 1))
+    dep.run_for(0.5)
+    seen = []
+    va.get("k", target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
+    dep.run_for(0.5)
+    assert seen == ["ca"]
+    assert "k" in dep.replicas[NodeID(3, 1)].owned  # one access: no move yet
+
+
+def test_owner_side_three_consecutive_reassignment():
+    dep = Deployment(wan_cfg()).start(VPaxos)
+    ca = dep.new_client(site="CA")
+    va = dep.new_client(site="VA")
+    ca.put("k", "seed", target=NodeID(3, 1))
+    dep.run_for(0.5)
+    for i in range(4):
+        va.put("k", f"va{i}", target=NodeID(1, 1))
+        dep.run_for(0.5)
+    assert "k" in dep.replicas[NodeID(1, 1)].owned
+    assert "k" not in dep.replicas[NodeID(3, 1)].owned
+    master = dep.replicas[NodeID(2, 1)]
+    assert master._mapping["k"].owner == 1
+    # History survived the move.
+    history = dep.replicas[NodeID(1, 1)].store.history("k")
+    assert history[0] == "seed"
+    assert_correct(dep)
+
+
+def test_interleaved_owner_accesses_prevent_reassignment():
+    dep = Deployment(wan_cfg()).start(VPaxos)
+    ca = dep.new_client(site="CA")
+    va = dep.new_client(site="VA")
+    ca.put("k", "seed", target=NodeID(3, 1))
+    dep.run_for(0.5)
+    for i in range(4):
+        va.put("k", f"va{i}", target=NodeID(1, 1))
+        dep.run_for(0.3)
+        ca.put("k", f"ca{i}", target=NodeID(3, 1))
+        dep.run_for(0.3)
+    assert "k" in dep.replicas[NodeID(3, 1)].owned
+    assert_correct(dep)
+
+
+def test_master_never_executes_commands():
+    """Unlike WanKeeper, the VPaxos master is pure control plane."""
+    dep = Deployment(wan_cfg()).start(VPaxos)
+    va = dep.new_client(site="VA")
+    ca = dep.new_client(site="CA")
+    # Contended key, but owned by VA: the master only mediates.
+    va.put("k", "a", target=NodeID(1, 1))
+    dep.run_for(0.5)
+    ca.put("k", "b", target=NodeID(3, 1))
+    dep.run_for(0.5)
+    master = dep.replicas[NodeID(2, 1)]
+    assert master.store.read("k") is None  # never executed at the master zone
+
+
+def test_locality_workload_balances_regions():
+    """Figure 13: WPaxos and VPaxos balance objects across regions, unlike
+    WanKeeper's master bias."""
+    dep = Deployment(wan_cfg(seed=2)).start(VPaxos)
+    spec = {
+        "VA": WorkloadSpec(keys=60, distribution="normal", mu=10, sigma=4),
+        "OH": WorkloadSpec(keys=60, distribution="normal", mu=30, sigma=4),
+        "CA": WorkloadSpec(keys=60, distribution="normal", mu=50, sigma=4),
+    }
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=6)
+    result = bench.run(duration=2.5, warmup=1.5, settle=0.3)
+    medians = [result.per_site[site].p50 for site in WAN]
+    assert all(m < 5 for m in medians)  # every region ends up mostly local
+    owned_counts = [len(dep.replicas[NodeID(z, 1)].owned) for z in (1, 2, 3)]
+    assert all(count > 5 for count in owned_counts)
+    assert_correct(dep)
+
+
+def test_conflict_key_stays_with_owner_region():
+    dep = Deployment(wan_cfg(seed=3)).start(VPaxos)
+    oh = dep.new_client(site="OH")
+    oh.put(777, "prime", target=NodeID(2, 1))
+    dep.run_for(0.5)
+    spec = {
+        site: WorkloadSpec(keys=50, min_key=1000 * i, conflict_ratio=0.5, conflict_key=777)
+        for i, site in enumerate(WAN)
+    }
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=6)
+    result = bench.run(duration=1.5, warmup=0.5, settle=0.1)
+    # Interleaved cross-region access keeps the hot key at OH (owner-side
+    # consecutive counting), so OH stays fast and CA pays its 52 ms RTT.
+    assert result.per_site["OH"].p50 < 3
+    assert result.per_site["CA"].mean > 20
+    assert_correct(dep)
+
+
+def test_correct_under_mixed_load():
+    dep, res = run_protocol(
+        VPaxos,
+        Config.lan(3, 3, seed=5),
+        WorkloadSpec(keys=30, conflict_ratio=0.3),
+        concurrency=8,
+        duration=0.4,
+    )
+    assert res.completed > 200
+    dep.run_for(0.3)
+    assert_correct(dep)

@@ -1,0 +1,131 @@
+"""Integration tests for WanKeeper."""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.wankeeper import MASTER, WanKeeper
+
+from tests.conftest import assert_correct, run_protocol
+
+WAN = ("VA", "OH", "CA")
+
+
+def wan_cfg(seed=1, **params):
+    return Config.wan(WAN, 3, seed=seed, **params)
+
+
+def test_master_is_second_zone_by_default():
+    dep = Deployment(wan_cfg()).start(WanKeeper)
+    master = dep.replicas[NodeID(2, 1)]
+    assert master.is_master
+    assert not dep.replicas[NodeID(1, 1)].is_master
+    assert dep.config.zone_site(2) == "OH"
+
+
+def test_master_executes_first_access(lan9):
+    dep = Deployment(Config.lan(3, 3, seed=1)).start(WanKeeper)
+    client = dep.new_client()
+    seen = []
+    client.put("k", "v", target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
+    dep.run_for(0.1)
+    assert seen == ["v"]
+    master = dep.replicas[NodeID(2, 1)]
+    assert master._token_table["k"].holder == MASTER
+    assert master.store.read("k") == "v"
+
+
+def test_token_granted_after_consecutive_zone_accesses():
+    dep = Deployment(wan_cfg()).start(WanKeeper)
+    client = dep.new_client(site="VA")
+    latencies = []
+    for i in range(6):
+        client.put("k", i, target=NodeID(1, 1), on_done=lambda r, l: latencies.append(l * 1e3))
+        dep.run_for(0.3)
+    leader = dep.replicas[NodeID(1, 1)]
+    assert "k" in leader.tokens  # granted after 3 consecutive VA accesses
+    # Early accesses pay the WAN trip to the master; later ones are local.
+    assert latencies[0] > 10
+    assert latencies[-1] < 5
+    assert_correct(dep)
+
+
+def test_contention_retracts_token_to_master():
+    dep = Deployment(wan_cfg()).start(WanKeeper)
+    va = dep.new_client(site="VA")
+    ca = dep.new_client(site="CA")
+    for i in range(4):  # grant to VA
+        va.put("k", f"va{i}", target=NodeID(1, 1))
+        dep.run_for(0.3)
+    assert "k" in dep.replicas[NodeID(1, 1)].tokens
+    ca.put("k", "ca0", target=NodeID(3, 1))
+    dep.run_for(0.5)
+    master = dep.replicas[NodeID(2, 1)]
+    assert master._token_table["k"].holder == MASTER
+    assert "k" not in dep.replicas[NodeID(1, 1)].tokens
+    # The contested write still executed, with full history spliced in.
+    assert master.store.history("k")[-1] == "ca0"
+    assert master.store.history("k")[0] == "va0"
+    assert_correct(dep)
+
+
+def test_master_region_gets_local_latency_under_conflict():
+    """Figure 11b: the Ohio (master) region enjoys steady low latency on
+    the conflict object."""
+    dep = Deployment(wan_cfg(seed=2)).start(WanKeeper)
+    spec = {
+        site: WorkloadSpec(keys=50, min_key=1000 * i, conflict_ratio=0.5, conflict_key=777)
+        for i, site in enumerate(WAN)
+    }
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=6)
+    result = bench.run(duration=1.5, warmup=0.5, settle=0.3)
+    assert result.per_site["OH"].mean < 3
+    assert result.per_site["VA"].mean > result.per_site["OH"].mean
+    assert result.per_site["CA"].mean > result.per_site["VA"].mean  # CA-OH 52 > VA-OH 11
+    assert_correct(dep)
+
+
+def test_locality_workload_settles_tokens_to_regions():
+    dep = Deployment(wan_cfg(seed=3)).start(WanKeeper)
+    spec = {
+        "VA": WorkloadSpec(keys=60, distribution="normal", mu=10, sigma=4),
+        "OH": WorkloadSpec(keys=60, distribution="normal", mu=30, sigma=4),
+        "CA": WorkloadSpec(keys=60, distribution="normal", mu=50, sigma=4),
+    }
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=6)
+    result = bench.run(duration=2.5, warmup=1.5, settle=0.3)
+    # After the warmup, every region should be mostly local; the master
+    # region is best (tokens it keeps never pay WAN at all).
+    assert result.per_site["OH"].p50 < 2
+    assert result.per_site["VA"].p50 < 5
+    assert result.per_site["CA"].p50 < 5
+    va_leader = dep.replicas[NodeID(1, 1)]
+    assert len(va_leader.tokens) > 5
+    assert_correct(dep)
+
+
+def test_lan_throughput_beats_wpaxos():
+    """Figure 9: hierarchical WanKeeper saturates above WPaxos."""
+    from repro.protocols.wpaxos import WPaxos
+
+    _dw, wk = run_protocol(
+        WanKeeper, Config.lan(3, 3, seed=4), WorkloadSpec(keys=1000), concurrency=128, duration=0.3
+    )
+    _dp, wp = run_protocol(
+        WPaxos, Config.lan(3, 3, seed=4), WorkloadSpec(keys=1000), concurrency=128, duration=0.3
+    )
+    assert wk.throughput > wp.throughput
+
+
+def test_correct_under_mixed_load(lan9):
+    dep, res = run_protocol(
+        WanKeeper,
+        Config.lan(3, 3, seed=5),
+        WorkloadSpec(keys=30, conflict_ratio=0.3),
+        concurrency=8,
+        duration=0.4,
+    )
+    assert res.completed > 200
+    dep.run_for(0.3)
+    assert_correct(dep)

@@ -1,0 +1,102 @@
+"""Cross-protocol correctness matrix.
+
+Every protocol must pass both paper checkers — linearizability and
+consensus common-prefix — under every workload/deployment combination,
+including fault injection.  This is the Paxi framework's core promise:
+one playground, same checks for everyone.
+"""
+
+import pytest
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.fpaxos import FPaxos
+from repro.protocols.mencius import Mencius
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+from tests.conftest import assert_correct
+
+ALL_PROTOCOLS = [MultiPaxos, FPaxos, Raft, EPaxos, WPaxos, WanKeeper, VPaxos, Mencius]
+
+WORKLOADS = {
+    "uniform": WorkloadSpec(keys=40),
+    "hot-key": WorkloadSpec(keys=40, conflict_ratio=0.8),
+    "write-only": WorkloadSpec(keys=10, write_ratio=1.0),
+    "read-heavy": WorkloadSpec(keys=40, write_ratio=0.1),
+    "zipfian": WorkloadSpec(keys=40, distribution="zipfian"),
+}
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=str)
+def test_lan_correctness(factory, workload):
+    cfg = Config.lan(3, 3, seed=hash(workload) % 1000)
+    dep = Deployment(cfg).start(factory)
+    bench = ClosedLoopBenchmark(dep, WORKLOADS[workload], concurrency=6)
+    result = bench.run(duration=0.25, warmup=0.02, settle=0.05)
+    assert result.completed > 50, f"{factory.__name__} barely made progress"
+    dep.run_for(0.3)  # drain watermarks
+    assert_correct(dep)
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=lambda f: f.__name__)
+def test_wan_correctness(factory):
+    cfg = Config.wan(("VA", "OH", "CA"), 3, seed=77)
+    dep = Deployment(cfg).start(factory)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=30), concurrency=6)
+    result = bench.run(duration=1.0, warmup=0.2, settle=0.5)
+    assert result.completed > 20
+    dep.run_for(0.5)
+    assert_correct(dep)
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=lambda f: f.__name__)
+def test_flaky_network_correctness(factory):
+    """Random message drops between two nodes must never break safety
+    (the paper's Flaky fault command)."""
+    cfg = Config.lan(3, 3, seed=31)
+    dep = Deployment(cfg).start(factory)
+    dep.flaky(NodeID(1, 2), NodeID(2, 1), duration=0.3, probability=0.4, at=0.1)
+    dep.flaky(NodeID(2, 1), NodeID(1, 2), duration=0.3, probability=0.4, at=0.1)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=20), concurrency=4, retry_timeout=0.5)
+    bench.run(duration=0.8, warmup=0.05, settle=0.05)
+    dep.run_for(1.0)
+    assert_correct(dep)
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=lambda f: f.__name__)
+def test_follower_crash_correctness(factory):
+    """Freezing one non-leader node must never break safety (Crash)."""
+    cfg = Config.lan(3, 3, seed=32)
+    dep = Deployment(cfg).start(factory)
+    dep.crash(NodeID(3, 2), duration=0.4, at=0.1)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=20), concurrency=4, retry_timeout=0.5)
+    result = bench.run(duration=0.8, warmup=0.05, settle=0.05)
+    assert result.completed > 100
+    dep.run_for(0.8)
+    assert_correct(dep)
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=lambda f: f.__name__)
+def test_deterministic_runs(factory):
+    """Same seed, same protocol, same workload -> identical histories."""
+
+    def signature():
+        cfg = Config.lan(3, 3, seed=99)
+        dep = Deployment(cfg).start(factory)
+        bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=10), concurrency=3)
+        bench.run(duration=0.15, warmup=0.02, settle=0.05)
+        return [
+            (op.client, op.op, op.key, op.value, op.output, op.invoked_at, op.returned_at)
+            for op in dep.history.operations
+        ]
+
+    assert signature() == signature()

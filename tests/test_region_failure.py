@@ -1,0 +1,76 @@
+"""Region-failure tolerance: the fz parameter does what the paper says.
+
+Paper section 5.3, observation (3): WPaxos with fz=1 "can tolerate entire
+region failure" — its phase-2 quorum spans two zones, so losing one region
+leaves every committed command recoverable and new commands committable.
+With fz=0, objects owned by the failed region stall until it returns.
+"""
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.wpaxos import WPaxos
+
+from tests.conftest import assert_correct
+
+REGIONS = ("VA", "OH", "CA")
+
+
+def _crash_region(deployment, zone: int, duration: float, at: float) -> None:
+    for node in deployment.config.ids_in_zone(zone):
+        deployment.crash(node, duration, at)
+
+
+def test_wpaxos_fz1_survives_region_outage():
+    """With fz=1 a VA-owned object has its quorum in VA+OH; crashing CA
+    entirely must not disturb it at all."""
+    cfg = Config.wan(REGIONS, 3, seed=21, fz=1)
+    dep = Deployment(cfg).start(WPaxos)
+    client = dep.new_client(site="VA")
+    client.put("k", 0)
+    dep.run_for(1.0)
+    _crash_region(dep, 3, duration=2.0, at=dep.now)
+    done = []
+    for i in range(10):
+        client.put("k", i + 1, on_done=lambda r, l: done.append(l * 1e3))
+        dep.run_for(0.15)
+    assert len(done) == 10
+    assert max(done) < 30  # VA-OH quorum: ~11 ms RTT, CA's death unnoticed
+    assert_correct(dep)
+
+
+def test_wpaxos_fz0_stalls_on_owner_region_outage_until_thaw():
+    cfg = Config.wan(REGIONS, 3, seed=22, fz=0, steal_threshold=100)
+    dep = Deployment(cfg).start(WPaxos)
+    va_client = dep.new_client(site="VA")
+    va_client.put("k", 0)
+    dep.run_for(1.0)
+    # The whole VA region freezes; an OH client's requests for the
+    # VA-owned object forward into the void.
+    _crash_region(dep, 1, duration=1.0, at=dep.now)
+    oh_client = dep.new_client(site="OH")
+    done = []
+    oh_client.put("k", "during", on_done=lambda r, l: done.append(l * 1e3))
+    dep.run_for(0.5)
+    assert done == []  # stalled while the owner region is down
+    dep.run_for(2.0)  # VA thaws and processes the queued request
+    assert len(done) == 1
+    assert_correct(dep)
+
+
+def test_multipaxos_majority_survives_minority_region_outage():
+    """9-node MultiPaxos with the leader in VA keeps its majority when CA
+    (3 of 9 nodes) fails."""
+    cfg = Config.wan(REGIONS, 3, seed=23)
+    dep = Deployment(cfg).start(MultiPaxos)
+    bench = ClosedLoopBenchmark(
+        dep, WorkloadSpec(keys=10), concurrency=3, sites=["VA"], retry_timeout=0.5
+    )
+    _crash_region(dep, 3, duration=1.5, at=1.0)
+    result = bench.run(duration=2.5, warmup=0.5, settle=0.5)
+    assert result.completed > 100
+    assert result.failed == 0
+    assert_correct(dep)

@@ -1,0 +1,104 @@
+"""Integration tests for relaxed/session reads in MultiPaxos."""
+
+import pytest
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.checkers.consensus import check_deployment
+from repro.checkers.linearizability import check_history
+from repro.checkers.staleness import check_bounded_staleness, check_session
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+
+REGIONS = ("VA", "OH", "CA")
+
+
+def _deployment(seed=9, **params):
+    cfg = Config.wan(REGIONS, 3, seed=seed, relaxed_reads=True, leader=NodeID(2, 1), **params)
+    return Deployment(cfg).start(MultiPaxos)
+
+
+def _bench(deployment, session: bool, duration=1.0, concurrency=9):
+    bench = ClosedLoopBenchmark(deployment, WorkloadSpec(keys=3, write_ratio=0.5), concurrency)
+    for client, _generator in bench._drivers:
+        client.local_reads = True
+        client.session_reads = session
+    return bench.run(duration=duration, warmup=0.3, settle=0.5)
+
+
+def test_relaxed_reads_are_local():
+    dep = _deployment()
+    _bench(dep, session=False)
+    reads = [op.latency * 1e3 for op in dep.history.operations if op.is_read]
+    assert reads
+    assert sorted(reads)[len(reads) // 2] < 1.0  # median read ~ local RTT
+
+
+def test_relaxed_reads_show_bounded_staleness():
+    dep = _deployment()
+    _bench(dep, session=False)
+    ops = dep.history.snapshot()
+    assert not check_history(ops).ok  # no longer linearizable...
+    unbounded = check_bounded_staleness(ops, delta=float("inf"))
+    assert unbounded.max_staleness > 0  # ...and provably stale...
+    # ...but within the model bound: heartbeat (20 ms) + one-way CA-OH
+    # (26 ms) + queue margin.
+    assert check_bounded_staleness(ops, delta=0.055).ok
+    assert check_deployment(dep).ok  # consensus untouched
+
+
+def test_session_tokens_restore_session_guarantees():
+    dep_plain = _deployment(seed=10)
+    _bench(dep_plain, session=False)
+    plain = check_session(dep_plain.history.snapshot())
+
+    dep_session = _deployment(seed=10)
+    _bench(dep_session, session=True)
+    tokened = check_session(dep_session.history.snapshot())
+
+    assert not plain.ok  # hot keys + local reads violate RYW eventually
+    assert tokened.ok  # version tokens fix it
+
+
+def test_session_read_waits_for_own_write():
+    dep = _deployment(seed=11)
+    client = dep.new_client(site="CA")
+    client.local_reads = True
+    client.session_reads = True
+    dep.run_for(0.5)
+    seen = []
+    client.put("k", "mine")
+    dep.run_for(0.3)
+    client.get("k", on_done=lambda r, l: seen.append(r.value))
+    dep.run_for(0.5)
+    assert seen == ["mine"]
+
+
+def test_strong_reads_unaffected_by_flag_absence():
+    """Without relaxed_reads, GETs still run through consensus."""
+    cfg = Config.wan(REGIONS, 3, seed=12, leader=NodeID(2, 1))
+    dep = Deployment(cfg).start(MultiPaxos)
+    bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=3), concurrency=6)
+    bench.run(duration=1.0, warmup=0.3, settle=0.5)
+    assert check_history(dep.history.snapshot()).ok
+    reads = [op.latency * 1e3 for op in dep.history.operations if op.is_read]
+    assert sorted(reads)[len(reads) // 2] > 5  # consensus-priced reads
+
+
+def test_relaxed_capacity_gain():
+    """Reads off the leader's queue: measured capacity roughly doubles at
+    a 50% write ratio (model: mu / W)."""
+
+    def saturate(relaxed):
+        cfg = Config.lan(3, 3, seed=13, relaxed_reads=relaxed)
+        dep = Deployment(cfg).start(MultiPaxos)
+        bench = ClosedLoopBenchmark(dep, WorkloadSpec(keys=500, write_ratio=0.5), 128)
+        for client, _generator in bench._drivers:
+            client.local_reads = relaxed
+        return bench.run(duration=0.25, warmup=0.05, settle=0.05).throughput
+
+    strong = saturate(False)
+    relaxed = saturate(True)
+    assert relaxed > 1.5 * strong

@@ -1,0 +1,149 @@
+"""Unit tests for the virtual clock / event loop."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+
+
+def test_starts_at_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_call_at_fires_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(2.0, fired.append, "b")
+    loop.call_at(1.0, fired.append, "a")
+    loop.call_at(3.0, fired.append, "c")
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fires_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for tag in range(10):
+        loop.call_at(1.0, fired.append, tag)
+    loop.run()
+    assert fired == list(range(10))
+
+
+def test_call_after_is_relative():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(1.0, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [1.0]
+
+
+def test_nested_scheduling():
+    loop = EventLoop()
+    seen = []
+
+    def outer():
+        seen.append(("outer", loop.now))
+        loop.call_after(0.5, inner)
+
+    def inner():
+        seen.append(("inner", loop.now))
+
+    loop.call_at(1.0, outer)
+    loop.run()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_scheduling_in_past_raises():
+    loop = EventLoop()
+    loop.call_at(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        EventLoop().call_after(-0.1, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, fired.append, 1)
+    loop.call_at(5.0, fired.append, 5)
+    loop.run_until(2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    loop.run_until(6.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_with_empty_heap():
+    loop = EventLoop()
+    loop.run_until(7.5)
+    assert loop.now == 7.5
+
+
+def test_cancel_prevents_firing():
+    loop = EventLoop()
+    fired = []
+    handle = loop.call_at(1.0, fired.append, "x")
+    handle.cancel()
+    loop.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_is_noop():
+    loop = EventLoop()
+    handle = loop.call_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    loop.run()
+
+
+def test_stop_interrupts_run():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, fired.append, 1)
+    loop.call_at(2.0, loop.stop)
+    loop.call_at(3.0, fired.append, 3)
+    loop.run()
+    assert fired == [1]
+    loop.run()
+    assert fired == [1, 3]
+
+
+def test_events_fired_counter():
+    loop = EventLoop()
+    for i in range(5):
+        loop.call_at(float(i), lambda: None)
+    loop.run()
+    assert loop.events_fired == 5
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.call_at(float(i), fired.append, i)
+    loop.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_handle_reports_time():
+    loop = EventLoop()
+    handle = loop.call_at(4.2, lambda: None)
+    assert handle.time == 4.2
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(times):
+    loop = EventLoop()
+    seen = []
+    for t in times:
+        loop.call_at(t, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(times)

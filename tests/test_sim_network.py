@@ -1,0 +1,189 @@
+"""Unit tests for the simulated network and fault injection."""
+
+import pytest
+
+from repro.core.topology import aws_wan, lan
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+from repro.sim.network import FaultPlan, Network
+from repro.sim.random import RandomStreams
+
+
+def make_network(topology=None, seed=0):
+    loop = EventLoop()
+    net = Network(loop, topology if topology is not None else lan(2), RandomStreams(seed))
+    return loop, net
+
+
+def register_pair(net, inbox):
+    net.register("a", "LAN", lambda src, msg, size: inbox.append((src, msg, net._loop.now)))
+    net.register("b", "LAN", lambda src, msg, size: inbox.append((src, msg, net._loop.now)))
+
+
+def test_delivery_with_local_delay():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.transit("a", "b", "hello", 100)
+    loop.run()
+    assert len(inbox) == 1
+    src, msg, at = inbox[0]
+    assert (src, msg) == ("a", "hello")
+    # One-way local delay: half the ~0.43 ms RTT, in seconds.
+    assert 0.05e-3 < at < 0.6e-3
+
+
+def test_unknown_destination_raises():
+    _loop, net = make_network()
+    net.register("a", "LAN", lambda *a: None)
+    with pytest.raises(SimulationError):
+        net.transit("a", "nope", "x", 1)
+
+
+def test_duplicate_registration_raises():
+    _loop, net = make_network()
+    net.register("a", "LAN", lambda *a: None)
+    with pytest.raises(SimulationError):
+        net.register("a", "LAN", lambda *a: None)
+
+
+def test_unknown_site_raises():
+    _loop, net = make_network()
+    with pytest.raises(SimulationError):
+        net.register("x", "Mars", lambda *a: None)
+
+
+def test_wan_delay_reflects_topology():
+    topo = aws_wan(("VA", "JP"), 1)
+    loop = EventLoop()
+    net = Network(loop, topo, RandomStreams(1))
+    arrivals = []
+    net.register("va", "VA", lambda *a: arrivals.append(loop.now))
+    net.register("jp", "JP", lambda *a: arrivals.append(loop.now))
+    net.transit("va", "jp", "ping", 100)
+    loop.run()
+    # VA-JP RTT is 162 ms; one-way ~81 ms.
+    assert arrivals[0] == pytest.approx(0.081, rel=0.15)
+
+
+def test_drop_rule_drops_everything_in_window():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.drop("a", "b", start=0.0, duration=1.0)
+    net.transit("a", "b", "lost", 10)
+    loop.run_until(1.5)
+    assert inbox == []
+    assert net.stats.messages_dropped == 1
+    # After the window the link heals (the clock is now past the window).
+    net.transit("a", "b", "ok", 10)
+    loop.run_until(2.0)
+    assert [m for _s, m, _t in inbox] == ["ok"]
+
+
+def test_drop_rule_is_directional():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.drop("a", "b", start=0.0, duration=1.0)
+    net.transit("b", "a", "reverse", 10)
+    loop.run_until(0.5)
+    assert [m for _s, m, _t in inbox] == ["reverse"]
+
+
+def test_drop_wildcard_source():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.drop(None, "b", start=0.0, duration=1.0)
+    net.transit("a", "b", "x", 10)
+    loop.run_until(0.5)
+    assert inbox == []
+
+
+def test_flaky_drops_roughly_the_requested_fraction():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.flaky("a", "b", start=0.0, duration=100.0, probability=0.5)
+    for _ in range(400):
+        net.transit("a", "b", "m", 10)
+    loop.run_until(50.0)
+    assert 120 < len(inbox) < 280  # ~200 expected
+
+
+def test_flaky_probability_validated():
+    plan = FaultPlan()
+    with pytest.raises(SimulationError):
+        plan.flaky("a", "b", 0.0, 1.0, probability=1.5)
+
+
+def test_slow_adds_delay():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.slow("a", "b", start=0.0, duration=10.0, extra_delay_mean=0.5, extra_delay_sigma=0.01)
+    net.transit("a", "b", "late", 10)
+    loop.run_until(5.0)
+    assert inbox[0][2] > 0.4
+
+
+def test_partition_blocks_cross_group_traffic_both_ways():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.partition([{"a"}, {"b"}], start=0.0, duration=1.0)
+    net.transit("a", "b", "x", 10)
+    net.transit("b", "a", "y", 10)
+    loop.run_until(0.5)
+    assert inbox == []
+
+
+def test_partition_allows_intra_group_traffic():
+    loop = EventLoop()
+    net = Network(loop, lan(3), RandomStreams(0))
+    inbox = []
+    for name in ("a", "b", "c"):
+        net.register(name, "LAN", lambda src, msg, size: inbox.append(msg))
+    net.faults.partition([{"a", "b"}, {"c"}], start=0.0, duration=1.0)
+    net.transit("a", "b", "intra", 10)
+    loop.run_until(0.5)
+    assert inbox == ["intra"]
+
+
+def test_fault_window_expires():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    net.faults.drop("a", "b", start=0.0, duration=1.0)
+    loop.run_until(1.5)
+    net.transit("a", "b", "after", 10)
+    loop.run_until(3.0)
+    assert [m for _s, m, _t in inbox] == ["after"]
+
+
+def test_stats_accumulate():
+    loop, net = make_network()
+    inbox = []
+    register_pair(net, inbox)
+    for _ in range(3):
+        net.transit("a", "b", "m", 50)
+    loop.run()
+    assert net.stats.messages_sent == 3
+    assert net.stats.bytes_sent == 150
+    assert net.stats.per_link[("LAN", "LAN")] == 3
+
+
+def test_determinism_same_seed_same_delays():
+    def arrival_times(seed):
+        loop, net = make_network(seed=seed)
+        times = []
+        net.register("a", "LAN", lambda *a: None)
+        net.register("b", "LAN", lambda src, msg, size: times.append(loop.now))
+        for _ in range(20):
+            net.transit("a", "b", "m", 10)
+        loop.run()
+        return times
+
+    assert arrival_times(7) == arrival_times(7)
+    assert arrival_times(7) != arrival_times(8)

@@ -1,0 +1,150 @@
+"""Unit tests for the simulated CPU+NIC server queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import EventLoop
+from repro.sim.server import Server, ServiceProfile
+
+
+def make() -> tuple[EventLoop, Server]:
+    loop = EventLoop()
+    return loop, Server(loop)
+
+
+def test_single_job_completes_after_cost():
+    loop, server = make()
+    done = []
+    server.submit(0.5, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [0.5]
+
+
+def test_fifo_ordering_and_serialization():
+    loop, server = make()
+    done = []
+    server.submit(1.0, lambda: done.append(("a", loop.now)))
+    server.submit(1.0, lambda: done.append(("b", loop.now)))
+    loop.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_queue_wait_accumulates():
+    loop, server = make()
+    for _ in range(3):
+        server.submit(1.0, lambda: None)
+    loop.run()
+    # Jobs waited 0, 1, and 2 seconds respectively.
+    assert server.stats.wait_seconds == pytest.approx(3.0)
+    assert server.stats.mean_wait() == pytest.approx(1.0)
+
+
+def test_idle_then_busy_utilization():
+    loop, server = make()
+    loop.call_at(1.0, server.submit, 1.0, lambda: None)
+    loop.run()
+    assert server.stats.busy_seconds == pytest.approx(1.0)
+    assert server.stats.utilization(loop.now) == pytest.approx(0.5)
+
+
+def test_zero_cost_job():
+    loop, server = make()
+    done = []
+    server.submit(0.0, done.append, "x")
+    loop.run()
+    assert done == ["x"]
+
+
+def test_negative_cost_rejected():
+    _loop, server = make()
+    with pytest.raises(SimulationError):
+        server.submit(-1.0, lambda: None)
+
+
+def test_freeze_delays_queued_work():
+    loop, server = make()
+    done = []
+    server.freeze(2.0)
+    server.submit(0.5, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [2.5]
+
+
+def test_freeze_extends_not_stacks():
+    loop, server = make()
+    server.freeze(2.0)
+    server.freeze(1.0)  # shorter freeze must not shorten the first
+    done = []
+    server.submit(0.0, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [2.0]
+
+
+def test_jobs_submitted_during_freeze_run_after():
+    loop, server = make()
+    done = []
+    loop.call_at(0.0, server.freeze, 1.0)
+    loop.call_at(0.5, server.submit, 0.25, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [1.25]
+
+
+def test_stats_jobs_completed():
+    loop, server = make()
+    for _ in range(4):
+        server.submit(0.1, lambda: None)
+    loop.run()
+    assert server.stats.jobs_completed == 4
+    assert server.stats.max_queue_length == 4
+
+
+def test_completion_callback_can_submit_more():
+    loop, server = make()
+    done = []
+
+    def chain(n):
+        done.append(loop.now)
+        if n > 0:
+            server.submit(1.0, chain, n - 1)
+
+    server.submit(1.0, chain, 2)
+    loop.run()
+    assert done == [1.0, 2.0, 3.0]
+
+
+class TestServiceProfile:
+    def test_default_paxos_calibration(self):
+        """The default profile puts 9-node Paxos saturation near 8,000/s
+        (paper Figure 7)."""
+        p = ServiceProfile()
+        ts = p.t_out * 2 + 9 * p.t_in + 18 * p.nic_seconds(100)
+        assert 1 / ts == pytest.approx(8000, rel=0.05)
+
+    def test_incoming_cost(self):
+        p = ServiceProfile(t_in=1e-6, t_out=2e-6, bandwidth_bps=1e6)
+        assert p.incoming_cost(100) == pytest.approx(1e-6 + 100 / 1e6)
+
+    def test_outgoing_cost_serializes_once(self):
+        p = ServiceProfile(t_in=1e-6, t_out=2e-6, bandwidth_bps=1e6)
+        one = p.outgoing_cost(100, copies=1)
+        many = p.outgoing_cost(100, copies=5)
+        assert many - one == pytest.approx(4 * 100 / 1e6)
+
+    def test_weight_scales_cpu_only(self):
+        p = ServiceProfile(t_in=1e-6, t_out=2e-6, bandwidth_bps=1e6)
+        assert p.incoming_cost(100, weight=2.0) == pytest.approx(2e-6 + 1e-4)
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(SimulationError):
+            ServiceProfile().outgoing_cost(100, copies=0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=30))
+def test_busy_time_equals_sum_of_costs(costs):
+    loop, server = make()
+    for cost in costs:
+        server.submit(cost, lambda: None)
+    loop.run()
+    assert server.stats.busy_seconds == pytest.approx(sum(costs))
+    assert loop.now == pytest.approx(sum(costs))
