@@ -23,10 +23,21 @@ from typing import Callable, Mapping
 from repro.bench.stats import LatencySummary
 from repro.bench.workload import WorkloadGenerator, WorkloadSpec
 from repro.errors import WorkloadError
+from repro.obs import WindowObservation
 from repro.paxi.client import Client
 from repro.paxi.deployment import Deployment
 
 SpecBySite = WorkloadSpec | Mapping[str, WorkloadSpec]
+
+
+def _arm_observation(deployment: Deployment, warmup_end: float, end: float) -> WindowObservation:
+    """Window-scope the cluster's metrics: baseline busy-time at warmup end,
+    periodic queue sampling only when tracing is on (it costs events)."""
+    obs = deployment.cluster.obs
+    samples = 64 if obs.tracer.enabled else 0
+    return WindowObservation(
+        obs.metrics, deployment.cluster.loop, warmup_end, end, samples=samples
+    )
 
 
 @dataclass
@@ -41,6 +52,10 @@ class BenchmarkResult:
     completed: int = 0
     failed: int = 0
     window: float = 0.0
+    # Per-node observability snapshot for the measurement window: message
+    # counters by type, bytes, utilization rho, mean queue depth (see
+    # repro.obs.metrics).  Populated by the benchmark drivers.
+    metrics: dict | None = field(repr=False, default=None)
 
 
 def _spec_for_site(spec: SpecBySite, site: str) -> WorkloadSpec:
@@ -123,11 +138,14 @@ class ClosedLoopBenchmark:
         warmup_end = start + warmup
         end = start + warmup + duration
         self._state.end_time = end
+        observation = _arm_observation(deployment, warmup_end, end)
         for client, generator in self._drivers:
             self._issue(client, generator)
         deployment.run_until(end)
         failed = sum(client.failed for client, _gen in self._drivers)
-        return self._state.result(warmup_end, end, failed)
+        result = self._state.result(warmup_end, end, failed)
+        result.metrics = observation.snapshot()
+        return result
 
     def _issue(self, client: Client, generator: WorkloadGenerator) -> None:
         command = generator.next_command(self.deployment.now)
@@ -177,10 +195,13 @@ class OpenLoopBenchmark:
         warmup_end = start + warmup
         end = start + warmup + duration
         self._state.end_time = end
+        observation = _arm_observation(deployment, warmup_end, end)
         self._schedule_arrival()
         deployment.run_until(end)
         failed = sum(client.failed for client, _gen in self._drivers)
-        return self._state.result(warmup_end, end, failed)
+        result = self._state.result(warmup_end, end, failed)
+        result.metrics = observation.snapshot()
+        return result
 
     def _schedule_arrival(self) -> None:
         gap = self._arrival_rng.expovariate(self.rate)

@@ -1,8 +1,10 @@
-"""CLI entry point: python -m repro.experiments <id>|all [--fast] [--csv DIR]."""
+"""CLI entry point: python -m repro.experiments <id>|all [--fast] [--csv DIR] [--trace]."""
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -21,11 +23,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fast", action="store_true", help="shrunken sweep for quick runs")
     parser.add_argument("--csv", metavar="DIR", default=None, help="also write CSV output")
     parser.add_argument("--plot", action="store_true", help="render the series as an ASCII chart")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing; dump spans + per-node metric snapshots "
+        "to results/<experiment>_trace.json and print a latency breakdown",
+    )
     args = parser.parse_args(argv)
 
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in targets:
-        result = EXPERIMENTS[name](args.fast)
+        if args.trace:
+            result = _run_traced(name, args.fast)
+        else:
+            result = EXPERIMENTS[name](args.fast)
         print(result.to_text())
         if args.plot:
             from repro.experiments.plotting import plot_result
@@ -37,6 +48,35 @@ def main(argv: list[str] | None = None) -> int:
             path = result.write_csv(args.csv)
             print(f"wrote {path}")
     return 0
+
+
+def _run_traced(name: str, fast: bool, directory: str = "results"):
+    """Run one experiment under an ObsCapture: every cluster the driver
+    builds gets tracing enabled, and the combined spans + metric snapshots
+    land in ``results/<name>_trace.json``."""
+    from repro.obs import ObsCapture
+    from repro.obs.report import breakdown_table
+
+    with ObsCapture(trace=True) as capture:
+        result = EXPERIMENTS[name](fast)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}_trace.json")
+    with open(path, "w") as f:
+        json.dump(
+            {"experiment": name, "clusters": [obs.snapshot() for obs in capture.observed]},
+            f,
+            indent=1,
+        )
+    spans = sum(len(obs.tracer.finished) for obs in capture.observed)
+    print(f"trace: {len(capture.observed)} cluster(s), {spans} span(s) -> {path}")
+    for obs in capture.observed:
+        if obs.tracer.finished:
+            print(breakdown_table(obs.tracer))
+            break
+    else:
+        print("trace: no simulated requests (model-only experiment)")
+    print()
+    return result
 
 
 if __name__ == "__main__":

@@ -1,0 +1,99 @@
+"""Observability: per-node metrics and request lifecycle tracing.
+
+The paper's method is *dissection* — attributing latency to queue wait
+``wQ``, service time ``ts``, and network delay ``DL + DQ``, and deriving
+capacity from per-role message counts (Table 2).  This package makes those
+quantities observable in the simulator so they can be asserted against
+:mod:`repro.core.protocol_models` instead of eyeballed:
+
+- :class:`MetricsHub` / :class:`NodeMetrics` — always-on counters of
+  messages sent/received/dropped by type, bytes on the NIC, plus busy-time
+  and queue-depth gauges read from the per-node
+  :class:`~repro.sim.server.Server` (``sim/network.py`` feeds the counters,
+  ``sim/cluster.py`` owns the hub);
+- :class:`Tracer` / :class:`Span` — opt-in request lifecycle tracing
+  (client submit -> server enqueue -> handler -> quorum -> reply) with
+  virtual timestamps, wired through ``paxi/client.py`` and
+  ``paxi/node.py``; protocols annotate their commit point with one line
+  (``self.trace_mark(request)``);
+- :class:`ObsCapture` — a context manager that collects the observability
+  state of every cluster built inside it, which is how the experiments CLI
+  ``--trace`` flag reaches deployments constructed deep inside a driver;
+- :mod:`repro.obs.report` — latency-breakdown tables, side by side with
+  the analytic model.
+
+See ``docs/OBSERVABILITY.md`` for the metric names and the span model.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsHub, NodeMetrics, WindowObservation
+from repro.obs.tracing import Span, Tracer
+
+
+class Observability:
+    """Per-cluster bundle: one metrics hub plus one tracer."""
+
+    def __init__(self, trace: bool = False) -> None:
+        self.metrics = MetricsHub()
+        self.tracer = Tracer(enabled=trace)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of counters, gauges, and completed spans."""
+        out = {"metrics": self.metrics.snapshot()}
+        if self.tracer.enabled:
+            out["trace"] = self.tracer.to_json()
+        return out
+
+
+class ObsCapture:
+    """Collects the :class:`Observability` of every cluster built while
+    active.  Entering installs the capture globally; clusters register
+    themselves at construction (see ``Cluster.__init__``), so drivers need
+    no plumbing::
+
+        with ObsCapture(trace=True) as capture:
+            run_experiment()
+        for obs in capture.observed:
+            ...
+    """
+
+    def __init__(self, trace: bool = True) -> None:
+        self.trace = trace
+        self.observed: list[Observability] = []
+        self._previous: ObsCapture | None = None
+
+    def adopt(self, obs: Observability) -> None:
+        obs.tracer.enabled = self.trace
+        self.observed.append(obs)
+
+    def __enter__(self) -> "ObsCapture":
+        global _ACTIVE_CAPTURE
+        self._previous = _ACTIVE_CAPTURE
+        _ACTIVE_CAPTURE = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _ACTIVE_CAPTURE
+        _ACTIVE_CAPTURE = self._previous
+        self._previous = None
+
+
+_ACTIVE_CAPTURE: ObsCapture | None = None
+
+
+def active_capture() -> ObsCapture | None:
+    """The capture installed by the innermost ``with ObsCapture():``, if any."""
+    return _ACTIVE_CAPTURE
+
+
+__all__ = [
+    "MetricsHub",
+    "NodeMetrics",
+    "Observability",
+    "ObsCapture",
+    "Span",
+    "Tracer",
+    "WindowObservation",
+    "active_capture",
+]

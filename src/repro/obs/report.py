@@ -1,0 +1,76 @@
+"""Latency-breakdown reports: measured spans next to the analytic model.
+
+``breakdown_table`` prints per-request ``wQ / ts / DL / DQ`` rows from a
+:class:`~repro.obs.tracing.Tracer`; ``model_comparison`` puts the measured
+means side by side with a :class:`~repro.core.protocol_models.ProtocolModel`
+prediction at a given arrival rate — the table the paper's dissection
+argument is made of.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import Tracer
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.4f}"
+
+
+def breakdown_table(tracer: Tracer, limit: int = 10, since: float | None = None) -> str:
+    """Per-request latency decomposition (milliseconds), newest first."""
+    decompositions = tracer.breakdowns(since=since)
+    lines = ["request latency breakdown (ms):"]
+    header = f"{'':>4}  {'wQ':>9}  {'ts':>9}  {'DL':>9}  {'DQ':>9}  {'total':>9}"
+    lines.append(header)
+    for i, d in enumerate(decompositions[-limit:]):
+        lines.append(
+            f"{i:>4}  {_ms(d['wq'])}  {_ms(d['ts'])}  {_ms(d['dl'])}  "
+            f"{_ms(d['dq'])}  {_ms(d['total'])}"
+        )
+    if not decompositions:
+        lines.append("  (no completed spans with canonical events)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'mean':>4}  {_ms(_mean([d['wq'] for d in decompositions]))}  "
+        f"{_ms(_mean([d['ts'] for d in decompositions]))}  "
+        f"{_ms(_mean([d['dl'] for d in decompositions]))}  "
+        f"{_ms(_mean([d['dq'] for d in decompositions]))}  "
+        f"{_ms(_mean([d['total'] for d in decompositions]))}"
+        f"   (n={len(decompositions)})"
+    )
+    return "\n".join(lines)
+
+
+def model_comparison(tracer: Tracer, model, system_rate: float, since: float | None = None) -> str:
+    """Measured means vs. a ``ProtocolModel`` prediction at ``system_rate``.
+
+    The model's ``ts`` covers the *whole* round at the leader while the
+    measured ``ts`` only includes processing on the reply path (the rest of
+    the round's work is what the follower acks overlap with), so measured
+    ``ts`` is expected to undershoot; ``wQ`` and ``DL + DQ`` are the
+    directly comparable rows.
+    """
+    decompositions = tracer.breakdowns(since=since)
+    measured = {
+        "wQ": _mean([d["wq"] for d in decompositions]),
+        "ts": _mean([d["ts"] for d in decompositions]),
+        "DL+DQ": _mean([d["dl"] + d["dq"] for d in decompositions]),
+        "total": _mean([d["total"] for d in decompositions]),
+    }
+    predicted = {
+        "wQ": model.busy_node().wait_time(system_rate),
+        "ts": model.round_service_time(),
+        "DL+DQ": model.network_delay_ms() / 1e3,
+        "total": model.latency_s(system_rate),
+    }
+    lines = [
+        f"measured vs {model.name} model at {system_rate:.0f} req/s (ms, n={len(decompositions)}):",
+        f"{'component':>9}  {'measured':>9}  {'model':>9}",
+    ]
+    for row in ("wQ", "ts", "DL+DQ", "total"):
+        lines.append(f"{row:>9}  {_ms(measured[row])}  {_ms(predicted[row])}")
+    return "\n".join(lines)

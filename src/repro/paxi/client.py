@@ -51,6 +51,7 @@ class Client:
         self.max_retries: int = 8
         self.completed = 0
         self.failed = 0
+        self._tracer = deployment.cluster.obs.tracer
         deployment.cluster.add_lightweight_endpoint(address, site, self._on_receive)
         self._preferred = self._spread_preferences(deployment, address, site)
         # Replicas advertise the current leader in their replies; later
@@ -118,6 +119,10 @@ class Client:
             self.address, command.op, command.key, command.value, pending.invoked_at
         )
         self._pending[request_id] = pending
+        if self._tracer.enabled:
+            self._tracer.begin(
+                self.address, request_id, pending.invoked_at, command.op, command.key
+            )
         self._transmit(request_id, pending)
         return request_id
 
@@ -152,11 +157,13 @@ class Client:
         if pending.retries > self.max_retries:
             del self._pending[request_id]
             self.failed += 1
+            self._tracer.fail((self.address, request_id), self._loop.now, self.address)
             return
         # Rotate to the next-nearest replica, the Paxi client's failover.
         ring = self._preferred
         next_index = (ring.index(pending.target) + 1) % len(ring)
         pending.target = ring[next_index]
+        self._tracer.event((self.address, request_id), "retry", self._loop.now, self.address)
         self._transmit(request_id, pending)
 
     # ------------------------------------------------------------------
@@ -179,6 +186,7 @@ class Client:
         now = self._loop.now
         latency = now - pending.invoked_at
         self.completed += 1
+        self._tracer.end((self.address, message.request_id), now, self.address)
         self.deployment.history.complete(pending.history_token, message.value, now)
         if pending.on_done is not None:
             pending.on_done(message, latency)

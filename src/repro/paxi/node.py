@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 from repro.errors import ProtocolError
 from repro.paxi.ids import NodeID
 from repro.paxi.kvstore import MultiVersionStore
+from repro.paxi.message import ClientReply, ClientRequest
 from repro.sim.clock import EventHandle
 
 if TYPE_CHECKING:
@@ -42,6 +43,7 @@ class Replica:
         self.loop = deployment.cluster.loop
         self._network = deployment.cluster.network
         self._profile = deployment.config.profile
+        self._tracer = deployment.cluster.obs.tracer
 
     # ------------------------------------------------------------------
     # Identity and membership
@@ -77,7 +79,20 @@ class Replica:
         """Entry point from the network: charge the queue, then dispatch."""
         weight = getattr(type(message), "WEIGHT", 1.0)
         cost = self._profile.incoming_cost(size_bytes, weight)
+        if self._tracer.enabled and type(message) is ClientRequest:
+            span_key = (message.client, message.request_id)
+            self._tracer.event(span_key, "server_enqueue", self.now, self.id)
+            self._server.submit(cost, self._dispatch_traced, src, message, span_key, cost)
+            return
         self._server.submit(cost, self._dispatch, src, message)
+
+    def _dispatch_traced(
+        self, src: Hashable, message: Any, span_key: tuple, cost: float
+    ) -> None:
+        # The job just finished occupying the queue for ``cost`` seconds,
+        # so wQ for this hop is handler.t - enqueue.t - cost.
+        self._tracer.event(span_key, "handler", self.now, self.id, service=cost)
+        self._dispatch(src, message)
 
     def _dispatch(self, src: Hashable, message: Any) -> None:
         handler = self._handlers.get(type(message))
@@ -96,7 +111,16 @@ class Replica:
         size = getattr(type(message), "SIZE_BYTES", 100)
         weight = getattr(type(message), "WEIGHT", 1.0)
         cost = self._profile.outgoing_cost(size, copies=1, weight=weight)
+        if self._tracer.enabled and type(message) is ClientReply:
+            self._server.submit(cost, self._traced_reply_transit, dst, message, size)
+            return
         self._server.submit(cost, self._network.transit, self.id, dst, message, size)
+
+    def _traced_reply_transit(self, dst: Hashable, message: Any, size: int) -> None:
+        # Stamped when the reply actually hits the wire, so DL stays pure
+        # wire time and the reply's outgoing queueing is attributed to ts.
+        self._tracer.event((dst, message.request_id), "reply_sent", self.now, self.id)
+        self._network.transit(self.id, dst, message, size)
 
     def multicast(self, dsts: Iterable[Hashable], message: Any) -> None:
         """Send to several peers; serialization is paid once."""
@@ -115,6 +139,19 @@ class Replica:
     def _transit_all(self, targets: list[Hashable], message: Any, size: int) -> None:
         for dst in targets:
             self._network.transit(self.id, dst, message, size)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def trace_mark(self, request: Any, name: str = "quorum") -> None:
+        """Annotate ``request``'s span (protocol commit points call this
+        with their ``RequestInfo``/``ClientRequest``).  No-op when tracing
+        is off or the slot carries no client request (no-ops, heartbeats).
+        """
+        if request is None or not self._tracer.enabled:
+            return
+        self._tracer.event((request.client, request.request_id), name, self.now, self.id)
 
     # ------------------------------------------------------------------
     # Timers and local work

@@ -264,6 +264,7 @@ class EPaxos(Replica):
 
     def _commit(self, instance: InstanceID, record: _Instance) -> None:
         record.status = COMMITTED
+        self.trace_mark(record.request)
         self.broadcast(
             CommitMsg(
                 instance=instance,

@@ -141,8 +141,19 @@ class GroupEngine:
 
     def _commit(self, slot: int) -> None:
         self._slots[slot].committed = True
+        self._mark_quorum(self._slots[slot].item)
         self._dirty = True
         self._advance()
+
+    def _mark_quorum(self, item: Any) -> None:
+        """Trace the quorum point of the client request carried by ``item``
+        (protocols propose ``(tag, ..., RequestInfo)`` tuples)."""
+        if not isinstance(item, tuple):
+            return
+        for part in item:
+            if hasattr(part, "client") and hasattr(part, "request_id"):
+                self.replica.trace_mark(part)
+                return
 
     # ------------------------------------------------------------------
     # Member side

@@ -199,6 +199,7 @@ class Mencius(Replica):
         entry.quorum.ack(src)
         if entry.quorum.satisfied():
             entry.committed = True
+            self.trace_mark(entry.request)
             self._retransmit.pop(m.slot, None)
             self.broadcast(MCommit(slot=m.slot, command=entry.command, request=entry.request))
             self._try_execute()

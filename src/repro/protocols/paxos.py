@@ -420,6 +420,7 @@ class MultiPaxos(Replica):
 
     def _on_slot_committed(self, slot: int) -> None:
         self.log.commit(slot)
+        self.trace_mark(self.log.entries[slot].request)
         self._uncommitted_slots.pop(slot, None)
         self._advance_execution()
 

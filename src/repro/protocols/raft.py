@@ -327,6 +327,7 @@ class Raft(Replica):
                     if request_key is not None:
                         self._request_cache[request_key] = value
             if request is not None and self.state == LEADER and term == self.term:
+                self.trace_mark(request)
                 self.send(
                     request.client,
                     ClientReply(

@@ -433,6 +433,7 @@ class WPaxos(Replica):
 
     def _commit_slot(self, key: Hashable, state: _ObjectState, slot: int) -> None:
         state.slots[slot].committed = True
+        self.trace_mark(state.slots[slot].request)
         self._pending_slots.pop((key, slot), None)
         state.dirty_watermark = 3
         self._advance_execution(key, state)
@@ -492,11 +493,23 @@ class WPaxos(Replica):
             self._apply_watermark(key, state, upto, src)
 
     def _apply_watermark(self, key: Hashable, state: _ObjectState, upto: int, origin: Hashable) -> None:
+        # The watermark only certifies values chosen under the origin's own
+        # ballot.  An entry accepted under an older ballot may have lost to a
+        # re-proposal we have not received yet (e.g. on a slow link), so it
+        # must be treated like a hole and recovered via fill, never committed
+        # as-is.
+        fresh = state.ballot.owner == origin
+        missing: list[int] = []
         for slot in range(state.execute_index, upto + 1):
             entry = state.slots.get(slot)
-            if entry is not None:
+            if entry is None:
+                missing.append(slot)
+            elif entry.committed:
+                continue
+            elif fresh and entry.ballot == state.ballot:
                 entry.committed = True
-        missing = [s for s in range(1, upto + 1) if s not in state.slots]
+            else:
+                missing.append(slot)
         if missing and not state.fill_outstanding:
             state.fill_outstanding = True
             self.send(origin, WFillRequest(key=key, slots=tuple(missing[:64])))
@@ -515,10 +528,13 @@ class WPaxos(Replica):
         state = self._object(m.key)
         state.fill_outstanding = False
         for slot, ballot, command, request, committed in m.entries:
-            if committed and slot not in state.slots:
+            if not committed:
+                continue
+            local = state.slots.get(slot)
+            if local is None or not local.committed:
+                # Adopt the committed value wholesale: a stale uncommitted
+                # local entry may hold a different (losing) command.
                 state.slots[slot] = _Slot(ballot, command, request, committed=True)
-            elif committed:
-                state.slots[slot].committed = True
         self._advance_execution(m.key, state)
 
     def _advance_execution(self, key: Hashable, state: _ObjectState) -> None:

@@ -12,6 +12,7 @@ from typing import Any, Callable, Hashable
 
 from repro.core.topology import Topology
 from repro.errors import SimulationError
+from repro.obs import Observability, active_capture
 from repro.sim.clock import EventLoop
 from repro.sim.network import FaultPlan, Network
 from repro.sim.random import RandomStreams
@@ -32,7 +33,16 @@ class Cluster:
         self.loop = EventLoop()
         self.streams = RandomStreams(seed)
         self.faults = faults if faults is not None else FaultPlan()
-        self.network = Network(self.loop, topology, self.streams, self.faults)
+        # Metrics are always on (cheap counters); tracing stays off unless
+        # an ObsCapture is active (the experiments CLI ``--trace`` flag) or
+        # a caller flips ``obs.tracer.enabled`` before issuing load.
+        self.obs = Observability(trace=False)
+        capture = active_capture()
+        if capture is not None:
+            capture.adopt(self.obs)
+        self.network = Network(
+            self.loop, topology, self.streams, self.faults, metrics=self.obs.metrics
+        )
         self.default_profile = profile if profile is not None else ServiceProfile()
         self._servers: dict[Hashable, Server] = {}
 
@@ -58,6 +68,7 @@ class Cluster:
         server = Server(self.loop, name=str(address))
         self._servers[address] = server
         self.network.register(address, site, on_receive)
+        self.obs.metrics.attach_server(address, server)
         return server
 
     def add_lightweight_endpoint(

@@ -135,6 +135,7 @@ class Network:
         topology: Topology,
         streams: RandomStreams,
         faults: FaultPlan | None = None,
+        metrics: Any | None = None,
     ) -> None:
         self._loop = loop
         self._topology = topology
@@ -143,6 +144,10 @@ class Network:
         self._sites: dict[Address, str] = {}
         self._receivers: dict[Address, Callable[[Address, Any, int], None]] = {}
         self.stats = NetworkStats()
+        # Per-node message counters (repro.obs.MetricsHub); the network is
+        # the one chokepoint every message crosses, so counting here keeps
+        # the replica hot path untouched.
+        self.metrics = metrics
 
     @property
     def topology(self) -> Topology:
@@ -181,10 +186,14 @@ class Network:
         for rule in self.faults.active_rules(now, src, dst):
             if rule.kind in ("drop", "partition"):
                 self.stats.messages_dropped += 1
+                if self.metrics is not None:
+                    self.metrics.on_dropped(src, type(message).__name__, size_bytes)
                 return
             if rule.kind == "flaky":
                 if self._rng.random() < rule.probability:
                     self.stats.messages_dropped += 1
+                    if self.metrics is not None:
+                        self.metrics.on_dropped(src, type(message).__name__, size_bytes)
                     return
             elif rule.kind == "slow":
                 delay += abs(
@@ -196,5 +205,11 @@ class Network:
         self.stats.bytes_sent += size_bytes
         link = (self._sites[src], self._sites[dst])
         self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        if self.metrics is not None:
+            # Delivery is certain once past the fault rules, so the receive
+            # counter can be bumped at send time (counts, not timestamps).
+            type_name = type(message).__name__
+            self.metrics.on_sent(src, type_name, size_bytes)
+            self.metrics.on_received(dst, type_name, size_bytes)
         receiver = self._receivers[dst]
         self._loop.call_after(delay, receiver, src, message, size_bytes)

@@ -71,6 +71,7 @@ class ServerStats:
     busy_seconds: float = 0.0
     wait_seconds: float = 0.0
     max_queue_length: int = 0
+    queue_area: float = 0.0  # time-integral of queue length (jobs x seconds)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the server spent busy."""
@@ -83,6 +84,13 @@ class ServerStats:
         if self.jobs_completed == 0:
             return 0.0
         return self.wait_seconds / self.jobs_completed
+
+    def mean_queue_depth(self, elapsed: float) -> float:
+        """Time-averaged number of jobs in the system (queued + in service),
+        the L in Little's law."""
+        if elapsed <= 0:
+            return 0.0
+        return self.queue_area / elapsed
 
 
 class Server:
@@ -99,6 +107,7 @@ class Server:
         self._queue: deque[tuple[float, float, Callable[..., Any], tuple]] = deque()
         self._busy = False
         self._frozen_until = 0.0
+        self._area_at = loop.now
         self.stats = ServerStats()
 
     @property
@@ -109,10 +118,18 @@ class Server:
     def frozen(self) -> bool:
         return self._loop.now < self._frozen_until
 
+    def touch_queue_area(self) -> None:
+        """Accrue the queue-length time-integral up to the current instant.
+        Called before every queue-length change and by metric snapshots."""
+        now = self._loop.now
+        self.stats.queue_area += self.queue_length * (now - self._area_at)
+        self._area_at = now
+
     def submit(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
         """Enqueue a job costing ``cost`` seconds, completing with ``fn``."""
         if cost < 0:
             raise SimulationError(f"negative job cost {cost!r}")
+        self.touch_queue_area()
         self._queue.append((self._loop.now, cost, fn, args))
         self.stats.max_queue_length = max(self.stats.max_queue_length, self.queue_length)
         self._maybe_start()
@@ -139,6 +156,7 @@ class Server:
         self._loop.call_after(cost, self._complete, cost, fn, args)
 
     def _complete(self, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+        self.touch_queue_area()
         self._busy = False
         self.stats.jobs_completed += 1
         self.stats.busy_seconds += cost

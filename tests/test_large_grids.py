@@ -1,5 +1,7 @@
 """Larger-grid deployments: the quorum math beyond the paper's 3x3."""
 
+import pytest
+
 from repro.bench.benchmarker import ClosedLoopBenchmark
 from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
@@ -11,6 +13,8 @@ from repro.protocols.epaxos import CommitMsg, EPaxos
 from repro.protocols.wpaxos import WPaxos
 
 from tests.conftest import assert_correct
+
+pytestmark = pytest.mark.slow
 
 
 def test_wpaxos_5x5_grid_f2():

@@ -56,6 +56,7 @@ class TestScheduling:
         assert "crash" in str(event) and "1.2" in str(event)
 
 
+@pytest.mark.slow
 class TestChaosSoak:
     """The automated Jepsen-style check: random fault schedules, safety
     must hold for every protocol with a recovery story."""

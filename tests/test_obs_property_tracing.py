@@ -1,0 +1,136 @@
+"""Property-based test: tracing stays consistent under Nemesis schedules.
+
+Whatever seeded fault schedule a :class:`~repro.bench.nemesis.Nemesis`
+unleashes (crashes, drops, slow/flaky links, partitions), the observability
+layer must keep its books straight:
+
+- no orphan spans — everything the clients finished is accounted for, and
+  the spans still open equal the requests still in flight;
+- message counters never go negative and cluster-wide sent == received;
+- frozen (crashed) nodes stop accruing busy-time for the freeze window;
+- timestamps inside every span are monotone.
+
+Failures replay exactly from the printed ``seed=``/``nemesis_seed=``
+(hypothesis prints the falsifying example; the simulation itself is
+deterministic given those two integers).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.nemesis import Nemesis
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+
+pytestmark = pytest.mark.slow
+
+slow_settings = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _merged_freezes(schedule, base):
+    """Per-node merged crash windows [(start, end)] in absolute time."""
+    windows: dict = {}
+    for event in schedule:
+        if event.kind != "crash":
+            continue
+        start = base + event.start
+        windows.setdefault(event.victim, []).append((start, start + event.duration))
+    merged = {}
+    for victim, spans in windows.items():
+        spans.sort()
+        out = [list(spans[0])]
+        for start, end in spans[1:]:
+            if start <= out[-1][1]:
+                out[-1][1] = max(out[-1][1], end)
+            else:
+                out.append([start, end])
+        merged[victim] = out
+    return merged
+
+
+@slow_settings
+@given(seed=st.integers(0, 10_000), nemesis_seed=st.integers(0, 10_000))
+def test_tracing_consistent_under_nemesis(seed, nemesis_seed):
+    cfg = Config.lan(3, 3, seed=seed)
+    deployment = Deployment(cfg).start(MultiPaxos)
+    deployment.cluster.obs.tracer.enabled = True
+
+    # Spare the fixed leader: elections are exercised elsewhere, and with a
+    # crashed leader every request just times out (safe but uninformative).
+    nemesis = Nemesis(
+        seed=nemesis_seed, horizon=0.6, events=3, spare=(NodeID(1, 1),), max_duration=0.3
+    )
+    base = 0.05  # unleash offsets every event start by this base time
+    schedule = nemesis.unleash(deployment, at=base)
+
+    # Busy-time probes around every merged freeze window: sample shortly
+    # after the freeze takes hold (in-flight jobs complete within their
+    # sub-millisecond cost) and just before it lifts.
+    samples: dict = {}
+    loop = deployment.cluster.loop
+    hub = deployment.cluster.obs.metrics
+    for victim, windows in _merged_freezes(schedule, base).items():
+        server = hub.server_of(victim)
+        for start, end in windows:
+            if end - start < 0.02:
+                continue
+            probe = (victim, start, end)
+
+            def record(key=probe, srv=server):
+                samples.setdefault(key, []).append(srv.stats.busy_seconds)
+
+            loop.call_at(start + 0.005, record)
+            loop.call_at(end - 0.001, record)
+
+    spec = WorkloadSpec(keys=10, write_ratio=0.5)
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency=4, retry_timeout=0.3)
+    bench.run(duration=0.5, warmup=0.0, settle=0.05)
+    deployment.run_for(1.5)  # drain retries and late replies
+
+    tracer = deployment.cluster.obs.tracer
+    schedule_text = "; ".join(str(event) for event in schedule)
+
+    # No orphan spans: completions + failures observed by the clients all
+    # landed in the tracer, and whatever is still open is still in flight.
+    completed = sum(client.completed for client in deployment.clients)
+    failed = sum(client.failed for client in deployment.clients)
+    finished_ok = sum(1 for span in tracer.finished if not span.failed)
+    finished_failed = sum(1 for span in tracer.finished if span.failed)
+    assert finished_ok == completed, schedule_text
+    assert finished_failed == failed, schedule_text
+    in_flight = sum(client.outstanding for client in deployment.clients)
+    assert tracer.open_count == in_flight, schedule_text
+
+    for span in tracer.finished:
+        assert span.monotone(), f"{schedule_text}: {span.events}"
+        assert span.events[0].name == "submit"
+        assert span.events[-1].name in ("reply_recv", "gave_up")
+
+    # Counters: never negative, conserved across the cluster.
+    total_sent = total_received = 0
+    for metrics in hub.nodes.values():
+        for counter in (metrics.sent, metrics.received, metrics.dropped):
+            assert all(v >= 0 for v in counter.values()), schedule_text
+        assert metrics.bytes_sent >= 0 and metrics.bytes_received >= 0
+        total_sent += metrics.messages_sent()
+        total_received += metrics.messages_received()
+    assert total_sent == total_received, schedule_text
+
+    # Crashed nodes stop accruing busy-time inside the freeze window.
+    for (victim, start, end), probes in samples.items():
+        assert len(probes) == 2, schedule_text
+        busy_delta = probes[1] - probes[0]
+        assert busy_delta <= 1e-12, (
+            f"{victim} accrued {busy_delta:.6f}s busy while frozen "
+            f"[{start:.2f}, {end:.2f}] under: {schedule_text}"
+        )

@@ -6,6 +6,7 @@ whatever it picks, the checkers must pass.  Example counts are kept small
 because each example is a full (short) simulation.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bench.benchmarker import ClosedLoopBenchmark
@@ -18,6 +19,8 @@ from repro.protocols.paxos import MultiPaxos
 from repro.protocols.wpaxos import WPaxos
 
 from tests.conftest import assert_correct
+
+pytestmark = pytest.mark.slow
 
 node_ids = st.tuples(st.integers(1, 3), st.integers(1, 3)).map(lambda t: NodeID(*t))
 

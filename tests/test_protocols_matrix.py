@@ -24,6 +24,8 @@ from repro.protocols.wpaxos import WPaxos
 
 from tests.conftest import assert_correct
 
+pytestmark = pytest.mark.slow
+
 ALL_PROTOCOLS = [MultiPaxos, FPaxos, Raft, EPaxos, WPaxos, WanKeeper, VPaxos, Mencius]
 
 WORKLOADS = {
