@@ -15,6 +15,7 @@ from repro.checkers.linearizability import check_history
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.epaxos import EPaxos
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.vpaxos import VPaxos
@@ -43,11 +44,11 @@ def run_protocol(name: str, factory, params: dict) -> None:
     # Pin the hot object in Ohio (the most central region) and pre-place
     # each region's local keys in that region, like a warmed-up store.
     oh_client = deployment.new_client(site="OH")
-    oh_client.put(HOT_KEY, "seed")
+    oh_client.invoke(Command.put(HOT_KEY, "seed"))
     for i, site in enumerate(REGIONS):
         regional = deployment.new_client(site=site)
         for key in range(100_000 * (i + 1), 100_000 * (i + 1) + 60):
-            regional.put(key, "seed")
+            regional.invoke(Command.put(key, "seed"))
     deployment.run_for(2.0)
 
     spec = {site: regional_workload(i) for i, site in enumerate(REGIONS)}

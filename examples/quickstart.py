@@ -22,19 +22,16 @@ def main() -> None:
     deployment = Deployment(config).start(MultiPaxos)
 
     # --- issue a couple of requests by hand -------------------------------
-    client = deployment.new_client()
+    session = deployment.new_session()
     deployment.run_for(0.01)  # let phase-1 (leader setup) finish
 
-    def show(reply, latency):
-        print(f"  reply value={reply.value!r} latency={latency * 1e3:.3f} ms")
+    result = session.put("x", 42)
+    print(f"PUT x = 42: value={result.value!r} latency={result.latency_ms:.3f} ms "
+          f"via {result.replica}")
 
-    print("PUT x = 42:")
-    client.put("x", 42, on_done=show)
-    deployment.run_for(0.05)
-
-    print("GET x:")
-    client.get("x", on_done=show)
-    deployment.run_for(0.05)
+    result = session.get("x")
+    print(f"GET x:      value={result.value!r} latency={result.latency_ms:.3f} ms "
+          f"via {result.replica}")
 
     # --- drive a benchmark -------------------------------------------------
     spec = WorkloadSpec(keys=1000, write_ratio=0.5)  # the paper's LAN workload

@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--speed", type=float, default=500.0, help="hotspot speed (ms/key)")
     parser.add_argument("--zipfian-s", type=float, default=2.0)
     parser.add_argument("--zipfian-v", type=float, default=1.0)
+    # Batching / pipelining knobs.
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="max commands coalesced into one log entry (1 = off)")
+    parser.add_argument("--batch-window", type=float, default=None, metavar="SECONDS",
+                        help="virtual seconds the leader waits to fill a batch")
+    parser.add_argument("--pipeline-depth", type=int, default=None,
+                        help="max consensus instances in flight at the leader")
     # Run shape.
     parser.add_argument("--clients", type=int, default=16, help="closed-loop concurrency")
     parser.add_argument("--duration", "-T", type=float, default=1.0, help="virtual seconds")
@@ -77,10 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    batching = dict(
+        batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        pipeline_depth=args.pipeline_depth,
+    )
     if args.wan is not None:
-        config = Config.wan(tuple(args.wan), args.nodes_per_zone, seed=args.seed)
+        config = Config.wan(tuple(args.wan), args.nodes_per_zone, seed=args.seed, **batching)
     else:
-        config = Config.lan(args.zones, args.nodes_per_zone, seed=args.seed)
+        config = Config.lan(args.zones, args.nodes_per_zone, seed=args.seed, **batching)
     deployment = Deployment(config).start(PROTOCOLS[args.protocol])
     spec = WorkloadSpec(
         keys=args.keys,
@@ -99,6 +111,10 @@ def main(argv: list[str] | None = None) -> int:
     latency = result.latency
     print(f"protocol:    {args.protocol} on {config.n} nodes "
           f"({'WAN ' + '/'.join(args.wan) if args.wan else 'LAN'})")
+    if config.batching_enabled:
+        window = "off" if config.batch_window is None else f"{config.batch_window * 1e3:g}ms"
+        depth = "unbounded" if config.pipeline_depth is None else str(config.pipeline_depth)
+        print(f"batching:    B={config.batch_size} window={window} pipeline={depth}")
     print(f"throughput:  {result.throughput:.0f} ops/s ({result.completed} ops)")
     print(f"latency ms:  mean={latency.mean:.3f} p50={latency.p50:.3f} "
           f"p95={latency.p95:.3f} p99={latency.p99:.3f}")

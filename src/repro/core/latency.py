@@ -18,6 +18,39 @@ from dataclasses import dataclass
 from repro.errors import ModelError
 
 
+def expected_batch_delay(
+    rate: float, batch_size: float, window: float | None = None
+) -> float:
+    """Mean extra wait a request spends while its batch fills.
+
+    Two regimes, matching the :class:`~repro.paxi.node.Batcher`:
+
+    - **size-bound** (traffic fast enough to fill B before the window):
+      a random request sees on average ``(B-1)/2`` later arrivals before
+      the batch closes, each λ⁻¹ apart → ``(B-1)/(2λ)``;
+    - **window-bound** (sparse traffic): the batch closes at the window
+      timer, so no request waits longer than ``W`` — in the λ→0 limit a
+      lone request waits the full window.
+
+    We take ``min((B-1)/(2λ), W)``, a first-order approximation that is
+    exact in both limits.  B ≤ 1 means no batching: zero delay.
+    """
+    if batch_size < 1:
+        raise ModelError(f"batch size must be at least 1, got {batch_size}")
+    if rate < 0:
+        raise ModelError(f"arrival rate must be non-negative, got {rate}")
+    if window is not None and window < 0:
+        raise ModelError(f"batch window must be non-negative, got {window}")
+    if batch_size <= 1:
+        return 0.0
+    if rate == 0:
+        return window if window is not None else 0.0
+    fill_delay = (batch_size - 1.0) / (2.0 * rate)
+    if window is None:
+        return fill_delay
+    return min(fill_delay, window)
+
+
 def expected_latency(
     conflict: float,
     locality: float,
@@ -34,6 +67,25 @@ def expected_latency(
     return (1.0 + conflict) * (
         (1.0 - locality) * (d_leader + d_quorum) + locality * d_quorum
     )
+
+
+def batched_expected_latency(
+    conflict: float,
+    locality: float,
+    d_leader: float,
+    d_quorum: float,
+    batch_delay: float,
+) -> float:
+    """Equation 7 plus the batching delay.
+
+    Batching trades latency for capacity: every request additionally waits
+    ``batch_delay`` (see :func:`expected_batch_delay`) for its batch to
+    close before the quorum exchange starts.  ``batch_delay=0`` recovers
+    the unbatched formula.
+    """
+    if batch_delay < 0:
+        raise ModelError(f"batch delay must be non-negative, got {batch_delay}")
+    return batch_delay + expected_latency(conflict, locality, d_leader, d_quorum)
 
 
 @dataclass(frozen=True)

@@ -80,3 +80,80 @@ def load_wpaxos(n: int, leaders: int) -> float:
     if leaders < 1 or n % leaders != 0:
         raise ModelError(f"{leaders} leaders do not evenly divide {n} nodes")
     return load(leaders, n // leaders, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Batched variants (Equations 1-6 with B commands per consensus round)
+# ---------------------------------------------------------------------------
+#
+# When a leader coalesces B requests into one log entry, the quorum
+# exchange — the (1+c)(Q+L-2)/L operations Equation 3 counts — is paid
+# once per *batch* instead of once per *request*, so per-request load
+# divides by B:
+#
+#     L_B(S) = L(S) / B          Cap_B(S) = B * Cap(S)
+#
+# B = 1 recovers the unbatched formulas exactly.  The division is the
+# ideal amortization: it ignores the per-command bytes that fatten the
+# accept message, which the service-time layer accounts for separately
+# (:func:`repro.core.service.paxos_batched_leader_work`).
+
+
+def _check_batch(batch_size: float) -> None:
+    if batch_size < 1:
+        raise ModelError(f"batch size must be at least 1, got {batch_size}")
+
+
+def batched_load(
+    leaders: float, quorum: float, conflict: float = 0.0, batch_size: float = 1.0
+) -> float:
+    """Batched Equation 3: ``L_B(S) = L(S) / B`` (identity at B = 1)."""
+    _check_batch(batch_size)
+    return load(leaders, quorum, conflict) / batch_size
+
+
+def batched_capacity(
+    leaders: float, quorum: float, conflict: float = 0.0, batch_size: float = 1.0
+) -> float:
+    """Batched Equation 1: ``Cap_B(S) = B / L(S)``."""
+    return 1.0 / batched_load(leaders, quorum, conflict, batch_size)
+
+
+def batched_load_paxos(n: int, batch_size: float = 1.0) -> float:
+    """Equation 4 with batching: ``floor(N/2) / B``."""
+    _check_batch(batch_size)
+    return load_paxos(n) / batch_size
+
+
+def batched_load_epaxos(n: int, conflict: float = 0.0, batch_size: float = 1.0) -> float:
+    """Equation 5 with batching (each opportunistic leader batches its own)."""
+    _check_batch(batch_size)
+    return load_epaxos(n, conflict) / batch_size
+
+
+def batched_load_wpaxos(n: int, leaders: int, batch_size: float = 1.0) -> float:
+    """Equation 6 with batching at every zone leader."""
+    _check_batch(batch_size)
+    return load_wpaxos(n, leaders) / batch_size
+
+
+def expected_batch_size(rate: float, batch_size: float, window: float | None) -> float:
+    """First-order mean batch size under Poisson arrivals at rate λ.
+
+    A batch closes when it reaches ``batch_size`` commands or when the
+    ``window`` timer (armed by the first command) fires, whichever comes
+    first.  With about ``1 + λ·W`` arrivals per window, the mean is
+
+        E[B] ≈ min(batch_size, 1 + λ·W)
+
+    clamped to at least 1.  ``window=None`` (size-only batching) fills
+    every batch, so E[B] = batch_size.
+    """
+    _check_batch(batch_size)
+    if rate < 0:
+        raise ModelError(f"arrival rate must be non-negative, got {rate}")
+    if window is None:
+        return batch_size
+    if window < 0:
+        raise ModelError(f"batch window must be non-negative, got {window}")
+    return max(1.0, min(batch_size, 1.0 + rate * window))

@@ -112,6 +112,57 @@ def paxos_service_time(n: int, params: ServiceParams | None = None) -> float:
     return paxos_leader_work(n).service_time(p)
 
 
+#: Wire bytes each extra command adds to a batched accept message; matches
+#: :attr:`repro.paxi.message.Batch.PER_COMMAND_BYTES`.
+BATCH_PER_COMMAND_BYTES = 110.0
+
+
+def paxos_batched_leader_work(
+    n: int, batch_size: int, accept_size_factor: float = 1.0
+) -> RoundWork:
+    """Leader-side work of ONE phase-2 round carrying B commands.
+
+    Per batch the leader receives B client requests and N-1 acks,
+    serializes one (fat) broadcast plus B client replies, and pushes
+    through the NIC: the B+N-1 incoming messages, N-1 accept copies
+    fattened by ``accept_size_factor`` (the batched accept carries B
+    commands), and B replies.  B = 1 with factor 1 reduces exactly to
+    :func:`paxos_leader_work`.
+    """
+    if n < 1:
+        raise ModelError(f"need at least one node, got {n}")
+    if batch_size < 1:
+        raise ModelError(f"batch size must be at least 1, got {batch_size}")
+    if accept_size_factor < 1:
+        raise ModelError(f"accept size factor must be >= 1, got {accept_size_factor}")
+    b = batch_size
+    return RoundWork(
+        incoming=b + (n - 1),
+        serializations=1 + b,
+        nic_messages=(b + (n - 1)) + (n - 1) * accept_size_factor + b,
+    )
+
+
+def paxos_batched_service_time(
+    n: int,
+    batch_size: int,
+    params: ServiceParams | None = None,
+    per_command_bytes: float = BATCH_PER_COMMAND_BYTES,
+) -> float:
+    """Per-REQUEST queue occupancy of a batching leader: ``ts_batch / B``.
+
+    The accept message grows by ``per_command_bytes`` per extra command,
+    expressed to :class:`RoundWork` as a NIC size factor relative to
+    ``params.message_bytes``.  B = 1 matches :func:`paxos_service_time`.
+    """
+    p = params if params is not None else ServiceParams()
+    if p.message_bytes <= 0:
+        raise ModelError("batched accounting needs a positive message size")
+    factor = 1.0 + per_command_bytes * (batch_size - 1) / p.message_bytes
+    work = paxos_batched_leader_work(n, batch_size, factor)
+    return work.service_time(p) / batch_size
+
+
 def max_throughput(service_time: float) -> float:
     """``µ = 1/ts`` (paper section 3.3)."""
     if service_time <= 0:

@@ -16,6 +16,7 @@ from repro.experiments.common import ExperimentResult
 
 def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
     from repro.experiments import (
+        bench_batching,
         extra_availability,
         extra_dynamic,
         extra_mencius,
@@ -57,6 +58,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "extra_relaxed": extra_relaxed.run,
         "extra_dynamic": extra_dynamic.run,
         "extra_mencius": extra_mencius.run,
+        "bench_batching": bench_batching.run,
     }
 
 

@@ -17,6 +17,7 @@ from repro.bench.benchmarker import BenchmarkResult, ClosedLoopBenchmark
 from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.message import Command
 
 Factory = Callable[[Deployment, Any], Any]
 
@@ -88,7 +89,7 @@ def prime_key_at(deployment: Deployment, site: str, key, settle: float = 0.5) ->
     (the paper pins the conflict object and the initial object placement
     to the Ohio region)."""
     client = deployment.new_client(site=site)
-    client.put(key, f"prime-{site}")
+    client.invoke(Command.put(key, f"prime-{site}"))
     deployment.run_for(settle)
 
 

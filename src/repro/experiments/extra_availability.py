@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.bench.workload import WorkloadGenerator, WorkloadSpec
 from repro.experiments.common import ExperimentResult
 from repro.paxi.config import Config
+from repro.paxi.message import Command
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.protocols.paxos import MultiPaxos
@@ -44,7 +45,7 @@ def _drive(factory, params: dict, run_for: float, seed: int) -> dict[int, int]:
     for zone in (1, 2, 3):
         primer = deployment.new_client()
         for key in range(zone * 1000, zone * 1000 + KEYS_PER_ZONE):
-            primer.put(key, "seed", target=NodeID(zone, 1))
+            primer.invoke(Command.put(key, "seed"), NodeID(zone, 1))
     deployment.run_for(0.5)
     start = deployment.now
 

@@ -28,6 +28,7 @@ from repro.experiments.common import (
 )
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.message import Command
 from repro.protocols.epaxos import EPaxos
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.vpaxos import VPaxos
@@ -59,7 +60,7 @@ def _prime(deployment: Deployment, keys_per_region: int) -> None:
         client = deployment.new_client(site=site)
         base = 1_000_000 * (i + 1)
         for key in range(base, base + keys_per_region):
-            client.put(key, f"prime-{site}")
+            client.invoke(Command.put(key, f"prime-{site}"))
     deployment.run_for(2.0)
 
 

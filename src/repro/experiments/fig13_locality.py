@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.bench.stats import cdf
 from repro.experiments.common import ExperimentResult, locality_spec, run_sim_benchmark
 from repro.paxi.config import Config
+from repro.paxi.message import Command
 from repro.paxi.ids import NodeID
 from repro.protocols.epaxos import EPaxos
 from repro.protocols.paxos import MultiPaxos
@@ -33,7 +34,7 @@ def _prime_all_objects_in_ohio(deployment, keys_total: int) -> None:
     the Ohio region'."""
     client = deployment.new_client(site="OH")
     for key in range(keys_total):
-        client.put(key, f"seed{key}")
+        client.invoke(Command.put(key, f"seed{key}"))
     deployment.run_for(1.0)
 
 

@@ -8,7 +8,7 @@ package reproduces that architecture on top of :mod:`repro.sim`.
 """
 
 from repro.paxi.ids import NodeID, grid_ids
-from repro.paxi.message import Command, ClientRequest, ClientReply, Message
+from repro.paxi.message import Batch, Command, ClientRequest, ClientReply, Message
 from repro.paxi.quorum import (
     MajorityQuorum,
     ThresholdQuorum,
@@ -17,9 +17,11 @@ from repro.paxi.quorum import (
     GroupQuorum,
 )
 from repro.paxi.config import Config
-from repro.paxi.node import Replica
+from repro.paxi.node import Batcher, Replica
+from repro.paxi.protocol import Protocol
 from repro.paxi.deployment import Deployment
 from repro.paxi.client import Client
+from repro.paxi.session import Result, Session
 from repro.paxi.kvstore import MultiVersionStore
 from repro.paxi.history import HistoryRecorder, Operation
 
@@ -27,6 +29,7 @@ __all__ = [
     "NodeID",
     "grid_ids",
     "Command",
+    "Batch",
     "ClientRequest",
     "ClientReply",
     "Message",
@@ -37,8 +40,12 @@ __all__ = [
     "GroupQuorum",
     "Config",
     "Replica",
+    "Protocol",
+    "Batcher",
     "Deployment",
     "Client",
+    "Session",
+    "Result",
     "MultiVersionStore",
     "HistoryRecorder",
     "Operation",

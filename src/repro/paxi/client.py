@@ -13,6 +13,7 @@ round trip, via the network).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable
 
@@ -127,6 +128,16 @@ class Client:
         return request_id
 
     def get(self, key: Hashable, target: NodeID | None = None, on_done: OnDone | None = None) -> int:
+        """Deprecated: use :meth:`Session.get <repro.paxi.session.Session.get>`
+        (``deployment.new_session()``), which returns a typed ``Result``
+        instead of requiring a callback.  ``invoke`` remains the supported
+        low-level entry point for load generators."""
+        warnings.warn(
+            "Client.get is deprecated; use Session.get via deployment.new_session() "
+            "(or Client.invoke for callback-driven load generation)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.invoke(Command.get(key), target, on_done)
 
     def put(
@@ -136,6 +147,14 @@ class Client:
         target: NodeID | None = None,
         on_done: OnDone | None = None,
     ) -> int:
+        """Deprecated: use :meth:`Session.put <repro.paxi.session.Session.put>`
+        (``deployment.new_session()``); see :meth:`get`."""
+        warnings.warn(
+            "Client.put is deprecated; use Session.put via deployment.new_session() "
+            "(or Client.invoke for callback-driven load generation)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.invoke(Command.put(key, value), target, on_done)
 
     def _transmit(self, request_id: int, pending: _Pending) -> None:

@@ -24,13 +24,28 @@ from repro.sim.server import ServiceProfile
 
 @dataclass
 class Config:
-    """Static description of one deployment."""
+    """Static description of one deployment.
+
+    The batching / pipelining knobs are typed fields (not ``params``
+    entries) because every protocol shares them:
+
+    - ``batch_size`` — maximum commands coalesced into one log entry;
+      ``1`` disables batching unless a window is set;
+    - ``batch_window`` — seconds of virtual time the leader waits to fill
+      a batch before flushing it (``None`` disables, ``0.0`` coalesces
+      only same-instant arrivals);
+    - ``pipeline_depth`` — maximum consensus instances a leader keeps in
+      flight concurrently (``None`` = unbounded, the historical behavior).
+    """
 
     topology: topo.Topology
     node_ids: tuple[NodeID, ...]
     profile: ServiceProfile = field(default_factory=ServiceProfile)
     seed: int = 0
     params: dict[str, Any] = field(default_factory=dict)
+    batch_window: float | None = None
+    batch_size: int = 1
+    pipeline_depth: int | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_ids) != self.topology.n_nodes:
@@ -40,6 +55,27 @@ class Config:
             )
         if len(set(self.node_ids)) != len(self.node_ids):
             raise ConfigError("duplicate node ids")
+        if self.batch_window is not None and self.batch_window < 0:
+            raise ConfigError(
+                f"batch_window must be >= 0 seconds, got {self.batch_window!r}: "
+                "a negative coalescing window cannot be waited for "
+                "(use batch_window=None to disable batching)"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size!r}: "
+                "a batch holds at least one command (use batch_size=1 to disable)"
+            )
+        if self.pipeline_depth is not None and self.pipeline_depth < 1:
+            raise ConfigError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth!r}: "
+                "a leader needs at least one instance in flight "
+                "(use pipeline_depth=None for unbounded)"
+            )
+
+    @property
+    def batching_enabled(self) -> bool:
+        return self.batch_size > 1 or self.batch_window is not None
 
     # ------------------------------------------------------------------
     # Derived lookups
@@ -85,6 +121,9 @@ class Config:
         nodes_per_zone: int = 3,
         seed: int = 0,
         profile: ServiceProfile | None = None,
+        batch_window: float | None = None,
+        batch_size: int = 1,
+        pipeline_depth: int | None = None,
         **params: Any,
     ) -> "Config":
         """A single-site LAN cluster (paper section 5.2: 9 nodes).
@@ -99,6 +138,9 @@ class Config:
             profile=profile if profile is not None else ServiceProfile(),
             seed=seed,
             params=dict(params),
+            batch_window=batch_window,
+            batch_size=batch_size,
+            pipeline_depth=pipeline_depth,
         )
 
     @staticmethod
@@ -107,6 +149,9 @@ class Config:
         nodes_per_zone: int = 3,
         seed: int = 0,
         profile: ServiceProfile | None = None,
+        batch_window: float | None = None,
+        batch_size: int = 1,
+        pipeline_depth: int | None = None,
         **params: Any,
     ) -> "Config":
         """A multi-region WAN cluster; zone ``i`` lives in ``regions[i-1]``.
@@ -122,6 +167,9 @@ class Config:
             profile=profile if profile is not None else ServiceProfile(),
             seed=seed,
             params=dict(params),
+            batch_window=batch_window,
+            batch_size=batch_size,
+            pipeline_depth=pipeline_depth,
         )
 
     # ------------------------------------------------------------------
@@ -148,6 +196,9 @@ class Config:
                 "default_message_bytes": self.profile.default_message_bytes,
             },
             "params": _jsonable_params(self.params),
+            "batch_window": self.batch_window,
+            "batch_size": self.batch_size,
+            "pipeline_depth": self.pipeline_depth,
         }
         return json.dumps(payload, indent=2)
 
@@ -158,16 +209,154 @@ class Config:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ConfigError(f"malformed configuration JSON: {exc}") from exc
-        profile = ServiceProfile(**payload.get("profile", {}))
-        params = _params_from_json(payload.get("params", {}))
+        return Config.from_dict(payload)
+
+    @staticmethod
+    def from_file(path: Any) -> "Config":
+        """Load and validate a configuration from a JSON file.
+
+        This is the Paxi deployment story — "a JSON file distributed to
+        every node" — with validation: every error names the offending
+        field and says how to fix it.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read configuration file {path!r}: {exc}") from exc
+        return Config.from_json(text)
+
+    @staticmethod
+    def from_dict(payload: Any) -> "Config":
+        """Build a validated :class:`Config` from a plain mapping.
+
+        Accepts the :meth:`to_json` schema plus an optional ``protocol``
+        name (validated against the registry and kept in ``params`` for
+        CLIs to consume).  Raises :class:`~repro.errors.ConfigError` with
+        an actionable message on any inconsistency: unknown keys, unknown
+        protocol, a quorum system that cannot intersect, a negative batch
+        window, and so on.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"configuration must be a mapping, got {type(payload).__name__}"
+            )
+        known = {
+            "deployment", "regions", "zones", "nodes_per_zone", "seed",
+            "profile", "params", "protocol",
+            "batch_window", "batch_size", "pipeline_depth",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown configuration key(s) {unknown}; "
+                f"valid keys are {sorted(known)}"
+            )
+
+        deployment = payload.get("deployment", "lan")
+        if deployment not in ("lan", "wan"):
+            raise ConfigError(
+                f"deployment must be 'lan' or 'wan', got {deployment!r}"
+            )
+        regions = payload.get("regions")
+        if deployment == "wan":
+            if not regions or not isinstance(regions, (list, tuple)):
+                raise ConfigError(
+                    "wan deployment needs a non-empty 'regions' list, "
+                    "e.g. [\"VA\", \"OH\", \"CA\"]"
+                )
+            zones = payload.get("zones", len(regions))
+            if zones != len(regions):
+                raise ConfigError(
+                    f"'zones' ({zones}) disagrees with len(regions) "
+                    f"({len(regions)}); drop 'zones' or make them match"
+                )
+        else:
+            zones = payload.get("zones", 3)
+        nodes_per_zone = payload.get("nodes_per_zone", 3)
+        for name, value in (("zones", zones), ("nodes_per_zone", nodes_per_zone)):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+
+        profile_dict = payload.get("profile") or {}
+        if not isinstance(profile_dict, dict):
+            raise ConfigError(f"profile must be a mapping, got {profile_dict!r}")
+        profile_keys = {"t_in", "t_out", "bandwidth_bps", "default_message_bytes"}
+        bad_profile = sorted(set(profile_dict) - profile_keys)
+        if bad_profile:
+            raise ConfigError(
+                f"unknown profile key(s) {bad_profile}; "
+                f"valid keys are {sorted(profile_keys)}"
+            )
+        profile = ServiceProfile(**profile_dict)
+
+        params = _params_from_json(payload.get("params") or {})
+        migrated = sorted(
+            k for k in ("batch_window", "batch_size", "pipeline_depth") if k in params
+        )
+        if migrated:
+            raise ConfigError(
+                f"{migrated} are typed configuration fields, not protocol params; "
+                "move them out of 'params' to the top level of the document"
+            )
+        n = zones * nodes_per_zone
+        protocol = payload.get("protocol")
+        if protocol is not None:
+            params["protocol"] = _validate_protocol(protocol)
+        _validate_quorum(params, n)
+
+        batch_window = payload.get("batch_window")
+        batch_size = payload.get("batch_size", 1)
+        pipeline_depth = payload.get("pipeline_depth")
+        if batch_window is not None and not isinstance(batch_window, (int, float)):
+            raise ConfigError(
+                f"batch_window must be a number of seconds or null, got {batch_window!r}"
+            )
+        for name, value in (("batch_size", batch_size), ("pipeline_depth", pipeline_depth)):
+            if value is not None and (not isinstance(value, int) or isinstance(value, bool)):
+                raise ConfigError(f"{name} must be an integer, got {value!r}")
         common = {
-            "nodes_per_zone": payload["nodes_per_zone"],
+            "nodes_per_zone": nodes_per_zone,
             "seed": payload.get("seed", 0),
             "profile": profile,
+            "batch_window": batch_window,
+            "batch_size": 1 if batch_size is None else batch_size,
+            "pipeline_depth": pipeline_depth,
         }
-        if payload.get("deployment") == "lan":
-            return Config.lan(zones=payload["zones"], **common, **params)
-        return Config.wan(regions=tuple(payload["regions"]), **common, **params)
+        if deployment == "lan":
+            return Config.lan(zones=zones, **common, **params)
+        return Config.wan(regions=tuple(regions), **common, **params)
+
+
+def _validate_protocol(name: Any) -> str:
+    """Resolve a protocol name case-insensitively against the registry."""
+    from repro.protocols import PROTOCOLS  # runtime import: avoids a cycle
+
+    if isinstance(name, str):
+        for canonical in PROTOCOLS:
+            if canonical.lower() == name.lower():
+                return canonical
+    raise ConfigError(
+        f"unknown protocol {name!r}; valid protocols are {sorted(PROTOCOLS)}"
+    )
+
+
+def _validate_quorum(params: dict[str, Any], n: int) -> None:
+    """Reject phase-1/phase-2 quorum sizes that cannot intersect."""
+    q2 = params.get("q2_size")
+    if q2 is None:
+        return
+    if not isinstance(q2, int) or isinstance(q2, bool) or q2 < 1:
+        raise ConfigError(
+            f"q2_size must be a positive integer, got {q2!r}"
+        )
+    q1 = params.get("q1_size", n - q2 + 1)
+    if q1 + q2 <= n:
+        raise ConfigError(
+            f"quorum system cannot intersect: q1_size={q1} + q2_size={q2} <= n={n}, "
+            "so a phase-1 and a phase-2 quorum can be disjoint and safety is lost; "
+            f"choose sizes with q1 + q2 > {n} (e.g. q1_size={n - q2 + 1})"
+        )
 
 
 def _jsonable_params(params: dict[str, Any]) -> dict[str, Any]:

@@ -20,6 +20,7 @@ from repro.sim.server import Server
 if TYPE_CHECKING:
     from repro.paxi.client import Client
     from repro.paxi.node import Replica
+    from repro.paxi.session import Session
 
 ReplicaFactory = Callable[["Deployment", NodeID], "Replica"]
 
@@ -87,6 +88,19 @@ class Deployment:
         client = Client(self, ("client", self._client_seq), site)
         self.clients.append(client)
         return client
+
+    def new_session(
+        self, site: str | None = None, zone: int | None = None, max_wait: float = 5.0
+    ) -> "Session":
+        """Create a typed :class:`~repro.paxi.session.Session` facade.
+
+        Sessions are the recommended way to issue individual commands:
+        ``session.put(k, v)`` returns a :class:`~repro.paxi.session.Result`
+        carrying the value, latency, and replying replica.
+        """
+        from repro.paxi.session import Session
+
+        return Session(self, site=site, zone=zone, max_wait=max_wait)
 
     # ------------------------------------------------------------------
     # Queries

@@ -32,6 +32,15 @@ class Message:
     def weight(cls) -> float:
         return cls.WEIGHT
 
+    def wire_size(self) -> int:
+        """Serialized size of *this* message instance.
+
+        Defaults to the class-level ``SIZE_BYTES``; messages whose payload
+        varies per instance (a batched accept carrying ``B`` commands)
+        override this so the NIC/bandwidth accounting stays honest.
+        """
+        return self.SIZE_BYTES
+
 
 GET = "GET"
 PUT = "PUT"
@@ -76,6 +85,36 @@ class Command:
     @staticmethod
     def put(key: Hashable, value: Any) -> "Command":
         return Command(PUT, key, value)
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An ordered group of commands replicated as one log entry.
+
+    Batching amortizes the per-instance message cost (the paper's Formulas
+    1-6 divided by the batch size ``B``): one phase-2 round now carries
+    ``B`` commands.  A batch occupies a single consensus slot; at execution
+    the replica fans the commands out in order and replies to each client
+    individually, so batching is invisible to linearizability.
+
+    ``PER_COMMAND_BYTES`` is the marginal wire size of each extra command
+    inside a carrier message (the first command is covered by the carrier's
+    base ``SIZE_BYTES``).
+    """
+
+    PER_COMMAND_BYTES = 110
+
+    commands: tuple[Command, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def extra_bytes(self) -> int:
+        """Wire bytes beyond a single-command carrier message."""
+        return self.PER_COMMAND_BYTES * max(0, len(self.commands) - 1)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,94 @@ if TYPE_CHECKING:
     from repro.paxi.deployment import Deployment
 
 
+def _wire_size(message: Any) -> int:
+    """Instance wire size when the message provides one, else the class's."""
+    wire = getattr(message, "wire_size", None)
+    if wire is not None:
+        return wire()
+    return getattr(type(message), "SIZE_BYTES", 100)
+
+
+class Batcher:
+    """Coalesces pending client requests into multi-command proposals.
+
+    A replica (usually the leader) feeds every admitted :class:`ClientRequest`
+    through :meth:`add`.  The batcher flushes — invoking ``flush_fn`` with the
+    buffered requests — as soon as ``max_size`` requests have accumulated, or
+    when ``window`` seconds of virtual time elapse after the first request of
+    the batch, whichever comes first.  A ``window`` of zero still coalesces
+    same-instant arrivals: the flush timer fires after the current event
+    cascade drains, so a burst delivered at one timestamp forms one batch.
+
+    The batcher never reorders: requests leave in arrival order, and the
+    protocol replicates each flushed group as a single log entry (a
+    :class:`~repro.paxi.message.Batch`), fanning replies out per command at
+    execution.
+    """
+
+    def __init__(
+        self,
+        replica: "Replica",
+        flush_fn: Callable[[list[ClientRequest]], None],
+        window: float,
+        max_size: int,
+    ) -> None:
+        if window < 0:
+            raise ProtocolError(f"batch window must be >= 0, got {window!r}")
+        if max_size < 1:
+            raise ProtocolError(f"batch max_size must be >= 1, got {max_size!r}")
+        self.replica = replica
+        self._flush_fn = flush_fn
+        self.window = window
+        self.max_size = max_size
+        self._pending: list[ClientRequest] = []
+        self._timer: EventHandle | None = None
+        self.batches_flushed = 0
+        self.commands_flushed = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average commands per flushed batch (0.0 before the first flush)."""
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.commands_flushed / self.batches_flushed
+
+    def add(self, request: ClientRequest) -> None:
+        """Buffer ``request``; flush if the batch is full, else arm the window."""
+        self._pending.append(request)
+        if len(self._pending) >= self.max_size:
+            self.flush()
+        elif self._timer is None:
+            self._timer = self.replica.set_timer(self.window, self._on_window)
+
+    def _on_window(self) -> None:
+        self._timer = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Emit the pending batch (if any) through ``flush_fn`` now."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        group, self._pending = self._pending, []
+        self.batches_flushed += 1
+        self.commands_flushed += len(group)
+        self._flush_fn(group)
+
+    def drain(self) -> list[ClientRequest]:
+        """Return pending requests without flushing (leadership handoff)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        group, self._pending = self._pending, []
+        return group
+
+
 class Replica:
     """Base class for protocol replicas."""
 
@@ -108,7 +196,7 @@ class Replica:
 
     def send(self, dst: Hashable, message: Any) -> None:
         """Send one message; charges ``t_out`` + one NIC transmission."""
-        size = getattr(type(message), "SIZE_BYTES", 100)
+        size = _wire_size(message)
         weight = getattr(type(message), "WEIGHT", 1.0)
         cost = self._profile.outgoing_cost(size, copies=1, weight=weight)
         if self._tracer.enabled and type(message) is ClientReply:
@@ -127,7 +215,7 @@ class Replica:
         targets = [d for d in dsts if d != self.id]
         if not targets:
             return
-        size = getattr(type(message), "SIZE_BYTES", 100)
+        size = _wire_size(message)
         weight = getattr(type(message), "WEIGHT", 1.0)
         cost = self._profile.outgoing_cost(size, copies=len(targets), weight=weight)
         self._server.submit(cost, self._transit_all, targets, message, size)

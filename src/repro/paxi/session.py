@@ -1,0 +1,146 @@
+"""Typed, synchronous-feeling client facade over the callback `Client`.
+
+:class:`Session` is the API most callers want: ``put``/``get`` return a
+:class:`Result` dataclass (value, latency, which replica answered) instead
+of asking the caller to thread an ``on_done`` callback and drive the event
+loop by hand.  Under the hood a session still issues commands through a
+:class:`~repro.paxi.client.Client` and advances the deployment's virtual
+clock until the reply lands (or ``max_wait`` expires), so sessions compose
+with everything else running in the simulation.
+
+The paper's four fault-injection commands are methods here too, mirroring
+the Paxi client library's "RESTful" surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.paxi.message import ClientReply, Command
+from repro.paxi.ids import NodeID
+
+if TYPE_CHECKING:
+    from repro.paxi.client import Client
+    from repro.paxi.deployment import Deployment
+
+
+@dataclass(frozen=True)
+class Result:
+    """Outcome of one session operation.
+
+    ``ok`` is False when the operation timed out (no reply within
+    ``max_wait`` of virtual time); ``replica`` is then ``None`` and
+    ``latency_ms`` covers the time spent waiting.
+    """
+
+    ok: bool
+    value: Any
+    latency_ms: float
+    replica: NodeID | None
+    request_id: int
+    version: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class Session:
+    """A synchronous facade bound to one client.
+
+    Each call issues the command, runs the simulation forward until the
+    reply arrives, and returns a :class:`Result`.  Use one session per
+    logical actor; concurrent load generation belongs to the benchmarker,
+    which drives many clients asynchronously.
+    """
+
+    #: Granularity (virtual seconds) at which the loop advances while waiting.
+    _STEP = 0.005
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        site: str | None = None,
+        zone: int | None = None,
+        max_wait: float = 5.0,
+    ) -> None:
+        self.deployment = deployment
+        self.client: "Client" = deployment.new_client(site=site, zone=zone)
+        self.max_wait = max_wait
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any, target: NodeID | None = None) -> Result:
+        """Write ``key = value`` and wait for the committed reply."""
+        return self.execute(Command.put(key, value), target)
+
+    def get(self, key: Hashable, target: NodeID | None = None) -> Result:
+        """Read ``key`` and wait for the reply."""
+        return self.execute(Command.get(key), target)
+
+    def execute(self, command: Command, target: NodeID | None = None) -> Result:
+        """Issue ``command`` and run the simulation until it resolves."""
+        outcome: dict[str, Any] = {}
+
+        def on_done(reply: ClientReply, latency: float) -> None:
+            outcome["reply"] = reply
+            outcome["latency"] = latency
+
+        started = self.deployment.now
+        request_id = self.client.invoke(command, target, on_done)
+        deadline = started + self.max_wait
+        while "reply" not in outcome and self.deployment.now < deadline:
+            self.deployment.run_for(min(self._STEP, deadline - self.deployment.now))
+        reply = outcome.get("reply")
+        if reply is None:
+            return Result(
+                ok=False,
+                value=None,
+                latency_ms=(self.deployment.now - started) * 1000.0,
+                replica=None,
+                request_id=request_id,
+            )
+        return Result(
+            ok=reply.ok,
+            value=reply.value,
+            latency_ms=outcome["latency"] * 1000.0,
+            replica=reply.replied_by,
+            request_id=request_id,
+            version=reply.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def site(self) -> str:
+        return self.client.site
+
+    @property
+    def address(self) -> Hashable:
+        return self.client.address
+
+    # ------------------------------------------------------------------
+    # Fault-injection commands (paper section 4.2, "Availability")
+    # ------------------------------------------------------------------
+
+    def crash(self, node: NodeID, duration: float) -> None:
+        """Freeze ``node`` for ``duration`` seconds."""
+        self.deployment.crash(node, duration)
+
+    def drop(self, src: NodeID, dst: NodeID, duration: float) -> None:
+        """Drop every message from ``src`` to ``dst`` for ``duration`` s."""
+        self.deployment.drop(src, dst, duration)
+
+    def slow(self, src: NodeID, dst: NodeID, duration: float) -> None:
+        """Delay messages from ``src`` to ``dst`` for ``duration`` s."""
+        self.deployment.slow(src, dst, duration)
+
+    def flaky(
+        self, src: NodeID, dst: NodeID, duration: float, probability: float = 0.5
+    ) -> None:
+        """Randomly drop messages from ``src`` to ``dst``."""
+        self.deployment.flaky(src, dst, duration, probability)

@@ -36,7 +36,7 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.protocol import Protocol
 from repro.protocols.graph import tarjan_sccs
 from repro.protocols.log import RequestInfo
 
@@ -128,7 +128,7 @@ class _Instance:
     changed: bool = False
 
 
-class EPaxos(Replica):
+class EPaxos(Protocol):
     """An EPaxos replica.
 
     Recognized config params:
@@ -151,7 +151,6 @@ class EPaxos(Replica):
         self._reads_since_write: dict[Hashable, list[InstanceID]] = {}
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
 
-        self.register(ClientRequest, self.on_client_request)
         self.register(PreAccept, self.on_preaccept)
         self.register(PreAcceptOK, self.on_preaccept_ok)
         self.register(Accept, self.on_accept)
@@ -194,7 +193,7 @@ class EPaxos(Replica):
     # Command leader path
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         cache_key = (m.client, m.request_id)
         if cache_key in self._request_cache:
             self.send(

@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.errors import ProtocolError
-from repro.paxi.message import Command
+from repro.paxi.message import Batch, Command
 from repro.paxi.quorum import Quorum
 from repro.protocols.ballot import Ballot
+
+# A slot's value is a single command or a batch; its reply routing is a
+# single RequestInfo or one per batched command (aligned by position).
+EntryCommand = Command | Batch | None
+EntryRequest = "RequestInfo | tuple[RequestInfo, ...] | None"
 
 
 @dataclass
@@ -25,17 +30,40 @@ class RequestInfo:
     request_id: int
 
 
+def request_infos(request: Any) -> tuple:
+    """Normalize an entry's ``request`` field to a tuple of RequestInfos."""
+    if request is None:
+        return ()
+    if isinstance(request, tuple):
+        return request
+    return (request,)
+
+
+def entry_pairs(command: EntryCommand, request: Any) -> list[tuple[Command | None, "RequestInfo | None"]]:
+    """Fan a slot out into ``(command, request_info)`` pairs, in order.
+
+    A plain command yields one pair; a :class:`Batch` yields one pair per
+    contained command, aligned positionally with the entry's request tuple
+    (recovered batches may have lost their routing — then infos are None).
+    """
+    if isinstance(command, Batch):
+        requests = request if isinstance(request, tuple) else (None,) * len(command.commands)
+        return list(zip(command.commands, requests))
+    return [(command, request)]
+
+
 @dataclass
 class Entry:
     """One slot of the replicated log.
 
     ``command`` may be ``None`` for a no-op proposed to fill a gap during
-    leader recovery.
+    leader recovery, or a :class:`~repro.paxi.message.Batch` when the
+    leader coalesced several client commands into the slot.
     """
 
     ballot: Ballot
-    command: Command | None
-    request: RequestInfo | None = None
+    command: EntryCommand
+    request: Any = None
     quorum: Quorum | None = None
     committed: bool = False
     executed: bool = False
@@ -52,8 +80,8 @@ class CommandLog:
     def append(
         self,
         ballot: Ballot,
-        command: Command | None,
-        request: RequestInfo | None = None,
+        command: EntryCommand,
+        request: Any = None,
         quorum: Quorum | None = None,
     ) -> int:
         """Leader-side: place a command in the next free slot."""
@@ -66,8 +94,8 @@ class CommandLog:
         self,
         slot: int,
         ballot: Ballot,
-        command: Command | None,
-        request: RequestInfo | None = None,
+        command: EntryCommand,
+        request: Any = None,
     ) -> None:
         """Follower-side: record an accepted (slot, ballot, command).
 

@@ -32,7 +32,7 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.protocol import Protocol
 from repro.paxi.quorum import MajorityQuorum, Quorum
 from repro.protocols.log import RequestInfo
 
@@ -76,7 +76,7 @@ class _MSlot:
     quorum: Quorum | None = None
 
 
-class Mencius(Replica):
+class Mencius(Protocol):
     """A Mencius replica.
 
     Recognized config params:
@@ -99,7 +99,6 @@ class Mencius(Replica):
         self._retransmit: dict[int, float] = {}
         self.retransmit_timeout: float = self.config.param("retransmit_timeout", 0.3)
 
-        self.register(ClientRequest, self.on_client_request)
         self.register(MAccept, self.on_accept)
         self.register(MAcceptAck, self.on_accept_ack)
         self.register(MCommit, self.on_commit)
@@ -127,7 +126,7 @@ class Mencius(Replica):
     # Proposing
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         cache_key = (m.client, m.request_id)
         if cache_key in self._request_cache:
             self.send(

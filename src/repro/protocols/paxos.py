@@ -20,19 +20,28 @@ uncommitted entries from its phase-1 quorum, and takes over.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
-from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
+from repro.paxi.protocol import Protocol
 from repro.paxi.quorum import MajorityQuorum, Quorum
 from repro.protocols.ballot import Ballot, ZERO, initial_ballot
-from repro.protocols.log import CommandLog, Entry, RequestInfo
+from repro.protocols.log import (
+    CommandLog,
+    Entry,
+    EntryCommand,
+    RequestInfo,
+    entry_pairs,
+    request_infos,
+)
 
-# Transferable snapshot of one log entry: (slot, ballot, command, request, committed)
-EntrySnapshot = tuple[int, Ballot, Command | None, RequestInfo | None, bool]
+# Transferable snapshot of one log entry: (slot, ballot, command, request, committed);
+# command may be a Batch, in which case request is a tuple of RequestInfos.
+EntrySnapshot = tuple[int, Ballot, EntryCommand, Any, bool]
 
 
 @dataclass(frozen=True)
@@ -56,13 +65,23 @@ class P1b(Message):
 
 @dataclass(frozen=True)
 class P2a(Message):
-    """Phase-2a: accept this command in this slot (carries commit watermark)."""
+    """Phase-2a: accept this command in this slot (carries commit watermark).
+
+    ``command`` may be a :class:`~repro.paxi.message.Batch`; the wire size
+    then grows with the number of carried commands so the NIC accounting
+    reflects the fatter accept.
+    """
 
     ballot: Ballot = ZERO
     slot: int = 0
-    command: Command | None = None
-    request: RequestInfo | None = None
+    command: EntryCommand = None
+    request: Any = None
     commit_upto: int = 0
+
+    def wire_size(self) -> int:
+        if isinstance(self.command, Batch):
+            return self.SIZE_BYTES + self.command.extra_bytes()
+        return self.SIZE_BYTES
 
 
 @dataclass(frozen=True)
@@ -96,8 +115,14 @@ class FillReply(Message):
     entries: tuple[EntrySnapshot, ...] = ()
 
 
-class MultiPaxos(Replica):
+class MultiPaxos(Protocol):
     """A MultiPaxos replica.
+
+    Batching and pipelining come from the typed config fields
+    (``Config.batch_size`` / ``batch_window`` / ``pipeline_depth``): the
+    leader coalesces admitted requests through a
+    :class:`~repro.paxi.node.Batcher` into one multi-command slot per
+    flush, and bounds how many uncommitted slots it keeps in flight.
 
     Recognized config params:
 
@@ -145,7 +170,10 @@ class MultiPaxos(Replica):
         self._election_handle = None
         self._rng = deployment.cluster.streams.stream(f"paxos-{node_id}")
 
-        self.register(ClientRequest, self.on_client_request)
+        self.batcher = self.make_batcher(self.propose_batch)
+        self.pipeline_depth: int | None = self.config.pipeline_depth
+        self._proposal_queue: deque[list[ClientRequest]] = deque()
+
         self.register(P1a, self.on_p1a)
         self.register(P1b, self.on_p1b)
         self.register(P2a, self.on_p2a)
@@ -215,13 +243,25 @@ class MultiPaxos(Replica):
     def _drain_buffered(self) -> None:
         """Forward requests buffered during a failed candidacy to whoever
         won; otherwise they would wait for an election that may be
-        disabled."""
-        if self.active or self.leader_hint == self.id or not self._buffered:
+        disabled.  Requests caught mid-batch or queued behind the pipeline
+        bound when we stepped down follow them to the new leader."""
+        if self.active or self.leader_hint == self.id:
+            return
+        pending: list[ClientRequest] = (
+            self.batcher.drain() if self.batcher is not None else []
+        )
+        while self._proposal_queue:
+            pending.extend(self._proposal_queue.popleft())
+        for m in pending:
+            self._inflight.discard((m.client, m.request_id))
+        if not self._buffered and not pending:
             return
         self._p1_quorum = None
         buffered, self._buffered = self._buffered, []
         for _src, request in buffered:
             self.send(self.leader_hint, request)
+        for m in pending:
+            self.send(self.leader_hint, m)
 
     def on_p1a(self, src: Hashable, m: P1a) -> None:
         if m.ballot > self.promised:
@@ -285,9 +325,9 @@ class MultiPaxos(Replica):
             self.set_timer(self.heartbeat_interval, self._heartbeat)
         buffered, self._buffered = self._buffered, []
         for src, request in buffered:
-            self.on_client_request(src, request)
+            self.on_request(src, request)
 
-    def _repropose(self, slot: int, command: Command | None, request: RequestInfo | None) -> None:
+    def _repropose(self, slot: int, command: EntryCommand, request: Any) -> None:
         quorum = self.phase2_quorum()
         quorum.ack(self.id)
         self.log.entries[slot] = Entry(self.ballot, command, request, quorum)
@@ -310,7 +350,7 @@ class MultiPaxos(Replica):
     # Client requests
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         if self.relaxed_reads and m.command.is_read:
             self._serve_local_read(m)
             return
@@ -331,11 +371,55 @@ class MultiPaxos(Replica):
             if key in self._inflight:
                 return  # duplicate while the original is still committing
             self._inflight.add(key)
-            self._propose(m.command, RequestInfo(m.client, m.request_id))
+            if self.batcher is not None:
+                self.batcher.add(m)
+            else:
+                self._submit_group([m])
         elif self.leader_hint != self.id:
             self.send(self.leader_hint, m)  # forward to the believed leader
         else:
             self._buffered.append((src, m))
+
+    def propose_batch(self, requests: list[ClientRequest]) -> None:
+        """Replicate a coalesced group of requests as one log entry.
+
+        This is the batcher's flush target.  If leadership was lost while
+        the batch filled, the requests are re-admitted (and forwarded to
+        whoever leads now).
+        """
+        if not self.active:
+            for m in requests:
+                self._inflight.discard((m.client, m.request_id))
+                self.on_request(m.client, m)
+            return
+        self._submit_group(list(requests))
+
+    def _submit_group(self, group: list[ClientRequest]) -> None:
+        """Propose ``group`` now, or queue it behind the pipeline bound."""
+        if (
+            self.pipeline_depth is not None
+            and len(self._uncommitted_slots) >= self.pipeline_depth
+        ):
+            self._proposal_queue.append(group)
+            return
+        self._propose_group(group)
+
+    def _propose_group(self, group: list[ClientRequest]) -> None:
+        if len(group) == 1:
+            m = group[0]
+            self._propose(m.command, RequestInfo(m.client, m.request_id))
+        else:
+            self._propose(
+                Batch(tuple(m.command for m in group)),
+                tuple(RequestInfo(m.client, m.request_id) for m in group),
+            )
+
+    def _release_pipeline(self) -> None:
+        while self._proposal_queue and (
+            self.pipeline_depth is None
+            or len(self._uncommitted_slots) < self.pipeline_depth
+        ):
+            self._propose_group(self._proposal_queue.popleft())
 
     def _serve_local_read(self, m: ClientRequest) -> None:
         """Relaxed read: answer from the local state machine.  A session
@@ -367,7 +451,7 @@ class MultiPaxos(Replica):
             for m in ready:
                 self._serve_local_read(m)
 
-    def _propose(self, command: Command | None, request: RequestInfo | None) -> None:
+    def _propose(self, command: EntryCommand, request: Any) -> None:
         quorum = self.phase2_quorum()
         quorum.ack(self.id)
         slot = self.log.append(self.ballot, command, request, quorum)
@@ -420,8 +504,11 @@ class MultiPaxos(Replica):
 
     def _on_slot_committed(self, slot: int) -> None:
         self.log.commit(slot)
-        self.trace_mark(self.log.entries[slot].request)
+        for info in request_infos(self.log.entries[slot].request):
+            self.trace_mark(info)
         self._uncommitted_slots.pop(slot, None)
+        if self.active:
+            self._release_pipeline()
         self._advance_execution()
 
     # ------------------------------------------------------------------
@@ -465,41 +552,41 @@ class MultiPaxos(Replica):
 
     def _advance_execution(self) -> None:
         for slot, entry in self.log.executable():
-            value = None
-            if entry.command is not None:
-                request_key = None
-                if entry.request is not None:
-                    request_key = (entry.request.client, entry.request.request_id)
-                if request_key is not None and request_key in self._request_cache:
-                    value = self._request_cache[request_key]
-                else:
-                    value = self.store.execute(entry.command)
-                    if request_key is not None:
-                        self._request_cache[request_key] = value
-                        self._inflight.discard(request_key)
-            self.log.mark_executed(slot)
-            if entry.command is not None and entry.command.is_write:
-                self._drain_read_waiters(entry.command.key)
-            if (
-                entry.request is not None
-                and entry.ballot.owner == self.id
-                and self.active
-            ):
-                self.send(
-                    entry.request.client,
-                    ClientReply(
-                        request_id=entry.request.request_id,
-                        ok=True,
-                        value=value,
-                        replied_by=self.id,
-                        leader_hint=self.id,
-                        version=(
-                            self.store.version(entry.command.key)
-                            if entry.command is not None
-                            else 0
+            # A batched slot fans out into one (command, request) pair per
+            # coalesced client command: each executes, caches, and replies
+            # individually, so batching is invisible above this point.
+            for command, info in entry_pairs(entry.command, entry.request):
+                value = None
+                if command is not None:
+                    request_key = None
+                    if info is not None:
+                        request_key = (info.client, info.request_id)
+                    if request_key is not None and request_key in self._request_cache:
+                        value = self._request_cache[request_key]
+                    else:
+                        value = self.store.execute(command)
+                        if request_key is not None:
+                            self._request_cache[request_key] = value
+                            self._inflight.discard(request_key)
+                if command is not None and command.is_write:
+                    self._drain_read_waiters(command.key)
+                if info is not None and entry.ballot.owner == self.id and self.active:
+                    self.send(
+                        info.client,
+                        ClientReply(
+                            request_id=info.request_id,
+                            ok=True,
+                            value=value,
+                            replied_by=self.id,
+                            leader_hint=self.id,
+                            version=(
+                                self.store.version(command.key)
+                                if command is not None
+                                else 0
+                            ),
                         ),
-                    ),
-                )
+                    )
+            self.log.mark_executed(slot)
 
     # ------------------------------------------------------------------
     # Heartbeats and elections

@@ -15,17 +15,18 @@ simulator has no durable storage) and replies are sent only after commit.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
-from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
-from repro.protocols.log import RequestInfo
+from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
+from repro.paxi.protocol import Protocol
+from repro.protocols.log import RequestInfo, entry_pairs
 
-# One replicated log record: (term, command, request-info)
-LogRecord = tuple[int, Command | None, RequestInfo | None]
+# One replicated log record: (term, command-or-batch, request-info(s))
+LogRecord = tuple[int, "Command | Batch | None", Any]
 
 FOLLOWER, CANDIDATE, LEADER = "follower", "candidate", "leader"
 
@@ -53,6 +54,16 @@ class AppendEntries(Message):
     entries: tuple[tuple[int, LogRecord], ...] = ()  # (index, record)
     leader_commit: int = 0
 
+    def wire_size(self) -> int:
+        # Batched records fatten the message; plain records keep the
+        # seed's flat accounting.
+        extra = 0
+        for _index, record in self.entries:
+            command = record[1]
+            if isinstance(command, Batch):
+                extra += command.extra_bytes()
+        return self.SIZE_BYTES + extra
+
 
 @dataclass(frozen=True)
 class AppendReply(Message):
@@ -61,8 +72,13 @@ class AppendReply(Message):
     match_index: int = 0
 
 
-class Raft(Replica):
+class Raft(Protocol):
     """A Raft replica.
+
+    Batching and pipelining honor the typed config fields: the leader
+    coalesces admitted requests into one multi-command log record per
+    batch flush, and ``pipeline_depth`` bounds how many uncommitted
+    indices it keeps in flight.
 
     Recognized config params:
 
@@ -93,7 +109,10 @@ class Raft(Replica):
         self._election_handle = None
         self._rng = deployment.cluster.streams.stream(f"raft-{node_id}")
 
-        self.register(ClientRequest, self.on_client_request)
+        self.batcher = self.make_batcher(self.propose_batch)
+        self.pipeline_depth: int | None = self.config.pipeline_depth
+        self._proposal_queue: deque[list[ClientRequest]] = deque()
+
         self.register(RequestVote, self.on_request_vote)
         self.register(VoteReply, self.on_vote_reply)
         self.register(AppendEntries, self.on_append_entries)
@@ -192,12 +211,22 @@ class Raft(Replica):
         self.term = term
         self.state = FOLLOWER
         self.voted_for = None
+        # Requests caught mid-batch or behind the pipeline bound chase the
+        # new leader (or are dropped for the client's retry to find it).
+        pending: list[ClientRequest] = (
+            self.batcher.drain() if self.batcher is not None else []
+        )
+        while self._proposal_queue:
+            pending.extend(self._proposal_queue.popleft())
+        for m in pending:
+            if self.leader_hint is not None and self.leader_hint != self.id:
+                self.send(self.leader_hint, m)
 
     # ------------------------------------------------------------------
     # Client requests
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         key = (m.client, m.request_id)
         if key in self._request_cache:
             self.send(
@@ -216,10 +245,49 @@ class Raft(Replica):
                 self.send(self.leader_hint, m)
             # else: drop; the client's retry will find the new leader
             return
+        if self.batcher is not None:
+            self.batcher.add(m)
+        else:
+            self._submit_group([m])
+
+    def propose_batch(self, requests: list[ClientRequest]) -> None:
+        """Append a coalesced group as one log record (the batcher's flush
+        target); re-admits the requests if leadership was lost meanwhile."""
+        if self.state != LEADER:
+            for m in requests:
+                self.on_request(m.client, m)
+            return
+        self._submit_group(list(requests))
+
+    def _submit_group(self, group: list[ClientRequest]) -> None:
+        if (
+            self.pipeline_depth is not None
+            and self.last_log_index - self.commit_index >= self.pipeline_depth
+        ):
+            self._proposal_queue.append(group)
+            return
+        self._append_group(group)
+
+    def _append_group(self, group: list[ClientRequest]) -> None:
         index = self.last_log_index + 1
-        record: LogRecord = (self.term, m.command, RequestInfo(m.client, m.request_id))
+        if len(group) == 1:
+            m = group[0]
+            record: LogRecord = (self.term, m.command, RequestInfo(m.client, m.request_id))
+        else:
+            record = (
+                self.term,
+                Batch(tuple(m.command for m in group)),
+                tuple(RequestInfo(m.client, m.request_id) for m in group),
+            )
         self.log.append((index, record))
         self._replicate()
+
+    def _release_pipeline(self) -> None:
+        while self._proposal_queue and (
+            self.pipeline_depth is None
+            or self.last_log_index - self.commit_index < self.pipeline_depth
+        ):
+            self._append_group(self._proposal_queue.popleft())
 
     def _replicate(self) -> None:
         """Send each follower everything from its nextIndex onward."""
@@ -309,35 +377,39 @@ class Raft(Replica):
             if replicated >= majority and self._term_at(index) == self.term:
                 self.commit_index = index
                 self._apply()
+                self._release_pipeline()
                 break
 
     def _apply(self) -> None:
         while self.last_applied < self.commit_index:
             self.last_applied += 1
             _index, (term, command, request) = self.log[self.last_applied - 1]
-            value = None
-            if command is not None:
-                request_key = None
-                if request is not None:
-                    request_key = (request.client, request.request_id)
-                if request_key is not None and request_key in self._request_cache:
-                    value = self._request_cache[request_key]
-                else:
-                    value = self.store.execute(command)
-                    if request_key is not None:
-                        self._request_cache[request_key] = value
-            if request is not None and self.state == LEADER and term == self.term:
-                self.trace_mark(request)
-                self.send(
-                    request.client,
-                    ClientReply(
-                        request_id=request.request_id,
-                        ok=True,
-                        value=value,
-                        replied_by=self.id,
-                        leader_hint=self.id,
-                    ),
-                )
+            # A batched record fans out into per-command execution, caching,
+            # tracing, and replies — batching is invisible to clients.
+            for cmd, info in entry_pairs(command, request):
+                value = None
+                if cmd is not None:
+                    request_key = None
+                    if info is not None:
+                        request_key = (info.client, info.request_id)
+                    if request_key is not None and request_key in self._request_cache:
+                        value = self._request_cache[request_key]
+                    else:
+                        value = self.store.execute(cmd)
+                        if request_key is not None:
+                            self._request_cache[request_key] = value
+                if info is not None and self.state == LEADER and term == self.term:
+                    self.trace_mark(info)
+                    self.send(
+                        info.client,
+                        ClientReply(
+                            request_id=info.request_id,
+                            ok=True,
+                            value=value,
+                            replied_by=self.id,
+                            leader_hint=self.id,
+                        ),
+                    )
 
     # ------------------------------------------------------------------
     # Heartbeats

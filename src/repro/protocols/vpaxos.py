@@ -23,7 +23,7 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.protocol import Protocol
 from repro.protocols.group import GroupEngine
 from repro.protocols.log import RequestInfo
 
@@ -101,7 +101,7 @@ class _MappingInfo:
     pending: list[Message] = field(default_factory=list)
 
 
-class VPaxos(Replica):
+class VPaxos(Protocol):
     """A Vertical Paxos replica.
 
     Recognized config params:
@@ -136,7 +136,6 @@ class VPaxos(Replica):
         self._mapping: dict[Hashable, _MappingInfo] = {}
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
 
-        self.register(ClientRequest, self.on_client_request)
         self.register(VPForward, self.on_forward)
         self.register(VPAcquire, self.on_acquire)
         self.register(VPReassign, self.on_reassign)
@@ -150,7 +149,7 @@ class VPaxos(Replica):
     # Client path
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         cache_key = (m.client, m.request_id)
         if cache_key in self._request_cache:
             self.send(

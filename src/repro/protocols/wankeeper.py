@@ -30,7 +30,7 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.protocol import Protocol
 from repro.protocols.group import GroupEngine
 from repro.protocols.log import RequestInfo
 
@@ -92,7 +92,7 @@ class _TokenInfo:
     pending: list[WKRequest] = field(default_factory=list)
 
 
-class WanKeeper(Replica):
+class WanKeeper(Protocol):
     """A WanKeeper replica (zone member, zone leader, or master leader).
 
     Recognized config params:
@@ -125,7 +125,6 @@ class WanKeeper(Replica):
         self._token_table: dict[Hashable, _TokenInfo] = {}
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
 
-        self.register(ClientRequest, self.on_client_request)
         self.register(WKRequest, self.on_wk_request)
         self.register(WKGrant, self.on_grant)
         self.register(WKGrantAck, self.on_grant_ack)
@@ -136,7 +135,7 @@ class WanKeeper(Replica):
     # Client path (level-1)
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         cache_key = (m.client, m.request_id)
         if cache_key in self._request_cache:
             self.send(

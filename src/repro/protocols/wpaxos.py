@@ -28,7 +28,7 @@ from repro.errors import ConfigError
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Command, Message
-from repro.paxi.node import Replica
+from repro.paxi.protocol import Protocol
 from repro.paxi.quorum import GridQuorum, Quorum
 from repro.protocols.ballot import Ballot, ZERO
 from repro.protocols.log import RequestInfo
@@ -135,7 +135,7 @@ class _ObjectState:
         return upto
 
 
-class WPaxos(Replica):
+class WPaxos(Protocol):
     """A WPaxos replica.
 
     Recognized config params:
@@ -164,7 +164,6 @@ class WPaxos(Replica):
         self._pending_slots: dict[tuple[Hashable, int], float] = {}
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
 
-        self.register(ClientRequest, self.on_client_request)
         self.register(WP1a, self.on_p1a)
         self.register(WP1b, self.on_p1b)
         self.register(WP2a, self.on_p2a)
@@ -207,7 +206,7 @@ class WPaxos(Replica):
     # Client requests: own, steal, or forward
     # ------------------------------------------------------------------
 
-    def on_client_request(self, src: Hashable, m: ClientRequest) -> None:
+    def on_request(self, src: Hashable, m: ClientRequest) -> None:
         cache_key = (m.client, m.request_id)
         if cache_key in self._request_cache:
             self.send(
@@ -341,7 +340,7 @@ class WPaxos(Replica):
         self._advance_execution(key, state)
         pending, state.pending = state.pending, []
         for request in pending:
-            self.on_client_request(request.client, request)
+            self.on_request(request.client, request)
 
     # ------------------------------------------------------------------
     # Phase 2

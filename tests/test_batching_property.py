@@ -1,0 +1,86 @@
+"""Property-based batching tests: fault schedules and span arithmetic.
+
+- Under arbitrary seeded :class:`~repro.bench.nemesis.Nemesis` schedules
+  (crashes mid-batch, dropped/slow/flaky links eating batched accepts), a
+  batching MultiPaxos deployment must stay linearizable, keep consensus,
+  and keep the tracer's books straight.
+- For every traced request in a batched run, the span breakdown
+  (wQ + ts + DL + DQ) must sum to that command's end-to-end latency —
+  batching amortizes the *round*, but each command keeps its own
+  accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.nemesis import Nemesis
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.protocols.paxos import MultiPaxos
+
+pytestmark = pytest.mark.slow
+
+slow_settings = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+BATCHED = dict(batch_size=16, batch_window=0.001, pipeline_depth=8)
+
+
+@slow_settings
+@given(seed=st.integers(0, 10_000), nemesis_seed=st.integers(0, 10_000))
+def test_batched_history_safe_under_nemesis(seed, nemesis_seed):
+    cfg = Config.lan(3, 3, seed=seed, **BATCHED)
+    deployment = Deployment(cfg).start(MultiPaxos)
+    deployment.cluster.obs.tracer.enabled = True
+
+    # Unlike the unbatched tracing property test we do NOT spare the
+    # leader: crashing it mid-batch is exactly the case under test.
+    nemesis = Nemesis(seed=nemesis_seed, horizon=0.6, events=3, max_duration=0.3)
+    schedule = nemesis.unleash(deployment, at=0.05)
+    schedule_text = "; ".join(str(event) for event in schedule)
+
+    spec = WorkloadSpec(keys=10, write_ratio=0.5)
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency=8, retry_timeout=0.3)
+    bench.run(duration=0.5, warmup=0.0, settle=0.05)
+    deployment.run_for(2.0)  # drain retries, re-elections, late replies
+
+    linearizable, consensus = deployment.verify()
+    assert linearizable, schedule_text
+    assert consensus, schedule_text
+
+    tracer = deployment.cluster.obs.tracer
+    completed = sum(client.completed for client in deployment.clients)
+    failed = sum(client.failed for client in deployment.clients)
+    finished_ok = sum(1 for span in tracer.finished if not span.failed)
+    finished_failed = sum(1 for span in tracer.finished if span.failed)
+    assert finished_ok == completed, schedule_text
+    assert finished_failed == failed, schedule_text
+    in_flight = sum(client.outstanding for client in deployment.clients)
+    assert tracer.open_count == in_flight, schedule_text
+    for span in tracer.finished:
+        assert span.monotone(), f"{schedule_text}: {span.events}"
+
+
+@slow_settings
+@given(seed=st.integers(0, 10_000), concurrency=st.integers(4, 48))
+def test_batched_span_breakdowns_sum_to_latency(seed, concurrency):
+    cfg = Config.lan(3, 3, seed=seed, **BATCHED)
+    deployment = Deployment(cfg).start(MultiPaxos)
+    deployment.cluster.obs.tracer.enabled = True
+    bench = ClosedLoopBenchmark(deployment, WorkloadSpec(keys=50), concurrency)
+    bench.run(duration=0.25, warmup=0.05, settle=0.05)
+    breakdowns = deployment.cluster.obs.tracer.breakdowns()
+    assert breakdowns, "batched run produced no traced spans"
+    for d in breakdowns:
+        assert d["wq"] >= 0 and d["ts"] > 0 and d["dl"] > 0 and d["dq"] >= 0
+        assert d["wq"] + d["ts"] + d["dl"] + d["dq"] == pytest.approx(
+            d["total"], rel=1e-9
+        )

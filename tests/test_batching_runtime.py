@@ -1,0 +1,240 @@
+"""Runtime batching: the Batcher, batched protocols, and the knee speedup.
+
+Covers the batching tentpole end to end:
+
+- :class:`~repro.paxi.node.Batcher` unit behavior (size flush, window
+  flush, ordering, drain, validation);
+- batched MultiPaxos / FPaxos / Raft stay linearizable and reach
+  consensus, with real multi-command batches forming under load;
+- targeted fault cases: the leader crashing with a batch pending, and the
+  batched accept being dropped hard enough to break the quorum until the
+  retransmit heals it;
+- the acceptance criterion: with B = 16 the simulated MultiPaxos knee is
+  at least 3x the unbatched knee, and matches the batched analytic model
+  within the [0.8, 1.3] band of ``test_obs_latency_decomposition``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.sweep import closed_loop_sweep, max_throughput
+from repro.bench.workload import WorkloadSpec
+from repro.core.protocol_models import BatchedPaxosModel, PaxosModel
+from repro.errors import ProtocolError
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import Command, ClientRequest
+from repro.paxi.node import Batcher
+from repro.protocols.fpaxos import FPaxos
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+
+BATCHED = dict(batch_size=16, batch_window=0.001, pipeline_depth=8)
+
+
+def _request(i: int) -> ClientRequest:
+    return ClientRequest(command=Command.put(i, i), client=("client", 99), request_id=i)
+
+
+def _host():
+    deployment = Deployment(Config.lan(1, 1)).start(MultiPaxos)
+    return deployment, deployment.replica(NodeID(1, 1))
+
+
+# ---------------------------------------------------------------------------
+# Batcher unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_batcher_flushes_at_max_size():
+    deployment, host = _host()
+    flushed: list[list[ClientRequest]] = []
+    batcher = Batcher(host, flushed.append, window=10.0, max_size=3)
+    for i in range(7):
+        batcher.add(_request(i))
+    assert [len(g) for g in flushed] == [3, 3]
+    assert len(batcher) == 1  # seventh request still pending
+    assert batcher.batches_flushed == 2
+    assert batcher.commands_flushed == 6
+    assert batcher.mean_batch_size == 3.0
+
+
+def test_batcher_flushes_partial_batch_at_window():
+    deployment, host = _host()
+    flushed: list[list[ClientRequest]] = []
+    batcher = Batcher(host, flushed.append, window=0.01, max_size=100)
+    batcher.add(_request(1))
+    batcher.add(_request(2))
+    assert not flushed
+    deployment.run_for(0.02)
+    assert [len(g) for g in flushed] == [2]
+    assert len(batcher) == 0
+    # The window timer re-arms per batch, not per request.
+    batcher.add(_request(3))
+    deployment.run_for(0.02)
+    assert [len(g) for g in flushed] == [2, 1]
+
+
+def test_batcher_preserves_arrival_order():
+    deployment, host = _host()
+    flushed: list[list[ClientRequest]] = []
+    batcher = Batcher(host, flushed.append, window=10.0, max_size=4)
+    for i in range(8):
+        batcher.add(_request(i))
+    order = [r.request_id for group in flushed for r in group]
+    assert order == list(range(8))
+
+
+def test_batcher_drain_returns_pending_without_flushing():
+    deployment, host = _host()
+    flushed: list[list[ClientRequest]] = []
+    batcher = Batcher(host, flushed.append, window=0.01, max_size=10)
+    batcher.add(_request(1))
+    drained = batcher.drain()
+    assert [r.request_id for r in drained] == [1]
+    assert not flushed and len(batcher) == 0
+    deployment.run_for(0.05)  # the cancelled window timer must not fire
+    assert not flushed
+    assert batcher.mean_batch_size == 0.0
+
+
+def test_batcher_rejects_bad_parameters():
+    deployment, host = _host()
+    with pytest.raises(ProtocolError):
+        Batcher(host, lambda g: None, window=-0.1, max_size=4)
+    with pytest.raises(ProtocolError):
+        Batcher(host, lambda g: None, window=0.0, max_size=0)
+
+
+def test_make_batcher_disabled_without_knobs():
+    deployment, host = _host()
+    assert host.make_batcher() is None  # batch_size=1, no window
+    batched = Deployment(Config.lan(1, 1, **BATCHED)).start(MultiPaxos)
+    replica = batched.replica(NodeID(1, 1))
+    assert replica.batcher is not None
+    assert replica.batcher.max_size == 16
+
+
+# ---------------------------------------------------------------------------
+# Batched protocols stay correct and actually batch
+# ---------------------------------------------------------------------------
+
+
+def _batching_leader(deployment):
+    """The replica whose batcher flushed the most batches."""
+    candidates = [
+        r for r in deployment.replicas.values()
+        if getattr(r, "batcher", None) is not None and r.batcher.batches_flushed
+    ]
+    assert candidates, "no replica flushed a batch"
+    return max(candidates, key=lambda r: r.batcher.batches_flushed)
+
+
+@pytest.mark.parametrize("factory", [MultiPaxos, FPaxos, Raft])
+def test_batched_protocol_linearizable_under_load(factory):
+    deployment = Deployment(Config.lan(3, 3, seed=13, **BATCHED)).start(factory)
+    bench = ClosedLoopBenchmark(deployment, WorkloadSpec(keys=40, write_ratio=0.5), 32)
+    result = bench.run(duration=0.3, warmup=0.05, settle=0.05)
+    assert result.completed > 500
+    linearizable, consensus = deployment.verify()
+    assert linearizable and consensus
+    leader = _batching_leader(deployment)
+    # Under 32 closed-loop clients real multi-command batches must form.
+    assert leader.batcher.mean_batch_size > 2.0
+
+
+def test_batched_paxos_tracing_composes():
+    """Per-command spans survive batching: every completed request has a
+    complete span whose commit mark landed between submit and reply."""
+    deployment = Deployment(Config.lan(3, 3, seed=5, **BATCHED)).start(MultiPaxos)
+    deployment.cluster.obs.tracer.enabled = True
+    bench = ClosedLoopBenchmark(deployment, WorkloadSpec(keys=20), 24)
+    bench.run(duration=0.25, warmup=0.05, settle=0.05)
+    tracer = deployment.cluster.obs.tracer
+    completed = sum(client.completed for client in deployment.clients)
+    finished_ok = sum(1 for span in tracer.finished if not span.failed)
+    assert finished_ok == completed > 0
+    for span in tracer.finished:
+        assert span.monotone()
+        names = [event.name for event in span.events]
+        assert names[0] == "submit" and names[-1] == "reply_recv"
+        assert "quorum" in names  # the batched commit fans trace marks out
+
+
+# ---------------------------------------------------------------------------
+# Targeted fault cases
+# ---------------------------------------------------------------------------
+
+
+def test_leader_crash_with_batch_pending_stays_safe():
+    """Crash the Paxos leader while batches are in flight/pending: clients
+    retry, a new leader takes over, and the history stays linearizable."""
+    config = Config.lan(3, 3, seed=23, batch_size=16, batch_window=0.005, pipeline_depth=8)
+    deployment = Deployment(config).start(MultiPaxos)
+    deployment.crash(NodeID(1, 1), 0.5, at=0.1)
+    bench = ClosedLoopBenchmark(
+        deployment, WorkloadSpec(keys=10, write_ratio=0.5), 8, retry_timeout=0.25
+    )
+    result = bench.run(duration=1.2, warmup=0.0, settle=0.05)
+    deployment.run_for(1.0)  # drain retries
+    assert result.completed > 100
+    linearizable, consensus = deployment.verify()
+    assert linearizable and consensus
+
+
+def test_dropped_batch_accept_heals_via_retransmit():
+    """Drop the leader's links to five followers (quorum unreachable) for a
+    spell: committed batches stall, the heartbeat retransmit re-sends the
+    uncommitted accepts once the links heal, and nothing is lost."""
+    config = Config.lan(3, 3, seed=31, **BATCHED)
+    deployment = Deployment(config).start(MultiPaxos)
+    leader = NodeID(1, 1)
+    victims = [NodeID(2, 1), NodeID(2, 2), NodeID(2, 3), NodeID(3, 1), NodeID(3, 2)]
+    for victim in victims:
+        deployment.drop(leader, victim, 0.25, at=0.08)
+    bench = ClosedLoopBenchmark(
+        deployment, WorkloadSpec(keys=10, write_ratio=0.5), 8, retry_timeout=0.4
+    )
+    result = bench.run(duration=1.0, warmup=0.0, settle=0.05)
+    deployment.run_for(1.0)
+    assert result.completed > 100
+    linearizable, consensus = deployment.verify()
+    assert linearizable and consensus
+
+
+# ---------------------------------------------------------------------------
+# The acceptance criterion: knee speedup and model conformance
+# ---------------------------------------------------------------------------
+
+
+def test_batched_knee_speedup_and_model_band():
+    spec = WorkloadSpec(keys=1000, write_ratio=0.5)
+    concurrencies = (32, 96)
+
+    def sweep(config):
+        def make():
+            return Deployment(config).start(MultiPaxos)
+
+        points = closed_loop_sweep(
+            make, spec, concurrencies, duration=0.35, warmup=0.07, settle=0.05
+        )
+        return max_throughput(points)
+
+    unbatched_knee = sweep(Config.lan(3, 3, seed=55))
+    batched_knee = sweep(Config.lan(3, 3, seed=55, **BATCHED))
+    assert batched_knee >= 3.0 * unbatched_knee, (
+        f"batched knee {batched_knee:.0f} < 3x unbatched {unbatched_knee:.0f}"
+    )
+    # Batched Formula 2 capacity vs the simulator, same tolerance band as
+    # the latency-decomposition conformance tests.
+    model = BatchedPaxosModel(
+        Config.lan(3, 3).topology, batch_size=16, batch_window=0.001
+    ).max_throughput()
+    assert model * 0.8 <= batched_knee <= model * 1.3, (
+        f"simulated batched knee {batched_knee:.0f} vs model {model:.0f}"
+    )
+    unbatched_model = PaxosModel(Config.lan(3, 3).topology).max_throughput()
+    assert unbatched_model * 0.8 <= unbatched_knee <= unbatched_model * 1.3

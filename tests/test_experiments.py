@@ -33,6 +33,7 @@ EXPECTED_IDS = {
     "extra_relaxed",
     "extra_dynamic",
     "extra_mencius",
+    "bench_batching",
 }
 
 
@@ -83,6 +84,35 @@ def test_locality_spec_spreads_means():
     assert mus == sorted(mus)
     assert mus[1] - mus[0] == pytest.approx(60)
     assert all(s.distribution == "normal" for s in specs)
+
+
+def test_bench_batching_regression_gate(tmp_path):
+    """The CI gate reads the JSON the driver writes and passes/fails on
+    batched-vs-unbatched knees (driver itself is exercised in the slow
+    benchmark harness; here we validate the gate's verdict logic)."""
+    import json
+
+    from repro.experiments.bench_batching import check_no_regression
+
+    path = tmp_path / "BENCH_batching.json"
+    good = {
+        "protocols": {
+            "paxos": {"knee_unbatched": 8000.0, "knee_batched": 28000.0, "speedup": 3.5}
+        }
+    }
+    path.write_text(json.dumps(good))
+    check_no_regression(str(path))  # no raise
+
+    bad = {
+        "protocols": {
+            "paxos": {"knee_unbatched": 8000.0, "knee_batched": 7000.0, "speedup": 0.9}
+        }
+    }
+    path.write_text(json.dumps(bad))
+    with pytest.raises(SystemExit, match="batching regression"):
+        check_no_regression(str(path))
+    with pytest.raises(SystemExit, match="not found"):
+        check_no_regression(str(tmp_path / "missing.json"))
 
 
 def test_cli_main(capsys):

@@ -1,0 +1,96 @@
+"""The typed Session facade and the deprecated Client shims.
+
+``deployment.new_session()`` is the supported way to issue individual
+commands: ``put``/``get`` return a :class:`~repro.paxi.session.Result`
+with the value, latency, and replying replica.  ``Client.get``/``put``
+remain as deprecated shims over ``invoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
+from repro.paxi.session import Result, Session
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+
+
+def _deployment(factory=MultiPaxos, **kwargs):
+    deployment = Deployment(Config.lan(3, 3, seed=3, **kwargs)).start(factory)
+    deployment.run_for(0.05)  # leader setup
+    return deployment
+
+
+def test_session_put_get_roundtrip():
+    deployment = _deployment()
+    session = deployment.new_session()
+    put = session.put("x", 42)
+    assert put.ok and bool(put)
+    assert put.latency_ms > 0
+    assert put.replica in deployment.replicas
+    assert put.version >= 1
+    got = session.get("x")
+    assert got.ok and got.value == 42
+    assert got.request_id != put.request_id
+
+
+def test_session_works_with_batching_enabled():
+    deployment = _deployment(batch_size=16, batch_window=0.001, pipeline_depth=8)
+    session = deployment.new_session()
+    assert session.put("k", "v").ok
+    assert session.get("k").value == "v"
+
+
+def test_session_binds_to_site_and_zone():
+    deployment = Deployment(
+        Config.wan(("VA", "OH", "CA"), 3, seed=3)
+    ).start(MultiPaxos)
+    deployment.run_for(0.05)
+    by_site = deployment.new_session(site="OH")
+    assert by_site.site == "OH"
+    by_zone = deployment.new_session(zone=3)
+    assert by_zone.site == "CA"
+    assert isinstance(by_zone, Session)
+    assert by_zone.address != by_site.address
+
+
+def test_session_timeout_returns_failed_result():
+    deployment = _deployment()
+    victim = NodeID(3, 3)
+    deployment.crash(victim, 10.0)
+    deployment.run_for(0.01)
+    session = deployment.new_session(max_wait=0.05)
+    result = session.execute(Command.get("x"), target=victim)
+    assert isinstance(result, Result)
+    assert not result.ok and not bool(result)
+    assert result.replica is None and result.value is None
+    assert result.latency_ms >= 0.05 * 1000 * 0.9
+
+
+def test_session_fault_commands_delegate():
+    deployment = _deployment(factory=Raft)
+    session = deployment.new_session()
+    session.crash(NodeID(2, 2), 0.1)
+    session.drop(NodeID(1, 1), NodeID(1, 2), 0.1)
+    session.slow(NodeID(1, 2), NodeID(1, 3), 0.1)
+    session.flaky(NodeID(2, 1), NodeID(2, 3), 0.1, probability=0.5)
+    deployment.run_for(0.3)  # faults applied and expired without blowing up
+    assert session.put("y", 1).ok
+
+
+def test_client_get_put_are_deprecated_but_work():
+    deployment = _deployment()
+    client = deployment.new_client()
+    seen = {}
+    with pytest.deprecated_call():
+        client.put("k", 7, on_done=lambda reply, latency: seen.setdefault("put", reply))
+    deployment.run_for(0.1)
+    with pytest.deprecated_call():
+        client.get("k", on_done=lambda reply, latency: seen.setdefault("get", reply))
+    deployment.run_for(0.1)
+    assert seen["put"].ok and seen["get"].value == 7
+    assert client.completed == 2
