@@ -25,6 +25,16 @@ from repro.paxi.ids import NodeID
 
 KINDS = ("crash", "drop", "slow", "flaky", "partition")
 
+#: Every kind a Nemesis understands.  ``KINDS`` (the default draw) keeps
+#: its historical value so seeded schedules replay unchanged; the two
+#: crash-recovery faults are opt-in: ``reboot`` power-cycles the victim
+#: (volatile state lost, disk survives) and ``wipe`` destroys the disk
+#: too, forcing a full state transfer on rejoin.
+ALL_KINDS = KINDS + ("reboot", "wipe")
+
+#: Fault kinds that take a node fully out of service while they last.
+_OUTAGE_KINDS = frozenset({"crash", "reboot", "wipe"})
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -65,6 +75,12 @@ class Nemesis:
         out of scope, or enough nodes to preserve quorums).
     max_partition_size:
         Largest minority a partition may cut off.
+    preserve_quorum:
+        When True (the default) the scheduler never lets more than a
+        minority of nodes be simultaneously down (crashed, rebooting,
+        wiped) or isolated by a partition, so a live majority always
+        exists and progress remains possible.  Set to False to probe
+        availability loss deliberately.
     """
 
     seed: int = 0
@@ -74,9 +90,10 @@ class Nemesis:
     spare: Sequence[NodeID] = ()
     max_partition_size: int = 2
     max_duration: float = 0.4
+    preserve_quorum: bool = True
 
     def __post_init__(self) -> None:
-        unknown = set(self.kinds) - set(KINDS)
+        unknown = set(self.kinds) - set(ALL_KINDS)
         if unknown:
             raise ValueError(f"unknown fault kinds {unknown!r}")
 
@@ -86,16 +103,46 @@ class Nemesis:
         eligible = [n for n in nodes if n not in set(self.spare)]
         if not eligible:
             return []
+        max_down = (len(nodes) - 1) // 2  # largest minority: a majority stays up
+        outages: list[tuple[float, float, frozenset[NodeID]]] = []
+
+        def breaks_quorum(start: float, end: float, victims: set[NodeID]) -> bool:
+            """Would downing ``victims`` over [start, end) ever leave fewer
+            than a majority of nodes up?  Checked at every instant the
+            down-set changes inside the window (its composition only shifts
+            at outage starts), so overlapping-but-disjoint-in-time faults
+            are not double counted."""
+            points = [start] + [s for s, e, _ in outages if start < s < end]
+            for t in points:
+                down = set(victims)
+                for s, e, vs in outages:
+                    if s <= t < e:
+                        down |= vs
+                if len(down) > max_down:
+                    return True
+            return False
+
         out: list[FaultEvent] = []
         for _ in range(self.events):
             kind = rng.choice(list(self.kinds))
             start = rng.uniform(0.0, self.horizon)
             duration = rng.uniform(0.05, self.max_duration)
-            if kind == "crash":
-                out.append(FaultEvent(kind, start, duration, victim=rng.choice(eligible)))
+            if kind in _OUTAGE_KINDS:
+                victim = rng.choice(eligible)
+                if self.preserve_quorum and breaks_quorum(
+                    start, start + duration, {victim}
+                ):
+                    continue  # would take a majority out: drop this draw
+                outages.append((start, start + duration, frozenset({victim})))
+                out.append(FaultEvent(kind, start, duration, victim=victim))
             elif kind == "partition":
                 size = rng.randint(1, min(self.max_partition_size, len(eligible)))
                 minority = tuple(rng.sample(eligible, size))
+                if self.preserve_quorum and breaks_quorum(
+                    start, start + duration, set(minority)
+                ):
+                    continue
+                outages.append((start, start + duration, frozenset(minority)))
                 out.append(FaultEvent(kind, start, duration, group=minority))
             else:
                 src = rng.choice(list(nodes))
@@ -125,6 +172,10 @@ class Nemesis:
             start = base + event.start
             if event.kind == "crash":
                 deployment.crash(event.victim, event.duration, at=start)
+            elif event.kind == "reboot":
+                deployment.reboot(event.victim, event.duration, at=start)
+            elif event.kind == "wipe":
+                deployment.wipe(event.victim, event.duration, at=start)
             elif event.kind == "drop":
                 deployment.drop(event.src, event.dst, event.duration, at=start)
             elif event.kind == "slow":

@@ -88,6 +88,26 @@ def batched_expected_latency(
     return batch_delay + expected_latency(conflict, locality, d_leader, d_quorum)
 
 
+def durable_expected_latency(
+    conflict: float,
+    locality: float,
+    d_leader: float,
+    d_quorum: float,
+    sync_delay: float,
+) -> float:
+    """Equation 7 with a WAL fsync on the replication critical path.
+
+    A durable follower acknowledges an accept only after its WAL record is
+    synced, so the quorum wait stretches to ``DQ + d``.  The leader's own
+    fsync is issued concurrently with the accept broadcast and completes
+    well within the quorum round trip, so it adds no latency of its own —
+    durability costs one ``d``, not two.
+    """
+    if sync_delay < 0:
+        raise ModelError(f"sync delay must be non-negative, got {sync_delay}")
+    return expected_latency(conflict, locality, d_leader, d_quorum + sync_delay)
+
+
 @dataclass(frozen=True)
 class FormulaInputs:
     """The six distilled parameters of the paper's unified theory."""

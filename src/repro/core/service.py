@@ -168,3 +168,97 @@ def max_throughput(service_time: float) -> float:
     if service_time <= 0:
         raise ModelError(f"service time must be positive, got {service_time}")
     return 1.0 / service_time
+
+
+# ----------------------------------------------------------------------
+# Durable service times (WAL fsync on the critical path)
+# ----------------------------------------------------------------------
+
+#: WAL record size for a single-command accept; matches
+#: :data:`repro.sim.storage.WAL_RECORD_BYTES`.
+WAL_RECORD_BYTES_MODEL = 64.0
+
+
+@dataclass(frozen=True)
+class DurabilityParams:
+    """Analytic counterpart of :class:`repro.sim.storage.DiskProfile`.
+
+    An fsync occupies the node's single CPU+NIC+disk queue for
+    ``fsync_latency + size / write_bandwidth_bps`` seconds, exactly as the
+    simulator charges it.
+    """
+
+    fsync_latency: float = 100e-6
+    write_bandwidth_bps: float = 200e6
+
+    def __post_init__(self) -> None:
+        if self.fsync_latency < 0:
+            raise ModelError("fsync latency must be non-negative")
+        if self.write_bandwidth_bps <= 0:
+            raise ModelError("write bandwidth must be positive")
+
+    def sync_cost(self, size_bytes: float = WAL_RECORD_BYTES_MODEL) -> float:
+        """Queue occupancy of one fsync covering ``size_bytes``."""
+        if size_bytes < 0:
+            raise ModelError("sync size must be non-negative")
+        return self.fsync_latency + size_bytes / self.write_bandwidth_bps
+
+
+def durable_paxos_service_time(
+    n: int,
+    params: ServiceParams | None = None,
+    disk: DurabilityParams | None = None,
+) -> float:
+    """Fsync-per-record round occupancy: ``ts + d``.
+
+    In ``durability="fsync"`` mode the leader's own accept record costs one
+    dedicated sync job on its queue per round, so every round's occupancy
+    grows by ``d = fsync_latency + record/bw`` and capacity drops to
+    ``1/(ts + d)``.  (Followers pay the same ``d``, but the leader remains
+    the bottleneck: its CPU+NIC share is already N times larger.)
+    """
+    d = (disk if disk is not None else DurabilityParams()).sync_cost()
+    return paxos_service_time(n, params) + d
+
+
+def durable_paxos_batched_service_time(
+    n: int,
+    batch_size: int,
+    params: ServiceParams | None = None,
+    disk: DurabilityParams | None = None,
+    per_command_bytes: float = BATCH_PER_COMMAND_BYTES,
+) -> float:
+    """Per-request occupancy of a batching leader with fsync-per-record.
+
+    A batch of B commands is one log slot, hence ONE WAL record fattened by
+    ``per_command_bytes`` per extra command: ``(ts_batch + d_B) / B``.
+    Batching therefore amortizes the fsync *latency* the same way it
+    amortizes per-message CPU — the paper's group-commit effect.
+    """
+    dp = disk if disk is not None else DurabilityParams()
+    record = WAL_RECORD_BYTES_MODEL + per_command_bytes * (batch_size - 1)
+    d_b = dp.sync_cost(record)
+    ts_batch = paxos_batched_service_time(n, batch_size, params, per_command_bytes)
+    return ts_batch + d_b / batch_size
+
+
+def group_commit_capacity_bound(
+    service_time: float,
+    sync_cost: float,
+    concurrency: float,
+) -> float:
+    """Capacity of ``durability="group"`` under closed-loop concurrency C.
+
+    Group commit keeps at most one sync outstanding and coalesces every
+    record that arrives meanwhile, so a saturated leader settles into a
+    self-clocked cycle: C rounds of CPU+NIC work plus ONE sync serve C
+    requests — ``µ = C / (C*ts + d)``.  C = 1 degenerates to the fsync
+    formula; C → ∞ recovers the in-memory ``1/ts``.
+    """
+    if service_time <= 0:
+        raise ModelError(f"service time must be positive, got {service_time}")
+    if sync_cost < 0:
+        raise ModelError(f"sync cost must be non-negative, got {sync_cost}")
+    if concurrency < 1:
+        raise ModelError(f"concurrency must be at least 1, got {concurrency}")
+    return concurrency / (concurrency * service_time + sync_cost)

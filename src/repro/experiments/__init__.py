@@ -17,6 +17,7 @@ from repro.experiments.common import ExperimentResult
 def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
     from repro.experiments import (
         bench_batching,
+        bench_faults,
         extra_availability,
         extra_dynamic,
         extra_mencius,
@@ -59,6 +60,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "extra_dynamic": extra_dynamic.run,
         "extra_mencius": extra_mencius.run,
         "bench_batching": bench_batching.run,
+        "bench_faults": bench_faults.run,
     }
 
 

@@ -1,0 +1,220 @@
+"""Fault-recovery baseline: MTTR and availability under reboot/wipe.
+
+The crash-recovery subsystem's headline numbers, tracked as a committed
+baseline the way ``bench_batching`` tracks throughput knees.  For the
+single-leader protocols we power-cycle (``reboot``) or disk-wipe
+(``wipe``) the leader mid-run and record the per-50 ms completed-ops
+timeline, once in-memory and once with a durable WAL:
+
+- **MTTR**: seconds from fault injection until throughput first regains
+  80% of its pre-fault mean (includes the outage itself);
+- **availability**: fraction of post-warmup buckets at >= 50% of healthy
+  throughput;
+- **dip depth/width**: the worst bucket after the fault, and how long the
+  sub-80% valley lasts.
+
+A rebooted durable leader replays its WAL and resumes; a wiped one (and
+any in-memory victim) rejoins as a learner via snapshot transfer while the
+cluster elects a replacement — so wipe MTTR tracks the election timeout
+while reboot MTTR tracks the outage itself.
+
+The results land in ``BENCH_faults.json``::
+
+    python -m repro.experiments bench_faults [--fast]
+
+``check_recovered()`` is the CI gate: every scenario must have recovered
+(finite MTTR) with availability above 50%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.workload import WorkloadGenerator, WorkloadSpec
+from repro.experiments.common import ExperimentResult
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+
+PROTOCOLS = {"paxos": MultiPaxos, "raft": Raft}
+FAULTS = ("reboot", "wipe")
+MODES = ("memory", "durable")
+
+BUCKET = 0.05
+FAULT_AT = 0.8
+DOWNTIME = 0.15
+CLIENTS = 8
+SEED = 73
+OUTPUT_FILE = "BENCH_faults.json"
+
+
+def _config(mode: str) -> Config:
+    params: dict = {"election_timeout": 0.15}
+    if mode == "durable":
+        params.update(
+            durability="fsync", snapshot_interval=25, catchup_snapshot_gap=16
+        )
+    return Config.lan(3, 3, seed=SEED, **params)
+
+
+def _current_leader(deployment: Deployment):
+    for node_id, replica in deployment.replicas.items():
+        if getattr(replica, "state", None) == "leader" or getattr(
+            replica, "active", False
+        ):
+            return node_id
+    return deployment.config.node_ids[0]
+
+
+def _drive(factory, mode: str, fault: str, run_for: float) -> dict[int, int]:
+    """Run a closed-loop workload, inject ``fault`` on the leader at
+    FAULT_AT, and return the completed-ops timeline in BUCKET buckets."""
+    deployment = Deployment(_config(mode)).start(factory)
+    deployment.run_for(0.3)  # let the initial election settle
+    start = deployment.now
+    buckets: dict[int, int] = {}
+    streams = deployment.cluster.streams
+    spec = WorkloadSpec(keys=50, write_ratio=0.5)
+    for index in range(CLIENTS):
+        client = deployment.new_client()
+        client.retry_timeout = 0.25
+        generator = WorkloadGenerator(
+            spec, streams.stream(f"faults-{index}"), name=f"c{index}"
+        )
+        _loop(deployment, client, generator, start, run_for, buckets)
+    deployment.run_until(start + FAULT_AT)
+    victim = _current_leader(deployment)
+    if fault == "reboot":
+        deployment.reboot(victim, downtime=DOWNTIME)
+    else:
+        deployment.wipe(victim, downtime=DOWNTIME)
+    deployment.run_until(start + run_for)
+    caught_up = not getattr(deployment.replicas[victim], "recovering", False)
+    return buckets, caught_up
+
+
+def _loop(deployment, client, generator, start, run_for, buckets) -> None:
+    def issue() -> None:
+        command = generator.next_command(deployment.now)
+
+        def done(_reply, _latency: float) -> None:
+            elapsed = deployment.now - start
+            if elapsed < run_for:
+                buckets[int(elapsed / BUCKET)] = buckets.get(int(elapsed / BUCKET), 0) + 1
+                issue()
+
+        client.invoke(command, on_done=done)
+
+    issue()
+
+
+def _metrics(buckets: dict[int, int], run_for: float) -> dict:
+    n = int(run_for / BUCKET)
+    series = [buckets.get(i, 0) for i in range(n)]
+    warm_b = int(0.2 / BUCKET)  # ramp-up buckets excluded from baselines
+    fault_b = int(FAULT_AT / BUCKET)
+    healthy = sum(series[warm_b:fault_b]) / max(1, fault_b - warm_b)
+    recovered_b = next(
+        (i for i in range(fault_b, n) if series[i] >= 0.8 * healthy), None
+    )
+    dip_window = series[fault_b : min(n, fault_b + int(1.0 / BUCKET))]
+    available = [b >= 0.5 * healthy for b in series[warm_b:]]
+    return {
+        "healthy_ops": round(healthy / BUCKET, 1),
+        "mttr_s": None if recovered_b is None else round((recovered_b - fault_b) * BUCKET, 3),
+        "dip_floor_frac": round(min(dip_window) / healthy, 3) if healthy else None,
+        "dip_width_s": round(
+            ((recovered_b if recovered_b is not None else n) - fault_b) * BUCKET, 3
+        ),
+        "availability": round(sum(available) / len(available), 3),
+    }
+
+
+def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
+    run_for = 2.4 if fast else 3.2
+    protocols = {"paxos": MultiPaxos} if fast else PROTOCOLS
+    result = ExperimentResult(
+        experiment="bench_faults",
+        title=(
+            f"Fault recovery baseline (9-node LAN, leader fault @{FAULT_AT}s, "
+            f"{DOWNTIME * 1e3:.0f}ms outage)"
+        ),
+        headers=["protocol", "fault", "mode", "healthy_ops", "mttr_s", "dip_floor", "avail"],
+    )
+    payload: dict = {
+        "experiment": "bench_faults",
+        "mode": "fast" if fast else "full",
+        "bucket_s": BUCKET,
+        "fault_at_s": FAULT_AT,
+        "downtime_s": DOWNTIME,
+        "seed": SEED,
+        "scenarios": {},
+    }
+    for name, factory in protocols.items():
+        for fault in FAULTS:
+            for mode in MODES:
+                timeline, caught_up = _drive(factory, mode, fault, run_for)
+                metrics = _metrics(timeline, run_for)
+                metrics["victim_caught_up"] = caught_up
+                payload["scenarios"][f"{name}:{fault}:{mode}"] = metrics
+                result.rows.append(
+                    [
+                        name,
+                        fault,
+                        mode,
+                        metrics["healthy_ops"],
+                        metrics["mttr_s"],
+                        metrics["dip_floor_frac"],
+                        metrics["availability"],
+                    ]
+                )
+                result.series[f"{name}:{fault}:{mode}"] = [
+                    (i * BUCKET, float(timeline.get(i, 0)))
+                    for i in range(int(run_for / BUCKET))
+                ]
+        reboot_d = payload["scenarios"][f"{name}:reboot:durable"]
+        wipe_d = payload["scenarios"][f"{name}:wipe:durable"]
+        result.notes.append(
+            f"{name} (durable): MTTR reboot {reboot_d['mttr_s']}s / wipe "
+            f"{wipe_d['mttr_s']}s — cluster availability tracks the outage "
+            "plus failover, while the victim's WAL replay (reboot) or "
+            "snapshot state transfer (wipe) completes off the critical path"
+        )
+    with open(output, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    result.notes.append(f"wrote {output}")
+    return result
+
+
+def check_recovered(path: str = OUTPUT_FILE) -> None:
+    """CI gate: every scenario recovered, with availability above 50%.
+
+    Raises ``SystemExit`` with a readable message otherwise, so it can run
+    as ``python -c "from repro.experiments.bench_faults import check_recovered; check_recovered()"``.
+    """
+    if not os.path.exists(path):
+        raise SystemExit(f"faults baseline {path!r} not found — run the bench first")
+    with open(path) as f:
+        payload = json.load(f)
+    scenarios = payload.get("scenarios") or {}
+    if not scenarios:
+        raise SystemExit(f"faults baseline {path!r} has no scenarios")
+    failures = []
+    for name, metrics in sorted(scenarios.items()):
+        if metrics.get("mttr_s") is None:
+            failures.append(f"{name}: never recovered to 80% of healthy throughput")
+        elif metrics.get("availability", 0.0) < 0.5:
+            failures.append(f"{name}: availability {metrics['availability']:.0%} < 50%")
+        elif metrics.get("victim_caught_up") is False:
+            failures.append(f"{name}: fault victim never finished catching up")
+    if failures:
+        raise SystemExit("fault-recovery regression: " + "; ".join(failures))
+    print(
+        "fault baseline ok: "
+        + ", ".join(
+            f"{name} mttr={metrics['mttr_s']}s" for name, metrics in sorted(scenarios.items())
+        )
+    )

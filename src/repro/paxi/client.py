@@ -48,10 +48,20 @@ class Client:
         self._loop = deployment.cluster.loop
         self._pending: dict[int, _Pending] = {}
         self._next_request_id = 0
+        #: Base retransmit timeout (None disables retries).  Retry k waits
+        #: ``retry_timeout * retry_backoff**k`` (capped at ``retry_cap``)
+        #: plus up to 25% deterministic jitter, so a herd of clients
+        #: retrying into a recovering cluster spreads out instead of
+        #: stampeding — the first retransmission still fires at exactly
+        #: ``retry_timeout`` for predictable failover.
         self.retry_timeout: float | None = None
+        self.retry_backoff: float = 2.0
+        self.retry_cap: float = 1.0
         self.max_retries: int = 8
         self.completed = 0
         self.failed = 0
+        self._attempts_done: dict[int, int] = {}
+        self._retry_rng = deployment.cluster.streams.stream(f"client-retry-{address}")
         self._tracer = deployment.cluster.obs.tracer
         deployment.cluster.add_lightweight_endpoint(address, site, self._on_receive)
         self._preferred = self._spread_preferences(deployment, address, site)
@@ -164,8 +174,23 @@ class Client:
         self._network.transit(self.address, pending.target, request, ClientRequest.SIZE_BYTES)
         if self.retry_timeout is not None:
             pending.retry_handle = self._loop.call_after(
-                self.retry_timeout, self._on_timeout, request_id
+                self._retry_delay(pending.retries), self._on_timeout, request_id
             )
+
+    def _retry_delay(self, retries: int) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The first transmission (``retries == 0``) waits exactly
+        ``retry_timeout``; retry ``k`` waits ``retry_timeout * backoff**k``
+        capped at ``retry_cap``, stretched by up to 25% drawn from the
+        deployment's seeded streams.
+        """
+        assert self.retry_timeout is not None
+        if retries == 0:
+            return self.retry_timeout
+        cap = max(self.retry_cap, self.retry_timeout)
+        delay = min(self.retry_timeout * self.retry_backoff**retries, cap)
+        return delay * (1.0 + 0.25 * self._retry_rng.random())
 
     def _on_timeout(self, request_id: int) -> None:
         pending = self._pending.get(request_id)
@@ -176,6 +201,7 @@ class Client:
         if pending.retries > self.max_retries:
             del self._pending[request_id]
             self.failed += 1
+            self._attempts_done[request_id] = pending.retries  # = transmissions made
             self._tracer.fail((self.address, request_id), self._loop.now, self.address)
             return
         # Rotate to the next-nearest replica, the Paxi client's failover.
@@ -205,6 +231,7 @@ class Client:
         now = self._loop.now
         latency = now - pending.invoked_at
         self.completed += 1
+        self._attempts_done[message.request_id] = pending.retries + 1
         self._tracer.end((self.address, message.request_id), now, self.address)
         self.deployment.history.complete(pending.history_token, message.value, now)
         if pending.on_done is not None:
@@ -214,13 +241,32 @@ class Client:
     def outstanding(self) -> int:
         return len(self._pending)
 
+    def attempts(self, request_id: int) -> int:
+        """Transmissions made for ``request_id`` (1 = no retries).
+
+        Valid for in-flight and finished requests alike; Sessions surface
+        it as :attr:`repro.paxi.session.Result.attempts`.
+        """
+        pending = self._pending.get(request_id)
+        if pending is not None:
+            return pending.retries + 1
+        return self._attempts_done.get(request_id, 1)
+
     # ------------------------------------------------------------------
     # Fault-injection commands (paper section 4.2, "Availability")
     # ------------------------------------------------------------------
 
-    def crash(self, node: NodeID, duration: float) -> None:
-        """Freeze ``node`` for ``duration`` seconds."""
+    def crash(self, node: NodeID, duration: float | None = None) -> None:
+        """Freeze ``node`` for ``duration`` seconds (None = permanently)."""
         self.deployment.crash(node, duration)
+
+    def reboot(self, node: NodeID, downtime: float = 0.05) -> None:
+        """Power-cycle ``node``: volatile state lost, disk survives."""
+        self.deployment.reboot(node, downtime)
+
+    def wipe(self, node: NodeID, downtime: float = 0.05) -> None:
+        """Destroy ``node``'s disk and restart it empty (state transfer)."""
+        self.deployment.wipe(node, downtime)
 
     def drop(self, src: NodeID, dst: NodeID, duration: float) -> None:
         """Drop every message from ``src`` to ``dst`` for ``duration`` s."""

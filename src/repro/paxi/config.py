@@ -20,6 +20,7 @@ from repro.core import topology as topo
 from repro.errors import ConfigError
 from repro.paxi.ids import NodeID, grid_ids
 from repro.sim.server import ServiceProfile
+from repro.sim.storage import DURABILITY_MODES, DiskProfile
 
 
 @dataclass
@@ -36,6 +37,18 @@ class Config:
       only same-instant arrivals);
     - ``pipeline_depth`` — maximum consensus instances a leader keeps in
       flight concurrently (``None`` = unbounded, the historical behavior).
+
+    Durability is strictly opt-in (the default keeps the seed's in-memory
+    behavior byte-identical):
+
+    - ``durability`` — ``"none"`` (in-memory), ``"fsync"`` (every WAL
+      record synced on the critical path) or ``"group"`` (group-commit
+      fsync, amortized across concurrent records);
+    - ``disk`` — the :class:`~repro.sim.storage.DiskProfile` to charge
+      sync costs from (requires ``durability != "none"``);
+    - ``snapshot_interval`` — write a disk snapshot and truncate the WAL
+      every this many executed slots (``None`` disables periodic
+      snapshots; state transfer to wiped nodes works either way).
     """
 
     topology: topo.Topology
@@ -46,6 +59,9 @@ class Config:
     batch_window: float | None = None
     batch_size: int = 1
     pipeline_depth: int | None = None
+    durability: str = "none"
+    disk: DiskProfile | None = None
+    snapshot_interval: int | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_ids) != self.topology.n_nodes:
@@ -72,10 +88,39 @@ class Config:
                 "a leader needs at least one instance in flight "
                 "(use pipeline_depth=None for unbounded)"
             )
+        if self.durability not in DURABILITY_MODES:
+            raise ConfigError(
+                f"durability must be one of {DURABILITY_MODES}, got {self.durability!r}"
+            )
+        if self.disk is not None and self.durability == "none":
+            raise ConfigError(
+                "a disk profile was given but durability='none'; "
+                "set durability='fsync' or 'group' to use it"
+            )
+        if self.snapshot_interval is not None:
+            if self.durability == "none":
+                raise ConfigError(
+                    "snapshot_interval requires durability != 'none': "
+                    "snapshots only exist on a durable disk"
+                )
+            if not isinstance(self.snapshot_interval, int) or self.snapshot_interval < 1:
+                raise ConfigError(
+                    f"snapshot_interval must be a positive integer number of "
+                    f"slots or None, got {self.snapshot_interval!r}"
+                )
 
     @property
     def batching_enabled(self) -> bool:
         return self.batch_size > 1 or self.batch_window is not None
+
+    @property
+    def durable(self) -> bool:
+        return self.durability != "none"
+
+    @property
+    def disk_profile(self) -> DiskProfile:
+        """The effective disk profile for durable deployments."""
+        return self.disk if self.disk is not None else DiskProfile()
 
     # ------------------------------------------------------------------
     # Derived lookups
@@ -124,6 +169,9 @@ class Config:
         batch_window: float | None = None,
         batch_size: int = 1,
         pipeline_depth: int | None = None,
+        durability: str = "none",
+        disk: DiskProfile | None = None,
+        snapshot_interval: int | None = None,
         **params: Any,
     ) -> "Config":
         """A single-site LAN cluster (paper section 5.2: 9 nodes).
@@ -141,6 +189,9 @@ class Config:
             batch_window=batch_window,
             batch_size=batch_size,
             pipeline_depth=pipeline_depth,
+            durability=durability,
+            disk=disk,
+            snapshot_interval=snapshot_interval,
         )
 
     @staticmethod
@@ -152,6 +203,9 @@ class Config:
         batch_window: float | None = None,
         batch_size: int = 1,
         pipeline_depth: int | None = None,
+        durability: str = "none",
+        disk: DiskProfile | None = None,
+        snapshot_interval: int | None = None,
         **params: Any,
     ) -> "Config":
         """A multi-region WAN cluster; zone ``i`` lives in ``regions[i-1]``.
@@ -170,6 +224,9 @@ class Config:
             batch_window=batch_window,
             batch_size=batch_size,
             pipeline_depth=pipeline_depth,
+            durability=durability,
+            disk=disk,
+            snapshot_interval=snapshot_interval,
         )
 
     # ------------------------------------------------------------------
@@ -199,6 +256,16 @@ class Config:
             "batch_window": self.batch_window,
             "batch_size": self.batch_size,
             "pipeline_depth": self.pipeline_depth,
+            "durability": self.durability,
+            "disk": (
+                {
+                    "fsync_latency": self.disk.fsync_latency,
+                    "write_bandwidth_bps": self.disk.write_bandwidth_bps,
+                }
+                if self.disk is not None
+                else None
+            ),
+            "snapshot_interval": self.snapshot_interval,
         }
         return json.dumps(payload, indent=2)
 
@@ -245,6 +312,7 @@ class Config:
             "deployment", "regions", "zones", "nodes_per_zone", "seed",
             "profile", "params", "protocol",
             "batch_window", "batch_size", "pipeline_depth",
+            "durability", "disk", "snapshot_interval",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -315,6 +383,35 @@ class Config:
         for name, value in (("batch_size", batch_size), ("pipeline_depth", pipeline_depth)):
             if value is not None and (not isinstance(value, int) or isinstance(value, bool)):
                 raise ConfigError(f"{name} must be an integer, got {value!r}")
+        durability = payload.get("durability", "none")
+        if durability is None:
+            durability = "none"
+        if durability not in DURABILITY_MODES:
+            raise ConfigError(
+                f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
+            )
+        disk_dict = payload.get("disk")
+        disk = None
+        if disk_dict is not None:
+            if not isinstance(disk_dict, dict):
+                raise ConfigError(f"disk must be a mapping, got {disk_dict!r}")
+            disk_keys = {"fsync_latency", "write_bandwidth_bps"}
+            bad_disk = sorted(set(disk_dict) - disk_keys)
+            if bad_disk:
+                raise ConfigError(
+                    f"unknown disk key(s) {bad_disk}; valid keys are {sorted(disk_keys)}"
+                )
+            try:
+                disk = DiskProfile(**disk_dict)
+            except Exception as exc:  # SimulationError or bad field types
+                raise ConfigError(f"invalid disk profile {disk_dict!r}: {exc}") from exc
+        snapshot_interval = payload.get("snapshot_interval")
+        if snapshot_interval is not None and (
+            not isinstance(snapshot_interval, int) or isinstance(snapshot_interval, bool)
+        ):
+            raise ConfigError(
+                f"snapshot_interval must be an integer or null, got {snapshot_interval!r}"
+            )
         common = {
             "nodes_per_zone": nodes_per_zone,
             "seed": payload.get("seed", 0),
@@ -322,6 +419,9 @@ class Config:
             "batch_window": batch_window,
             "batch_size": 1 if batch_size is None else batch_size,
             "pipeline_depth": pipeline_depth,
+            "durability": durability,
+            "disk": disk,
+            "snapshot_interval": snapshot_interval,
         }
         if deployment == "lan":
             return Config.lan(zones=zones, **common, **params)

@@ -16,6 +16,7 @@ from repro.paxi.ids import NodeID
 from repro.sim.cluster import Cluster
 from repro.sim.network import FaultPlan
 from repro.sim.server import Server
+from repro.sim.storage import Disk
 
 if TYPE_CHECKING:
     from repro.paxi.client import Client
@@ -23,6 +24,10 @@ if TYPE_CHECKING:
     from repro.paxi.session import Session
 
 ReplicaFactory = Callable[["Deployment", NodeID], "Replica"]
+
+
+def _down_sink(src: Hashable, message: object, size_bytes: int) -> None:
+    """Receiver installed while a node is down: deliveries vanish."""
 
 
 class Deployment:
@@ -38,6 +43,12 @@ class Deployment:
         self.clients: list["Client"] = []
         self._client_seq = 0
         self._pending_attach: NodeID | None = None
+        self._factory: ReplicaFactory | None = None
+        # Disks survive replica restarts, so they live here, not on the
+        # replica.  Keyed lazily: empty unless the config is durable.
+        self._disks: dict[NodeID, Disk] = {}
+        self._down: dict[NodeID, str] = {}  # node -> "reboot" | "wipe" while down
+        self._restart_reason: dict[NodeID, str] = {}  # visible during rebuild
 
     # ------------------------------------------------------------------
     # Construction
@@ -47,6 +58,7 @@ class Deployment:
         """Instantiate one replica per configured node."""
         if self.replicas:
             raise SimulationError("deployment already started")
+        self._factory = factory
         for node_id in self.config.node_ids:
             replica = factory(self, node_id)
             if node_id not in self.replicas:
@@ -59,7 +71,11 @@ class Deployment:
 
     def attach_replica(self, replica: "Replica") -> Server:
         """Called from ``Replica.__init__``: create the machine and register
-        the replica as its network endpoint."""
+        the replica as its network endpoint.
+
+        After a reboot/wipe the machine already exists — the fresh replica
+        instance takes over the existing server and network address.
+        """
         node_id = replica.id
         if node_id not in self.config.node_ids:
             raise ConfigError(f"{node_id} is not in the configuration")
@@ -67,7 +83,26 @@ class Deployment:
             raise SimulationError(f"replica {node_id} already attached")
         self.replicas[node_id] = replica
         site = self.config.site_of(node_id)
+        if node_id in self.cluster.servers:
+            self.cluster.replace_receiver(node_id, replica.on_network_receive)
+            return self.cluster.server(node_id)
         return self.cluster.add_server(node_id, site, replica.on_network_receive)
+
+    def disk_for(self, node_id: NodeID) -> Disk | None:
+        """The node's durable disk (created on first use), or None for
+        in-memory deployments."""
+        if not self.config.durable:
+            return None
+        disk = self._disks.get(node_id)
+        if disk is None:
+            disk = Disk(self.config.disk_profile)
+            self._disks[node_id] = disk
+        return disk
+
+    def restart_context(self, node_id: NodeID) -> str | None:
+        """Why a replica is being rebuilt right now: ``"reboot"``,
+        ``"wipe"``, or None for the initial construction."""
+        return self._restart_reason.get(node_id)
 
     def new_client(self, site: str | None = None, zone: int | None = None) -> "Client":
         """Create a client co-located with the replicas of ``site``/``zone``.
@@ -148,8 +183,77 @@ class Deployment:
             check_deployment(self).ok,
         )
 
-    def crash(self, node_id: NodeID, duration: float, at: float | None = None) -> None:
+    def crash(
+        self, node_id: NodeID, duration: float | None = None, at: float | None = None
+    ) -> None:
+        """Freeze ``node_id`` for ``duration`` seconds — the paper's
+        ``Crash(t)``: volatile state survives, queued work resumes on thaw.
+        ``duration=None`` is a permanent crash-stop."""
         self.cluster.crash(node_id, duration, at)
+
+    def reboot(
+        self, node_id: NodeID, downtime: float = 0.05, at: float | None = None
+    ) -> None:
+        """Power-cycle ``node_id``: volatile state (log, quorum tallies,
+        timers, queued work, unsynced WAL records) is lost; disk contents
+        survive.  After ``downtime`` seconds a fresh replica instance is
+        built via the protocol factory and recovers from its WAL."""
+        self._schedule_outage(node_id, "reboot", downtime, at)
+
+    def wipe(
+        self, node_id: NodeID, downtime: float = 0.05, at: float | None = None
+    ) -> None:
+        """Like :meth:`reboot`, but the disk is destroyed too: the node
+        restarts empty and must rejoin via snapshot state transfer."""
+        self._schedule_outage(node_id, "wipe", downtime, at)
+
+    def _schedule_outage(
+        self, node_id: NodeID, mode: str, downtime: float, at: float | None
+    ) -> None:
+        if node_id not in self.config.node_ids:
+            raise ConfigError(f"{node_id} is not in the configuration")
+        if downtime < 0:
+            raise SimulationError(f"negative downtime {downtime!r}")
+        when = self.now if at is None else at
+        self.cluster.loop.call_at(when, self._take_down, node_id, mode, downtime)
+
+    def _take_down(self, node_id: NodeID, mode: str, downtime: float) -> None:
+        if node_id in self._down:
+            # Already down; a wipe arriving during a reboot still destroys
+            # the disk, otherwise overlapping outages are a no-op.
+            if mode == "wipe":
+                self._down[node_id] = "wipe"
+                disk = self._disks.get(node_id)
+                if disk is not None:
+                    disk.wipe()
+            return
+        replica = self.replicas.pop(node_id, None)
+        if replica is None:
+            return
+        self._down[node_id] = mode
+        replica.halt()
+        self.cluster.server(node_id).power_off()
+        self.cluster.replace_receiver(node_id, _down_sink)
+        disk = self._disks.get(node_id)
+        if disk is not None and mode == "wipe":
+            disk.wipe()
+        self.cluster.loop.call_after(downtime, self._bring_up, node_id)
+
+    def _bring_up(self, node_id: NodeID) -> None:
+        mode = self._down.pop(node_id, None)
+        if mode is None:
+            return
+        if self._factory is None:
+            raise SimulationError("cannot restart a replica before start()")
+        self.cluster.server(node_id).power_on()
+        self._restart_reason[node_id] = mode
+        try:
+            # The factory re-runs Replica.__init__, which re-attaches the
+            # replica to the existing server/address and (via the
+            # protocol's recovery path) replays its WAL or starts catch-up.
+            self._factory(self, node_id)
+        finally:
+            self._restart_reason.pop(node_id, None)
 
     def drop(self, src: Hashable, dst: Hashable, duration: float, at: float | None = None) -> None:
         self.cluster.drop(src, dst, duration, at)

@@ -76,6 +76,23 @@ class MultiVersionStore:
             return
         self._chains[key] = [Version(i + 1, v) for i, v in enumerate(values)]
 
+    def dump(self) -> dict[Hashable, list[Any]]:
+        """Full per-key histories, for snapshots / state transfer.
+
+        The dump keeps every version (not just the latest value) so a
+        restored replica stays common-prefix consistent with its peers
+        under the consensus checker.
+        """
+        return {key: [v.value for v in chain] for key, chain in self._chains.items()}
+
+    def restore(self, dump: dict[Hashable, list[Any]]) -> None:
+        """Replace the store's contents with a :meth:`dump` (state transfer
+        into a wiped or snapshot-restored replica)."""
+        self._chains = {
+            key: [Version(i + 1, v) for i, v in enumerate(values)]
+            for key, values in dump.items()
+        }
+
     def keys(self) -> list[Hashable]:
         return list(self._chains)
 

@@ -23,8 +23,9 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 from repro.errors import ProtocolError
 from repro.paxi.ids import NodeID
 from repro.paxi.kvstore import MultiVersionStore
-from repro.paxi.message import ClientReply, ClientRequest
+from repro.paxi.message import Batch, ClientReply, ClientRequest
 from repro.sim.clock import EventHandle
+from repro.sim.storage import WAL_RECORD_BYTES, Snapshot, WalRecord, WalWriter
 
 if TYPE_CHECKING:
     from repro.paxi.deployment import Deployment
@@ -36,6 +37,18 @@ def _wire_size(message: Any) -> int:
     if wire is not None:
         return wire()
     return getattr(type(message), "SIZE_BYTES", 100)
+
+
+def wal_record_bytes(command: Any) -> int:
+    """WAL record size for a log entry carrying ``command``.
+
+    Batched entries write every command's payload, so their records grow
+    with the batch — this is what lets group commit amortize one fsync
+    over a whole batch without under-charging disk bandwidth.
+    """
+    if isinstance(command, Batch):
+        return WAL_RECORD_BYTES + command.extra_bytes()
+    return WAL_RECORD_BYTES
 
 
 class Batcher:
@@ -132,6 +145,20 @@ class Replica:
         self._network = deployment.cluster.network
         self._profile = deployment.config.profile
         self._tracer = deployment.cluster.obs.tracer
+        self._halted = False
+        # Durable storage (None when durability == "none"): the Disk lives
+        # on the Deployment and survives restarts; the WalWriter is this
+        # incarnation's volatile write path.
+        self.disk = deployment.disk_for(node_id)
+        self._wal_writer = (
+            WalWriter(self._server, self.disk, self.config.durability)
+            if self.disk is not None
+            else None
+        )
+        self._snapshot_inflight = False
+        #: Why this incarnation exists: None for a fresh start,
+        #: "reboot" (disk intact) or "wipe" (disk lost) after a restart.
+        self.restart_reason = deployment.restart_context(node_id)
 
     # ------------------------------------------------------------------
     # Identity and membership
@@ -165,6 +192,8 @@ class Replica:
 
     def on_network_receive(self, src: Hashable, message: Any, size_bytes: int) -> None:
         """Entry point from the network: charge the queue, then dispatch."""
+        if self._halted:
+            return  # a dead incarnation's NIC: packets fall on the floor
         weight = getattr(type(message), "WEIGHT", 1.0)
         cost = self._profile.incoming_cost(size_bytes, weight)
         if self._tracer.enabled and type(message) is ClientRequest:
@@ -246,12 +275,89 @@ class Replica:
     # ------------------------------------------------------------------
 
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
-        """Run ``fn(*args)`` after ``delay`` seconds unless cancelled."""
-        return self.loop.call_after(delay, fn, *args)
+        """Run ``fn(*args)`` after ``delay`` seconds unless cancelled.
+
+        Timers die with the replica: once :meth:`halt` has run (reboot /
+        wipe fault injection) a pending timer fires into the void, so a
+        dead incarnation can never send messages or mutate ghost state.
+        """
+        return self.loop.call_after(delay, self._guarded_timer, fn, args)
+
+    def _guarded_timer(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self._halted:
+            return
+        fn(*args)
 
     def local_work(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
         """Charge ``cost`` seconds of CPU on this replica, then run ``fn``."""
         self._server.submit(cost, fn, *args)
+
+    def halt(self) -> None:
+        """Permanently silence this replica instance (its node went down).
+
+        Queued server jobs are killed separately by
+        :meth:`repro.sim.server.Server.power_off`; this flag covers event
+        -loop timers and in-flight network deliveries that still reference
+        the old instance.
+        """
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def persist(
+        self,
+        kind: str,
+        data: Any,
+        slot: int | None = None,
+        size_bytes: int = WAL_RECORD_BYTES,
+        then: Callable[[], None] | None = None,
+    ) -> None:
+        """Append a WAL record and run ``then()`` once it is durable.
+
+        With durability off this *is* the seed's in-memory behavior:
+        ``then()`` runs synchronously and nothing else happens — no job is
+        submitted, no cost is charged, accounting stays byte-identical.
+        With durability on, the record goes through the node's
+        :class:`~repro.sim.storage.WalWriter` (fsync-per-record or group
+        commit per :attr:`Config.durability`) and ``then()`` fires only
+        when the covering fsync completes.
+        """
+        if self._wal_writer is None:
+            if then is not None:
+                then()
+            return
+        self._wal_writer.persist(WalRecord(kind, slot, data, size_bytes), then)
+
+    def maybe_snapshot(self, executed_upto: int) -> None:
+        """Write a periodic disk snapshot if the configured interval has
+        passed, then truncate the WAL below it.  The snapshot write is
+        charged through the node's queue like any other disk work."""
+        interval = self.config.snapshot_interval
+        if self.disk is None or interval is None or self._snapshot_inflight:
+            return
+        last = self.disk.snapshot.upto if self.disk.snapshot is not None else 0
+        if executed_upto - last < interval:
+            return
+        payload, size_bytes = self.snapshot_payload(executed_upto)
+        snap = Snapshot(executed_upto, payload, size_bytes)
+        self._snapshot_inflight = True
+        cost = self.disk.profile.sync_cost(size_bytes)
+        self._server.submit(cost, self._install_snapshot, snap)
+
+    def _install_snapshot(self, snap: Snapshot) -> None:
+        self._snapshot_inflight = False
+        assert self.disk is not None
+        self.disk.install_snapshot(snap)
+
+    def snapshot_payload(self, executed_upto: int) -> tuple[Any, int]:
+        """Protocol hook: the opaque state-machine payload (and its size in
+        bytes) covering every slot up to ``executed_upto``.  Protocols with
+        recovery support override this."""
+        raise ProtocolError(
+            f"{type(self).__name__} does not implement snapshot_payload()"
+        )
 
     @property
     def now(self) -> float:

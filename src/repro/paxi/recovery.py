@@ -1,0 +1,157 @@
+"""Generic catch-up protocol: log fill + snapshot state transfer.
+
+A node that comes back from a ``reboot`` replays its WAL but may still be
+missing recently-committed slots; a node that comes back from a ``wipe``
+has nothing at all.  Both use the same peer-to-peer catch-up exchange
+(mirroring Raft's InstallSnapshot + AppendEntries retransmission and the
+recovery machinery "Scaling Strongly Consistent Replication" builds on):
+
+1. the recovering node sends :class:`CatchupRequest` (``from_slot`` = one
+   past the last slot it holds) to one peer at a time;
+2. the donor answers with a :class:`CatchupReply` — a state-machine
+   :class:`~repro.sim.storage.Snapshot` when the requester is too far
+   behind to be served from the donor's log, plus the committed log
+   entries above the snapshot, plus how far the donor has committed;
+3. the requester installs, advances ``from_slot``, and repeats until it
+   has caught up with its donor, rotating donors with capped exponential
+   backoff (jittered from the deployment's seeded RNG streams) when a
+   donor is slow, dead, or unhelpful.
+
+The reply's ``entries`` payload is protocol-defined (MultiPaxos ships
+``(slot, ballot, command)`` triples, Raft ships ``(index, term, command,
+requests)`` records); this module only manages the conversation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+from repro.paxi.message import Message
+from repro.sim.clock import EventHandle
+from repro.sim.storage import Snapshot
+
+if TYPE_CHECKING:
+    from repro.paxi.node import Replica
+
+#: Marginal wire bytes per shipped log entry (same scale as
+#: :attr:`repro.paxi.message.Batch.PER_COMMAND_BYTES`).
+CATCHUP_ENTRY_BYTES = 110
+
+#: Default requester retransmit timeout (seconds) before rotating donors.
+CATCHUP_BASE_TIMEOUT = 0.05
+
+#: Backoff cap: retransmit intervals never exceed this.
+CATCHUP_MAX_TIMEOUT = 0.8
+
+
+@dataclass(frozen=True)
+class CatchupRequest(Message):
+    """Ask a peer for everything committed at or above ``from_slot``."""
+
+    from_slot: int = 1
+
+
+@dataclass(frozen=True)
+class CatchupReply(Message):
+    """A donor's answer: optional snapshot + committed entries above it.
+
+    ``payload_bytes`` is computed by the donor (snapshot size plus
+    per-entry bytes) so the NIC/bandwidth accounting stays honest for
+    arbitrarily large transfers.
+    """
+
+    from_slot: int = 1
+    commit_upto: int = 0
+    snapshot: Snapshot | None = None
+    entries: tuple = ()
+    payload_bytes: int = 0
+    leader_hint: Hashable = None
+    #: Protocol-specific piggyback (MultiPaxos: the donor's promised ballot,
+    #: so a wiped ex-leader can pick a fresh ballot; Raft: the donor's term).
+    extra: Any = None
+
+    def wire_size(self) -> int:
+        return self.SIZE_BYTES + self.payload_bytes
+
+
+def entries_payload_bytes(n_entries: int, n_commands: int) -> int:
+    """Wire bytes for ``n_entries`` log entries carrying ``n_commands``
+    commands in total (batched entries ship every command)."""
+    return CATCHUP_ENTRY_BYTES * max(n_entries, n_commands)
+
+
+class CatchupRunner:
+    """Requester-side retransmit loop with donor rotation and backoff.
+
+    The owning replica supplies ``make_request`` (called before every
+    transmission, so the request always reflects current progress) and
+    calls :meth:`on_progress` when a reply moved it forward (resetting the
+    backoff) and :meth:`stop` once fully caught up.  Timeouts double up to
+    ``max_timeout`` and each interval is jittered by up to 25% from the
+    deployment's seeded streams, so retransmission storms cannot
+    synchronize across recovering nodes yet runs stay reproducible.
+    """
+
+    def __init__(
+        self,
+        replica: "Replica",
+        donors: list[Hashable],
+        make_request: Callable[[], Message],
+        base_timeout: float = CATCHUP_BASE_TIMEOUT,
+        max_timeout: float = CATCHUP_MAX_TIMEOUT,
+    ) -> None:
+        if not donors:
+            raise ValueError("catch-up needs at least one donor peer")
+        self._replica = replica
+        self._donors = list(donors)
+        self._make_request = make_request
+        self._base_timeout = base_timeout
+        self._max_timeout = max_timeout
+        self._timeout = base_timeout
+        self._donor_index = 0
+        self._timer: EventHandle | None = None
+        self._rng = replica.deployment.cluster.streams.stream(
+            f"catchup-{replica.id}"
+        )
+        self.active = False
+        self.attempts = 0
+
+    @property
+    def donor(self) -> Hashable:
+        return self._donors[self._donor_index % len(self._donors)]
+
+    def start(self) -> None:
+        self.active = True
+        self._transmit()
+
+    def stop(self) -> None:
+        self.active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def on_progress(self) -> None:
+        """A reply advanced us: reset backoff, ask the same donor again."""
+        if not self.active:
+            return
+        self._timeout = self._base_timeout
+        self._transmit()
+
+    def _transmit(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.attempts += 1
+        self._replica.send(self.donor, self._make_request())
+        jitter = 1.0 + 0.25 * self._rng.random()
+        self._timer = self._replica.set_timer(self._timeout * jitter, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self.active:
+            return
+        # The donor did not answer in time: rotate and back off.
+        self._donor_index += 1
+        self._timeout = min(self._timeout * 2.0, self._max_timeout)
+        self._transmit()

@@ -31,7 +31,8 @@ class Result:
 
     ``ok`` is False when the operation timed out (no reply within
     ``max_wait`` of virtual time); ``replica`` is then ``None`` and
-    ``latency_ms`` covers the time spent waiting.
+    ``latency_ms`` covers the time spent waiting.  ``attempts`` counts
+    transmissions, so it is 1 plus the number of client retries.
     """
 
     ok: bool
@@ -40,6 +41,7 @@ class Result:
     replica: NodeID | None
     request_id: int
     version: int = 0
+    attempts: int = 1
 
     def __bool__(self) -> bool:
         return self.ok
@@ -94,6 +96,7 @@ class Session:
         while "reply" not in outcome and self.deployment.now < deadline:
             self.deployment.run_for(min(self._STEP, deadline - self.deployment.now))
         reply = outcome.get("reply")
+        attempts = self.client.attempts(request_id)
         if reply is None:
             return Result(
                 ok=False,
@@ -101,6 +104,7 @@ class Session:
                 latency_ms=(self.deployment.now - started) * 1000.0,
                 replica=None,
                 request_id=request_id,
+                attempts=attempts,
             )
         return Result(
             ok=reply.ok,
@@ -109,6 +113,7 @@ class Session:
             replica=reply.replied_by,
             request_id=request_id,
             version=reply.version,
+            attempts=attempts,
         )
 
     # ------------------------------------------------------------------
@@ -127,9 +132,17 @@ class Session:
     # Fault-injection commands (paper section 4.2, "Availability")
     # ------------------------------------------------------------------
 
-    def crash(self, node: NodeID, duration: float) -> None:
-        """Freeze ``node`` for ``duration`` seconds."""
+    def crash(self, node: NodeID, duration: float | None = None) -> None:
+        """Freeze ``node`` for ``duration`` seconds (None = permanently)."""
         self.deployment.crash(node, duration)
+
+    def reboot(self, node: NodeID, downtime: float = 0.05) -> None:
+        """Power-cycle ``node``: volatile state lost, disk survives."""
+        self.deployment.reboot(node, downtime)
+
+    def wipe(self, node: NodeID, downtime: float = 0.05) -> None:
+        """Destroy ``node``'s disk and restart it empty (state transfer)."""
+        self.deployment.wipe(node, downtime)
 
     def drop(self, src: NodeID, dst: NodeID, duration: float) -> None:
         """Drop every message from ``src`` to ``dst`` for ``duration`` s."""

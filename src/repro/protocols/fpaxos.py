@@ -7,7 +7,12 @@ a smaller replication quorum, which shortens the quorum wait ``DQ`` and
 reduces the leader's critical-path work — the "small flexible quorums
 benefit" of paper section 5.2.
 
-Everything else is inherited from :class:`~repro.protocols.paxos.MultiPaxos`.
+Everything else — including crash recovery (WAL replay after a reboot,
+learner-mode state transfer after a wipe) — is inherited from
+:class:`~repro.protocols.paxos.MultiPaxos`.  Note that small ``|q2|``
+makes durability *more* load-bearing, not less: with ``|q2| = 1`` the
+leader's own disk can be the entire phase-2 quorum, so in durable configs
+its self-ack waits for the WAL fsync like any other acceptor's.
 """
 
 from __future__ import annotations

@@ -16,6 +16,17 @@ The implementation follows the paper's description and optimizations:
 Leader failure is handled with randomized election timeouts: a replica that
 stops hearing from the leader runs phase-1 with a higher ballot, recovers
 uncommitted entries from its phase-1 quorum, and takes over.
+
+Crash recovery (durable configs): promises and accepts are persisted to the
+node's write-ahead log *before* the corresponding P1b/P2b leaves the node,
+and the leader counts its own accept toward a slot's quorum only once the
+record is durable.  A rebooted replica replays its WAL (and latest disk
+snapshot) to restore ``promised`` and the accepted log, then catches up on
+recently-committed slots through the generic catch-up exchange in
+:mod:`repro.paxi.recovery`.  A wiped replica (or a rebooted one in an
+in-memory config) rejoins as a *learner*: it abstains from promises, votes,
+and accepts — so forgotten promises can never un-commit a value — until
+state transfer has caught it up to a donor's commit frontier.
 """
 
 from __future__ import annotations
@@ -27,9 +38,17 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import wal_record_bytes
 from repro.paxi.protocol import Protocol
 from repro.paxi.quorum import MajorityQuorum, Quorum
+from repro.paxi.recovery import (
+    CatchupReply,
+    CatchupRequest,
+    CatchupRunner,
+    entries_payload_bytes,
+)
 from repro.protocols.ballot import Ballot, ZERO, initial_ballot
+from repro.sim.storage import Snapshot
 from repro.protocols.log import (
     CommandLog,
     Entry,
@@ -150,6 +169,11 @@ class MultiPaxos(Protocol):
         self.election_timeout: float | None = params.get("election_timeout")
         self.thrifty: bool = bool(params.get("thrifty", False))
         self.relaxed_reads: bool = bool(params.get("relaxed_reads", False))
+        #: Catch-up donors ship a snapshot instead of log entries once the
+        #: requester is this many slots behind the donor's executed frontier.
+        self.catchup_snapshot_gap: int = params.get("catchup_snapshot_gap", 64)
+        #: Committed entries per CatchupReply (the requester re-asks).
+        self.catchup_max_entries: int = params.get("catchup_max_entries", 256)
 
         self.promised: Ballot = ZERO
         self.ballot: Ballot = ZERO  # own ballot while leading / campaigning
@@ -162,7 +186,7 @@ class MultiPaxos(Protocol):
         self._buffered: list[tuple[Hashable, ClientRequest]] = []
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
         self._inflight: set[tuple[Hashable, int]] = set()
-        self._fill_outstanding = False
+        self._fill_deadline = 0.0  # earliest time the next FillRequest may go out
         self.retransmit_timeout: float = params.get("retransmit_timeout", 0.3)
         self._uncommitted_slots: dict[int, float] = {}  # slot -> last sent at
         self._read_waiters: dict[Hashable, list[ClientRequest]] = {}
@@ -181,8 +205,19 @@ class MultiPaxos(Protocol):
         self.register(Commit, self.on_commit)
         self.register(FillRequest, self.on_fill_request)
         self.register(FillReply, self.on_fill_reply)
+        self.register(CatchupRequest, self.on_catchup_request)
+        self.register(CatchupReply, self.on_catchup_reply)
 
-        if self.id == self.initial_leader:
+        #: Learner mode: set while rejoining after a wipe (or a reboot with
+        #: no disk).  A recovering replica must not promise, vote, or
+        #: accept — its pre-failure promises are forgotten, so counting it
+        #: toward quorums could un-commit decided values.
+        self.recovering = False
+        self._catchup: CatchupRunner | None = None
+
+        if self.restart_reason is not None:
+            self._recover()
+        elif self.id == self.initial_leader:
             self.set_timer(0.0, self.start_phase1)
         elif self.election_timeout is not None:
             self._reset_election_timer()
@@ -222,9 +257,19 @@ class MultiPaxos(Protocol):
         self._p1_entries = {}
         self._merge_snapshots(self._own_snapshots())
         if self._p1_quorum.satisfied():  # single-node cluster
+            self.persist("promise", self.ballot)
             self._become_leader()
             return
-        self.broadcast(P1a(ballot=self.ballot, commit_upto=self.log.commit_upto()))
+        # The campaign ballot is a promise to ourselves: make it durable
+        # before anyone can learn about it.
+        ballot = self.ballot
+        self.persist(
+            "promise",
+            ballot,
+            then=lambda: self.broadcast(
+                P1a(ballot=ballot, commit_upto=self.log.commit_upto())
+            ),
+        )
 
     def _own_snapshots(self) -> tuple[EntrySnapshot, ...]:
         return tuple(
@@ -264,6 +309,8 @@ class MultiPaxos(Protocol):
             self.send(self.leader_hint, m)
 
     def on_p1a(self, src: Hashable, m: P1a) -> None:
+        if self.recovering:
+            return  # a learner's promise history is gone; abstain
         if m.ballot > self.promised:
             self.promised = m.ballot
             self.leader_hint = m.ballot.owner
@@ -275,7 +322,10 @@ class MultiPaxos(Protocol):
                 for slot, e in sorted(self.log.entries.items())
                 if slot > m.commit_upto
             )
-            self.send(src, P1b(ballot=m.ballot, ok=True, entries=suffix))
+            # The promise must survive a reboot before the candidate can
+            # count it, so the P1b waits for the WAL record's fsync.
+            reply = P1b(ballot=m.ballot, ok=True, entries=suffix)
+            self.persist("promise", m.ballot, then=lambda: self.send(src, reply))
             self._reset_election_timer()
         else:
             self.send(src, P1b(ballot=self.promised, ok=False))
@@ -284,6 +334,7 @@ class MultiPaxos(Protocol):
         if not m.ok:
             if m.ballot > self.promised:
                 self.promised = m.ballot
+                self.persist("promise", m.ballot)  # no reply gated on this
                 self.leader_hint = m.ballot.owner
                 self._p1_quorum = None
                 self._reset_election_timer()
@@ -329,7 +380,8 @@ class MultiPaxos(Protocol):
 
     def _repropose(self, slot: int, command: EntryCommand, request: Any) -> None:
         quorum = self.phase2_quorum()
-        quorum.ack(self.id)
+        if self.disk is None:
+            quorum.ack(self.id)
         self.log.entries[slot] = Entry(self.ballot, command, request, quorum)
         self.log.next_slot = max(self.log.next_slot, slot + 1)
         self._uncommitted_slots[slot] = self.now
@@ -343,7 +395,35 @@ class MultiPaxos(Protocol):
                 commit_upto=self.log.commit_upto(),
             ),
         )
-        if quorum.satisfied():
+        if self.disk is not None:
+            # Durable mode: our own accept joins the quorum only once the
+            # WAL record is synced (it overlaps the P2a round trips).
+            self._persist_accept(slot, command, request, check_commit=True)
+        elif quorum.satisfied():
+            self._on_slot_committed(slot)
+
+    def _persist_accept(
+        self, slot: int, command: EntryCommand, request: Any, check_commit: bool
+    ) -> None:
+        self.persist(
+            "accept",
+            (slot, self.ballot, command, request),
+            slot=slot,
+            size_bytes=wal_record_bytes(command),
+            then=lambda: self._self_ack(slot, check_commit),
+        )
+
+    def _self_ack(self, slot: int, check_commit: bool) -> None:
+        """Count the leader's own (now durable) accept toward ``slot``."""
+        if not self.active:
+            return
+        entry = self.log.entries.get(slot)
+        if entry is None or entry.quorum is None or entry.committed:
+            return
+        if entry.ballot != self.ballot:
+            return  # re-led in between; the new ballot re-persisted it
+        entry.quorum.ack(self.id)
+        if check_commit and entry.quorum.satisfied():
             self._on_slot_committed(slot)
 
     # ------------------------------------------------------------------
@@ -366,6 +446,13 @@ class MultiPaxos(Protocol):
                     leader_hint=self.leader_hint if not self.active else self.id,
                 ),
             )
+            return
+        if self.recovering:
+            # Learners can't propose; hand the request to the cluster.
+            if self.leader_hint != self.id:
+                self.send(self.leader_hint, m)
+            else:
+                self._buffered.append((src, m))
             return
         if self.active:
             if key in self._inflight:
@@ -453,7 +540,8 @@ class MultiPaxos(Protocol):
 
     def _propose(self, command: EntryCommand, request: Any) -> None:
         quorum = self.phase2_quorum()
-        quorum.ack(self.id)
+        if self.disk is None:
+            quorum.ack(self.id)
         slot = self.log.append(self.ballot, command, request, quorum)
         self._uncommitted_slots[slot] = self.now
         self.multicast(
@@ -466,12 +554,16 @@ class MultiPaxos(Protocol):
                 commit_upto=self.log.commit_upto(),
             ),
         )
+        if self.disk is not None:
+            self._persist_accept(slot, command, request, check_commit=True)
 
     # ------------------------------------------------------------------
     # Phase 2
     # ------------------------------------------------------------------
 
     def on_p2a(self, src: Hashable, m: P2a) -> None:
+        if self.recovering:
+            return  # learners don't vote; catch-up will deliver the slot
         if m.ballot >= self.promised:
             self.promised = m.ballot
             if self.active and m.ballot.owner != self.id:
@@ -479,8 +571,18 @@ class MultiPaxos(Protocol):
             self.leader_hint = m.ballot.owner
             self._drain_buffered()
             self.log.accept(m.slot, m.ballot, m.command, m.request)
-            self.send(src, P2b(ballot=m.ballot, slot=m.slot, ok=True))
-            self._apply_commit_watermark(m.commit_upto, src)
+            # The accept record carries its ballot, so replay restores both
+            # the entry and the implied promise; the P2b leaves only after
+            # the record is durable (the paper's "fsync in critical path").
+            reply = P2b(ballot=m.ballot, slot=m.slot, ok=True)
+            self.persist(
+                "accept",
+                (m.slot, m.ballot, m.command, m.request),
+                slot=m.slot,
+                size_bytes=wal_record_bytes(m.command),
+                then=lambda: self.send(src, reply),
+            )
+            self._apply_commit_watermark(m.commit_upto, m.ballot, src)
             self._reset_election_timer()
         else:
             self.send(src, P2b(ballot=self.promised, slot=m.slot, ok=False))
@@ -489,6 +591,7 @@ class MultiPaxos(Protocol):
         if not m.ok:
             if m.ballot > self.promised:
                 self.promised = m.ballot
+                self.persist("promise", m.ballot)
                 self.leader_hint = m.ballot.owner
                 self.active = False
                 self._reset_election_timer()
@@ -516,25 +619,46 @@ class MultiPaxos(Protocol):
     # ------------------------------------------------------------------
 
     def on_commit(self, src: Hashable, m: Commit) -> None:
+        if self.recovering:
+            return  # catch-up owns a learner's commit progress
         if m.ballot >= self.promised:
-            self.promised = m.ballot
+            if m.ballot > self.promised:
+                self.promised = m.ballot
+                self.persist("promise", m.ballot)
             self.leader_hint = m.ballot.owner
             self._drain_buffered()
-            self._apply_commit_watermark(m.commit_upto, src)
+            self._apply_commit_watermark(m.commit_upto, m.ballot, src)
             self._reset_election_timer()
 
-    def _apply_commit_watermark(self, upto: int, leader: Hashable) -> None:
+    def _apply_commit_watermark(self, upto: int, ballot: Ballot, leader: Hashable) -> None:
+        """Commit slots at or below the watermark.
+
+        Only entries accepted under the watermark's own ballot are safe to
+        commit from a bare slot number: an entry this replica accepted
+        under an *older* ballot may have been superseded by whatever the
+        new leader adopted and re-proposed into that slot (a partitioned
+        ex-leader's pipelined proposals are the classic case).  Those
+        slots, like never-received ones, are re-fetched from the leader —
+        with a retry deadline so a lost FillReply cannot wedge gap-fill.
+        """
+        stale: list[int] = []
         for slot in range(self.log.execute_index, upto + 1):
             entry = self.log.entries.get(slot)
-            if entry is not None and not entry.committed:
+            if entry is None or entry.committed:
+                continue
+            if entry.ballot == ballot:
                 entry.committed = True
-        missing = self.log.missing_slots(upto)
-        if missing and not self._fill_outstanding:
-            self._fill_outstanding = True
-            self.send(leader, FillRequest(slots=tuple(missing[:64])))
+            else:
+                stale.append(slot)
+        need = sorted(set(self.log.missing_slots(upto)) | set(stale))
+        if need and self.now >= self._fill_deadline:
+            self._fill_deadline = self.now + self.retransmit_timeout
+            self.send(leader, FillRequest(slots=tuple(need[:64])))
         self._advance_execution()
 
     def on_fill_request(self, src: Hashable, m: FillRequest) -> None:
+        if self.recovering:
+            return  # nothing trustworthy to serve
         entries = tuple(
             (slot, e.ballot, e.command, e.request, e.committed)
             for slot in m.slots
@@ -543,7 +667,7 @@ class MultiPaxos(Protocol):
         self.send(src, FillReply(entries=entries))
 
     def on_fill_reply(self, src: Hashable, m: FillReply) -> None:
-        self._fill_outstanding = False
+        self._fill_deadline = 0.0
         for slot, ballot, command, request, committed in m.entries:
             if committed:
                 self.log.accept(slot, ballot, command, request)
@@ -587,6 +711,7 @@ class MultiPaxos(Protocol):
                         ),
                     )
             self.log.mark_executed(slot)
+        self.maybe_snapshot(self.log.execute_index - 1)
 
     # ------------------------------------------------------------------
     # Heartbeats and elections
@@ -638,7 +763,164 @@ class MultiPaxos(Protocol):
         self._election_handle = self.set_timer(delay, self._election_expired)
 
     def _election_expired(self) -> None:
-        if self.active:
+        if self.active or self.recovering:
             return
         self.start_phase1()
         self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Crash recovery: WAL replay, catch-up, and state transfer
+    # ------------------------------------------------------------------
+
+    def snapshot_payload(self, executed_upto: int) -> tuple[Any, int]:
+        """Applied state through ``executed_upto``: the full multi-version
+        store dump plus the request cache (so a restored replica still
+        deduplicates retried client requests)."""
+        dump = self.store.dump()
+        cache = dict(self._request_cache)
+        size = (
+            256
+            + sum(64 + 16 * len(chain) for chain in dump.values())
+            + 32 * len(cache)
+        )
+        return (dump, cache), size
+
+    def _recover(self) -> None:
+        """Rebuild state for a restarted incarnation.
+
+        Reboot with a disk: reinstall the latest snapshot and replay the
+        WAL, restoring ``promised`` and every accepted entry — then catch
+        up on commits through the generic catch-up exchange (commit flags
+        are deliberately not persisted; they are re-learned from peers).
+        Wipe, or reboot without a disk: nothing to replay — rejoin as a
+        learner and rely entirely on state transfer.
+        """
+        had_state = False
+        if self.disk is not None:
+            snap = self.disk.snapshot
+            if snap is not None:
+                had_state = True
+                self._install_state(snap)
+            for record in self.disk.wal.records:
+                had_state = True
+                if record.kind == "promise":
+                    if record.data > self.promised:
+                        self.promised = record.data
+                elif record.kind == "accept":
+                    slot, ballot, command, request = record.data
+                    if slot >= self.log.execute_index:
+                        self.log.accept(slot, ballot, command, request)
+                    if ballot > self.promised:
+                        self.promised = ballot
+        self.recovering = self.restart_reason == "wipe" or not had_state
+        if not self.recovering:
+            self.leader_hint = self.promised.owner if self.promised != ZERO else self.initial_leader
+            if self.election_timeout is not None:
+                self._reset_election_timer()
+            elif self.id == self.initial_leader:
+                # Static-leader deployments: re-campaign; the P1b suffixes
+                # (sent relative to our low commit frontier) re-teach us
+                # everything committed while we were down.
+                self.set_timer(0.0, self.start_phase1)
+        self.set_timer(0.0, self._start_catchup)
+
+    def _install_state(self, snap: Snapshot) -> None:
+        """Adopt a state-machine snapshot (from disk or a donor)."""
+        dump, cache = snap.payload
+        self.store.restore(dump)
+        self._request_cache = dict(cache)
+        for slot in [s for s in self.log.entries if s <= snap.upto]:
+            del self.log.entries[slot]
+        self.log.execute_index = max(self.log.execute_index, snap.upto + 1)
+        self.log.next_slot = max(self.log.next_slot, snap.upto + 1)
+
+    def _start_catchup(self) -> None:
+        if self._halted or not self.peers:
+            self.recovering = False
+            return
+        self._catchup = CatchupRunner(self, self.peers, self._make_catchup_request)
+        self._catchup.start()
+
+    def _make_catchup_request(self) -> CatchupRequest:
+        return CatchupRequest(from_slot=self.log.commit_upto() + 1)
+
+    def on_catchup_request(self, src: Hashable, m: CatchupRequest) -> None:
+        if self.recovering:
+            return  # can't donate; the requester rotates to another peer
+        upto = self.log.commit_upto()
+        snapshot = None
+        snap_bytes = 0
+        from_slot = m.from_slot
+        if self.log.execute_index - from_slot > self.catchup_snapshot_gap:
+            # Too far behind to serve from the log economically: ship the
+            # applied state machine through our executed frontier instead.
+            snap_upto = self.log.execute_index - 1
+            payload, snap_bytes = self.snapshot_payload(snap_upto)
+            snapshot = Snapshot(snap_upto, payload, snap_bytes)
+            from_slot = snap_upto + 1
+        entries = []
+        commands = 0
+        for slot in sorted(s for s in self.log.entries if s >= from_slot):
+            entry = self.log.entries[slot]
+            if not entry.committed:
+                continue
+            entries.append((slot, entry.ballot, entry.command, entry.request, True))
+            commands += len(entry.command) if isinstance(entry.command, Batch) else 1
+            if len(entries) >= self.catchup_max_entries:
+                break
+        self.send(
+            src,
+            CatchupReply(
+                from_slot=m.from_slot,
+                commit_upto=upto,
+                snapshot=snapshot,
+                entries=tuple(entries),
+                payload_bytes=snap_bytes + entries_payload_bytes(len(entries), commands),
+                leader_hint=self.leader_hint,
+                extra=self.promised,
+            ),
+        )
+
+    def on_catchup_reply(self, src: Hashable, m: CatchupReply) -> None:
+        if self._catchup is None or not self._catchup.active:
+            return
+        if m.snapshot is not None and m.snapshot.upto >= self.log.execute_index:
+            self._install_state(m.snapshot)
+        for slot, ballot, command, request, _committed in m.entries:
+            if slot < self.log.execute_index:
+                continue
+            self.log.accept(slot, ballot, command, request)
+            self.log.commit(slot)
+        if isinstance(m.extra, Ballot) and m.extra > self.promised:
+            # Adopting the donor's promise is always safe (promising more
+            # restricts us) and lets a wiped ex-leader pick a fresh ballot.
+            self.promised = m.extra
+            self.persist("promise", m.extra)
+        if m.leader_hint is not None:
+            self.leader_hint = m.leader_hint
+        self._advance_execution()
+        if self.log.commit_upto() >= m.commit_upto:
+            self._finish_catchup()
+        else:
+            self._catchup.on_progress()
+
+    def _finish_catchup(self) -> None:
+        """Caught up with a donor's commit frontier: rejoin as a voter."""
+        runner, self._catchup = self._catchup, None
+        if runner is not None:
+            runner.stop()
+        was_recovering = self.recovering
+        self.recovering = False
+        if self.disk is not None and self.log.execute_index > 1:
+            # Durably capture the adopted state so the *next* reboot
+            # replays from here instead of re-transferring everything.
+            upto = self.log.execute_index - 1
+            payload, size = self.snapshot_payload(upto)
+            self._snapshot_inflight = True
+            cost = self.disk.profile.sync_cost(size)
+            self._server.submit(cost, self._install_snapshot, Snapshot(upto, payload, size))
+        if self.election_timeout is not None:
+            self._reset_election_timer()
+        elif was_recovering and self.id == self.initial_leader and not self.active:
+            self.set_timer(0.0, self.start_phase1)
+        self._drain_buffered()

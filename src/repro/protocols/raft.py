@@ -9,8 +9,16 @@ AppendEntries replication with per-follower ``nextIndex`` backtracking, and
 commit via majority ``matchIndex`` — over the same Paxi substrate, which
 reproduces exactly that comparison.
 
-Like etcd in the paper's setup, persistence/snapshotting is disabled (the
-simulator has no durable storage) and replies are sent only after commit.
+Replies are sent only after commit.  In durable configs the Raft paper's
+persistence rules apply: ``term``/``votedFor`` and log records hit the
+node's write-ahead log before the corresponding VoteReply/AppendReply
+leaves, and the leader's own record counts toward commit only once its
+local fsync completes.  A rebooted node replays its WAL (plus the latest
+disk snapshot) and rejoins as a normal follower; a wiped node rejoins as a
+non-voting learner — the leader repairs it through standard nextIndex
+backtracking, switching to an InstallSnapshot-style state transfer when
+the follower is too far behind to serve from the log — and it votes again
+only after catching up to the commit frontier it observed at rejoin.
 """
 
 from __future__ import annotations
@@ -22,8 +30,10 @@ from typing import Any, Hashable
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
+from repro.paxi.node import wal_record_bytes
 from repro.paxi.protocol import Protocol
 from repro.protocols.log import RequestInfo, entry_pairs
+from repro.sim.storage import Snapshot
 
 # One replicated log record: (term, command-or-batch, request-info(s))
 LogRecord = tuple[int, "Command | Batch | None", Any]
@@ -72,6 +82,23 @@ class AppendReply(Message):
     match_index: int = 0
 
 
+@dataclass(frozen=True)
+class InstallSnapshot(Message):
+    """State transfer for a follower too far behind to repair from the log
+    (wiped disk, or compacted leader log).  Answered with an
+    :class:`AppendReply` so the leader's nextIndex machinery stays uniform.
+    """
+
+    term: int = 0
+    snap_index: int = 0
+    snap_term: int = 0
+    snapshot: Snapshot | None = None
+
+    def wire_size(self) -> int:
+        size = self.snapshot.size_bytes if self.snapshot is not None else 0
+        return self.SIZE_BYTES + size
+
+
 class Raft(Protocol):
     """A Raft replica.
 
@@ -94,6 +121,11 @@ class Raft(Protocol):
         self.heartbeat_interval: float = params.get("heartbeat_interval", 0.02)
         self.election_timeout: float = params.get("election_timeout", 0.15)
         bootstrap_leader: NodeID = params.get("leader", self.config.node_ids[0])
+        #: The leader switches from log repair to snapshot transfer once a
+        #: follower's nextIndex trails the commit frontier by this many slots.
+        self.catchup_snapshot_gap: int = params.get("catchup_snapshot_gap", 64)
+        #: Minimum interval between snapshot transfers to the same follower.
+        self.snapshot_retransmit: float = params.get("snapshot_retransmit", 0.3)
 
         self.term = 0
         self.state = FOLLOWER
@@ -102,9 +134,17 @@ class Raft(Protocol):
         self.log: list[tuple[int, LogRecord]] = []  # [(index, record)], 1-based
         self.commit_index = 0
         self.last_applied = 0
+        # Log-compaction boundary: entries at or below _snap_index live only
+        # in the state-machine snapshot, not in the in-memory list.
+        self._snap_index = 0
+        self._snap_term = 0
+        # Highest own log index known durable; in-memory configs track the
+        # log tip synchronously, durable ones lag by the fsync in flight.
+        self._durable_index = 0
         self._votes: set[NodeID] = set()
         self._next_index: dict[NodeID, int] = {}
         self._match_index: dict[NodeID, int] = {}
+        self._snap_sent: dict[NodeID, float] = {}
         self._request_cache: dict[tuple[Hashable, int], Any] = {}
         self._election_handle = None
         self._rng = deployment.cluster.streams.stream(f"raft-{node_id}")
@@ -117,8 +157,19 @@ class Raft(Protocol):
         self.register(VoteReply, self.on_vote_reply)
         self.register(AppendEntries, self.on_append_entries)
         self.register(AppendReply, self.on_append_reply)
+        self.register(InstallSnapshot, self.on_install_snapshot)
 
-        if self.id == bootstrap_leader:
+        #: Non-voting learner mode after a wipe (or a reboot without a
+        #: disk): the node's vote history is gone, so it must not grant
+        #: votes until it has re-learned the commit frontier it saw at
+        #: rejoin (``_catchup_target``).  It still accepts AppendEntries —
+        #: that is how the leader repairs it.
+        self.recovering = False
+        self._catchup_target: int | None = None
+
+        if self.restart_reason is not None:
+            self._recover()
+        elif self.id == bootstrap_leader:
             self.set_timer(0.0, self._start_election)
         else:
             self._reset_election_timer()
@@ -129,16 +180,21 @@ class Raft(Protocol):
 
     @property
     def last_log_index(self) -> int:
-        return self.log[-1][0] if self.log else 0
+        return self.log[-1][0] if self.log else self._snap_index
 
     @property
     def last_log_term(self) -> int:
-        return self.log[-1][1][0] if self.log else 0
+        return self.log[-1][1][0] if self.log else self._snap_term
+
+    def _pos(self, index: int) -> int:
+        """List position of ``index`` (entries at or below the snapshot
+        boundary are compacted away)."""
+        return index - self._snap_index - 1
 
     def _term_at(self, index: int) -> int:
-        if index == 0:
-            return 0
-        return self.log[index - 1][1][0]
+        if index <= self._snap_index:
+            return self._snap_term if index == self._snap_index else 0
+        return self.log[self._pos(index)][1][0]
 
     # ------------------------------------------------------------------
     # Elections
@@ -151,7 +207,7 @@ class Raft(Protocol):
         self._election_handle = self.set_timer(delay, self._election_expired)
 
     def _election_expired(self) -> None:
-        if self.state != LEADER:
+        if self.state != LEADER and not self.recovering:
             self._start_election()
         self._reset_election_timer()
 
@@ -161,19 +217,33 @@ class Raft(Protocol):
         self.voted_for = self.id
         self._votes = {self.id}
         if len(self.config.node_ids) == 1:
+            self.persist("term", (self.term, self.id))
             self._become_leader()
             return
-        self.broadcast(
-            RequestVote(
-                term=self.term,
-                last_log_index=self.last_log_index,
-                last_log_term=self.last_log_term,
-            )
+        # Our own vote must survive a reboot before anyone can count it.
+        term = self.term
+        request = RequestVote(
+            term=term,
+            last_log_index=self.last_log_index,
+            last_log_term=self.last_log_term,
         )
+        self.persist(
+            "term", (term, self.id), then=lambda: self._campaign(term, request)
+        )
+
+    def _campaign(self, term: int, request: RequestVote) -> None:
+        if self.term != term or self.state != CANDIDATE:
+            return  # superseded while the vote record was syncing
+        self.broadcast(request)
 
     def on_request_vote(self, src: Hashable, m: RequestVote) -> None:
         if m.term > self.term:
             self._step_down(m.term)
+        if self.recovering:
+            # A wiped node's vote history is gone; granting could elect a
+            # leader missing committed entries.  Abstain until caught up.
+            self.send(src, VoteReply(term=self.term, granted=False))
+            return
         up_to_date = (m.last_log_term, m.last_log_index) >= (
             self.last_log_term,
             self.last_log_index,
@@ -186,6 +256,14 @@ class Raft(Protocol):
         if grant:
             self.voted_for = src
             self._reset_election_timer()
+            # The vote leaves the node only after it is durable.
+            term = self.term
+            self.persist(
+                "term",
+                (term, src),
+                then=lambda: self.send(src, VoteReply(term=term, granted=True)),
+            )
+            return
         self.send(src, VoteReply(term=self.term, granted=grant))
 
     def on_vote_reply(self, src: Hashable, m: VoteReply) -> None:
@@ -204,6 +282,7 @@ class Raft(Protocol):
         next_index = self.last_log_index + 1
         self._next_index = {peer: next_index for peer in self.peers}
         self._match_index = {peer: 0 for peer in self.peers}
+        self._snap_sent = {}
         self._broadcast_heartbeat()
         self.set_timer(self.heartbeat_interval, self._heartbeat_tick)
 
@@ -211,6 +290,7 @@ class Raft(Protocol):
         self.term = term
         self.state = FOLLOWER
         self.voted_for = None
+        self.persist("term", (term, None))  # nothing waits on this record
         # Requests caught mid-batch or behind the pipeline bound chase the
         # new leader (or are dropped for the client's retry to find it).
         pending: list[ClientRequest] = (
@@ -280,6 +360,16 @@ class Raft(Protocol):
                 tuple(RequestInfo(m.client, m.request_id) for m in group),
             )
         self.log.append((index, record))
+        # The leader's own record joins the commit count only once durable
+        # (synchronously for in-memory configs, after the fsync otherwise);
+        # the local disk write overlaps the AppendEntries round trips.
+        self.persist(
+            "append",
+            (index, record),
+            slot=index,
+            size_bytes=wal_record_bytes(record[1]),
+            then=lambda: self._mark_durable(index),
+        )
         self._replicate()
 
     def _release_pipeline(self) -> None:
@@ -289,14 +379,31 @@ class Raft(Protocol):
         ):
             self._append_group(self._proposal_queue.popleft())
 
+    def _mark_durable(self, index: int) -> None:
+        """Our own log record hit disk; it may now count toward commit."""
+        self._durable_index = max(self._durable_index, index)
+        if self.state == LEADER:
+            self._advance_commit()
+
+    def _needs_snapshot(self, next_index: int) -> bool:
+        """Log repair can't (compacted) or shouldn't (too far behind) serve
+        this follower from the in-memory log."""
+        if next_index <= self._snap_index:
+            return True
+        return self.commit_index - next_index >= self.catchup_snapshot_gap
+
     def _replicate(self) -> None:
         """Send each follower everything from its nextIndex onward."""
         groups: dict[int, list[NodeID]] = {}
         for peer in self.peers:
             groups.setdefault(self._next_index[peer], []).append(peer)
         for next_index, peers in groups.items():
+            if self._needs_snapshot(next_index):
+                for peer in peers:
+                    self._send_snapshot(peer)
+                continue
             prev_index = next_index - 1
-            entries = tuple(self.log[next_index - 1 :])
+            entries = tuple(self.log[self._pos(next_index) :])
             self.multicast(
                 peers,
                 AppendEntries(
@@ -307,6 +414,24 @@ class Raft(Protocol):
                     leader_commit=self.commit_index,
                 ),
             )
+
+    def _send_snapshot(self, peer: NodeID) -> None:
+        """InstallSnapshot-style state transfer to a lagging follower."""
+        last = self._snap_sent.get(peer)
+        if last is not None and self.now - last < self.snapshot_retransmit:
+            return  # a transfer is plausibly in flight; don't storm
+        self._snap_sent[peer] = self.now
+        upto = self.last_applied
+        payload, size = self.snapshot_payload(upto)
+        self.send(
+            peer,
+            InstallSnapshot(
+                term=self.term,
+                snap_index=upto,
+                snap_term=self._term_at(upto),
+                snapshot=Snapshot(upto, payload, size),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Replication
@@ -320,25 +445,79 @@ class Raft(Protocol):
             return
         self.state = FOLLOWER
         self.leader_hint = src
-        self._reset_election_timer()
-        if m.prev_index > self.last_log_index or self._term_at(m.prev_index) != m.prev_term:
+        if self.recovering:
+            # Remember the commit frontier we must reach before voting.
+            if self._catchup_target is None or m.leader_commit > self._catchup_target:
+                self._catchup_target = m.leader_commit
+        else:
+            self._reset_election_timer()
+        if m.prev_index < self._snap_index or (
+            m.prev_index > self.last_log_index
+            or self._term_at(m.prev_index) != m.prev_term
+        ):
             self.send(
                 src,
                 AppendReply(term=self.term, success=False, match_index=self.commit_index),
             )
             return
+        appended: list[tuple[int, LogRecord]] = []
         for index, record in m.entries:
+            if index <= self._snap_index:
+                continue  # compacted away: already applied and durable
             if index <= self.last_log_index and self._term_at(index) != record[0]:
-                del self.log[index - 1 :]  # conflict: truncate the suffix
+                del self.log[self._pos(index) :]  # conflict: truncate the suffix
+                self._durable_index = min(self._durable_index, index - 1)
+                self.persist("truncate", index, slot=index)
             if index > self.last_log_index:
                 self.log.append((index, record))
+                appended.append((index, record))
         if m.leader_commit > self.commit_index:
             self.commit_index = min(m.leader_commit, self.last_log_index)
             self._apply()
         # Report how far we provably match the LEADER's log — not our own
         # length, which may include a divergent suffix from a dead leader.
         match = m.prev_index + len(m.entries)
-        self.send(src, AppendReply(term=self.term, success=True, match_index=match))
+        reply = AppendReply(term=self.term, success=True, match_index=match)
+        if appended:
+            # One WAL record per entry; the success reply waits for the
+            # last record's sync (group commit folds them into one fsync).
+            for index, record in appended[:-1]:
+                self.persist(
+                    "append",
+                    (index, record),
+                    slot=index,
+                    size_bytes=wal_record_bytes(record[1]),
+                    then=lambda i=index: self._mark_durable(i),
+                )
+            last_index, last_record = appended[-1]
+
+            def _synced() -> None:
+                self._mark_durable(last_index)
+                self.send(src, reply)
+
+            self.persist(
+                "append",
+                (last_index, last_record),
+                slot=last_index,
+                size_bytes=wal_record_bytes(last_record[1]),
+                then=_synced,
+            )
+        else:
+            self.send(src, reply)
+        self._maybe_finish_recovery()
+
+    def _maybe_finish_recovery(self) -> None:
+        if (
+            self.recovering
+            and self._catchup_target is not None
+            and self.commit_index >= self._catchup_target
+        ):
+            # Caught up to the frontier observed at rejoin: every commit our
+            # forgotten votes could have enabled is now re-held durably, so
+            # voting is safe again.
+            self.recovering = False
+            self._catchup_target = None
+            self._reset_election_timer()
 
     def on_append_reply(self, src: Hashable, m: AppendReply) -> None:
         if m.term > self.term:
@@ -357,8 +536,11 @@ class Raft(Protocol):
 
     def _replicate_to(self, peer: NodeID) -> None:
         next_index = self._next_index[peer]
+        if self._needs_snapshot(next_index):
+            self._send_snapshot(peer)
+            return
         prev_index = next_index - 1
-        entries = tuple(self.log[next_index - 1 :])
+        entries = tuple(self.log[self._pos(next_index) :])
         self.send(
             peer,
             AppendEntries(
@@ -373,7 +555,8 @@ class Raft(Protocol):
     def _advance_commit(self) -> None:
         majority = len(self.config.node_ids) // 2 + 1
         for index in range(self.last_log_index, self.commit_index, -1):
-            replicated = 1 + sum(1 for m in self._match_index.values() if m >= index)
+            own = 1 if self._durable_index >= index else 0
+            replicated = own + sum(1 for m in self._match_index.values() if m >= index)
             if replicated >= majority and self._term_at(index) == self.term:
                 self.commit_index = index
                 self._apply()
@@ -383,7 +566,7 @@ class Raft(Protocol):
     def _apply(self) -> None:
         while self.last_applied < self.commit_index:
             self.last_applied += 1
-            _index, (term, command, request) = self.log[self.last_applied - 1]
+            _index, (term, command, request) = self.log[self._pos(self.last_applied)]
             # A batched record fans out into per-command execution, caching,
             # tracing, and replies — batching is invisible to clients.
             for cmd, info in entry_pairs(command, request):
@@ -410,6 +593,105 @@ class Raft(Protocol):
                             leader_hint=self.id,
                         ),
                     )
+        self.maybe_snapshot(self.last_applied)
+
+    # ------------------------------------------------------------------
+    # Snapshots and crash recovery
+    # ------------------------------------------------------------------
+
+    def snapshot_payload(self, executed_upto: int) -> tuple[Any, int]:
+        """Applied state through ``executed_upto``: store dump, request
+        cache (retried requests stay deduplicated after a restore), and the
+        boundary entry's term (needed to answer AppendEntries consistency
+        checks against the compacted prefix)."""
+        dump = self.store.dump()
+        cache = dict(self._request_cache)
+        size = (
+            256
+            + sum(64 + 16 * len(chain) for chain in dump.values())
+            + 32 * len(cache)
+        )
+        return (dump, cache, self._term_at(executed_upto)), size
+
+    def on_install_snapshot(self, src: Hashable, m: InstallSnapshot) -> None:
+        if m.term > self.term:
+            self._step_down(m.term)
+        if m.term < self.term:
+            self.send(src, AppendReply(term=self.term, success=False))
+            return
+        self.state = FOLLOWER
+        self.leader_hint = src
+        if self.recovering:
+            if self._catchup_target is None or m.snap_index > self._catchup_target:
+                self._catchup_target = m.snap_index
+        else:
+            self._reset_election_timer()
+        if m.snap_index > self.commit_index and m.snapshot is not None:
+            dump, cache, _snap_term = m.snapshot.payload
+            self.store.restore(dump)
+            self._request_cache = dict(cache)
+            # Anything we hold above the boundary may conflict with the
+            # leader's log; drop it and let repair re-send the suffix.
+            self.log = []
+            self._snap_index = m.snap_index
+            self._snap_term = m.snap_term
+            self.commit_index = m.snap_index
+            self.last_applied = m.snap_index
+            self._durable_index = min(self._durable_index, m.snap_index)
+            if self.disk is not None and not self._snapshot_inflight:
+                # Persist the adopted state so a reboot replays from here.
+                self._snapshot_inflight = True
+                cost = self.disk.profile.sync_cost(m.snapshot.size_bytes)
+                self._server.submit(cost, self._install_snapshot, m.snapshot)
+        # Everything at or below the boundary is provably matched.
+        self.send(
+            src, AppendReply(term=self.term, success=True, match_index=m.snap_index)
+        )
+        self._maybe_finish_recovery()
+
+    def _recover(self) -> None:
+        """Rebuild state for a restarted incarnation.
+
+        Reboot with a disk: reinstall the latest snapshot, then replay the
+        WAL's term/vote, append, and truncate records in order.
+        ``commit_index`` restarts at the snapshot boundary (Raft never
+        persists it); the leader's next AppendEntries re-advances it.
+        Wipe, or reboot without a disk: rejoin as a non-voting learner.
+        """
+        had_state = False
+        if self.disk is not None:
+            snap = self.disk.snapshot
+            if snap is not None:
+                had_state = True
+                dump, cache, snap_term = snap.payload
+                self.store.restore(dump)
+                self._request_cache = dict(cache)
+                self._snap_index = snap.upto
+                self._snap_term = snap_term
+                self.commit_index = snap.upto
+                self.last_applied = snap.upto
+            for record in self.disk.wal.records:
+                had_state = True
+                if record.kind == "term":
+                    term, voted = record.data
+                    if term >= self.term:
+                        self.term, self.voted_for = term, voted
+                elif record.kind == "append":
+                    index, rec = record.data
+                    if index <= self._snap_index:
+                        continue
+                    pos = self._pos(index)
+                    if pos < len(self.log):
+                        del self.log[pos:]
+                    self.log.append((index, rec))
+                elif record.kind == "truncate":
+                    pos = self._pos(record.data)
+                    if 0 <= pos < len(self.log):
+                        del self.log[pos:]
+        self._durable_index = self.last_log_index
+        self.recovering = self.restart_reason == "wipe" or not had_state
+        if not self.recovering:
+            self._reset_election_timer()
 
     # ------------------------------------------------------------------
     # Heartbeats

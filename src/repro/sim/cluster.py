@@ -84,6 +84,15 @@ class Cluster:
         """
         self.network.register(address, site, on_receive)
 
+    def replace_receiver(
+        self,
+        address: Hashable,
+        on_receive: Callable[[Hashable, Any, int], None],
+    ) -> None:
+        """Re-point an existing address at a new delivery callback (used
+        when a rebooted/wiped node restarts with a fresh replica)."""
+        self.network.replace_receiver(address, on_receive)
+
     def server(self, address: Hashable) -> Server:
         try:
             return self._servers[address]
@@ -98,8 +107,15 @@ class Cluster:
     # Fault injection (the paper's client-library commands, section 4.2)
     # ------------------------------------------------------------------
 
-    def crash(self, address: Hashable, duration: float, at: float | None = None) -> None:
-        """Freeze the machine at ``address`` for ``duration`` seconds."""
+    def crash(
+        self, address: Hashable, duration: float | None, at: float | None = None
+    ) -> None:
+        """Freeze the machine at ``address`` for ``duration`` seconds.
+
+        ``duration=None`` is a permanent crash-stop (the machine never
+        resumes), so availability experiments don't have to fake one with
+        a huge finite duration.
+        """
         when = self.loop.now if at is None else at
         self.loop.call_at(when, self.server(address).freeze, duration)
 

@@ -168,6 +168,20 @@ class Network:
         self._sites[address] = site
         self._receivers[address] = on_receive
 
+    def replace_receiver(
+        self, address: Address, on_receive: Callable[[Address, Any, int], None]
+    ) -> None:
+        """Swap the delivery callback of an already-registered endpoint.
+
+        Used by reboot/wipe fault injection: while a node is down its
+        address stays routable (peers keep sending; delays and fault rules
+        still apply) but deliveries land in a sink, and after restart the
+        fresh replica instance takes over the address.
+        """
+        if address not in self._receivers:
+            raise SimulationError(f"address {address!r} not registered")
+        self._receivers[address] = on_receive
+
     def site_of(self, address: Address) -> str:
         return self._sites[address]
 

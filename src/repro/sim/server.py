@@ -16,11 +16,16 @@ Costs are charged per message:
 
 Fault injection: ``freeze(duration)`` models the paper's ``Crash(t)`` client
 command — the node stops draining its queue for ``duration`` seconds; queued
-work is not lost.
+work is not lost.  ``freeze(None)`` is a permanent crash-stop.  A *reboot*
+is harsher: :meth:`Server.power_off` kills queued and in-service jobs
+outright (their completions never fire), and :meth:`Server.power_on`
+resumes with an empty queue — volatile state does not survive; only
+:mod:`repro.sim.storage` contents do.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -107,6 +112,7 @@ class Server:
         self._queue: deque[tuple[float, float, Callable[..., Any], tuple]] = deque()
         self._busy = False
         self._frozen_until = 0.0
+        self._epoch = 0  # bumped by power_off to orphan in-service jobs
         self._area_at = loop.now
         self.stats = ServerStats()
 
@@ -134,28 +140,57 @@ class Server:
         self.stats.max_queue_length = max(self.stats.max_queue_length, self.queue_length)
         self._maybe_start()
 
-    def freeze(self, duration: float) -> None:
-        """Stop draining the queue for ``duration`` seconds (Crash(t))."""
+    def freeze(self, duration: float | None) -> None:
+        """Stop draining the queue for ``duration`` seconds (Crash(t)).
+
+        ``duration=None`` is a permanent crash-stop: the node never drains
+        again (no wake event is scheduled, so a drained event loop is not
+        held open by a dead node).
+        """
+        if duration is None:
+            self._frozen_until = math.inf
+            return
         if duration < 0:
             raise SimulationError(f"negative freeze duration {duration!r}")
         self._frozen_until = max(self._frozen_until, self._loop.now + duration)
-        if not self._busy:
+        if not self._busy and not math.isinf(self._frozen_until):
             # Re-check the queue once the freeze lifts.
             self._loop.call_at(self._frozen_until, self._maybe_start)
+
+    def power_off(self) -> None:
+        """Reboot, phase 1: lose all queued and in-service work.
+
+        In-service jobs are orphaned via the epoch guard — their
+        already-scheduled completion events fire but do nothing.  The
+        server stays down (permanently frozen) until :meth:`power_on`.
+        """
+        self.touch_queue_area()
+        self._queue.clear()
+        self._epoch += 1
+        self._busy = False
+        self._frozen_until = math.inf
+
+    def power_on(self) -> None:
+        """Reboot, phase 2: resume draining with an empty queue."""
+        self._frozen_until = self._loop.now
+        self._maybe_start()
 
     def _maybe_start(self) -> None:
         if self._busy or not self._queue:
             return
         if self.frozen:
-            self._loop.call_at(self._frozen_until, self._maybe_start)
+            if not math.isinf(self._frozen_until):
+                self._loop.call_at(self._frozen_until, self._maybe_start)
             return
         enqueued_at, cost, fn, args = self._queue.popleft()
         self._busy = True
         now = self._loop.now
         self.stats.wait_seconds += now - enqueued_at
-        self._loop.call_after(cost, self._complete, cost, fn, args)
+        self._loop.call_after(cost, self._complete, self._epoch, cost, fn, args)
 
-    def _complete(self, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+    def _complete(self, epoch: int, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+        if epoch != self._epoch:
+            return  # job belonged to a powered-off incarnation
         self.touch_queue_area()
         self._busy = False
         self.stats.jobs_completed += 1

@@ -1,0 +1,172 @@
+"""Durable analytic formulas and their conformance against the simulator.
+
+The durability model extends the paper's Table-2 accounting with a WAL
+fsync on the critical path:
+
+- ``durability="fsync"``: every round carries one dedicated sync, so round
+  occupancy grows to ``ts + d`` and capacity drops to ``1/(ts + d)``;
+- ``durability="group"``: at most one sync is outstanding and coalesces
+  later records, so capacity is sandwiched between the fsync floor and the
+  in-memory ceiling, bounded by ``C/(C*ts + d)``;
+- latency: a durable quorum ack waits for the follower's fsync, so
+  Equation 7's quorum term stretches by ONE ``d`` (the leader's own fsync
+  overlaps the network round trip).
+"""
+
+import pytest
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.sweep import closed_loop_sweep, max_throughput
+from repro.bench.workload import WorkloadSpec
+from repro.core.latency import durable_expected_latency, expected_latency
+from repro.core.service import (
+    DurabilityParams,
+    ServiceParams,
+    WAL_RECORD_BYTES_MODEL,
+    durable_paxos_batched_service_time,
+    durable_paxos_service_time,
+    group_commit_capacity_bound,
+    paxos_batched_service_time,
+    paxos_service_time,
+)
+from repro.errors import ModelError
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+
+
+class TestDurabilityParams:
+    def test_sync_cost_matches_disk_profile_formula(self):
+        p = DurabilityParams(fsync_latency=100e-6, write_bandwidth_bps=200e6)
+        assert p.sync_cost(0) == pytest.approx(100e-6)
+        assert p.sync_cost() == pytest.approx(100e-6 + WAL_RECORD_BYTES_MODEL / 200e6)
+
+    def test_defaults_mirror_simulator_disk_profile(self):
+        from repro.sim.storage import DiskProfile
+
+        model, sim = DurabilityParams(), DiskProfile()
+        assert model.fsync_latency == sim.fsync_latency
+        assert model.write_bandwidth_bps == sim.write_bandwidth_bps
+        assert model.sync_cost(640) == pytest.approx(sim.sync_cost(640))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DurabilityParams(fsync_latency=-1)
+        with pytest.raises(ModelError):
+            DurabilityParams(write_bandwidth_bps=0)
+        with pytest.raises(ModelError):
+            DurabilityParams().sync_cost(-1)
+
+
+class TestDurableServiceTime:
+    def test_is_ts_plus_sync(self):
+        d = DurabilityParams().sync_cost()
+        assert durable_paxos_service_time(9) == pytest.approx(paxos_service_time(9) + d)
+
+    def test_batched_b1_reduces_to_unbatched(self):
+        assert durable_paxos_batched_service_time(9, 1) == pytest.approx(
+            durable_paxos_service_time(9)
+        )
+
+    def test_batching_amortizes_the_fsync(self):
+        # Per-request sync overhead shrinks with B: the fat record's
+        # transfer grows linearly but the fsync latency is paid once.
+        overhead = [
+            durable_paxos_batched_service_time(9, b) - paxos_batched_service_time(9, b)
+            for b in (1, 4, 16, 64)
+        ]
+        assert overhead == sorted(overhead, reverse=True)
+        assert overhead[-1] < overhead[0] / 10
+
+    def test_group_bound_interpolates_fsync_to_memory(self):
+        ts = paxos_service_time(9)
+        d = DurabilityParams().sync_cost()
+        assert group_commit_capacity_bound(ts, d, 1) == pytest.approx(1.0 / (ts + d))
+        assert group_commit_capacity_bound(ts, d, 1e9) == pytest.approx(1.0 / ts, rel=1e-3)
+        caps = [group_commit_capacity_bound(ts, d, c) for c in (1, 4, 16, 64, 256)]
+        assert caps == sorted(caps)
+
+    def test_group_bound_validation(self):
+        with pytest.raises(ModelError):
+            group_commit_capacity_bound(0.0, 1e-4, 8)
+        with pytest.raises(ModelError):
+            group_commit_capacity_bound(1e-4, -1.0, 8)
+        with pytest.raises(ModelError):
+            group_commit_capacity_bound(1e-4, 1e-4, 0)
+
+
+class TestDurableLatencyFormula:
+    def test_zero_sync_reduces_to_eq7(self):
+        assert durable_expected_latency(0.0, 0.3, 4.0, 6.0, 0.0) == expected_latency(
+            0.0, 0.3, 4.0, 6.0
+        )
+
+    def test_adds_exactly_one_sync_delay_to_quorum_term(self):
+        base = expected_latency(0.0, 0.0, 4.0, 6.0)
+        durable = durable_expected_latency(0.0, 0.0, 4.0, 6.0, 0.5)
+        assert durable - base == pytest.approx(0.5)  # one d, not two
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            durable_expected_latency(0.0, 0.0, 1.0, 1.0, -0.1)
+
+
+# ---------------------------------------------------------------------------
+# Conformance: the formulas against the simulator
+# ---------------------------------------------------------------------------
+
+SPEC = WorkloadSpec(keys=1000, write_ratio=0.5)
+
+
+def _knee(**kw) -> float:
+    cfg = Config.lan(3, 3, seed=55, **kw)
+
+    def make():
+        return Deployment(cfg).start(MultiPaxos)
+
+    points = closed_loop_sweep(
+        make, SPEC, (32, 96), duration=0.35, warmup=0.07, settle=0.05
+    )
+    return max_throughput(points)
+
+
+def _unloaded_mean_latency_s(**kw) -> float:
+    cfg = Config.lan(3, 3, seed=77, **kw)
+    dep = Deployment(cfg).start(MultiPaxos)
+    bench = ClosedLoopBenchmark(
+        dep, WorkloadSpec(keys=100, write_ratio=1.0), concurrency=1
+    )
+    return bench.run(duration=0.5, warmup=0.1, settle=0.05).latency.mean / 1e3
+
+
+def test_fsync_capacity_conformance():
+    """Measured fsync-mode knee matches ``1/(ts + d)`` within a few %."""
+    measured = _knee(durability="fsync")
+    predicted = 1.0 / durable_paxos_service_time(9)
+    assert measured == pytest.approx(predicted, rel=0.05)
+
+
+def test_group_commit_sandwich():
+    """Group commit lands strictly between the fsync floor and the
+    in-memory ceiling, below the ``C/(C*ts + d)`` bound."""
+    mem, fsync, group = _knee(), _knee(durability="fsync"), _knee(durability="group")
+    assert fsync < group <= mem * 1.02
+    bound = group_commit_capacity_bound(
+        paxos_service_time(9), DurabilityParams().sync_cost(), 96
+    )
+    assert group <= bound * 1.05
+    # and group commit recovers most of the fsync-mode capacity loss
+    assert group >= mem - 0.25 * (mem - fsync)
+
+
+def test_unloaded_latency_pays_one_sync_delay():
+    """At concurrency 1 durable latency exceeds in-memory latency by
+    exactly one ``d`` — the follower's fsync on the quorum path; the
+    leader's own fsync hides behind the quorum round trip."""
+    mem = _unloaded_mean_latency_s()
+    fsync = _unloaded_mean_latency_s(durability="fsync")
+    d = DurabilityParams().sync_cost()
+    assert fsync - mem == pytest.approx(d, rel=0.05)
+    # with one client there is never a sync to share: group == fsync
+    group = _unloaded_mean_latency_s(durability="group")
+    assert group == pytest.approx(fsync, rel=1e-6)

@@ -34,6 +34,7 @@ EXPECTED_IDS = {
     "extra_dynamic",
     "extra_mencius",
     "bench_batching",
+    "bench_faults",
 }
 
 
@@ -113,6 +114,33 @@ def test_bench_batching_regression_gate(tmp_path):
         check_no_regression(str(path))
     with pytest.raises(SystemExit, match="not found"):
         check_no_regression(str(tmp_path / "missing.json"))
+
+
+def test_bench_faults_recovery_gate(tmp_path):
+    """The fault-recovery gate fails on unrecovered scenarios or low
+    availability (the driver itself runs in the chaos CI job)."""
+    import json
+
+    from repro.experiments.bench_faults import check_recovered
+
+    path = tmp_path / "BENCH_faults.json"
+    good = {
+        "scenarios": {
+            "paxos:reboot:durable": {"mttr_s": 0.25, "availability": 0.9},
+        }
+    }
+    path.write_text(json.dumps(good))
+    check_recovered(str(path))  # no raise
+
+    for bad_metrics in (
+        {"mttr_s": None, "availability": 0.9},
+        {"mttr_s": 0.25, "availability": 0.3},
+    ):
+        path.write_text(json.dumps({"scenarios": {"paxos:wipe:memory": bad_metrics}}))
+        with pytest.raises(SystemExit, match="fault-recovery regression"):
+            check_recovered(str(path))
+    with pytest.raises(SystemExit, match="not found"):
+        check_recovered(str(tmp_path / "missing.json"))
 
 
 def test_cli_main(capsys):

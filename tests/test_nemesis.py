@@ -55,6 +55,50 @@ class TestScheduling:
         event = FaultEvent("crash", 0.5, 0.2, victim=NodeID(1, 2))
         assert "crash" in str(event) and "1.2" in str(event)
 
+    def test_recovery_kinds_are_opt_in(self):
+        # The default draw is unchanged so historical seeds replay the
+        # same schedules; reboot/wipe must be requested explicitly.
+        from repro.bench.nemesis import ALL_KINDS, KINDS
+
+        assert "reboot" not in KINDS and "wipe" not in KINDS
+        assert {"reboot", "wipe"} < set(ALL_KINDS)
+        events = Nemesis(seed=9, events=20, kinds=("reboot", "wipe")).schedule(NODES)
+        assert {e.kind for e in events} <= {"reboot", "wipe"}
+        assert all(e.victim is not None for e in events)
+
+    @staticmethod
+    def _max_simultaneous_down(events):
+        outages = [
+            e for e in events if e.kind in ("crash", "reboot", "wipe", "partition")
+        ]
+        worst = 0
+        for e in outages:  # the down-set only grows at an outage start
+            down = set()
+            for o in outages:
+                if o.start <= e.start < o.start + o.duration:
+                    down |= {o.victim} if o.victim else set(o.group)
+            worst = max(worst, len(down))
+        return worst
+
+    def test_preserve_quorum_caps_simultaneous_outages(self):
+        kinds = ("crash", "reboot", "wipe", "partition")
+        for seed in range(8):
+            events = Nemesis(
+                seed=seed, events=40, kinds=kinds, max_partition_size=4, horizon=0.5
+            ).schedule(NODES)
+            assert self._max_simultaneous_down(events) <= (len(NODES) - 1) // 2
+
+    def test_preserve_quorum_can_be_disabled(self):
+        kinds = ("crash", "reboot", "wipe")
+        exceeded = False
+        for seed in range(8):
+            events = Nemesis(
+                seed=seed, events=40, kinds=kinds, horizon=0.5, preserve_quorum=False
+            ).schedule(NODES)
+            if self._max_simultaneous_down(events) > (len(NODES) - 1) // 2:
+                exceeded = True
+        assert exceeded  # unguarded schedules do break the majority
+
 
 @pytest.mark.slow
 class TestChaosSoak:

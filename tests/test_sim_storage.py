@@ -1,0 +1,165 @@
+"""Unit tests for the simulated durable storage layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.storage import (
+    WAL_RECORD_BYTES,
+    Disk,
+    DiskProfile,
+    Snapshot,
+    WalRecord,
+    WalWriter,
+    WriteAheadLog,
+)
+
+
+class FakeServer:
+    """Captures submitted jobs so tests control when syncs complete."""
+
+    def __init__(self):
+        self.jobs = []
+
+    def submit(self, cost, fn, *args):
+        self.jobs.append((cost, fn, args))
+
+    def run_one(self):
+        cost, fn, args = self.jobs.pop(0)
+        fn(*args)
+        return cost
+
+    def drain(self):
+        total = 0.0
+        while self.jobs:
+            total += self.run_one()
+        return total
+
+
+class TestDiskProfile:
+    def test_sync_cost_is_latency_plus_transfer(self):
+        profile = DiskProfile(fsync_latency=100e-6, write_bandwidth_bps=200e6)
+        assert profile.sync_cost(0) == pytest.approx(100e-6)
+        assert profile.sync_cost(200e6) == pytest.approx(100e-6 + 1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            DiskProfile(fsync_latency=-1.0)
+        with pytest.raises(SimulationError):
+            DiskProfile(write_bandwidth_bps=0.0)
+        with pytest.raises(SimulationError):
+            DiskProfile().sync_cost(-1)
+
+
+class TestWriteAheadLog:
+    def test_append_accumulates_bytes(self):
+        wal = WriteAheadLog()
+        wal.append(WalRecord("accept", 1, "a"))
+        wal.append(WalRecord("accept", 2, "b", size_bytes=100))
+        assert len(wal) == 2
+        assert wal.bytes_written == WAL_RECORD_BYTES + 100
+
+    def test_truncate_keeps_slotless_records(self):
+        wal = WriteAheadLog()
+        wal.append(WalRecord("promise", None, "ballot"))
+        for slot in range(1, 6):
+            wal.append(WalRecord("accept", slot, slot))
+        dropped = wal.truncate_through(3)
+        assert dropped == 3
+        kinds = [(r.kind, r.slot) for r in wal.records]
+        assert ("promise", None) in kinds
+        assert {s for _, s in kinds if s is not None} == {4, 5}
+
+
+class TestDisk:
+    def test_install_snapshot_truncates_wal(self):
+        disk = Disk()
+        for slot in range(1, 5):
+            disk.wal.append(WalRecord("accept", slot, slot))
+        disk.install_snapshot(Snapshot(upto=2, payload={}, size_bytes=10))
+        assert disk.snapshot.upto == 2
+        assert [r.slot for r in disk.wal.records] == [3, 4]
+
+    def test_wipe_destroys_everything(self):
+        disk = Disk()
+        disk.wal.append(WalRecord("accept", 1, "x"))
+        disk.install_snapshot(Snapshot(upto=1, payload={}, size_bytes=10))
+        disk.wipe()
+        assert len(disk.wal) == 0
+        assert disk.wal.bytes_written == 0
+        assert disk.snapshot is None
+        assert disk.wipes == 1
+
+
+class TestWalWriterFsync:
+    def test_each_record_gets_its_own_sync(self):
+        server, disk = FakeServer(), Disk()
+        writer = WalWriter(server, disk, "fsync")
+        done = []
+        writer.persist(WalRecord("a", 1, "x"), then=lambda: done.append(1))
+        writer.persist(WalRecord("a", 2, "y"), then=lambda: done.append(2))
+        assert len(server.jobs) == 2
+        assert writer.pending == 2
+        server.drain()
+        assert done == [1, 2]
+        assert disk.fsyncs == 2
+        assert len(disk.wal) == 2
+        assert writer.pending == 0
+
+    def test_sync_cost_covers_record_size(self):
+        server, disk = FakeServer(), Disk()
+        writer = WalWriter(server, disk, "fsync")
+        writer.persist(WalRecord("a", 1, "x", size_bytes=1000))
+        cost, _, _ = server.jobs[0]
+        assert cost == pytest.approx(disk.profile.sync_cost(1000))
+
+
+class TestWalWriterGroup:
+    def test_records_coalesce_behind_one_outstanding_sync(self):
+        server, disk = FakeServer(), Disk()
+        writer = WalWriter(server, disk, "group")
+        done = []
+        writer.persist(WalRecord("a", 1, "x"), then=lambda: done.append(1))
+        # While the first sync is outstanding, later records wait...
+        writer.persist(WalRecord("a", 2, "y"), then=lambda: done.append(2))
+        writer.persist(WalRecord("a", 3, "z"), then=lambda: done.append(3))
+        assert len(server.jobs) == 1
+        server.run_one()
+        assert done == [1]
+        # ...and are then submitted as ONE coalesced sync.
+        assert len(server.jobs) == 1
+        cost, _, _ = server.jobs[0]
+        assert cost == pytest.approx(disk.profile.sync_cost(2 * WAL_RECORD_BYTES))
+        server.run_one()
+        assert done == [1, 2, 3]
+        assert disk.fsyncs == 2
+        assert len(disk.wal) == 3
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            WalWriter(FakeServer(), Disk(), "eventually")
+
+
+class TestPowerFail:
+    def test_inflight_records_are_lost(self):
+        server, disk = FakeServer(), Disk()
+        writer = WalWriter(server, disk, "group")
+        done = []
+        writer.persist(WalRecord("a", 1, "x"), then=lambda: done.append(1))
+        writer.persist(WalRecord("a", 2, "y"), then=lambda: done.append(2))
+        writer.power_fail()
+        server.drain()  # the stale sync must be a no-op
+        assert done == []
+        assert len(disk.wal) == 0
+        assert writer.pending == 0
+
+    def test_writer_usable_after_power_fail(self):
+        server, disk = FakeServer(), Disk()
+        writer = WalWriter(server, disk, "group")
+        writer.persist(WalRecord("a", 1, "x"))
+        writer.power_fail()
+        server.drain()
+        done = []
+        writer.persist(WalRecord("a", 2, "y"), then=lambda: done.append(2))
+        server.drain()
+        assert done == [2]
+        assert [r.slot for r in disk.wal.records] == [2]
