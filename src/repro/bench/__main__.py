@@ -79,11 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=float, default=0.2)
     parser.add_argument("--check", action="store_true",
                         help="run the linearizability + consensus checkers at the end")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the hottest functions "
+                             "plus event-loop counters")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        from repro.bench.profiling import maybe_profiled
+
+        with maybe_profiled(True, label=f"bench:{args.protocol}"):
+            return _execute(args)
+    return _execute(args)
+
+
+def _execute(args: argparse.Namespace) -> int:
     batching = dict(
         batch_size=args.batch_size,
         batch_window=args.batch_window,

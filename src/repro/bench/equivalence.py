@@ -1,0 +1,239 @@
+"""Same-seed equivalence fingerprints: the optimization guard.
+
+The simulator's hot paths are aggressively optimized (local bindings, heap
+compaction, cached delay distributions, interned type names, fast-path
+sampling — see ``docs/PERFORMANCE.md``).  None of that is allowed to change
+a single simulated outcome: a fixed seed must keep producing a bit-for-bit
+identical run.  This module pins that contract.
+
+Each scenario — every protocol, in-memory and durable, with and without an
+injected fault schedule — runs a short closed-loop benchmark and reduces
+the full :class:`~repro.bench.benchmarker.BenchmarkResult` (completed and
+failed op counts, the exact latency series, per-site splits, network
+message/byte/link counters, per-node metric snapshots, event counts, and —
+for traced scenarios — every request span) to a fingerprint of exact
+``repr`` strings and SHA-256 digests.  The committed golden file
+``tests/golden/equivalence.json`` holds the fingerprints from before the
+optimizations; ``tests/test_equivalence_golden.py`` asserts every scenario
+still matches.
+
+Regenerate (only after an *intentional* semantic change, with a PR note
+explaining why)::
+
+    PYTHONPATH=src python -m repro.bench.equivalence --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.bench.benchmarker import BenchmarkResult, ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.epaxos import EPaxos
+from repro.protocols.fpaxos import FPaxos
+from repro.protocols.mencius import Mencius
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+from repro.protocols.vpaxos import VPaxos
+from repro.protocols.wankeeper import WanKeeper
+from repro.protocols.wpaxos import WPaxos
+
+PROTOCOLS = {
+    "paxos": MultiPaxos,
+    "fpaxos": FPaxos,
+    "raft": Raft,
+    "epaxos": EPaxos,
+    "mencius": Mencius,
+    "wpaxos": WPaxos,
+    "wankeeper": WanKeeper,
+    "vpaxos": VPaxos,
+}
+
+SEED = 101
+CONCURRENCY = 4
+DURATION = 0.4
+WARMUP = 0.1
+SETTLE = 0.2
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+    "tests",
+    "golden",
+    "equivalence.json",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the equivalence matrix."""
+
+    name: str
+    protocol: str
+    durable: bool
+    faulty: bool
+
+    @property
+    def traced(self) -> bool:
+        # Fault-free scenarios run with request tracing on so the span
+        # stream is pinned too; faulty ones run the untraced fast path.
+        return not self.faulty
+
+
+def scenarios() -> list[Scenario]:
+    out = []
+    for protocol in PROTOCOLS:
+        for durable in (False, True):
+            for faulty in (False, True):
+                name = (
+                    f"{protocol}:{'durable' if durable else 'memory'}:"
+                    f"{'faulty' if faulty else 'clean'}"
+                )
+                out.append(Scenario(name, protocol, durable, faulty))
+    return out
+
+
+def _config(scenario: Scenario) -> Config:
+    params: dict = {"election_timeout": 0.15}
+    if scenario.durable:
+        params.update(durability="fsync", snapshot_interval=25, catchup_snapshot_gap=16)
+    return Config.lan(3, 3, seed=SEED, **params)
+
+
+def _inject_faults(deployment: Deployment, start: float) -> None:
+    """A fixed, seed-independent fault schedule: one follower freeze plus
+    drop/slow/flaky windows on specific links (reboot/wipe intentionally
+    excluded — restart scheduling is pinned by the recovery suites)."""
+    ids = deployment.config.node_ids
+    deployment.crash(ids[4], duration=0.12, at=start + 0.05)
+    # Wildcard dst/src so every protocol's traffic pattern hits the rules.
+    deployment.drop(None, ids[5], duration=0.06, at=start + 0.08)
+    deployment.slow(ids[5], None, duration=0.08, at=start + 0.15)
+    deployment.flaky(None, ids[7], duration=0.08, probability=0.3, at=start + 0.24)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _span_fingerprint(tracer) -> dict:
+    lines = []
+    for span in tracer.finished:
+        events = ";".join(
+            f"{e.name}@{e.t!r}/{e.actor}"
+            + (f"/{e.service!r}" if e.service is not None else "")
+            for e in span.events
+        )
+        lines.append(
+            f"{span.client}#{span.request_id}:{span.op}:{span.key}:"
+            f"{span.submitted_at!r}:{int(span.failed)}:{events}"
+        )
+    lines.sort()
+    return {
+        "finished": len(tracer.finished),
+        "open": len(tracer.open),
+        "unmatched": tracer.unmatched_events,
+        "digest": _digest("\n".join(lines)),
+    }
+
+
+def _result_fingerprint(result: BenchmarkResult) -> dict:
+    per_site = {
+        site: [len(ls), _digest(",".join(repr(x) for x in ls))]
+        for site, ls in sorted(result.per_site_latencies.items())
+    }
+    return {
+        "completed": result.completed,
+        "failed": result.failed,
+        "throughput": repr(result.throughput),
+        "latency_mean": repr(result.latency.mean),
+        "latency_p50": repr(result.latency.p50),
+        "latency_p99": repr(result.latency.p99),
+        "latencies": [
+            len(result.latencies_ms),
+            _digest(",".join(repr(x) for x in result.latencies_ms)),
+        ],
+        "per_site": per_site,
+        "metrics_digest": _digest(
+            json.dumps(result.metrics, sort_keys=True, default=str)
+        ),
+    }
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Run one scenario and return its fingerprint dict."""
+    deployment = Deployment(_config(scenario)).start(PROTOCOLS[scenario.protocol])
+    if scenario.traced:
+        deployment.cluster.obs.tracer.enabled = True
+    spec = WorkloadSpec(keys=40, write_ratio=0.5)
+    bench = ClosedLoopBenchmark(
+        deployment, spec, CONCURRENCY, retry_timeout=0.3 if scenario.faulty else None
+    )
+    if scenario.faulty:
+        _inject_faults(deployment, start=SETTLE)
+    result = bench.run(duration=DURATION, warmup=WARMUP, settle=SETTLE)
+    stats = deployment.cluster.network.stats
+    fingerprint = _result_fingerprint(result)
+    fingerprint["network"] = {
+        "messages_sent": stats.messages_sent,
+        "messages_dropped": stats.messages_dropped,
+        "bytes_sent": stats.bytes_sent,
+        "per_link": {f"{a}|{b}": n for (a, b), n in sorted(stats.per_link.items())},
+    }
+    fingerprint["events_fired"] = deployment.cluster.loop.events_fired
+    if scenario.traced:
+        fingerprint["spans"] = _span_fingerprint(deployment.cluster.obs.tracer)
+    return fingerprint
+
+
+def run_all() -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for scenario in scenarios():
+        out[scenario.name] = run_scenario(scenario)
+    return out
+
+
+def load_golden(path: str = GOLDEN_PATH) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.equivalence",
+        description="Regenerate the same-seed equivalence golden file.",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="overwrite tests/golden/equivalence.json"
+    )
+    parser.add_argument("--only", default=None, help="run a single scenario by name")
+    args = parser.parse_args(argv)
+    if args.only:
+        print(json.dumps({args.only: run_scenario(
+            next(s for s in scenarios() if s.name == args.only)
+        )}, indent=1, sort_keys=True))
+        return 0
+    fingerprints = run_all()
+    if args.update:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as f:
+            json.dump(fingerprints, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(fingerprints)} scenario fingerprints -> {GOLDEN_PATH}")
+        return 0
+    golden = load_golden()
+    bad = [name for name, fp in fingerprints.items() if golden.get(name) != fp]
+    if bad:
+        print("MISMATCH: " + ", ".join(bad))
+        return 1
+    print(f"all {len(fingerprints)} scenarios match the golden fingerprints")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Seeded chaos soak, shardable across worker processes.
+
+The CI chaos job (and ``tests/test_recovery_safety.py``'s
+``TestRecoveryChaos``) soaks the recovery-capable protocols under seeded
+:class:`~repro.bench.nemesis.Nemesis` schedules drawn from the full fault
+matrix.  Each (protocol, seed) cell is one independent simulation, so the
+matrix shards cleanly over :func:`repro.bench.parallel.run_grid`::
+
+    PYTHONPATH=src python -m repro.bench.soak --seeds 7,19,101 --jobs 4
+
+Any failing cell replays exactly: ``Nemesis(seed=S)`` over
+``Config.lan(3, 3, seed=S)`` reproduces the schedule bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.nemesis import Nemesis
+from repro.bench.parallel import run_grid
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.fpaxos import FPaxos
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+
+PROTOCOLS = {"paxos": MultiPaxos, "fpaxos": FPaxos, "raft": Raft}
+KINDS = ("crash", "reboot", "wipe", "drop", "slow", "flaky", "partition")
+DEFAULT_SEEDS = (7, 19, 101)
+
+
+def _durable_lan(seed: int) -> Config:
+    return Config.lan(
+        3,
+        3,
+        seed=seed,
+        durability="fsync",
+        snapshot_interval=25,
+        election_timeout=0.15,
+        catchup_snapshot_gap=16,
+    )
+
+
+def soak_cell(name: str, seed: int) -> dict:
+    """Run one (protocol, seed) chaos cell; return a picklable verdict.
+
+    Mirrors ``TestRecoveryChaos.test_survives_full_fault_matrix``: a seeded
+    Nemesis schedule over a durable 9-node LAN, closed-loop load, then the
+    linearizability + consensus checkers.
+    """
+    from repro.checkers.consensus import check_deployment
+    from repro.checkers.linearizability import check_history
+
+    deployment = Deployment(_durable_lan(seed)).start(PROTOCOLS[name])
+    nemesis = Nemesis(
+        seed=seed, horizon=1.2, events=6, kinds=KINDS, max_partition_size=3
+    )
+    events = nemesis.unleash(deployment, at=0.1)
+    bench = ClosedLoopBenchmark(
+        deployment, WorkloadSpec(keys=15), concurrency=4, retry_timeout=0.4
+    )
+    result = bench.run(duration=1.8, warmup=0.0, settle=0.05)
+    deployment.run_for(3.0)
+    linearizable = check_history(deployment.history.snapshot()).ok
+    consensus_ok = check_deployment(deployment).ok
+    return {
+        "protocol": name,
+        "seed": seed,
+        "events": [str(e) for e in events],
+        "completed": result.completed,
+        "failed": result.failed,
+        "linearizable": linearizable,
+        "consensus_ok": consensus_ok,
+        "ok": bool(linearizable and consensus_ok and events),
+    }
+
+
+def run_soak(
+    seeds, protocols=None, jobs: int = 1
+) -> list[dict]:
+    """The full (protocol x seed) matrix through :func:`run_grid`."""
+    names = sorted(protocols or PROTOCOLS)
+    grid = [(name, seed) for name in names for seed in seeds]
+    return run_grid([(soak_cell, cell) for cell in grid], workers=jobs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.soak",
+        description="Shardable seeded chaos soak over the recovery protocols.",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=os.environ.get("CHAOS_SEEDS", ",".join(map(str, DEFAULT_SEEDS))),
+        help="comma-separated Nemesis seeds (default: $CHAOS_SEEDS or 7,19,101)",
+    )
+    parser.add_argument(
+        "--protocols", default=None, help="comma-separated subset of " + ",".join(sorted(PROTOCOLS))
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    protocols = args.protocols.split(",") if args.protocols else None
+    verdicts = run_soak(seeds, protocols, jobs=args.jobs)
+    bad = [v for v in verdicts if not v["ok"]]
+    for v in verdicts:
+        status = "ok" if v["ok"] else "FAIL"
+        print(
+            f"{status:4} {v['protocol']:>7} seed={v['seed']:<5} "
+            f"completed={v['completed']} lin={v['linearizable']} cons={v['consensus_ok']}"
+        )
+    if bad:
+        print(f"{len(bad)}/{len(verdicts)} cells failed")
+        return 1
+    print(f"all {len(verdicts)} chaos cells passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

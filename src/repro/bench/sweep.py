@@ -31,6 +31,30 @@ class SweepPoint:
     completed: int
 
 
+def _sweep_point(
+    make_deployment: Callable[[], Deployment],
+    spec: SpecBySite,
+    concurrency: int,
+    duration: float,
+    warmup: float,
+    settle: float,
+    sites: list[str] | None,
+) -> SweepPoint:
+    """One fresh deployment + one closed-loop run (module-level so it can
+    ship to a :func:`repro.bench.parallel.run_grid` worker process)."""
+    deployment = make_deployment()
+    bench = ClosedLoopBenchmark(deployment, spec, concurrency, sites)
+    result = bench.run(duration, warmup, settle)
+    return SweepPoint(
+        concurrency=concurrency,
+        throughput=result.throughput,
+        mean_latency_ms=result.latency.mean,
+        p50_latency_ms=result.latency.p50,
+        p99_latency_ms=result.latency.p99,
+        completed=result.completed,
+    )
+
+
 def closed_loop_sweep(
     make_deployment: Callable[[], Deployment],
     spec: SpecBySite,
@@ -39,24 +63,23 @@ def closed_loop_sweep(
     warmup: float = 0.2,
     settle: float = 0.5,
     sites: list[str] | None = None,
+    workers: int = 1,
 ) -> list[SweepPoint]:
-    """One fresh deployment + run per concurrency level."""
-    points: list[SweepPoint] = []
-    for concurrency in concurrencies:
-        deployment = make_deployment()
-        bench = ClosedLoopBenchmark(deployment, spec, concurrency, sites)
-        result = bench.run(duration, warmup, settle)
-        points.append(
-            SweepPoint(
-                concurrency=concurrency,
-                throughput=result.throughput,
-                mean_latency_ms=result.latency.mean,
-                p50_latency_ms=result.latency.p50,
-                p99_latency_ms=result.latency.p99,
-                completed=result.completed,
-            )
-        )
-    return points
+    """One fresh deployment + run per concurrency level.
+
+    With ``workers > 1`` the levels run in parallel worker processes (each
+    level is an independent simulation); ``make_deployment`` must then be
+    picklable — use :class:`repro.bench.parallel.DeploymentFactory` rather
+    than a closure.  Results are ordered by concurrency level either way,
+    and each level's simulation is identical to a serial run's.
+    """
+    from repro.bench.parallel import run_grid
+
+    jobs = [
+        (_sweep_point, (make_deployment, spec, concurrency, duration, warmup, settle, sites))
+        for concurrency in concurrencies
+    ]
+    return run_grid(jobs, workers=workers)
 
 
 def max_throughput(points: Sequence[SweepPoint]) -> float:

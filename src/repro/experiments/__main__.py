@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
@@ -24,6 +25,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", metavar="DIR", default=None, help="also write CSV output")
     parser.add_argument("--plot", action="store_true", help="render the series as an ASCII chart")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiments whose sweep points are "
+        "independent simulations (default 1 = serial, today's behavior)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions plus "
+        "event-loop counters (use with --jobs 1: workers are not profiled)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="enable request tracing; dump spans + per-node metric snapshots "
@@ -31,12 +46,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    jobs = args.jobs
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.trace and jobs > 1:
+        # Worker processes do not inherit the parent's ObsCapture, so their
+        # spans would be silently lost; tracing forces a serial run.
+        print("--trace captures spans in-process; ignoring --jobs, running serially")
+        jobs = 1
+
+    from repro.bench.profiling import maybe_profiled
+
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in targets:
-        if args.trace:
-            result = _run_traced(name, args.fast)
-        else:
-            result = EXPERIMENTS[name](args.fast)
+        with maybe_profiled(args.profile, label=name):
+            if args.trace:
+                result = _run_traced(name, args.fast)
+            else:
+                result = _invoke(name, args.fast, jobs)
         print(result.to_text())
         if args.plot:
             from repro.experiments.plotting import plot_result
@@ -48,6 +75,15 @@ def main(argv: list[str] | None = None) -> int:
             path = result.write_csv(args.csv)
             print(f"wrote {path}")
     return 0
+
+
+def _invoke(name: str, fast: bool, jobs: int):
+    """Call an experiment driver, passing ``jobs`` only to the drivers that
+    fan out over worker processes (those whose ``run`` accepts it)."""
+    fn = EXPERIMENTS[name]
+    if jobs > 1 and "jobs" in inspect.signature(fn).parameters:
+        return fn(fast, jobs=jobs)
+    return fn(fast)
 
 
 def _run_traced(name: str, fast: bool, directory: str = "results"):

@@ -21,13 +21,13 @@ from __future__ import annotations
 import json
 import os
 
+from repro.bench.parallel import DeploymentFactory
 from repro.bench.sweep import closed_loop_sweep, max_throughput
 from repro.bench.workload import WorkloadSpec
 from repro.core.protocol_models import BatchedPaxosModel, PaxosModel
 from repro.core.topology import lan
 from repro.experiments.common import ExperimentResult
 from repro.paxi.config import Config
-from repro.paxi.deployment import Deployment
 from repro.protocols.fpaxos import FPaxos
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.raft import Raft
@@ -68,7 +68,7 @@ def _model_knees() -> dict[str, float]:
     }
 
 
-def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
+def run(fast: bool = False, output: str = OUTPUT_FILE, jobs: int = 1) -> ExperimentResult:
     concurrencies = (16, 96) if fast else (8, 32, 64, 128, 192)
     duration = 0.25 if fast else 0.6
     spec = WorkloadSpec(keys=1000, write_ratio=0.5)
@@ -94,11 +94,7 @@ def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
         knees: dict[str, float] = {}
         curves: dict[str, list[dict]] = {}
         for mode in ("unbatched", "batched"):
-            config = _config(batched=(mode == "batched"))
-
-            def make(f=factory, c=config):
-                return Deployment(c).start(f)
-
+            make = DeploymentFactory(factory, _config(batched=(mode == "batched")))
             points = closed_loop_sweep(
                 make,
                 spec,
@@ -106,6 +102,7 @@ def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
                 duration=duration,
                 warmup=duration * 0.2,
                 settle=0.05,
+                workers=jobs,
             )
             knees[mode] = max_throughput(points)
             curves[mode] = [

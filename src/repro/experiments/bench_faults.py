@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro.bench.parallel import run_grid
 from repro.bench.workload import WorkloadGenerator, WorkloadSpec
 from repro.experiments.common import ExperimentResult
 from repro.paxi.config import Config
@@ -132,7 +133,7 @@ def _metrics(buckets: dict[int, int], run_for: float) -> dict:
     }
 
 
-def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
+def run(fast: bool = False, output: str = OUTPUT_FILE, jobs: int = 1) -> ExperimentResult:
     run_for = 2.4 if fast else 3.2
     protocols = {"paxos": MultiPaxos} if fast else PROTOCOLS
     result = ExperimentResult(
@@ -152,28 +153,38 @@ def run(fast: bool = False, output: str = OUTPUT_FILE) -> ExperimentResult:
         "seed": SEED,
         "scenarios": {},
     }
-    for name, factory in protocols.items():
-        for fault in FAULTS:
-            for mode in MODES:
-                timeline, caught_up = _drive(factory, mode, fault, run_for)
-                metrics = _metrics(timeline, run_for)
-                metrics["victim_caught_up"] = caught_up
-                payload["scenarios"][f"{name}:{fault}:{mode}"] = metrics
-                result.rows.append(
-                    [
-                        name,
-                        fault,
-                        mode,
-                        metrics["healthy_ops"],
-                        metrics["mttr_s"],
-                        metrics["dip_floor_frac"],
-                        metrics["availability"],
-                    ]
-                )
-                result.series[f"{name}:{fault}:{mode}"] = [
-                    (i * BUCKET, float(timeline.get(i, 0)))
-                    for i in range(int(run_for / BUCKET))
-                ]
+    # Each scenario is an independent simulation, so the grid fans out over
+    # worker processes; results come back in grid order either way.
+    grid = [
+        (name, fault, mode)
+        for name in protocols
+        for fault in FAULTS
+        for mode in MODES
+    ]
+    outcomes = run_grid(
+        [(_drive, (protocols[name], mode, fault, run_for)) for name, fault, mode in grid],
+        workers=jobs,
+    )
+    for (name, fault, mode), (timeline, caught_up) in zip(grid, outcomes):
+        metrics = _metrics(timeline, run_for)
+        metrics["victim_caught_up"] = caught_up
+        payload["scenarios"][f"{name}:{fault}:{mode}"] = metrics
+        result.rows.append(
+            [
+                name,
+                fault,
+                mode,
+                metrics["healthy_ops"],
+                metrics["mttr_s"],
+                metrics["dip_floor_frac"],
+                metrics["availability"],
+            ]
+        )
+        result.series[f"{name}:{fault}:{mode}"] = [
+            (i * BUCKET, float(timeline.get(i, 0)))
+            for i in range(int(run_for / BUCKET))
+        ]
+    for name in protocols:
         reboot_d = payload["scenarios"][f"{name}:reboot:durable"]
         wipe_d = payload["scenarios"][f"{name}:wipe:durable"]
         result.notes.append(

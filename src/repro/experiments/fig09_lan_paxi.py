@@ -9,11 +9,11 @@ max throughput, with the single-leader protocols bottlenecked near 8k/s.
 
 from __future__ import annotations
 
+from repro.bench.parallel import DeploymentFactory
 from repro.bench.sweep import closed_loop_sweep, max_throughput
 from repro.bench.workload import WorkloadSpec
 from repro.experiments.common import ExperimentResult
 from repro.paxi.config import Config
-from repro.paxi.deployment import Deployment
 from repro.protocols.epaxos import EPaxos
 from repro.protocols.fpaxos import FPaxos
 from repro.protocols.paxos import MultiPaxos
@@ -29,7 +29,7 @@ PROTOCOLS = {
 }
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, jobs: int = 1) -> ExperimentResult:
     concurrencies = (8, 64, 160) if fast else (1, 4, 16, 48, 96, 160, 224)
     duration = 0.25 if fast else 0.8
     spec = WorkloadSpec(keys=1000, write_ratio=0.5)
@@ -40,11 +40,15 @@ def run(fast: bool = False) -> ExperimentResult:
     )
     peaks: dict[str, float] = {}
     for name, factory in PROTOCOLS.items():
-        def make(f=factory):
-            return Deployment(Config.lan(3, 3, seed=55)).start(f)
-
+        make = DeploymentFactory(factory, Config.lan(3, 3, seed=55))
         points = closed_loop_sweep(
-            make, spec, concurrencies, duration=duration, warmup=duration * 0.2, settle=0.05
+            make,
+            spec,
+            concurrencies,
+            duration=duration,
+            warmup=duration * 0.2,
+            settle=0.05,
+            workers=jobs,
         )
         for p in points:
             result.rows.append(

@@ -233,7 +233,7 @@ class Deployment:
         self._down[node_id] = mode
         replica.halt()
         self.cluster.server(node_id).power_off()
-        self.cluster.replace_receiver(node_id, _down_sink)
+        self.cluster.replace_receiver(node_id, _down_sink, down=True)
         disk = self._disks.get(node_id)
         if disk is not None and mode == "wipe":
             disk.wipe()

@@ -21,6 +21,11 @@ from typing import Any, Hashable
 class Message:
     """Base class for protocol and client messages."""
 
+    # Slot-free base so subclasses declared with ``@dataclass(slots=True)``
+    # really are dict-less: simulations allocate one instance per logical
+    # message, so the per-instance ``__dict__`` is measurable overhead.
+    __slots__ = ()
+
     SIZE_BYTES: int = 100
     WEIGHT: float = 1.0
 
@@ -46,7 +51,7 @@ GET = "GET"
 PUT = "PUT"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """A state-machine command against the key-value store.
 
@@ -87,7 +92,7 @@ class Command:
         return Command(PUT, key, value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch:
     """An ordered group of commands replicated as one log entry.
 
@@ -117,7 +122,7 @@ class Batch:
         return self.PER_COMMAND_BYTES * max(0, len(self.commands) - 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequest(Message):
     """A client-originated request for one command."""
 
@@ -128,7 +133,7 @@ class ClientRequest(Message):
     request_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientReply(Message):
     """The reply a replica sends once a command has been committed and
     executed (or rejected)."""

@@ -31,12 +31,28 @@ if TYPE_CHECKING:
     from repro.paxi.deployment import Deployment
 
 
+# Per-message-class traits: (WEIGHT, SIZE_BYTES, has wire_size()).  All
+# three are class-level declarations on the message dataclasses, so they
+# are resolved once per class instead of via getattr on every message.
+_CLASS_TRAITS: dict[type, tuple[float, int, bool]] = {}
+
+
+def _class_traits(cls: type) -> tuple[float, int, bool]:
+    traits = _CLASS_TRAITS.get(cls)
+    if traits is None:
+        traits = (
+            getattr(cls, "WEIGHT", 1.0),
+            getattr(cls, "SIZE_BYTES", 100),
+            callable(getattr(cls, "wire_size", None)),
+        )
+        _CLASS_TRAITS[cls] = traits
+    return traits
+
+
 def _wire_size(message: Any) -> int:
     """Instance wire size when the message provides one, else the class's."""
-    wire = getattr(message, "wire_size", None)
-    if wire is not None:
-        return wire()
-    return getattr(type(message), "SIZE_BYTES", 100)
+    _weight, size, has_wire = _class_traits(type(message))
+    return message.wire_size() if has_wire else size
 
 
 def wal_record_bytes(command: Any) -> int:
@@ -194,7 +210,7 @@ class Replica:
         """Entry point from the network: charge the queue, then dispatch."""
         if self._halted:
             return  # a dead incarnation's NIC: packets fall on the floor
-        weight = getattr(type(message), "WEIGHT", 1.0)
+        weight = _class_traits(type(message))[0]
         cost = self._profile.incoming_cost(size_bytes, weight)
         if self._tracer.enabled and type(message) is ClientRequest:
             span_key = (message.client, message.request_id)
@@ -225,8 +241,9 @@ class Replica:
 
     def send(self, dst: Hashable, message: Any) -> None:
         """Send one message; charges ``t_out`` + one NIC transmission."""
-        size = _wire_size(message)
-        weight = getattr(type(message), "WEIGHT", 1.0)
+        weight, size, has_wire = _class_traits(type(message))
+        if has_wire:
+            size = message.wire_size()
         cost = self._profile.outgoing_cost(size, copies=1, weight=weight)
         if self._tracer.enabled and type(message) is ClientReply:
             self._server.submit(cost, self._traced_reply_transit, dst, message, size)
@@ -244,8 +261,9 @@ class Replica:
         targets = [d for d in dsts if d != self.id]
         if not targets:
             return
-        size = _wire_size(message)
-        weight = getattr(type(message), "WEIGHT", 1.0)
+        weight, size, has_wire = _class_traits(type(message))
+        if has_wire:
+            size = message.wire_size()
         cost = self._profile.outgoing_cost(size, copies=len(targets), weight=weight)
         self._server.submit(cost, self._transit_all, targets, message, size)
 

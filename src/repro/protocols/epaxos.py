@@ -64,7 +64,7 @@ EPAXOS_WEIGHT = 4.0
 EPAXOS_SIZE = 200
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreAccept(Message):
     SIZE_BYTES = EPAXOS_SIZE
     WEIGHT = EPAXOS_WEIGHT
@@ -75,7 +75,7 @@ class PreAccept(Message):
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreAcceptOK(Message):
     SIZE_BYTES = EPAXOS_SIZE
     WEIGHT = EPAXOS_WEIGHT
@@ -86,7 +86,7 @@ class PreAcceptOK(Message):
     changed: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accept(Message):
     SIZE_BYTES = EPAXOS_SIZE
     WEIGHT = EPAXOS_WEIGHT
@@ -97,14 +97,14 @@ class Accept(Message):
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptOK(Message):
     WEIGHT = EPAXOS_WEIGHT
 
     instance: InstanceID = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitMsg(Message):
     SIZE_BYTES = EPAXOS_SIZE
     WEIGHT = EPAXOS_WEIGHT

@@ -28,7 +28,7 @@ from repro.paxi.node import Replica
 from repro.paxi.quorum import GroupQuorum
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GAccept(Message):
     zone: int = 0
     slot: int = 0
@@ -36,19 +36,19 @@ class GAccept(Message):
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GAck(Message):
     zone: int = 0
     slot: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GFlush(Message):
     zone: int = 0
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GFillRequest(Message):
     """A member asks the leader for slots it never received."""
 
@@ -56,7 +56,7 @@ class GFillRequest(Message):
     slots: tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GFillReply(Message):
     SIZE_BYTES = 300
 

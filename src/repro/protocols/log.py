@@ -76,6 +76,11 @@ class CommandLog:
     entries: dict[int, Entry] = field(default_factory=dict)
     next_slot: int = 1
     execute_index: int = 1  # next slot to execute
+    # Presence frontier: every slot in 1.._contig is present in ``entries``.
+    # Advanced lazily by :meth:`missing_slots` so the per-message gap scan
+    # is O(new slots) amortized instead of O(upto); reset by :meth:`compact`
+    # because compaction removes slot 1 itself.
+    _contig: int = field(default=0, repr=False)
 
     def append(
         self,
@@ -159,6 +164,25 @@ class CommandLog:
             if not entry.committed
         }
 
+    def compact(self, upto: int) -> None:
+        """Drop entries at or below ``upto`` (snapshot installation).
+
+        The presence frontier resets to zero: slot 1 itself is gone, so —
+        exactly as with a plain dict scan — compacted slots count as
+        "never accepted" until peers re-fill them.
+        """
+        entries = self.entries
+        for slot in [s for s in entries if s <= upto]:
+            del entries[slot]
+        self._contig = 0
+
     def missing_slots(self, upto: int) -> list[int]:
         """Slots <= ``upto`` this log has never accepted (gap-fill targets)."""
-        return [slot for slot in range(1, upto + 1) if slot not in self.entries]
+        entries = self.entries
+        contig = self._contig
+        while contig + 1 in entries:
+            contig += 1
+        self._contig = contig
+        if upto <= contig:
+            return []
+        return [slot for slot in range(contig + 1, upto + 1) if slot not in entries]

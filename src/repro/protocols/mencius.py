@@ -37,7 +37,7 @@ from repro.paxi.quorum import MajorityQuorum, Quorum
 from repro.protocols.log import RequestInfo
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MAccept(Message):
     """Accept for a slot its sender owns (phase-2 only, by construction)."""
 
@@ -46,19 +46,19 @@ class MAccept(Message):
     request: RequestInfo | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MAcceptAck(Message):
     slot: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MCommit(Message):
     slot: int = 0
     command: Command | None = None
     request: RequestInfo | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MSkip(Message):
     """``owner`` skips every slot it owns in ``[from_slot, below)``."""
 

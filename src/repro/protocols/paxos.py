@@ -63,7 +63,7 @@ from repro.protocols.log import (
 EntrySnapshot = tuple[int, Ballot, EntryCommand, Any, bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P1a(Message):
     """Phase-1a: ``lead with ballot b?`` plus the candidate's commit frontier."""
 
@@ -71,7 +71,7 @@ class P1a(Message):
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P1b(Message):
     """Phase-1b: promise (or rejection) with the follower's log suffix."""
 
@@ -82,7 +82,7 @@ class P1b(Message):
     entries: tuple[EntrySnapshot, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P2a(Message):
     """Phase-2a: accept this command in this slot (carries commit watermark).
 
@@ -103,7 +103,7 @@ class P2a(Message):
         return self.SIZE_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P2b(Message):
     """Phase-2b: accepted (or rejected because of a higher promise)."""
 
@@ -112,7 +112,7 @@ class P2b(Message):
     ok: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit(Message):
     """Periodic commit watermark broadcast; doubles as leader heartbeat."""
 
@@ -120,14 +120,14 @@ class Commit(Message):
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillRequest(Message):
     """Ask the leader for slots this replica never received."""
 
     slots: tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillReply(Message):
     SIZE_BYTES = 400
 
@@ -829,8 +829,7 @@ class MultiPaxos(Protocol):
         dump, cache = snap.payload
         self.store.restore(dump)
         self._request_cache = dict(cache)
-        for slot in [s for s in self.log.entries if s <= snap.upto]:
-            del self.log.entries[slot]
+        self.log.compact(snap.upto)
         self.log.execute_index = max(self.log.execute_index, snap.upto + 1)
         self.log.next_slot = max(self.log.next_slot, snap.upto + 1)
 

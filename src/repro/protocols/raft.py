@@ -41,20 +41,20 @@ LogRecord = tuple[int, "Command | Batch | None", Any]
 FOLLOWER, CANDIDATE, LEADER = "follower", "candidate", "leader"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestVote(Message):
     term: int = 0
     last_log_index: int = 0
     last_log_term: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoteReply(Message):
     term: int = 0
     granted: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendEntries(Message):
     SIZE_BYTES = 150
 
@@ -75,14 +75,14 @@ class AppendEntries(Message):
         return self.SIZE_BYTES + extra
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendReply(Message):
     term: int = 0
     success: bool = False
     match_index: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshot(Message):
     """State transfer for a follower too far behind to repair from the log
     (wiped disk, or compacted leader log).  Answered with an

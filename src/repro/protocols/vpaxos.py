@@ -30,7 +30,7 @@ from repro.protocols.log import RequestInfo
 CMD, ADOPT = "cmd", "adopt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPForward(Message):
     """A command forwarded to the owning zone's leader."""
 
@@ -39,7 +39,7 @@ class VPForward(Message):
     origin_zone: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPAcquire(Message):
     """Ask the master to assign an (unowned) object to ``zone``."""
 
@@ -48,7 +48,7 @@ class VPAcquire(Message):
     trigger: VPForward | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPReassign(Message):
     """Ask the master to move an object to ``zone`` (locality settled)."""
 
@@ -57,7 +57,7 @@ class VPReassign(Message):
     trigger: VPForward | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPOwner(Message):
     """Master's answer when the object already has a different owner."""
 
@@ -66,12 +66,12 @@ class VPOwner(Message):
     trigger: VPForward | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPRelease(Message):
     key: Hashable = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPReleased(Message):
     SIZE_BYTES = 300
 
@@ -79,7 +79,7 @@ class VPReleased(Message):
     history: tuple = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPAssigned(Message):
     SIZE_BYTES = 300
 
@@ -88,7 +88,7 @@ class VPAssigned(Message):
     trigger: VPForward | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VPAssignAck(Message):
     key: Hashable = None
 

@@ -37,7 +37,7 @@ from repro.protocols.log import RequestInfo
 MASTER = "MASTER"  # token-holder marker for the master level
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WKRequest(Message):
     """A zone leader escalates a command for a token it does not hold."""
 
@@ -46,7 +46,7 @@ class WKRequest(Message):
     origin_zone: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WKGrant(Message):
     SIZE_BYTES = 300
 
@@ -54,7 +54,7 @@ class WKGrant(Message):
     history: tuple = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WKGrantAck(Message):
     """Zone leader confirms it holds the token; only after this will the
     master consider retracting it (prevents a retract overtaking an
@@ -63,12 +63,12 @@ class WKGrantAck(Message):
     key: Hashable = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WKRetract(Message):
     key: Hashable = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WKReturn(Message):
     SIZE_BYTES = 300
 

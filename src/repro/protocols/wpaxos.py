@@ -37,7 +37,7 @@ from repro.protocols.log import RequestInfo
 EntrySnapshot = tuple[int, Ballot, Command | None, RequestInfo | None, bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WP1a(Message):
     """Per-object phase-1: steal ownership of ``key`` with ``ballot``."""
 
@@ -46,7 +46,7 @@ class WP1a(Message):
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WP1b(Message):
     SIZE_BYTES = 300
 
@@ -57,7 +57,7 @@ class WP1b(Message):
     next_slot: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WP2a(Message):
     key: Hashable = None
     ballot: Ballot = ZERO
@@ -67,7 +67,7 @@ class WP2a(Message):
     commit_upto: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WP2b(Message):
     key: Hashable = None
     ballot: Ballot = ZERO
@@ -75,7 +75,7 @@ class WP2b(Message):
     ok: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WFlush(Message):
     """Batched per-object commit watermarks (piggybacked commit phase)."""
 
@@ -84,13 +84,13 @@ class WFlush(Message):
     watermarks: tuple[tuple[Hashable, int], ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WFillRequest(Message):
     key: Hashable = None
     slots: tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WFillReply(Message):
     SIZE_BYTES = 300
 

@@ -7,6 +7,14 @@ monotonically advancing clock.  All times are in **seconds** of virtual time.
 Determinism: events scheduled for the same instant fire in scheduling order
 (a per-loop sequence number breaks ties), so a fixed seed yields a bit-for-bit
 identical run.
+
+Performance notes (see ``docs/PERFORMANCE.md``): the run loops bind
+``heapq`` functions and hot attributes to locals, cancelled events are
+counted and the heap is compacted when cancellations dominate (client retry
+timers are cancelled on nearly every reply, so an uncompacted heap would
+grow with *issued* requests rather than *outstanding* ones), and dispatch
+order is pinned by ``(when, seq)`` alone — compaction reheapifies the same
+entries and therefore cannot reorder anything.
 """
 
 from __future__ import annotations
@@ -19,19 +27,35 @@ from repro.errors import SimulationError
 
 # Sentinel used to mark cancelled events without rebuilding the heap.
 _CANCELLED = object()
+# Sentinel stamped onto entries as they fire, so a late ``cancel()`` (e.g. a
+# client cancelling a retry timer that already went off) is a no-op instead
+# of corrupting the cancelled-entry count that drives compaction.
+_FIRED = object()
+
+# Compact the heap when cancelled entries outnumber live ones by this
+# factor (and there are enough of them to matter).  Compaction is O(n),
+# amortized O(1) per cancellation because at least half the heap is
+# removed each time it runs.
+_COMPACT_RATIO = 2
+_COMPACT_MIN = 512
 
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, loop: "EventLoop") -> None:
         self._entry = entry
+        self._loop = loop
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Cancelling twice is a no-op."""
-        self._entry[-1] = _CANCELLED
+        """Prevent the event from firing.  Cancelling twice (or cancelling
+        an event that already fired) is a no-op."""
+        entry = self._entry
+        if entry[-1] is not _CANCELLED and entry[-1] is not _FIRED:
+            entry[-1] = _CANCELLED
+            self._loop._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -54,12 +78,20 @@ class EventLoop:
         loop.run_until(10.0)
     """
 
+    # Process-wide tallies across every loop instance, so ``--profile``
+    # reports (repro.bench.profiling) can show simulated-event throughput
+    # without holding references to the loops an experiment created.
+    total_events_fired = 0
+    total_compactions = 0
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[list] = []
         self._seq = itertools.count()
         self._events_fired = 0
         self._stopped = False
+        self._cancelled = 0  # cancelled entries still sitting in the heap
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -70,6 +102,11 @@ class EventLoop:
     def events_fired(self) -> int:
         """Number of events executed so far (for instrumentation)."""
         return self._events_fired
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (for instrumentation)."""
+        return self._compactions
 
     def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at virtual time ``when``.
@@ -83,7 +120,7 @@ class EventLoop:
             )
         entry = [when, next(self._seq), args, fn]
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
@@ -95,6 +132,27 @@ class EventLoop:
         """Request the current ``run``/``run_until`` call to return."""
         self._stopped = True
 
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        cancelled = self._cancelled
+        if cancelled >= _COMPACT_MIN and cancelled > (
+            len(self._heap) - cancelled
+        ) * _COMPACT_RATIO:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Heap order is a function of each entry's ``(when, seq)`` prefix
+        only, so rebuilding the heap from the live entries cannot change
+        dispatch order — it just frees the memory and skips the pops.
+        """
+        self._heap = [entry for entry in self._heap if entry[-1] is not _CANCELLED]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
+        EventLoop.total_compactions += 1
+
     def run_until(self, deadline: float) -> None:
         """Execute events in time order until ``deadline`` (inclusive).
 
@@ -102,34 +160,64 @@ class EventLoop:
         repeated calls advance time monotonically.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            when = self._heap[0][0]
-            if when > deadline:
-                break
-            when, _seq, args, fn = heapq.heappop(self._heap)
-            if fn is _CANCELLED:
-                continue
-            self._now = when
-            self._events_fired += 1
-            fn(*args)
+        heap = self._heap
+        heappop = heapq.heappop
+        cancelled_sentinel = _CANCELLED
+        fired_sentinel = _FIRED
+        fired = 0
+        try:
+            while heap and not self._stopped:
+                if heap[0][0] > deadline:
+                    break
+                entry = heappop(heap)
+                fn = entry[3]
+                if fn is cancelled_sentinel:
+                    self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                entry[3] = fired_sentinel
+                fired += 1
+                fn(*entry[2])
+                if heap is not self._heap:  # compaction swapped the list
+                    heap = self._heap
+        finally:
+            self._events_fired += fired
+            EventLoop.total_events_fired += fired
         if not self._stopped and self._now < deadline:
             self._now = deadline
 
     def run(self, max_events: int | None = None) -> None:
         """Execute events until the heap is empty (or ``max_events`` fire)."""
         self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
+        cancelled_sentinel = _CANCELLED
+        fired_sentinel = _FIRED
         fired = 0
-        while self._heap and not self._stopped:
-            if max_events is not None and fired >= max_events:
-                return
-            when, _seq, args, fn = heapq.heappop(self._heap)
-            if fn is _CANCELLED:
-                continue
-            self._now = when
-            self._events_fired += 1
-            fired += 1
-            fn(*args)
+        try:
+            while heap and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    return
+                entry = heappop(heap)
+                fn = entry[3]
+                if fn is cancelled_sentinel:
+                    self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                entry[3] = fired_sentinel
+                fired += 1
+                fn(*entry[2])
+                if heap is not self._heap:
+                    heap = self._heap
+        finally:
+            self._events_fired += fired
+            EventLoop.total_events_fired += fired
 
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) events still queued."""
         return len(self._heap)
+
+    def live_pending(self) -> int:
+        """Number of queued events that will actually fire (cancelled
+        entries excluded)."""
+        return len(self._heap) - self._cancelled

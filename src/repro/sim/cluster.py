@@ -88,10 +88,13 @@ class Cluster:
         self,
         address: Hashable,
         on_receive: Callable[[Hashable, Any, int], None],
+        down: bool = False,
     ) -> None:
         """Re-point an existing address at a new delivery callback (used
-        when a rebooted/wiped node restarts with a fresh replica)."""
-        self.network.replace_receiver(address, on_receive)
+        when a rebooted/wiped node restarts with a fresh replica).
+        ``down=True`` marks the callback as an outage sink — deliveries
+        into it are not charged to the node's receive counters."""
+        self.network.replace_receiver(address, on_receive, down=down)
 
     def server(self, address: Hashable) -> Server:
         try:

@@ -21,18 +21,19 @@ that a simulated transport makes trivial.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.core.topology import Topology
 from repro.errors import SimulationError
 from repro.sim.clock import EventLoop
-from repro.sim.random import RandomStreams, truncated_normal
+from repro.sim.random import RandomStreams, resample_above, truncated_normal
 
 Address = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class _FaultRule:
     """One active fault: a predicate plus an effect on matching messages."""
 
@@ -61,14 +62,34 @@ class _FaultRule:
 
 
 class FaultPlan:
-    """A schedule of network faults, evaluated per message."""
+    """A schedule of network faults, evaluated per message.
+
+    The plan keeps the union ``[earliest start, latest end)`` of all its
+    rules' windows so the per-message hot path (:meth:`Network.transit`)
+    can skip rule matching entirely — with zero allocations — whenever the
+    current time cannot fall inside any rule's window.  Rules are only ever
+    added, so the envelope only widens.
+    """
 
     def __init__(self) -> None:
         self._rules: list[_FaultRule] = []
+        self._window_start = float("inf")
+        self._window_end = float("-inf")
+
+    def _note_window(self, start: float, end: float) -> None:
+        if start < self._window_start:
+            self._window_start = start
+        if end > self._window_end:
+            self._window_end = end
+
+    def possibly_active(self, now: float) -> bool:
+        """False when no rule's window can contain ``now``."""
+        return self._window_start <= now < self._window_end
 
     def drop(self, src: Address | None, dst: Address | None, start: float, duration: float) -> None:
         """Drop every message from ``src`` to ``dst`` during the window."""
         self._rules.append(_FaultRule("drop", src, dst, start, start + duration))
+        self._note_window(start, start + duration)
 
     def flaky(
         self,
@@ -84,6 +105,7 @@ class FaultPlan:
         self._rules.append(
             _FaultRule("flaky", src, dst, start, start + duration, probability=probability)
         )
+        self._note_window(start, start + duration)
 
     def slow(
         self,
@@ -106,6 +128,7 @@ class FaultPlan:
                 extra_delay_sigma=extra_delay_sigma,
             )
         )
+        self._note_window(start, start + duration)
 
     def partition(self, groups: list[set], start: float, duration: float) -> None:
         """Disconnect the given endpoint groups from each other."""
@@ -113,17 +136,21 @@ class FaultPlan:
         self._rules.append(
             _FaultRule("partition", None, None, start, start + duration, groups=frozen)
         )
+        self._note_window(start, start + duration)
 
     def active_rules(self, now: float, src: Address, dst: Address) -> list[_FaultRule]:
         return [rule for rule in self._rules if rule.matches(now, src, dst)]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     messages_sent: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
-    per_link: dict = field(default_factory=dict)
+    # Message count per (src_site, dst_site) pair.  A Counter so the hot
+    # path can use ``+= 1`` without a get/default dance; it compares equal
+    # to (and iterates like) a plain dict for existing consumers.
+    per_link: Counter[tuple[str, str]] = field(default_factory=Counter)
 
 
 class Network:
@@ -143,7 +170,21 @@ class Network:
         self.faults = faults if faults is not None else FaultPlan()
         self._sites: dict[Address, str] = {}
         self._receivers: dict[Address, Callable[[Address, Any, int], None]] = {}
+        # Addresses whose receiver is currently a reboot/wipe sink: messages
+        # still transit (and pay their sender-side costs) but nothing is
+        # listening, so delivery must not be charged to the receiver.
+        self._down: set[Address] = set()
         self.stats = NetworkStats()
+        # Per-(src, dst) route cache: the one-way delay distribution's
+        # (mean_ms, sigma_ms) and the interned (src_site, dst_site) link
+        # key.  Sites are fixed at registration and the topology's RTT
+        # matrix is immutable, so entries never invalidate; caching spares
+        # the hot path two site lookups, a distribution construction, and
+        # a fresh link tuple per message.
+        self._routes: dict[tuple[Address, Address], tuple[float, float, tuple[str, str]]] = {}
+        # type(message) -> interned __name__, shared by sent/received/
+        # dropped accounting.
+        self._type_names: dict[type, str] = {}
         # Per-node message counters (repro.obs.MetricsHub); the network is
         # the one chokepoint every message crosses, so counting here keeps
         # the replica hot path untouched.
@@ -169,61 +210,126 @@ class Network:
         self._receivers[address] = on_receive
 
     def replace_receiver(
-        self, address: Address, on_receive: Callable[[Address, Any, int], None]
+        self,
+        address: Address,
+        on_receive: Callable[[Address, Any, int], None],
+        down: bool = False,
     ) -> None:
         """Swap the delivery callback of an already-registered endpoint.
 
         Used by reboot/wipe fault injection: while a node is down its
         address stays routable (peers keep sending; delays and fault rules
         still apply) but deliveries land in a sink, and after restart the
-        fresh replica instance takes over the address.
+        fresh replica instance takes over the address.  ``down=True`` marks
+        the new callback as such a sink, so deliveries into it are not
+        counted as received by the node.
         """
         if address not in self._receivers:
             raise SimulationError(f"address {address!r} not registered")
         self._receivers[address] = on_receive
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
 
     def site_of(self, address: Address) -> str:
         return self._sites[address]
 
+    def _route(self, src: Address, dst: Address) -> tuple[float, float, tuple[str, str]]:
+        route = self._routes.get((src, dst))
+        if route is None:
+            src_site = self._sites[src]
+            dst_site = self._sites[dst]
+            dist = self._topology.site_rtt(src_site, dst_site).one_way()
+            route = (dist.mean_ms, dist.sigma_ms, (src_site, dst_site))
+            self._routes[(src, dst)] = route
+        return route
+
     def one_way_delay(self, src: Address, dst: Address) -> float:
         """Sample a one-way transit delay in **seconds**."""
-        dist = self._topology.site_rtt(self._sites[src], self._sites[dst]).one_way()
-        delay_ms = truncated_normal(self._rng, dist.mean_ms, dist.sigma_ms, floor=0.0)
+        mean_ms, sigma_ms, _link = self._route(src, dst)
+        delay_ms = truncated_normal(self._rng, mean_ms, sigma_ms, floor=0.0)
         return delay_ms / 1e3
+
+    def _type_name(self, message: Any) -> str:
+        cls = type(message)
+        name = self._type_names.get(cls)
+        if name is None:
+            name = self._type_names[cls] = cls.__name__
+        return name
 
     def transit(self, src: Address, dst: Address, message: Any, size_bytes: int) -> None:
         """Carry ``message`` from ``src`` to ``dst``, applying faults."""
         if dst not in self._receivers:
             raise SimulationError(f"unknown destination {dst!r}")
-        now = self._loop.now
-        delay = self.one_way_delay(src, dst)
-        for rule in self.faults.active_rules(now, src, dst):
-            if rule.kind in ("drop", "partition"):
-                self.stats.messages_dropped += 1
-                if self.metrics is not None:
-                    self.metrics.on_dropped(src, type(message).__name__, size_bytes)
-                return
-            if rule.kind == "flaky":
-                if self._rng.random() < rule.probability:
+        # Delay is sampled before fault matching so a dropped message still
+        # consumes exactly one delay draw — keeping the RNG stream, and
+        # therefore every later sample in the run, identical with and
+        # without the early-out below.
+        rng = self._rng
+        mean_ms, sigma_ms, link = self._route(src, dst)
+        delay_ms = rng.gauss(mean_ms, sigma_ms)
+        if delay_ms <= 0.0:
+            delay_ms = resample_above(rng, mean_ms, sigma_ms, 0.0)
+        delay = delay_ms / 1e3
+        faults = self.faults
+        if faults._window_start <= self._loop.now < faults._window_end:
+            now = self._loop.now
+            for rule in faults._rules:
+                if not rule.matches(now, src, dst):
+                    continue
+                kind = rule.kind
+                if kind == "drop" or kind == "partition":
                     self.stats.messages_dropped += 1
                     if self.metrics is not None:
-                        self.metrics.on_dropped(src, type(message).__name__, size_bytes)
+                        self.metrics.on_dropped(src, self._type_name(message), size_bytes)
                     return
-            elif rule.kind == "slow":
-                delay += abs(
-                    truncated_normal(
-                        self._rng, rule.extra_delay_mean, rule.extra_delay_sigma, floor=0.0
-                    )
-                )
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
-        link = (self._sites[src], self._sites[dst])
-        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+                if kind == "flaky":
+                    if rng.random() < rule.probability:
+                        self.stats.messages_dropped += 1
+                        if self.metrics is not None:
+                            self.metrics.on_dropped(src, self._type_name(message), size_bytes)
+                        return
+                else:  # slow
+                    extra = rng.gauss(rule.extra_delay_mean, rule.extra_delay_sigma)
+                    if extra <= 0.0:
+                        extra = resample_above(
+                            rng, rule.extra_delay_mean, rule.extra_delay_sigma, 0.0
+                        )
+                    delay += abs(extra)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        stats.per_link[link] += 1
+        type_name = self._type_name(message)
         if self.metrics is not None:
-            # Delivery is certain once past the fault rules, so the receive
-            # counter can be bumped at send time (counts, not timestamps).
-            type_name = type(message).__name__
             self.metrics.on_sent(src, type_name, size_bytes)
+        self._loop.call_after(
+            delay,
+            self._deliver,
+            self._receivers[dst],
+            src,
+            dst,
+            message,
+            size_bytes,
+            type_name,
+        )
+
+    def _deliver(
+        self,
+        receiver: Callable[[Address, Any, int], None],
+        src: Address,
+        dst: Address,
+        message: Any,
+        size_bytes: int,
+        type_name: str,
+    ) -> None:
+        """Hand a message to its (send-time) receiver callback.
+
+        The receive counter is charged here — at delivery time — and only
+        when the destination is not currently a reboot/wipe sink, so
+        messages that vanish into a down node never count as received.
+        """
+        if self.metrics is not None and dst not in self._down:
             self.metrics.on_received(dst, type_name, size_bytes)
-        receiver = self._receivers[dst]
-        self._loop.call_after(delay, receiver, src, message, size_bytes)
+        receiver(src, message, size_bytes)

@@ -38,8 +38,15 @@ class RandomStreams:
         return rng
 
     def spawn(self, name: str) -> "RandomStreams":
-        """Derive a child family of streams (e.g. one per cluster)."""
-        child_seed = (self._seed << 16) ^ zlib.crc32(name.encode("utf-8"))
+        """Derive a child family of streams (e.g. one per cluster).
+
+        The parent seed is shifted clear of the 32-bit CRC before mixing,
+        so distinct ``(seed, name)`` pairs can only collide if the names
+        themselves CRC-collide — a ``<< 16`` shift would let the seed's low
+        bits alias against the CRC's high half (two different parents
+        spawning two different names could land on the same child seed).
+        """
+        child_seed = (self._seed << 32) ^ zlib.crc32(name.encode("utf-8"))
         return RandomStreams(child_seed)
 
 
@@ -49,8 +56,23 @@ def truncated_normal(rng: random.Random, mu: float, sigma: float, floor: float =
     Network delays are modeled as normal per the paper (Figure 3) but can
     never be negative; resampling preserves the shape near the mean far
     better than clamping when ``mu`` is several sigmas above ``floor``.
+
+    The first draw is unrolled: with realistic parameters (``mu`` several
+    sigmas above ``floor``) it almost always succeeds, so the common case
+    is a single ``gauss`` call with no loop setup.  Callers that inline
+    that first draw themselves fall back to :func:`resample_above`, which
+    continues the *same* draw sequence — 64 draws total either way, so the
+    RNG stream is bit-identical however the sample is taken.
     """
-    for _ in range(64):
+    value = rng.gauss(mu, sigma)
+    if value > floor:
+        return value
+    return resample_above(rng, mu, sigma, floor)
+
+
+def resample_above(rng: random.Random, mu: float, sigma: float, floor: float) -> float:
+    """Draws 2..64 of :func:`truncated_normal`, after a failed first draw."""
+    for _ in range(63):
         value = rng.gauss(mu, sigma)
         if value > floor:
             return value

@@ -68,7 +68,7 @@ class ServiceProfile:
         return self.t_out * weight + copies * self.nic_seconds(size_bytes)
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerStats:
     """Aggregate occupancy statistics for one server."""
 
@@ -135,10 +135,20 @@ class Server:
         """Enqueue a job costing ``cost`` seconds, completing with ``fn``."""
         if cost < 0:
             raise SimulationError(f"negative job cost {cost!r}")
-        self.touch_queue_area()
-        self._queue.append((self._loop.now, cost, fn, args))
-        self.stats.max_queue_length = max(self.stats.max_queue_length, self.queue_length)
-        self._maybe_start()
+        # Inlined touch_queue_area + max-depth update: submit runs for
+        # every message hop, so the hot path avoids the extra calls and
+        # property lookups.
+        now = self._loop.now
+        stats = self.stats
+        queued = len(self._queue) + (1 if self._busy else 0)
+        stats.queue_area += queued * (now - self._area_at)
+        self._area_at = now
+        self._queue.append((now, cost, fn, args))
+        queued += 1
+        if queued > stats.max_queue_length:
+            stats.max_queue_length = queued
+        if not self._busy:
+            self._maybe_start()
 
     def freeze(self, duration: float | None) -> None:
         """Stop draining the queue for ``duration`` seconds (Crash(t)).
@@ -178,22 +188,26 @@ class Server:
     def _maybe_start(self) -> None:
         if self._busy or not self._queue:
             return
-        if self.frozen:
+        loop = self._loop
+        if loop.now < self._frozen_until:
             if not math.isinf(self._frozen_until):
-                self._loop.call_at(self._frozen_until, self._maybe_start)
+                loop.call_at(self._frozen_until, self._maybe_start)
             return
         enqueued_at, cost, fn, args = self._queue.popleft()
         self._busy = True
-        now = self._loop.now
-        self.stats.wait_seconds += now - enqueued_at
-        self._loop.call_after(cost, self._complete, self._epoch, cost, fn, args)
+        self.stats.wait_seconds += loop.now - enqueued_at
+        loop.call_after(cost, self._complete, self._epoch, cost, fn, args)
 
     def _complete(self, epoch: int, cost: float, fn: Callable[..., Any], args: tuple) -> None:
         if epoch != self._epoch:
             return  # job belonged to a powered-off incarnation
-        self.touch_queue_area()
+        now = self._loop.now
+        stats = self.stats
+        stats.queue_area += (len(self._queue) + 1) * (now - self._area_at)
+        self._area_at = now
         self._busy = False
-        self.stats.jobs_completed += 1
-        self.stats.busy_seconds += cost
+        stats.jobs_completed += 1
+        stats.busy_seconds += cost
         fn(*args)
-        self._maybe_start()
+        if self._queue:
+            self._maybe_start()

@@ -1,0 +1,115 @@
+"""Determinism under parallelism: ``run_grid`` must be a pure fan-out.
+
+Sharding independent simulations over worker processes may not change a
+single result: the same (protocol, config, seed, workload) job must
+produce a byte-identical outcome whether it ran inline (``workers=1``),
+in a process pool (``workers=4``), or interleaved with different
+neighbors.  These tests pin that, plus the grid's ordering and error
+contracts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.parallel import DeploymentFactory, run_grid
+from repro.bench.sweep import closed_loop_sweep
+from repro.bench.workload import WorkloadSpec
+from repro.errors import SimulationError
+from repro.paxi.config import Config
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+
+
+def _sweep_json(workers: int, protocol=MultiPaxos, seed: int = 55) -> str:
+    """One small two-point sweep, serialized canonically."""
+    make = DeploymentFactory(protocol, Config.lan(3, 3, seed=seed))
+    points = closed_loop_sweep(
+        make,
+        WorkloadSpec(keys=100, write_ratio=0.5),
+        (2, 8),
+        duration=0.3,
+        warmup=0.05,
+        settle=0.05,
+        workers=workers,
+    )
+    return json.dumps(
+        [
+            {
+                "concurrency": p.concurrency,
+                "completed": p.completed,
+                "throughput": repr(p.throughput),
+                "mean_ms": repr(p.mean_latency_ms),
+                "p99_ms": repr(p.p99_latency_ms),
+            }
+            for p in points
+        ],
+        sort_keys=True,
+    )
+
+
+class TestRunGridDeterminism:
+    @pytest.mark.slow
+    def test_workers_do_not_change_results(self):
+        serial = _sweep_json(workers=1)
+        parallel = _sweep_json(workers=4)
+        assert serial == parallel
+
+    @pytest.mark.slow
+    def test_mixed_protocol_grid_matches_inline_runs(self):
+        """A heterogeneous grid resolves each job independently of its
+        neighbors, in submission order."""
+
+        def job(protocol, seed):
+            return (_collect, (protocol, seed))
+
+        grid = [job(MultiPaxos, 7), job(Raft, 7), job(MultiPaxos, 19)]
+        inline = [fn(*args) for fn, args in grid]
+        pooled = run_grid(grid, workers=3)
+        assert pooled == inline
+
+
+def _collect(protocol, seed: int) -> dict:
+    """Module-level so it is picklable by the process pool."""
+    from repro.bench.benchmarker import ClosedLoopBenchmark
+    from repro.paxi.deployment import Deployment
+
+    deployment = Deployment(Config.lan(3, 3, seed=seed)).start(protocol)
+    result = ClosedLoopBenchmark(
+        deployment, WorkloadSpec(keys=50), concurrency=4
+    ).run(duration=0.3, warmup=0.05, settle=0.05)
+    return {
+        "completed": result.completed,
+        "failed": result.failed,
+        "throughput": repr(result.throughput),
+        "latencies": repr(result.latency.mean),
+    }
+
+
+class TestRunGridContract:
+    def test_results_come_back_in_job_order(self):
+        jobs = [(_echo, (i,)) for i in range(10)]
+        assert run_grid(jobs, workers=4) == list(range(10))
+
+    def test_single_worker_runs_inline(self):
+        assert run_grid([(_echo, (41,)), (_echo, (42,))], workers=1) == [41, 42]
+
+    def test_empty_grid(self):
+        assert run_grid([], workers=4) == []
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(SimulationError):
+            run_grid([(_echo, (1,))], workers=0)
+
+    def test_deployment_factory_is_picklable(self):
+        import pickle
+
+        make = DeploymentFactory(MultiPaxos, Config.lan(3, 3, seed=5))
+        clone = pickle.loads(pickle.dumps(make))
+        assert clone == make
+
+
+def _echo(value):
+    return value

@@ -1,0 +1,43 @@
+"""Same-seed equivalence guard (see src/repro/bench/equivalence.py).
+
+Every scenario must reproduce its committed fingerprint bit-for-bit: the
+hot-path optimizations (heap compaction, cached delay distributions,
+fast-path sampling, frontier-tracked logs, ...) are only legal if they
+change *nothing* about simulated outcomes.  A mismatch here means an
+optimization altered behavior — fix the optimization; only regenerate the
+golden file for an intentional semantic change, with a PR note.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.equivalence import load_golden, run_scenario, scenarios
+
+SCENARIOS = scenarios()
+GOLDEN = load_golden()
+
+
+def test_golden_covers_every_scenario():
+    assert sorted(GOLDEN) == sorted(s.name for s in SCENARIOS)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_same_seed_run_matches_golden_fingerprint(scenario):
+    fresh = run_scenario(scenario)
+    golden = GOLDEN[scenario.name]
+    # Compare field-by-field so a mismatch names the diverging facet
+    # (latency digest vs network counters vs spans) instead of dumping
+    # two opaque dicts.
+    assert sorted(fresh) == sorted(golden)
+    for facet in golden:
+        assert fresh[facet] == golden[facet], f"{scenario.name}: {facet} diverged"
+
+
+@pytest.mark.slow
+def test_back_to_back_runs_are_bit_identical():
+    """The guard itself must be deterministic: two fresh runs of the same
+    scenario in one process produce identical fingerprints."""
+    scenario = next(s for s in SCENARIOS if s.name == "paxos:durable:faulty")
+    assert run_scenario(scenario) == run_scenario(scenario)

@@ -35,6 +35,7 @@ EXPECTED_IDS = {
     "extra_mencius",
     "bench_batching",
     "bench_faults",
+    "bench_simspeed",
 }
 
 
@@ -143,9 +144,53 @@ def test_bench_faults_recovery_gate(tmp_path):
         check_recovered(str(tmp_path / "missing.json"))
 
 
+def test_bench_simspeed_regression_gate(tmp_path):
+    """The simulator-speed gate fails on slow events/sec, diverging
+    parallel results, or (multi-core only) slower-than-serial fan-out
+    (the driver itself runs in the bench-simspeed CI job)."""
+    import json
+
+    from repro.experiments.bench_simspeed import check_no_regression
+
+    path = tmp_path / "BENCH_simspeed.json"
+    good = {
+        "cpu_count": 4,
+        "saturation": {"events_per_sec": 120000.0},
+        "parallel": {
+            "results_identical": True,
+            "serial_wall_s": 8.0,
+            "parallel_wall_s": 2.5,
+        },
+    }
+    path.write_text(json.dumps(good))
+    check_no_regression(str(path))  # no raise
+
+    for bad in (
+        {**good, "saturation": {"events_per_sec": 30000.0}},
+        {**good, "parallel": {**good["parallel"], "results_identical": False}},
+        {**good, "parallel": {**good["parallel"], "parallel_wall_s": 9.5}},
+    ):
+        path.write_text(json.dumps(bad))
+        with pytest.raises(SystemExit, match="simspeed regression"):
+            check_no_regression(str(path))
+    # On a single-CPU machine fan-out overhead is expected and not gated.
+    single = {**good, "cpu_count": 1, "parallel": {**good["parallel"], "parallel_wall_s": 9.5}}
+    path.write_text(json.dumps(single))
+    check_no_regression(str(path))  # no raise
+    with pytest.raises(SystemExit, match="not found"):
+        check_no_regression(str(tmp_path / "missing.json"))
+
+
 def test_cli_main(capsys):
     from repro.experiments.__main__ import main
 
     assert main(["table4"]) == 0
     out = capsys.readouterr().out
     assert "Parameters explored" in out
+
+
+def test_cli_rejects_bad_jobs():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["table4", "--jobs", "0"])

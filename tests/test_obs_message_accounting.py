@@ -203,3 +203,27 @@ def test_metrics_bytes_and_totals_consistent():
     for metrics in hub.nodes.values():
         assert all(v >= 0 for v in metrics.sent.values())
         assert all(v >= 0 for v in metrics.received.values())
+
+
+def test_reboot_sink_deliveries_are_not_counted_as_received():
+    """While a node is down (reboot/wipe), peer messages land in the outage
+    sink: the sender still pays (and counts) the send, but nothing is
+    listening, so the victim's received counters must not move."""
+    cfg = Config.lan(1, 3, seed=17, election_timeout=0.15)
+    deployment = Deployment(cfg).start(MultiPaxos)
+    _drive_sequential(deployment, LEADER, keys=[101, 102])
+    hub = deployment.cluster.obs.metrics
+    victim = hub.node(FOLLOWER)
+    deployment.reboot(FOLLOWER, downtime=0.3)
+    deployment.run_for(0.01)  # outage takes effect; in-flight messages sink
+    received_before = victim.messages_received()
+    leader_p2a_before = hub.node(LEADER).sent.get("P2a", 0)
+    # Drive load while the victim is down: the 2/3 quorum still commits and
+    # the leader keeps broadcasting P2a at the sink.
+    _drive_sequential(deployment, LEADER, keys=[103, 104, 105], settle=0.0)
+    assert hub.node(LEADER).sent.get("P2a", 0) > leader_p2a_before
+    assert victim.messages_received() == received_before
+    # After restart the fresh incarnation counts deliveries again.
+    deployment.run_for(1.0)
+    _drive_sequential(deployment, LEADER, keys=[106], settle=0.0)
+    assert victim.messages_received() > received_before

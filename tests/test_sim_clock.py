@@ -147,3 +147,79 @@ def test_events_always_fire_in_nondecreasing_time_order(times):
     loop.run()
     assert seen == sorted(seen)
     assert len(seen) == len(times)
+
+
+class TestCancelledEventCompaction:
+    """The heap must not leak cancelled entries (clients cancel a retry
+    timer on nearly every reply, so an uncompacted heap grows with
+    *issued* requests instead of *outstanding* ones)."""
+
+    def test_live_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        handles = [loop.call_at(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert loop.pending() == 10
+        assert loop.live_pending() == 6
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        from repro.sim.clock import _COMPACT_MIN
+
+        loop = EventLoop()
+        keep = loop.call_at(1e9, lambda: None)
+        handles = [loop.call_at(float(i + 1), lambda: None) for i in range(4 * _COMPACT_MIN)]
+        for handle in handles:
+            handle.cancel()
+        assert loop.compactions >= 1
+        # The heap physically shrank: below the compaction threshold, far
+        # from the 4 * _COMPACT_MIN entries cancelled.
+        assert loop.live_pending() == 1
+        assert loop.pending() <= _COMPACT_MIN
+        assert not keep.cancelled
+
+    def test_heap_stays_bounded_under_schedule_cancel_churn(self):
+        from repro.sim.clock import _COMPACT_MIN, _COMPACT_RATIO
+
+        loop = EventLoop()
+        for i in range(50_000):
+            loop.call_at(float(i + 1), lambda: None).cancel()
+        # Amortized bound: at most ratio * live + compaction threshold
+        # cancelled entries linger, never all 50k.
+        assert loop.pending() <= _COMPACT_MIN + _COMPACT_RATIO * loop.live_pending() + 1
+        assert loop.compactions >= 1
+
+    def test_compaction_preserves_dispatch_order(self):
+        from repro.sim.clock import _COMPACT_MIN
+
+        loop = EventLoop()
+        fired = []
+        for i in range(20):
+            loop.call_at(float(i), fired.append, i)
+        # Force a compaction mid-stream with disposable far-future events.
+        for handle in [loop.call_at(1e6, lambda: None) for _ in range(4 * _COMPACT_MIN)]:
+            handle.cancel()
+        assert loop.compactions >= 1
+        loop.run()
+        assert fired == list(range(20))
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.call_at(1.0, fired.append, "x")
+        loop.run()
+        handle.cancel()  # late cancel of an already-fired event
+        assert fired == ["x"]
+        assert not handle.cancelled
+        # The stray cancel must not skew the cancelled-entry accounting.
+        assert loop.live_pending() == loop.pending() == 0
+
+    def test_popping_cancelled_entries_updates_live_count(self):
+        loop = EventLoop()
+        for i in range(6):
+            handle = loop.call_at(float(i + 1), lambda: None)
+            if i % 2:
+                handle.cancel()
+        loop.run()
+        assert loop.pending() == 0
+        assert loop.live_pending() == 0
+        assert loop.events_fired == 3

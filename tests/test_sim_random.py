@@ -50,3 +50,43 @@ class TestTruncatedNormal:
         rng = RandomStreams(5).stream("t")
         value = truncated_normal(rng, -1000.0, 0.001, floor=0.0)
         assert value > 0.0
+
+
+def test_spawn_distinct_seed_name_pairs_do_not_alias():
+    """Regression for the old ``(seed << 16) ^ crc32(name)`` mix: two names
+    whose CRCs agree in the low 16 bits let two different parents collide
+    onto one child seed.  The ``<< 32`` mix keeps seed and CRC bits apart."""
+    import zlib
+
+    by_low: dict[int, str] = {}
+    pair = None
+    for i in range(100_000):
+        name = f"n{i}"
+        low = zlib.crc32(name.encode()) & 0xFFFF
+        if low in by_low:
+            pair = (by_low[low], name)
+            break
+        by_low[low] = name
+    assert pair is not None, "no low-16-bit CRC collision found"
+    n1, n2 = pair
+    c1, c2 = zlib.crc32(n1.encode()), zlib.crc32(n2.encode())
+    s1 = 1
+    s2 = s1 ^ ((c1 ^ c2) >> 16)
+    assert (s1, n1) != (s2, n2)
+    assert (s1 << 16) ^ c1 == (s2 << 16) ^ c2  # the old mix aliased here
+    a = RandomStreams(s1).spawn(n1)
+    b = RandomStreams(s2).spawn(n2)
+    assert a.seed != b.seed
+    assert [a.stream("s").random() for _ in range(4)] != [
+        b.stream("s").random() for _ in range(4)
+    ]
+
+
+def test_spawn_children_unique_across_small_grid():
+    seen: dict[int, tuple[int, int]] = {}
+    for seed in range(32):
+        parent = RandomStreams(seed)
+        for i in range(32):
+            child_seed = parent.spawn(f"c{i}").seed
+            assert child_seed not in seen, (seen[child_seed], (seed, i))
+            seen[child_seed] = (seed, i)
