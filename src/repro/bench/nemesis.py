@@ -26,11 +26,15 @@ from repro.paxi.ids import NodeID
 KINDS = ("crash", "drop", "slow", "flaky", "partition")
 
 #: Every kind a Nemesis understands.  ``KINDS`` (the default draw) keeps
-#: its historical value so seeded schedules replay unchanged; the two
-#: crash-recovery faults are opt-in: ``reboot`` power-cycles the victim
-#: (volatile state lost, disk survives) and ``wipe`` destroys the disk
-#: too, forcing a full state transfer on rejoin.
-ALL_KINDS = KINDS + ("reboot", "wipe")
+#: its historical value so seeded schedules replay unchanged; the rest are
+#: opt-in: ``reboot`` power-cycles the victim (volatile state lost, disk
+#: survives), ``wipe`` destroys the disk too (full state transfer on
+#: rejoin), ``skew`` steps the victim's clock by ``delta`` seconds (aimed
+#: at leader-lease safety margins), and ``lease_expiry_during_partition``
+#: isolates one node for longer than ``lease_duration`` so any lease it
+#: holds or granted expires while it is cut off — the classic stale-read
+#: window for broken lease implementations.
+ALL_KINDS = KINDS + ("reboot", "wipe", "skew", "lease_expiry_during_partition")
 
 #: Fault kinds that take a node fully out of service while they last.
 _OUTAGE_KINDS = frozenset({"crash", "reboot", "wipe"})
@@ -48,6 +52,7 @@ class FaultEvent:
     dst: NodeID | None = None
     probability: float = 0.5  # flaky
     group: tuple[NodeID, ...] = ()  # partition minority
+    delta: float = 0.0  # skew: clock step in seconds (may be negative)
 
     def __str__(self) -> str:
         target = self.victim or (f"{self.src}->{self.dst}" if self.src else self.group)
@@ -91,6 +96,14 @@ class Nemesis:
     max_partition_size: int = 2
     max_duration: float = 0.4
     preserve_quorum: bool = True
+    #: Lease window assumed by ``lease_expiry_during_partition`` draws:
+    #: the victim's isolation lasts 1.5-2.5x this, guaranteeing expiry
+    #: mid-partition.  Match it to the deployment's ``lease_duration``.
+    lease_duration: float = 0.5
+    #: Largest clock step (seconds, either sign) a ``skew`` draw applies.
+    #: Set it above the deployment's ``max_clock_skew`` to probe outside
+    #: the lease safety envelope.
+    skew_magnitude: float = 0.05
 
     def __post_init__(self) -> None:
         unknown = set(self.kinds) - set(ALL_KINDS)
@@ -144,6 +157,23 @@ class Nemesis:
                     continue
                 outages.append((start, start + duration, frozenset(minority)))
                 out.append(FaultEvent(kind, start, duration, group=minority))
+            elif kind == "skew":
+                # A clock step is not an outage: the node keeps serving,
+                # only its lease arithmetic is (possibly) compromised.
+                victim = rng.choice(eligible)
+                delta = rng.uniform(-self.skew_magnitude, self.skew_magnitude)
+                out.append(FaultEvent(kind, start, 0.0, victim=victim, delta=delta))
+            elif kind == "lease_expiry_during_partition":
+                victim = rng.choice(eligible)
+                duration = self.lease_duration * rng.uniform(1.5, 2.5)
+                if self.preserve_quorum and breaks_quorum(
+                    start, start + duration, {victim}
+                ):
+                    continue
+                outages.append((start, start + duration, frozenset({victim})))
+                out.append(
+                    FaultEvent(kind, start, duration, victim=victim, group=(victim,))
+                )
             else:
                 src = rng.choice(list(nodes))
                 dst = rng.choice([n for n in nodes if n != src])
@@ -184,7 +214,9 @@ class Nemesis:
                 deployment.flaky(
                     event.src, event.dst, event.duration, event.probability, at=start
                 )
-            else:  # partition
+            elif event.kind == "skew":
+                deployment.skew(event.victim, event.delta, at=start)
+            else:  # partition / lease_expiry_during_partition
                 everyone = set(deployment.config.node_ids) | {
                     client.address for client in deployment.clients
                 }

@@ -47,10 +47,18 @@ class WorkloadSpec:
     zipfian_s: float = 2.0
     zipfian_v: float = 1.0
     exponential_scale: float | None = None  # defaults to keys / 10
+    #: Read path for generated GETs: None (leader round), "lease",
+    #: "quorum", or "local" — see ``docs/READS.md``.
+    read_mode: str | None = None
 
     def __post_init__(self) -> None:
         if self.keys < 1:
             raise WorkloadError(f"need at least one key, got {self.keys}")
+        if self.read_mode not in Command.READ_MODES:
+            raise WorkloadError(
+                f"unknown read_mode {self.read_mode!r}; "
+                f"expected one of {Command.READ_MODES}"
+            )
         if not 0.0 <= self.write_ratio <= 1.0:
             raise WorkloadError(f"write_ratio {self.write_ratio} outside [0, 1]")
         if self.distribution not in DISTRIBUTIONS:
@@ -86,7 +94,7 @@ class WorkloadGenerator:
         if self.rng.random() < self.spec.write_ratio:
             value = f"{self.name}#{next(self._counter)}"
             return Command.put(key, value)
-        return Command.get(key)
+        return Command.get(key, read_mode=self.spec.read_mode)
 
     # ------------------------------------------------------------------
     # Key selection

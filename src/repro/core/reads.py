@@ -1,0 +1,205 @@
+"""Analytic models for the linearizable read paths (leases and quorum reads).
+
+The paper's single-leader model charges every request — read or write — a
+full consensus round at the leader.  The two strongly-consistent read
+optimizations change that in complementary ways:
+
+1. **Leader-lease reads** stay at the leader but skip the quorum round:
+   per-read leader work collapses from ``ts = 2*to + N*ti + 2N*m/b`` to one
+   request-in / one reply-out (``ti + to + 2m/b``), and read latency to the
+   client-leader round trip ``DL``.  The leader remains the bottleneck, so
+   capacity grows as the read share of its work shrinks (see
+   :func:`read_write_capacity_split`).
+
+2. **Quorum reads** move reads off the leader entirely: any replica
+   coordinates by polling a read quorum of ``r`` members for their accepted
+   frontier (``r`` must intersect every phase-2 quorum: a majority for
+   MultiPaxos/Raft, ``N - |q2| + 1`` for FPaxos).  The leader only sees
+   writes plus its share of frontier queries; read latency pays the local
+   trip plus the (r-1)-th order statistic of the poll RTTs plus a rinse
+   wait (zero for read-heavy mixes, where the frontier is already applied).
+
+Local (bounded-staleness) reads are modeled by
+:class:`repro.core.relaxed.RelaxedPaxosModel`; this module covers only the
+linearizable paths.  ``experiments/bench_reads.py`` cross-validates both
+against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.protocol_models import (
+    PaxosModel,
+    _BusyNode,
+    mean_client_rtt_ms,
+    quorum_delay_ms,
+)
+from repro.core.service import RoundWork, ServiceParams
+from repro.core.topology import Topology
+from repro.errors import ModelError
+
+
+def read_service_time(params: ServiceParams) -> float:
+    """Leader occupancy for one locally-served read: one incoming request,
+    one serialized reply, two NIC transfers."""
+    return RoundWork(incoming=1, serializations=1, nic_messages=2).service_time(params)
+
+
+def quorum_read_coordinator_work(r: int) -> RoundWork:
+    """Coordinator-side work of one quorum read polling ``r - 1`` peers:
+    the same shape as a Paxos round with N replaced by r."""
+    if r < 1:
+        raise ModelError(f"read quorum must be positive, got {r}")
+    return RoundWork(incoming=r, serializations=2, nic_messages=2 * r)
+
+
+def quorum_read_member_work() -> RoundWork:
+    """Polled-member work: receive one frontier query, send one reply."""
+    return RoundWork(incoming=1, serializations=1, nic_messages=2)
+
+
+def read_write_capacity_split(
+    write_ratio: float,
+    write_service: float,
+    read_service: float,
+    read_fraction_at_bottleneck: float = 1.0,
+) -> float:
+    """Max throughput when the bottleneck node performs every write round
+    (``write_service`` seconds each) and ``read_fraction_at_bottleneck`` of
+    the reads (``read_service`` seconds each).
+
+    For lease reads the leader serves all reads (fraction 1); for quorum
+    reads coordination spreads evenly and the fraction drops to ``1/N``.
+    With ``read_service << write_service`` the capacity approaches
+    ``1 / (W * write_service)`` — the relaxed-read ceiling — while keeping
+    linearizability.
+    """
+    if not 0.0 < write_ratio <= 1.0:
+        raise ModelError(f"write ratio {write_ratio} outside (0, 1]")
+    if min(write_service, read_service) <= 0:
+        raise ModelError("service times must be positive")
+    work = (
+        write_ratio * write_service
+        + (1.0 - write_ratio) * read_fraction_at_bottleneck * read_service
+    )
+    return 1.0 / work
+
+
+class _MixedReadPaxosModel(PaxosModel):
+    """Shared plumbing: a write fraction paying the full consensus round
+    plus a read fraction on a cheaper path."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        write_ratio: float = 0.5,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        leader: int = 0,
+    ) -> None:
+        if not 0.0 < write_ratio <= 1.0:
+            raise ModelError(f"write ratio {write_ratio} outside (0, 1]")
+        super().__init__(topology, params, client_sites, leader)
+        self.write_ratio = write_ratio
+
+    # -- subclass hooks -----------------------------------------------
+
+    def read_latency_ms(self) -> float:
+        raise NotImplementedError
+
+    # -- mixed-workload quantities --------------------------------------
+
+    def write_latency_ms(self, system_rate: float) -> float:
+        """Writes pay the full consensus path (leader queueing included)."""
+        wq = self.busy_node().wait_time(system_rate)
+        if math.isinf(wq):
+            return math.inf
+        return (wq + self.round_service_time()) * 1e3 + super().network_delay_ms()
+
+    def latency_s(self, system_rate: float) -> float:
+        write = self.write_latency_ms(system_rate)
+        if math.isinf(write):
+            return math.inf
+        read = self.read_latency_ms()
+        return (self.write_ratio * write + (1.0 - self.write_ratio) * read) / 1e3
+
+
+class LeaseReadPaxosModel(_MixedReadPaxosModel):
+    """Leader leases: reads served from the leader's store, no quorum round.
+
+    Capacity: the leader is still the single bottleneck, but each read
+    costs ``read_service_time`` instead of a full round — the knee lifts by
+    ``(W*ts + R*ts) / (W*ts + R*ts_read)``.
+    """
+
+    name = "LeasePaxos"
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        node.add(self.write_ratio, self.round_service_time())
+        node.add(1.0 - self.write_ratio, read_service_time(self.params))
+        return node
+
+    def read_latency_ms(self) -> float:
+        """One client-leader round trip: no quorum wait, no rinse."""
+        leader_site = self.topology.node_site(self.leader)
+        return mean_client_rtt_ms(self.topology, leader_site, self.client_sites)
+
+
+class QuorumReadPaxosModel(_MixedReadPaxosModel):
+    """Paxos quorum reads coordinated by the client's nearest replica.
+
+    The leader's queue sees only writes, a ``1/N`` share of read
+    coordinations, and the frontier queries it answers, so read-heavy
+    capacity scales out with the cluster instead of saturating one node.
+    ``read_quorum`` defaults to a majority; FPaxos deployments must pass
+    ``N - |q2| + 1`` (every read quorum must intersect every phase-2
+    quorum).
+    """
+
+    name = "QuorumReadPaxos"
+
+    def __init__(
+        self,
+        topology: Topology,
+        write_ratio: float = 0.5,
+        read_quorum: int | None = None,
+        params: ServiceParams | None = None,
+        client_sites: list[str] | None = None,
+        leader: int = 0,
+    ) -> None:
+        super().__init__(topology, write_ratio, params, client_sites, leader)
+        r = read_quorum if read_quorum is not None else self.n // 2 + 1
+        if not 1 <= r <= self.n:
+            raise ModelError(f"read quorum {r} outside [1, {self.n}]")
+        self.read_quorum = r
+
+    def busy_node(self) -> _BusyNode:
+        node = _BusyNode()
+        read_ratio = 1.0 - self.write_ratio
+        node.add(self.write_ratio, self.round_service_time())
+        # Coordinations land uniformly on the N replicas...
+        node.add(
+            read_ratio / self.n,
+            quorum_read_coordinator_work(self.read_quorum).service_time(self.params),
+        )
+        # ...and each read polls r-1 of the other N-1 members.
+        if self.n > 1:
+            node.add(
+                read_ratio * (self.read_quorum - 1) / (self.n - 1),
+                quorum_read_member_work().service_time(self.params),
+            )
+        return node
+
+    def read_latency_ms(self) -> float:
+        """Local trip to the coordinator plus the poll's completing reply
+        (the (r-1)-th order statistic, like a phase-2 quorum of size r).
+        The rinse wait is zero in the read-heavy regime this models: the
+        polled frontier is already applied at the coordinator."""
+        # The coordinator is in the client's own site: average the local
+        # RTT over the client mix.
+        local = sum(
+            self.topology.site_rtt_mean_ms(site, site) for site in self.client_sites
+        ) / len(self.client_sites)
+        return local + quorum_delay_ms(self.topology, self.leader, self.read_quorum)

@@ -18,6 +18,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
     from repro.experiments import (
         bench_batching,
         bench_faults,
+        bench_reads,
         bench_simspeed,
         extra_availability,
         extra_dynamic,
@@ -62,6 +63,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "extra_mencius": extra_mencius.run,
         "bench_batching": bench_batching.run,
         "bench_faults": bench_faults.run,
+        "bench_reads": bench_reads.run,
         "bench_simspeed": bench_simspeed.run,
     }
 

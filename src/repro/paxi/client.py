@@ -117,7 +117,12 @@ class Client:
         deployment-wide history for the checkers.
         """
         if target is None:
-            if self.local_reads and command.is_read:
+            if command.is_read and (
+                self.local_reads or command.read_mode in ("quorum", "local")
+            ):
+                # These read paths are served by whichever replica the
+                # client contacts — route to the nearest one instead of
+                # chasing the leader hint.
                 target = self._preferred[0]
             else:
                 target = self._sticky if self._sticky is not None else self._preferred[0]

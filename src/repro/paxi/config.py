@@ -372,6 +372,7 @@ class Config:
         if protocol is not None:
             params["protocol"] = _validate_protocol(protocol)
         _validate_quorum(params, n)
+        _validate_lease(params)
 
         batch_window = payload.get("batch_window")
         batch_size = payload.get("batch_size", 1)
@@ -456,6 +457,33 @@ def _validate_quorum(params: dict[str, Any], n: int) -> None:
             f"quorum system cannot intersect: q1_size={q1} + q2_size={q2} <= n={n}, "
             "so a phase-1 and a phase-2 quorum can be disjoint and safety is lost; "
             f"choose sizes with q1 + q2 > {n} (e.g. q1_size={n - q2 + 1})"
+        )
+
+
+def _validate_lease(params: dict[str, Any]) -> None:
+    """Reject lease parameters that void the lease safety argument."""
+    lease = params.get("lease_duration")
+    skew = params.get("max_clock_skew", 0.0)
+    if skew and lease is None:
+        raise ConfigError(
+            "max_clock_skew was given but lease_duration is unset; "
+            "the skew bound only matters to leases — set lease_duration too"
+        )
+    if lease is None:
+        return
+    if not isinstance(lease, (int, float)) or isinstance(lease, bool) or lease <= 0:
+        raise ConfigError(
+            f"lease_duration must be a positive number of seconds, got {lease!r}"
+        )
+    if not isinstance(skew, (int, float)) or isinstance(skew, bool) or skew < 0:
+        raise ConfigError(
+            f"max_clock_skew must be a non-negative number of seconds, got {skew!r}"
+        )
+    if skew >= lease:
+        raise ConfigError(
+            f"max_clock_skew={skew} >= lease_duration={lease}: the leader's "
+            "usable lease window (duration - skew) would be empty; shorten "
+            "the skew bound or lengthen the lease"
         )
 
 

@@ -13,6 +13,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.paxi.config import Config
 from repro.paxi.history import HistoryRecorder
 from repro.paxi.ids import NodeID
+from repro.sim.clock import NodeClock
 from repro.sim.cluster import Cluster
 from repro.sim.network import FaultPlan
 from repro.sim.server import Server
@@ -47,6 +48,9 @@ class Deployment:
         # Disks survive replica restarts, so they live here, not on the
         # replica.  Keyed lazily: empty unless the config is durable.
         self._disks: dict[NodeID, Disk] = {}
+        # Per-node wall clocks (lease machinery reads these): skew applied
+        # to a node must survive its restarts, so clocks also live here.
+        self._clocks: dict[NodeID, NodeClock] = {}
         self._down: dict[NodeID, str] = {}  # node -> "reboot" | "wipe" while down
         self._restart_reason: dict[NodeID, str] = {}  # visible during rebuild
 
@@ -99,6 +103,16 @@ class Deployment:
             self._disks[node_id] = disk
         return disk
 
+    def clock_for(self, node_id: NodeID) -> NodeClock:
+        """The node's local wall clock (created on first use).  Like disks,
+        clocks outlive replica restarts: a skewed clock stays skewed across
+        a reboot."""
+        clock = self._clocks.get(node_id)
+        if clock is None:
+            clock = NodeClock(self.cluster.loop)
+            self._clocks[node_id] = clock
+        return clock
+
     def restart_context(self, node_id: NodeID) -> str | None:
         """Why a replica is being rebuilt right now: ``"reboot"``,
         ``"wipe"``, or None for the initial construction."""
@@ -125,17 +139,24 @@ class Deployment:
         return client
 
     def new_session(
-        self, site: str | None = None, zone: int | None = None, max_wait: float = 5.0
+        self,
+        site: str | None = None,
+        zone: int | None = None,
+        max_wait: float = 5.0,
+        consistency: str | None = None,
     ) -> "Session":
         """Create a typed :class:`~repro.paxi.session.Session` facade.
 
         Sessions are the recommended way to issue individual commands:
         ``session.put(k, v)`` returns a :class:`~repro.paxi.session.Result`
-        carrying the value, latency, and replying replica.
+        carrying the value, latency, and replying replica.  ``consistency``
+        sets the session's default read path (``"lease"``, ``"quorum"``,
+        ``"local"``, or ``None`` for the leader round) — see
+        ``docs/READS.md``.
         """
         from repro.paxi.session import Session
 
-        return Session(self, site=site, zone=zone, max_wait=max_wait)
+        return Session(self, site=site, zone=zone, max_wait=max_wait, consistency=consistency)
 
     # ------------------------------------------------------------------
     # Queries
@@ -254,6 +275,15 @@ class Deployment:
             self._factory(self, node_id)
         finally:
             self._restart_reason.pop(node_id, None)
+
+    def skew(self, node_id: NodeID, delta: float, at: float | None = None) -> None:
+        """Jump ``node_id``'s local clock by ``delta`` seconds (may be
+        negative).  Scheduling is unaffected — only lease timestamp
+        comparisons observe the jump."""
+        if node_id not in self.config.node_ids:
+            raise ConfigError(f"{node_id} is not in the configuration")
+        when = self.now if at is None else at
+        self.cluster.loop.call_at(when, self.clock_for(node_id).skew, delta)
 
     def drop(self, src: Hashable, dst: Hashable, duration: float, at: float | None = None) -> None:
         self.cluster.drop(src, dst, duration, at)

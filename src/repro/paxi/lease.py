@@ -1,0 +1,133 @@
+"""Clock-skew-aware leader leases (shared by the Paxos family and Raft).
+
+A lease lets the leader serve linearizable reads from its local state
+machine without a quorum round: followers *grant* the leader a promise not
+to promise/vote for anyone else for ``duration`` seconds measured on their
+own clocks, and the leader serves reads only while it can prove a quorum
+of such grants is still in force.
+
+The safety argument under bounded clock skew (see ``docs/READS.md``):
+
+- A follower that grants at local time ``g`` refuses other candidates
+  until its local clock reads ``g + duration``.
+- The leader timestamps each grant round at *broadcast* time ``s`` on its
+  own clock (``s`` is earlier than any follower's receipt), and once a
+  grant quorum has answered, treats the lease as valid only until
+  ``s + duration - max_clock_skew`` on its own clock.
+- If every clock's offset moves by at most ``max_clock_skew`` relative to
+  real time over the lease window, the leader's discounted expiry passes
+  before *any* granting follower's refusal window ends.  The grant quorum
+  is chosen to intersect every phase-1 (election) quorum, so no new
+  leader can form while the lease is valid — reads served under it
+  cannot miss a committed write.
+
+A ``skew`` fault that jumps a clock by *more* than ``max_clock_skew``
+mid-window voids the argument; the adversarial tests inject exactly that
+and let the linearizability checker adjudicate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.sim.clock import NodeClock
+
+#: Grant holder recorded by a node that restarted mid-window: it may have
+#: granted *someone* before the restart, so it blocks every candidate
+#: until a full lease duration has passed on its clock.
+UNKNOWN = object()
+
+
+class LeaderLease:
+    """Leader-side grant bookkeeping: stamp rounds, tally grants, and
+    expose the discounted validity window."""
+
+    def __init__(
+        self,
+        clock: NodeClock,
+        duration: float,
+        max_skew: float,
+        quorum_size: int,
+        self_id: Hashable,
+    ) -> None:
+        self.clock = clock
+        self.duration = duration
+        self.max_skew = max_skew
+        self.quorum_size = quorum_size
+        self.self_id = self_id
+        self._seq = 0
+        self._sent_at: dict[int, float] = {}
+        self._grants: dict[int, set[Hashable]] = {}
+        self.valid_until = float("-inf")
+
+    def stamp(self) -> int:
+        """Start a grant round: returns the sequence number to piggyback
+        on the outgoing broadcast, remembering the send-time clock reading
+        the eventual quorum will be anchored to."""
+        self._seq += 1
+        self._sent_at[self._seq] = self.clock.now
+        # Rounds that can no longer extend the window are dead weight.
+        horizon = self.clock.now - self.duration
+        for seq in [s for s, at in self._sent_at.items() if at < horizon]:
+            self._sent_at.pop(seq, None)
+            self._grants.pop(seq, None)
+        return self._seq
+
+    def record_grant(self, seq: int, voter: Hashable) -> None:
+        """A follower acknowledged round ``seq``.  Once a grant quorum
+        (leader included) has answered, the lease extends to the round's
+        send time plus the skew-discounted duration."""
+        sent = self._sent_at.get(seq)
+        if sent is None:
+            return
+        grants = self._grants.setdefault(seq, {self.self_id})
+        grants.add(voter)
+        if len(grants) >= self.quorum_size:
+            self.valid_until = max(
+                self.valid_until, sent + self.duration - self.max_skew
+            )
+            for s in [s for s in self._sent_at if s <= seq]:
+                self._sent_at.pop(s, None)
+                self._grants.pop(s, None)
+
+    @property
+    def valid(self) -> bool:
+        return self.clock.now < self.valid_until
+
+    def reset(self) -> None:
+        """Forget in-flight rounds (leadership change).  The validity
+        window itself is left alone: serving is separately gated on still
+        *being* the leader."""
+        self._sent_at.clear()
+        self._grants.clear()
+
+
+class FollowerGrant:
+    """Follower-side grant: who holds this node's promise, and until when
+    on this node's clock."""
+
+    def __init__(self, clock: NodeClock, duration: float) -> None:
+        self.clock = clock
+        self.duration = duration
+        self.holder: Hashable | None = None
+        self.until = float("-inf")
+
+    def grant(self, owner: Hashable) -> None:
+        """(Re-)grant to ``owner`` for a full duration from local now."""
+        self.holder = owner
+        self.until = self.clock.now + self.duration
+
+    def grant_unknown(self) -> None:
+        """Restart path: the pre-restart grant (if any) is forgotten, so
+        conservatively block every candidate for one full duration."""
+        self.holder = UNKNOWN
+        self.until = self.clock.now + self.duration
+
+    def blocks(self, candidate: Hashable) -> bool:
+        """True when a live grant to someone other than ``candidate``
+        forbids promising/voting for them."""
+        return (
+            self.holder is not None
+            and self.holder != candidate
+            and self.clock.now < self.until
+        )

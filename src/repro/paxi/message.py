@@ -59,16 +59,27 @@ class Command:
     section-7 future work): a replica serving the read locally must have
     executed at least that many writes to the key first.  It is zero — no
     constraint — for strongly-consistent protocols.
+
+    ``read_mode`` selects the read path for a GET: ``None`` (default) runs
+    the full replication round through the leader, ``"lease"`` serves from
+    the leader's local store while its lease is valid, ``"quorum"`` polls a
+    read quorum of acceptors, and ``"local"`` serves from any replica's
+    local store (bounded staleness, not linearizable).  Writes ignore it.
     """
 
     op: str
     key: Hashable
     value: Any = None
     min_version: int = 0
+    read_mode: str | None = None
+
+    READ_MODES = (None, "lease", "quorum", "local")
 
     def __post_init__(self) -> None:
         if self.op not in (GET, PUT):
             raise ValueError(f"unknown op {self.op!r}")
+        if self.read_mode not in self.READ_MODES:
+            raise ValueError(f"unknown read_mode {self.read_mode!r}")
 
     @property
     def is_read(self) -> bool:
@@ -84,8 +95,8 @@ class Command:
         return self.key == other.key and (self.is_write or other.is_write)
 
     @staticmethod
-    def get(key: Hashable) -> "Command":
-        return Command(GET, key)
+    def get(key: Hashable, read_mode: str | None = None) -> "Command":
+        return Command(GET, key, read_mode=read_mode)
 
     @staticmethod
     def put(key: Hashable, value: Any) -> "Command":

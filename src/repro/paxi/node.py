@@ -158,6 +158,9 @@ class Replica:
         self._handlers: dict[type, Callable[[Hashable, Any], None]] = {}
         self._server = deployment.attach_replica(self)
         self.loop = deployment.cluster.loop
+        #: This node's local wall clock (loop time + skew offset).  Lease
+        #: validity is judged against this, never against ``loop.now``.
+        self.clock = deployment.clock_for(node_id)
         self._network = deployment.cluster.network
         self._profile = deployment.config.profile
         self._tracer = deployment.cluster.obs.tracer

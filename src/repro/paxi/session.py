@@ -33,6 +33,9 @@ class Result:
     ``max_wait`` of virtual time); ``replica`` is then ``None`` and
     ``latency_ms`` covers the time spent waiting.  ``attempts`` counts
     transmissions, so it is 1 plus the number of client retries.
+    ``read_mode`` echoes the read path the command was issued with
+    (``None`` for writes and default leader reads), so traces and tests
+    can split retry/latency stats per read path.
     """
 
     ok: bool
@@ -42,6 +45,7 @@ class Result:
     request_id: int
     version: int = 0
     attempts: int = 1
+    read_mode: str | None = None
 
     def __bool__(self) -> bool:
         return self.ok
@@ -65,10 +69,15 @@ class Session:
         site: str | None = None,
         zone: int | None = None,
         max_wait: float = 5.0,
+        consistency: str | None = None,
     ) -> None:
+        if consistency not in Command.READ_MODES:
+            raise ValueError(f"unknown consistency {consistency!r}")
         self.deployment = deployment
         self.client: "Client" = deployment.new_client(site=site, zone=zone)
         self.max_wait = max_wait
+        #: Default read path for this session's GETs (None = leader round).
+        self.consistency = consistency
 
     # ------------------------------------------------------------------
     # Operations
@@ -78,9 +87,16 @@ class Session:
         """Write ``key = value`` and wait for the committed reply."""
         return self.execute(Command.put(key, value), target)
 
-    def get(self, key: Hashable, target: NodeID | None = None) -> Result:
-        """Read ``key`` and wait for the reply."""
-        return self.execute(Command.get(key), target)
+    def get(
+        self,
+        key: Hashable,
+        target: NodeID | None = None,
+        consistency: str | None = None,
+    ) -> Result:
+        """Read ``key`` and wait for the reply.  ``consistency`` overrides
+        the session default read path for this one read."""
+        mode = self.consistency if consistency is None else consistency
+        return self.execute(Command.get(key, read_mode=mode), target)
 
     def execute(self, command: Command, target: NodeID | None = None) -> Result:
         """Issue ``command`` and run the simulation until it resolves."""
@@ -97,6 +113,7 @@ class Session:
             self.deployment.run_for(min(self._STEP, deadline - self.deployment.now))
         reply = outcome.get("reply")
         attempts = self.client.attempts(request_id)
+        read_mode = command.read_mode if command.is_read else None
         if reply is None:
             return Result(
                 ok=False,
@@ -105,6 +122,7 @@ class Session:
                 replica=None,
                 request_id=request_id,
                 attempts=attempts,
+                read_mode=read_mode,
             )
         return Result(
             ok=reply.ok,
@@ -114,6 +132,7 @@ class Session:
             request_id=request_id,
             version=reply.version,
             attempts=attempts,
+            read_mode=read_mode,
         )
 
     # ------------------------------------------------------------------

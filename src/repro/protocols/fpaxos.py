@@ -47,3 +47,9 @@ class FPaxos(MultiPaxos):
 
     def phase2_quorum(self) -> Quorum:
         return ThresholdQuorum(self.config.node_ids, self.q2_size)
+
+    def read_quorum(self) -> Quorum:
+        # A quorum read must observe every committed write, i.e. intersect
+        # every phase-2 quorum: |r| + |q2| > n.  With small q2 this is
+        # *larger* than a majority — the flexible-quorum read penalty.
+        return ThresholdQuorum(self.config.node_ids, self.q1_size)

@@ -37,6 +37,7 @@ from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.lease import FollowerGrant, LeaderLease
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
 from repro.paxi.node import wal_record_bytes
 from repro.paxi.protocol import Protocol
@@ -96,6 +97,7 @@ class P2a(Message):
     command: EntryCommand = None
     request: Any = None
     commit_upto: int = 0
+    lease_seq: int = 0  # nonzero: also renews the leader lease
 
     def wire_size(self) -> int:
         if isinstance(self.command, Batch):
@@ -110,6 +112,7 @@ class P2b(Message):
     ballot: Ballot = ZERO
     slot: int = 0
     ok: bool = True
+    lease_seq: int = 0  # echoes the P2a's lease round (0 = no lease)
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,6 +121,30 @@ class Commit(Message):
 
     ballot: Ballot = ZERO
     commit_upto: int = 0
+    lease_seq: int = 0  # nonzero: also renews the leader lease
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant(Message):
+    """A follower's lease grant for one heartbeat's renewal round."""
+
+    ballot: Ballot = ZERO
+    seq: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReadQuery(Message):
+    """Quorum read: ask an acceptor for its accepted-slot frontier."""
+
+    rid: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply(Message):
+    """Quorum read: the acceptor's highest accepted slot."""
+
+    rid: int = 0
+    frontier: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,7 +185,22 @@ class MultiPaxos(Protocol):
       paper's section-7 future work: consistency relaxes from
       linearizability to bounded staleness, and to session consistency
       (read-your-writes + monotonic reads) when clients send version
-      tokens (``Client.session_reads``).
+      tokens (``Client.session_reads``);
+    - ``lease_duration``: leader lease length in seconds (default ``None``
+      = leases disabled).  Enables ``read_mode="lease"`` reads served from
+      the leader's local store while a grant quorum's promises are in
+      force (see :mod:`repro.paxi.lease` and ``docs/READS.md``);
+    - ``max_clock_skew``: bound on per-node clock drift the lease math
+      discounts (default 0.0; a ``skew`` fault larger than this voids the
+      lease safety argument — by design, for the adversarial tests).
+
+    Per-command read paths (``Command.read_mode``, reachable through
+    ``Session(consistency=...)``): ``"lease"`` as above (falls back to a
+    full consensus round when the lease is invalid), ``"quorum"`` polls a
+    read quorum of acceptors for their accepted frontier and serves after
+    the local state machine has executed past it (linearizable, leader
+    off the critical path), ``"local"`` serves from any replica's store
+    (bounded staleness, like ``relaxed_reads`` but per-command).
     """
 
     def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
@@ -194,6 +236,36 @@ class MultiPaxos(Protocol):
         self._election_handle = None
         self._rng = deployment.cluster.streams.stream(f"paxos-{node_id}")
 
+        # Leader leases and the non-default read paths (all strictly
+        # opt-in: with lease_duration unset and no read_mode commands,
+        # none of this machinery sends a byte or draws a random number).
+        self.lease_duration: float | None = params.get("lease_duration")
+        self.max_clock_skew: float = params.get("max_clock_skew", 0.0)
+        if self.lease_duration is not None:
+            self._lease: LeaderLease | None = LeaderLease(
+                self.clock,
+                self.lease_duration,
+                self.max_clock_skew,
+                self.phase2_quorum().size,
+                self.id,
+            )
+            self._grant: FollowerGrant | None = FollowerGrant(
+                self.clock, self.lease_duration
+            )
+            if self.restart_reason is not None:
+                # Whatever we granted before the restart is forgotten:
+                # block every candidate for one full duration.
+                self._grant.grant_unknown()
+        else:
+            self._lease = None
+            self._grant = None
+        self._read_barrier_slot = 0  # takeover frontier lease reads wait out
+        self._pending_lease_reads: list[ClientRequest] = []
+        self._quorum_reads: dict[int, list] = {}  # rid -> [request, quorum, frontier]
+        self._next_read_id = 0
+        self._rinse_waiters: list[list] = []  # [frontier, request]
+        self._read_rng = None  # lazily created: default runs never draw from it
+
         self.batcher = self.make_batcher(self.propose_batch)
         self.pipeline_depth: int | None = self.config.pipeline_depth
         self._proposal_queue: deque[list[ClientRequest]] = deque()
@@ -203,6 +275,9 @@ class MultiPaxos(Protocol):
         self.register(P2a, self.on_p2a)
         self.register(P2b, self.on_p2b)
         self.register(Commit, self.on_commit)
+        self.register(LeaseGrant, self.on_lease_grant)
+        self.register(ReadQuery, self.on_read_query)
+        self.register(ReadReply, self.on_read_reply)
         self.register(FillRequest, self.on_fill_request)
         self.register(FillReply, self.on_fill_reply)
         self.register(CatchupRequest, self.on_catchup_request)
@@ -230,6 +305,12 @@ class MultiPaxos(Protocol):
         return MajorityQuorum(self.config.node_ids)
 
     def phase2_quorum(self) -> Quorum:
+        return MajorityQuorum(self.config.node_ids)
+
+    def read_quorum(self) -> Quorum:
+        """Acceptors a quorum read polls.  Must intersect every phase-2
+        quorum so a committed write's accepted frontier is visible to at
+        least one polled member (majority here; ``n - q2 + 1`` in FPaxos)."""
         return MajorityQuorum(self.config.node_ids)
 
     def phase2_targets(self) -> list[NodeID]:
@@ -308,9 +389,25 @@ class MultiPaxos(Protocol):
         for m in pending:
             self.send(self.leader_hint, m)
 
+    def _lease_blocks_promise(self, candidate: NodeID) -> bool:
+        """A live lease forbids promising to ``candidate``: either this
+        node granted someone else and the grant hasn't expired on its own
+        clock, or this node is the leaseholder itself and the counted
+        grants (send time + duration, un-discounted) are still in force."""
+        if self._grant is not None and self._grant.blocks(candidate):
+            return True
+        return (
+            self._lease is not None
+            and candidate != self.id
+            and self.clock.now < self._lease.valid_until + self.max_clock_skew
+        )
+
     def on_p1a(self, src: Hashable, m: P1a) -> None:
         if self.recovering:
             return  # a learner's promise history is gone; abstain
+        if self._lease_blocks_promise(m.ballot.owner):
+            self.send(src, P1b(ballot=self.promised, ok=False))
+            return
         if m.ballot > self.promised:
             self.promised = m.ballot
             self.leader_hint = m.ballot.owner
@@ -353,6 +450,13 @@ class MultiPaxos(Protocol):
         self.leader_hint = self.id
         max_slot = max(self._p1_entries, default=0)
         max_slot = max(max_slot, self.log.next_slot - 1)
+        if self._lease is not None:
+            # Fresh term: grant rounds restart under the new ballot, and
+            # lease reads wait until every slot adopted from the previous
+            # leader has executed locally (that leader may have replied to
+            # clients for them already).
+            self._lease.reset()
+            self._read_barrier_slot = max_slot
         # Adopt committed entries; re-propose uncommitted ones with our
         # ballot; fill gaps with no-ops (paper section 2: the leader must
         # instruct followers to accept pending commands it learned).
@@ -393,6 +497,7 @@ class MultiPaxos(Protocol):
                 command=command,
                 request=request,
                 commit_upto=self.log.commit_upto(),
+                lease_seq=self._lease_stamp(),
             ),
         )
         if self.disk is not None:
@@ -431,9 +536,18 @@ class MultiPaxos(Protocol):
     # ------------------------------------------------------------------
 
     def on_request(self, src: Hashable, m: ClientRequest) -> None:
-        if self.relaxed_reads and m.command.is_read:
-            self._serve_local_read(m)
-            return
+        if m.command.is_read:
+            mode = m.command.read_mode
+            if mode == "local" or (mode is None and self.relaxed_reads):
+                self._serve_local_read(m)
+                return
+            if mode == "quorum" and not self.recovering:
+                self._start_quorum_read(m)
+                return
+            if mode == "lease" and self._try_lease_read(m):
+                return
+            # lease invalid (or this replica isn't the leaseholder): fall
+            # through to the full consensus round — always linearizable.
         key = (m.client, m.request_id)
         if key in self._request_cache:
             self.send(
@@ -538,6 +652,117 @@ class MultiPaxos(Protocol):
             for m in ready:
                 self._serve_local_read(m)
 
+    # ------------------------------------------------------------------
+    # Linearizable read paths: leader leases and quorum reads
+    # ------------------------------------------------------------------
+
+    def _lease_valid(self) -> bool:
+        """Whether this node's leader lease currently permits serving
+        local reads.  Override hook: the adversarial tests plant broken
+        variants here and let the linearizability checker catch them."""
+        return self._lease is not None and self._lease.valid
+
+    def _try_lease_read(self, m: ClientRequest) -> bool:
+        """Serve (or park) a lease read; False = caller must fall back."""
+        if not self.active or not self._lease_valid():
+            return False
+        if self.log.execute_index > self._read_barrier_slot:
+            self._serve_read_from_store(m)
+        else:
+            self._pending_lease_reads.append(m)
+        return True
+
+    def _serve_read_from_store(self, m: ClientRequest) -> None:
+        key = m.command.key
+        self.send(
+            m.client,
+            ClientReply(
+                request_id=m.request_id,
+                ok=True,
+                value=self.store.read(key),
+                replied_by=self.id,
+                leader_hint=self.id if self.active else None,
+                version=self.store.version(key),
+            ),
+        )
+
+    def _start_quorum_read(self, m: ClientRequest) -> None:
+        """PQR-style quorum read: poll a read quorum for its accepted
+        frontier; any replica (not just the leader) coordinates."""
+        quorum = self.read_quorum()
+        quorum.ack(self.id)
+        frontier = self.log.next_slot - 1
+        if quorum.satisfied():  # single-node cluster
+            self._finish_quorum_read(m, frontier)
+            return
+        self._next_read_id += 1
+        rid = self._next_read_id
+        self._quorum_reads[rid] = [m, quorum, frontier]
+        self.multicast(self._read_targets(quorum.size - 1), ReadQuery(rid=rid))
+
+    def _read_targets(self, needed: int) -> list[NodeID]:
+        """Random sample of peers so concurrent readers spread the member
+        work instead of piling onto the same acceptors."""
+        peers = self.peers
+        if needed >= len(peers):
+            return peers
+        if self._read_rng is None:
+            self._read_rng = self.deployment.cluster.streams.stream(
+                f"paxos-read-{self.id}"
+            )
+        return self._read_rng.sample(peers, needed)
+
+    def on_read_query(self, src: Hashable, m: ReadQuery) -> None:
+        if self.recovering:
+            return  # an incomplete log would under-report the frontier
+        self.send(src, ReadReply(rid=m.rid, frontier=self.log.next_slot - 1))
+
+    def on_read_reply(self, src: Hashable, m: ReadReply) -> None:
+        state = self._quorum_reads.get(m.rid)
+        if state is None:
+            return
+        state[2] = max(state[2], m.frontier)
+        quorum = state[1]
+        quorum.ack(src)
+        if quorum.satisfied():
+            del self._quorum_reads[m.rid]
+            self._finish_quorum_read(state[0], state[2])
+
+    def _finish_quorum_read(self, m: ClientRequest, frontier: int) -> None:
+        """Rinse: a committed write anywhere is accepted at some polled
+        member, so the highest accepted slot bounds it — serve only after
+        the local state machine has executed past that frontier."""
+        if self.log.execute_index > frontier:
+            self._serve_read_from_store(m)
+        else:
+            self._rinse_waiters.append([frontier, m])
+
+    def _drain_read_backlog(self) -> None:
+        """Execution advanced: settle rinse waiters and barrier-parked
+        lease reads (re-admitting the latter if the lease lapsed)."""
+        if self._rinse_waiters:
+            still: list[list] = []
+            for waiter in self._rinse_waiters:
+                if self.log.execute_index > waiter[0]:
+                    self._serve_read_from_store(waiter[1])
+                else:
+                    still.append(waiter)
+            self._rinse_waiters = still
+        if self._pending_lease_reads:
+            pending, self._pending_lease_reads = self._pending_lease_reads, []
+            for m in pending:
+                if not self.active or not self._lease_valid():
+                    self.on_request(m.client, m)  # fall back to consensus
+                elif self.log.execute_index > self._read_barrier_slot:
+                    self._serve_read_from_store(m)
+                else:
+                    self._pending_lease_reads.append(m)
+
+    def _lease_stamp(self) -> int:
+        """Open a lease grant round for an outgoing broadcast (0 = leases
+        are off, and the field stays at its wire-neutral default)."""
+        return self._lease.stamp() if self._lease is not None else 0
+
     def _propose(self, command: EntryCommand, request: Any) -> None:
         quorum = self.phase2_quorum()
         if self.disk is None:
@@ -552,6 +777,7 @@ class MultiPaxos(Protocol):
                 command=command,
                 request=request,
                 commit_upto=self.log.commit_upto(),
+                lease_seq=self._lease_stamp(),
             ),
         )
         if self.disk is not None:
@@ -571,10 +797,15 @@ class MultiPaxos(Protocol):
             self.leader_hint = m.ballot.owner
             self._drain_buffered()
             self.log.accept(m.slot, m.ballot, m.command, m.request)
+            # Accepting doubles as a lease grant: echo the round number so
+            # the leader can anchor the window at its own broadcast time.
+            lease_seq = m.lease_seq if self._grant is not None else 0
+            if lease_seq:
+                self._grant.grant(m.ballot.owner)
             # The accept record carries its ballot, so replay restores both
             # the entry and the implied promise; the P2b leaves only after
             # the record is durable (the paper's "fsync in critical path").
-            reply = P2b(ballot=m.ballot, slot=m.slot, ok=True)
+            reply = P2b(ballot=m.ballot, slot=m.slot, ok=True, lease_seq=lease_seq)
             self.persist(
                 "accept",
                 (m.slot, m.ballot, m.command, m.request),
@@ -598,6 +829,10 @@ class MultiPaxos(Protocol):
             return
         if not self.active or m.ballot != self.ballot:
             return
+        if m.lease_seq and self._lease is not None:
+            # Count the grant even if the slot already committed: grant
+            # tallies are per round, not per entry.
+            self._lease.record_grant(m.lease_seq, src)
         entry = self.log.entries.get(m.slot)
         if entry is None or entry.quorum is None or entry.committed:
             return
@@ -626,9 +861,16 @@ class MultiPaxos(Protocol):
                 self.promised = m.ballot
                 self.persist("promise", m.ballot)
             self.leader_hint = m.ballot.owner
+            if m.lease_seq and self._grant is not None:
+                self._grant.grant(m.ballot.owner)
+                self.send(src, LeaseGrant(ballot=m.ballot, seq=m.lease_seq))
             self._drain_buffered()
             self._apply_commit_watermark(m.commit_upto, m.ballot, src)
             self._reset_election_timer()
+
+    def on_lease_grant(self, src: Hashable, m: LeaseGrant) -> None:
+        if self.active and m.ballot == self.ballot and self._lease is not None:
+            self._lease.record_grant(m.seq, src)
 
     def _apply_commit_watermark(self, upto: int, ballot: Ballot, leader: Hashable) -> None:
         """Commit slots at or below the watermark.
@@ -711,6 +953,8 @@ class MultiPaxos(Protocol):
                         ),
                     )
             self.log.mark_executed(slot)
+        if self._rinse_waiters or self._pending_lease_reads:
+            self._drain_read_backlog()
         self.maybe_snapshot(self.log.execute_index - 1)
 
     # ------------------------------------------------------------------
@@ -721,7 +965,13 @@ class MultiPaxos(Protocol):
         if not self.active:
             self._heartbeat_armed = False
             return
-        self.broadcast(Commit(ballot=self.ballot, commit_upto=self.log.commit_upto()))
+        self.broadcast(
+            Commit(
+                ballot=self.ballot,
+                commit_upto=self.log.commit_upto(),
+                lease_seq=self._lease_stamp(),
+            )
+        )
         self._retransmit_uncommitted()
         self.set_timer(self.heartbeat_interval, self._heartbeat)
 
@@ -764,6 +1014,11 @@ class MultiPaxos(Protocol):
 
     def _election_expired(self) -> None:
         if self.active or self.recovering:
+            return
+        if self._grant is not None and self._grant.blocks(self.id):
+            # A live lease grant forbids campaigning: a P1a from us would
+            # be refused anyway, so wait out the window instead.
+            self._reset_election_timer()
             return
         self.start_phase1()
         self._reset_election_timer()

@@ -29,9 +29,11 @@ from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.lease import FollowerGrant, LeaderLease
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
 from repro.paxi.node import wal_record_bytes
 from repro.paxi.protocol import Protocol
+from repro.paxi.quorum import MajorityQuorum
 from repro.protocols.log import RequestInfo, entry_pairs
 from repro.sim.storage import Snapshot
 
@@ -63,6 +65,7 @@ class AppendEntries(Message):
     prev_term: int = 0
     entries: tuple[tuple[int, LogRecord], ...] = ()  # (index, record)
     leader_commit: int = 0
+    lease_seq: int = 0  # leader-lease grant round (0 = leases off)
 
     def wire_size(self) -> int:
         # Batched records fatten the message; plain records keep the
@@ -80,6 +83,20 @@ class AppendReply(Message):
     term: int = 0
     success: bool = False
     match_index: int = 0
+    lease_seq: int = 0  # echoed grant round (the reply IS the grant ack)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadQuery(Message):
+    """Quorum-read poll: asks a peer for its log frontier."""
+
+    rid: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply(Message):
+    rid: int = 0
+    frontier: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,7 +129,18 @@ class Raft(Protocol):
     - ``leader``: node that runs the first election immediately (avoids a
       cold-start election race in benchmarks; default first node);
     - ``heartbeat_interval``: leader heartbeat period (default 0.02 s);
-    - ``election_timeout``: base election timeout (default 0.15 s).
+    - ``election_timeout``: base election timeout (default 0.15 s);
+    - ``lease_duration``: leader-lease window (seconds on each node's own
+      clock); enables ``consistency="lease"`` reads (lease-based
+      ReadIndex: served locally by the leader after its term-start no-op
+      barrier is applied, no quorum round);
+    - ``max_clock_skew``: bound on per-node clock drift assumed by the
+      lease safety argument (see ``repro.paxi.lease``).
+
+    Per-command read paths (``Command.read_mode``): ``"lease"`` as above,
+    ``"quorum"`` polls a majority for the max log frontier and serves
+    after applying through it (linearizable without a leader), and
+    ``"local"`` answers from the local state machine (bounded staleness).
     """
 
     def __init__(self, deployment: Deployment, node_id: NodeID) -> None:
@@ -153,11 +181,41 @@ class Raft(Protocol):
         self.pipeline_depth: int | None = self.config.pipeline_depth
         self._proposal_queue: deque[list[ClientRequest]] = deque()
 
+        # Leader leases (lease-based ReadIndex): grants piggyback on
+        # AppendEntries and are echoed in AppendReply; reads additionally
+        # wait for the term-start no-op barrier to be applied.
+        self.lease_duration: float | None = params.get("lease_duration")
+        self.max_clock_skew: float = params.get("max_clock_skew", 0.0)
+        if self.lease_duration is not None:
+            majority = len(self.config.node_ids) // 2 + 1
+            self._lease: LeaderLease | None = LeaderLease(
+                self.clock, self.lease_duration, self.max_clock_skew, majority, self.id
+            )
+            self._grant: FollowerGrant | None = FollowerGrant(
+                self.clock, self.lease_duration
+            )
+            if self.restart_reason is not None:
+                # The pre-restart grant (if any) is forgotten; block every
+                # candidate for one full window rather than double-vote.
+                self._grant.grant_unknown()
+        else:
+            self._lease = None
+            self._grant = None
+        self._lease_barrier = 0
+        self._pending_lease_reads: list[ClientRequest] = []
+        self._quorum_reads: dict[int, list] = {}  # rid -> [request, quorum, frontier]
+        self._next_read_id = 0
+        self._rinse_waiters: list[list] = []  # [frontier, request]
+        self._read_rng = None
+        self._read_waiters: dict[Hashable, list[ClientRequest]] = {}
+
         self.register(RequestVote, self.on_request_vote)
         self.register(VoteReply, self.on_vote_reply)
         self.register(AppendEntries, self.on_append_entries)
         self.register(AppendReply, self.on_append_reply)
         self.register(InstallSnapshot, self.on_install_snapshot)
+        self.register(ReadQuery, self.on_read_query)
+        self.register(ReadReply, self.on_read_reply)
 
         #: Non-voting learner mode after a wipe (or a reboot without a
         #: disk): the node's vote history is gone, so it must not grant
@@ -207,7 +265,13 @@ class Raft(Protocol):
         self._election_handle = self.set_timer(delay, self._election_expired)
 
     def _election_expired(self) -> None:
-        if self.state != LEADER and not self.recovering:
+        if (
+            self.state != LEADER
+            and not self.recovering
+            # A live lease grant forbids campaigning: our RequestVote
+            # would be refused anyway, so wait out the window instead.
+            and not (self._grant is not None and self._grant.blocks(self.id))
+        ):
             self._start_election()
         self._reset_election_timer()
 
@@ -236,7 +300,25 @@ class Raft(Protocol):
             return  # superseded while the vote record was syncing
         self.broadcast(request)
 
+    def _lease_blocks_vote(self, candidate: Hashable) -> bool:
+        """Voting for ``candidate`` would break a lease this node is party
+        to — either a grant it gave someone else, or (as leader) its own
+        lease, skew-padded because granters run their refusal windows on
+        their own clocks."""
+        if self._grant is not None and self._grant.blocks(candidate):
+            return True
+        return (
+            self._lease is not None
+            and candidate != self.id
+            and self.clock.now < self._lease.valid_until + self.max_clock_skew
+        )
+
     def on_request_vote(self, src: Hashable, m: RequestVote) -> None:
+        if self._lease_blocks_vote(src):
+            # Refuse without adopting the term: a partitioned candidate
+            # must not depose a live leaseholder by term inflation alone.
+            self.send(src, VoteReply(term=self.term, granted=False))
+            return
         if m.term > self.term:
             self._step_down(m.term)
         if self.recovering:
@@ -283,8 +365,29 @@ class Raft(Protocol):
         self._next_index = {peer: next_index for peer in self.peers}
         self._match_index = {peer: 0 for peer in self.peers}
         self._snap_sent = {}
-        self._broadcast_heartbeat()
+        if self._lease is not None:
+            self._lease.reset()
+            self._append_noop_barrier()
+            self._replicate()
+        else:
+            self._broadcast_heartbeat()
         self.set_timer(self.heartbeat_interval, self._heartbeat_tick)
+
+    def _append_noop_barrier(self) -> None:
+        """Raft's term-start no-op: committing an own-term entry is the only
+        way a new leader learns the true commit frontier, so lease reads
+        wait until it has been *applied* (the read barrier)."""
+        index = self.last_log_index + 1
+        record: LogRecord = (self.term, None, None)
+        self.log.append((index, record))
+        self._lease_barrier = index
+        self.persist(
+            "append",
+            (index, record),
+            slot=index,
+            size_bytes=wal_record_bytes(None),
+            then=lambda: self._mark_durable(index),
+        )
 
     def _step_down(self, term: int) -> None:
         self.term = term
@@ -307,6 +410,18 @@ class Raft(Protocol):
     # ------------------------------------------------------------------
 
     def on_request(self, src: Hashable, m: ClientRequest) -> None:
+        if m.command.is_read:
+            mode = m.command.read_mode
+            if mode == "local":
+                self._serve_local_read(m)
+                return
+            if mode == "quorum" and not self.recovering:
+                self._start_quorum_read(m)
+                return
+            if mode == "lease" and self._try_lease_read(m):
+                return
+            # lease invalid (or this replica isn't the leaseholder): fall
+            # through to the full consensus round — always linearizable.
         key = (m.client, m.request_id)
         if key in self._request_cache:
             self.send(
@@ -379,6 +494,127 @@ class Raft(Protocol):
         ):
             self._append_group(self._proposal_queue.popleft())
 
+    # ------------------------------------------------------------------
+    # Read paths: lease-based ReadIndex, quorum reads, and local reads
+    # ------------------------------------------------------------------
+
+    def _lease_valid(self) -> bool:
+        """Whether this node's leader lease currently permits serving
+        local reads.  Override hook for the adversarial read tests."""
+        return self._lease is not None and self._lease.valid
+
+    def _try_lease_read(self, m: ClientRequest) -> bool:
+        """Serve (or park) a lease read; False = caller must fall back."""
+        if self.state != LEADER or not self._lease_valid():
+            return False
+        if self.last_applied >= self._lease_barrier:
+            self._serve_read_from_store(m)
+        else:
+            self._pending_lease_reads.append(m)
+        return True
+
+    def _serve_read_from_store(self, m: ClientRequest) -> None:
+        key = m.command.key
+        self.send(
+            m.client,
+            ClientReply(
+                request_id=m.request_id,
+                ok=True,
+                value=self.store.read(key),
+                replied_by=self.id,
+                leader_hint=self.leader_hint,
+                version=self.store.version(key),
+            ),
+        )
+
+    def _serve_local_read(self, m: ClientRequest) -> None:
+        """Bounded-staleness local read; a session token (``min_version``)
+        parks the reply until this replica has applied that many writes to
+        the key (read-your-writes / monotonic reads)."""
+        key = m.command.key
+        if self.store.version(key) < m.command.min_version:
+            self._read_waiters.setdefault(key, []).append(m)
+            return
+        self._serve_read_from_store(m)
+
+    def _drain_read_waiters(self, key: Hashable) -> None:
+        waiters = self._read_waiters.get(key)
+        if not waiters:
+            return
+        ready = [m for m in waiters if self.store.version(key) >= m.command.min_version]
+        if ready:
+            self._read_waiters[key] = [m for m in waiters if m not in ready]
+            for m in ready:
+                self._serve_local_read(m)
+
+    def _start_quorum_read(self, m: ClientRequest) -> None:
+        """PQR-style quorum read: poll a majority for its log frontier;
+        any replica (not just the leader) coordinates."""
+        quorum = MajorityQuorum(self.config.node_ids)
+        quorum.ack(self.id)
+        frontier = self.last_log_index
+        if quorum.satisfied():  # single-node cluster
+            self._finish_quorum_read(m, frontier)
+            return
+        self._next_read_id += 1
+        rid = self._next_read_id
+        self._quorum_reads[rid] = [m, quorum, frontier]
+        self.multicast(self._read_targets(quorum.size - 1), ReadQuery(rid=rid))
+
+    def _read_targets(self, needed: int) -> list[NodeID]:
+        peers = self.peers
+        if needed >= len(peers):
+            return peers
+        if self._read_rng is None:
+            self._read_rng = self.deployment.cluster.streams.stream(
+                f"raft-read-{self.id}"
+            )
+        return self._read_rng.sample(peers, needed)
+
+    def on_read_query(self, src: Hashable, m: ReadQuery) -> None:
+        if self.recovering:
+            return  # an incomplete log would under-report the frontier
+        self.send(src, ReadReply(rid=m.rid, frontier=self.last_log_index))
+
+    def on_read_reply(self, src: Hashable, m: ReadReply) -> None:
+        state = self._quorum_reads.get(m.rid)
+        if state is None:
+            return
+        state[2] = max(state[2], m.frontier)
+        quorum = state[1]
+        quorum.ack(src)
+        if quorum.satisfied():
+            del self._quorum_reads[m.rid]
+            self._finish_quorum_read(state[0], state[2])
+
+    def _finish_quorum_read(self, m: ClientRequest, frontier: int) -> None:
+        """Rinse: a committed write is in the log of at least one polled
+        member, so the max frontier bounds it — serve only after this
+        replica has applied through that index."""
+        if self.last_applied >= frontier:
+            self._serve_read_from_store(m)
+        else:
+            self._rinse_waiters.append([frontier, m])
+
+    def _drain_read_backlog(self) -> None:
+        if self._rinse_waiters:
+            still: list[list] = []
+            for waiter in self._rinse_waiters:
+                if self.last_applied >= waiter[0]:
+                    self._serve_read_from_store(waiter[1])
+                else:
+                    still.append(waiter)
+            self._rinse_waiters = still
+        if self._pending_lease_reads:
+            pending, self._pending_lease_reads = self._pending_lease_reads, []
+            for m in pending:
+                if self.state != LEADER or not self._lease_valid():
+                    self.on_request(m.client, m)  # fall back to consensus
+                elif self.last_applied >= self._lease_barrier:
+                    self._serve_read_from_store(m)
+                else:
+                    self._pending_lease_reads.append(m)
+
     def _mark_durable(self, index: int) -> None:
         """Our own log record hit disk; it may now count toward commit."""
         self._durable_index = max(self._durable_index, index)
@@ -445,6 +681,11 @@ class Raft(Protocol):
             return
         self.state = FOLLOWER
         self.leader_hint = src
+        # Granting is independent of log consistency: the promise not to
+        # vote for others holds even while our log is being repaired.
+        lease_seq = m.lease_seq if self._grant is not None else 0
+        if lease_seq:
+            self._grant.grant(src)
         if self.recovering:
             # Remember the commit frontier we must reach before voting.
             if self._catchup_target is None or m.leader_commit > self._catchup_target:
@@ -457,7 +698,12 @@ class Raft(Protocol):
         ):
             self.send(
                 src,
-                AppendReply(term=self.term, success=False, match_index=self.commit_index),
+                AppendReply(
+                    term=self.term,
+                    success=False,
+                    match_index=self.commit_index,
+                    lease_seq=lease_seq,
+                ),
             )
             return
         appended: list[tuple[int, LogRecord]] = []
@@ -477,7 +723,9 @@ class Raft(Protocol):
         # Report how far we provably match the LEADER's log — not our own
         # length, which may include a divergent suffix from a dead leader.
         match = m.prev_index + len(m.entries)
-        reply = AppendReply(term=self.term, success=True, match_index=match)
+        reply = AppendReply(
+            term=self.term, success=True, match_index=match, lease_seq=lease_seq
+        )
         if appended:
             # One WAL record per entry; the success reply waits for the
             # last record's sync (group commit folds them into one fsync).
@@ -525,6 +773,10 @@ class Raft(Protocol):
             return
         if self.state != LEADER or m.term != self.term:
             return
+        if m.lease_seq and self._lease is not None:
+            # Both success and failure replies carry the grant echo: log
+            # repair and lease renewal are independent.
+            self._lease.record_grant(m.lease_seq, src)
         if not m.success:
             # Back the follower up (fast: jump to its reported match point).
             self._next_index[src] = max(1, min(self._next_index[src] - 1, m.match_index + 1))
@@ -581,6 +833,8 @@ class Raft(Protocol):
                         value = self.store.execute(cmd)
                         if request_key is not None:
                             self._request_cache[request_key] = value
+                if cmd is not None and cmd.is_write:
+                    self._drain_read_waiters(cmd.key)
                 if info is not None and self.state == LEADER and term == self.term:
                     self.trace_mark(info)
                     self.send(
@@ -593,6 +847,8 @@ class Raft(Protocol):
                             leader_hint=self.id,
                         ),
                     )
+        if self._rinse_waiters or self._pending_lease_reads:
+            self._drain_read_backlog()
         self.maybe_snapshot(self.last_applied)
 
     # ------------------------------------------------------------------
@@ -711,5 +967,6 @@ class Raft(Protocol):
                 prev_term=self.last_log_term,
                 entries=(),
                 leader_commit=self.commit_index,
+                lease_seq=self._lease.stamp() if self._lease is not None else 0,
             )
         )

@@ -221,3 +221,37 @@ class EventLoop:
         """Number of queued events that will actually fire (cancelled
         entries excluded)."""
         return len(self._heap) - self._cancelled
+
+
+class NodeClock:
+    """A node's local wall clock: virtual time plus a per-node offset.
+
+    Lease-based protocols reason about *durations* read off local clocks
+    ("do not grant to anyone else for the next L seconds").  Those
+    arguments only hold if clocks drift by a bounded amount, so the
+    simulator models each node's clock as the global virtual clock plus
+    an adjustable offset.  A ``skew`` fault (see :mod:`repro.bench.nemesis`)
+    jumps the offset mid-run — the adversarial case for lease safety,
+    because a duration measured across the jump is wrong by the jump size.
+
+    Offsets never affect event scheduling: timers still run on the loop's
+    virtual time.  Only code that explicitly reads ``clock.now`` (the
+    lease machinery) observes the skew, mirroring how real systems
+    schedule on monotonic clocks but compare lease timestamps across
+    machines.
+    """
+
+    __slots__ = ("_loop", "offset")
+
+    def __init__(self, loop: EventLoop, offset: float = 0.0) -> None:
+        self._loop = loop
+        self.offset = offset
+
+    @property
+    def now(self) -> float:
+        """This node's local reading of the current time."""
+        return self._loop.now + self.offset
+
+    def skew(self, delta: float) -> None:
+        """Jump the local clock by ``delta`` seconds (may be negative)."""
+        self.offset += delta

@@ -3,17 +3,24 @@ must be caught.
 
 A checker that never fires is worthless; these tests implement unsound
 replication schemes — reply-before-replicate with stale follower reads,
-and divergent state machines — and assert the linearizability and
-consensus checkers flag them.
+divergent state machines, and a leader lease that ignores its own expiry —
+and assert the linearizability and consensus checkers flag them.  The
+read-anomaly histories (stale lease read, split-brain read, non-monotonic
+quorum read) are also replayed against ``checkers.staleness`` to pin the
+boundary: the local-read variants are *accepted* within their staleness
+bound and rejected beyond it.
 """
 
 from repro.checkers.consensus import check_deployment
 from repro.checkers.linearizability import check_history, check_history_graph
+from repro.checkers.staleness import check_bounded_staleness, check_session
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.history import Operation
 from repro.paxi.ids import NodeID
 from repro.paxi.message import ClientReply, ClientRequest, Message
 from repro.paxi.node import Replica
+from repro.protocols.paxos import MultiPaxos
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -123,3 +130,146 @@ def test_consensus_can_pass_while_linearizability_fails():
     dep.run_for(0.2)  # lazy replication catches up
     assert check_deployment(dep).ok  # same write order everywhere
     assert not check_history(dep.history.snapshot()).ok  # but reads were stale
+
+
+# ----------------------------------------------------------------------
+# Read-anomaly histories: the shapes a broken linearizable read path
+# produces, written out explicitly so the checker's verdict on each is
+# pinned independently of any protocol implementation.
+# ----------------------------------------------------------------------
+
+
+def _put(client, key, value, invoked, returned):
+    return Operation(client, "PUT", key, value, value, invoked, returned)
+
+
+def _get(client, key, output, invoked, returned):
+    return Operation(client, "GET", key, None, output, invoked, returned)
+
+
+def _stale_lease_history():
+    """A deposed leaseholder serves ``v1`` from its store after the new
+    leader committed ``v2`` — the canonical expired-lease anomaly."""
+    return [
+        _put("w", "k", "v1", 0.00, 0.01),
+        _put("w", "k", "v2", 0.02, 0.03),  # new leader's write completes...
+        _get("r", "k", "v1", 0.05, 0.051),  # ...then the old lease serves v1
+    ]
+
+
+def test_checker_rejects_stale_lease_read_history():
+    result = check_history(_stale_lease_history())
+    assert not result.ok
+    assert {a.kind for a in result.anomalies} == {"stale-read"}
+    assert not check_history_graph(_stale_lease_history())
+
+
+def test_checker_rejects_split_brain_read_history():
+    """Two leaders each serving their own replica: one client observes the
+    new value while another still reads the old one afterwards."""
+    ops = [
+        _put("w", "k", "v1", 0.00, 0.01),
+        _put("w", "k", "v2", 0.02, 0.03),
+        _get("r-new", "k", "v2", 0.04, 0.041),  # majority side: fine
+        _get("r-old", "k", "v1", 0.05, 0.051),  # minority side: stale
+    ]
+    result = check_history(ops)
+    assert not result.ok
+    stale = [a for a in result.anomalies if a.kind == "stale-read"]
+    assert [a.read.client for a in stale] == ["r-old"]
+    assert not check_history_graph(ops)
+
+
+def test_checker_rejects_non_monotonic_quorum_read_history():
+    """A quorum read that under-counts its frontier goes *backwards*: the
+    same client reads v2 then v1.  Both the linearizability checker and
+    the per-session monotonic-reads guarantee must fire."""
+    ops = [
+        _put("w", "k", "v1", 0.00, 0.01),
+        _put("w", "k", "v2", 0.02, 0.03),
+        _get("r", "k", "v2", 0.04, 0.041),
+        _get("r", "k", "v1", 0.05, 0.051),
+    ]
+    result = check_history(ops)
+    assert not result.ok
+    assert "stale-read" in {a.kind for a in result.anomalies}
+    session = check_session(ops)
+    assert not session.ok
+    assert {v.kind for v in session.session_violations} == {"monotonic-reads"}
+
+
+def test_staleness_checker_bounds_the_local_read_variants():
+    """The same anomalous reads, reinterpreted as *local* (bounded
+    staleness) reads: v1 was overwritten when v2 completed at t=0.03 and
+    read at t=0.05, so it is provably 0.02s stale — legal under
+    delta >= 0.02, a violation below that, and exactly the
+    linearizability verdict at delta = 0."""
+    ops = _stale_lease_history()
+    relaxed = check_bounded_staleness(ops, delta=0.05)
+    assert relaxed.ok
+    assert abs(relaxed.max_staleness - 0.02) < 1e-9
+    tight = check_bounded_staleness(ops, delta=0.01)
+    assert not tight.ok
+    assert len(tight.staleness_violations) == 1
+    assert tight.staleness_violations[0].read.client == "r"
+    assert not check_bounded_staleness(ops, delta=0.0).ok
+
+
+# ----------------------------------------------------------------------
+# The planted broken lease: a real MultiPaxos deployment whose leader
+# ignores lease expiry.  The linearizability checker must catch the stale
+# read it serves during a partition — and the *correct* implementation
+# must survive the identical scenario.
+# ----------------------------------------------------------------------
+
+OLD_LEADER = NodeID(1, 1)
+LEASE_PARAMS = dict(lease_duration=0.2, max_clock_skew=0.005, election_timeout=0.1)
+
+
+class BrokenLeasePaxos(MultiPaxos):
+    """Lease validity stubbed to 'always valid': the textbook broken lease.
+    A deposed leader keeps serving local reads long after its grants
+    expired and a new leader committed writes on the other side."""
+
+    def _lease_valid(self):
+        return self._lease is not None  # ignores expiry entirely
+
+
+def _expired_lease_scenario(factory):
+    """Partition the initial leader (with one client) away from the
+    majority for longer than the lease, let the majority elect a new
+    leader and commit ``v2``, then lease-read at the old leader."""
+    dep = Deployment(Config.lan(1, 5, seed=11, **LEASE_PARAMS)).start(factory)
+    writer = dep.new_session(max_wait=1.0)
+    reader = dep.new_session(max_wait=1.0, consistency="lease")
+    assert writer.put("k", "v1").ok
+    dep.run_for(0.1)  # the initial leader's lease is established
+    everyone = set(dep.config.node_ids) | {c.address for c in dep.clients}
+    minority = {OLD_LEADER, reader.client.address}
+    dep.cluster.partition([minority, everyone - minority], 3.0, at=dep.now)
+    dep.run_for(0.8)  # > lease_duration + election_timeout: grants expire
+    new_leader = next(
+        r.id for r in dep.replicas.values() if r.active and r.id != OLD_LEADER
+    )
+    assert writer.put("k", "v2", target=new_leader).ok
+    read = reader.get("k", target=OLD_LEADER)
+    return dep, read
+
+
+def test_linearizability_checker_flags_broken_lease():
+    dep, read = _expired_lease_scenario(BrokenLeasePaxos)
+    # The broken leaseholder happily serves its stale store.
+    assert read.ok and read.value == "v1" and read.read_mode == "lease"
+    result = check_history(dep.history.snapshot())
+    assert not result.ok
+    assert "stale-read" in {a.kind for a in result.anomalies}
+    assert not check_history_graph(dep.history.operations)
+
+
+def test_correct_lease_survives_the_same_partition():
+    """Same schedule, real lease arithmetic: the deposed leader's lease has
+    expired, so the read falls back to a consensus round it cannot win
+    while partitioned — it blocks instead of lying."""
+    dep, read = _expired_lease_scenario(MultiPaxos)
+    assert not read.ok or read.value == "v2"
+    assert check_history(dep.history.snapshot()).ok

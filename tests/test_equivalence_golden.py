@@ -35,6 +35,21 @@ def test_same_seed_run_matches_golden_fingerprint(scenario):
         assert fresh[facet] == golden[facet], f"{scenario.name}: {facet} diverged"
 
 
+def test_default_mode_read_path_is_opt_in():
+    """The linearizable read path (leader leases, quorum reads — see
+    docs/READS.md) must be provably opt-in: with leases unconfigured and
+    no ``read_mode`` on any command, a default scenario still reproduces
+    the golden fingerprint recorded before the feature existed —
+    bit-identical wire traffic, spans, and latency series.  Kept out of
+    the slow lane so tier-1 runs always pin it."""
+    scenario = next(s for s in SCENARIOS if s.name == "paxos:memory:clean")
+    fresh = run_scenario(scenario)
+    golden = GOLDEN[scenario.name]
+    assert sorted(fresh) == sorted(golden)
+    for facet in golden:
+        assert fresh[facet] == golden[facet], f"default-mode {facet} diverged"
+
+
 @pytest.mark.slow
 def test_back_to_back_runs_are_bit_identical():
     """The guard itself must be deterministic: two fresh runs of the same

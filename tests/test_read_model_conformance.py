@@ -1,0 +1,153 @@
+"""Measured read latency and leader work vs. the read-path models.
+
+``test_obs_latency_decomposition.py`` pins the *write* path against the
+M/D/1 model; this suite does the same for the read paths added in
+``repro.core.reads``:
+
+- a **lease read** must cost the client one round trip to the leader
+  (``LeaseReadPaxosModel.read_latency_ms``) and the leader exactly one
+  receive + one reply (``read_service_time``) — no quorum round;
+- a **quorum read** must cost the local trip plus the read-quorum poll's
+  completing reply (``QuorumReadPaxosModel.read_latency_ms``), and its
+  total cluster work must match coordinator + polled-member formulas;
+- the knee of a read-heavy lease-read sweep must land on the model's
+  ``max_throughput`` — the same conformance band ``BENCH_reads.json``
+  gates in CI, pinned here for one protocol so a regression fails locally
+  before the bench job sees it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.benchmarker import ClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.core.reads import (
+    LeaseReadPaxosModel,
+    QuorumReadPaxosModel,
+    quorum_read_coordinator_work,
+    quorum_read_member_work,
+    read_service_time,
+)
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+
+N = 5
+LEASE_PARAMS = dict(lease_duration=0.5, max_clock_skew=0.005)
+
+
+def _deployment(seed: int = 47):
+    cfg = Config.lan(1, N, seed=seed, **LEASE_PARAMS)
+    dep = Deployment(cfg).start(MultiPaxos)
+    session = dep.new_session()
+    assert session.put("k", "seed-value").ok
+    dep.run_for(0.3)  # lease granted; the commit is applied everywhere
+    return dep, session
+
+
+def _mean_read_latency_ms(session, consistency: str, reads: int = 40) -> float:
+    latencies = []
+    for _ in range(reads):
+        result = session.get("k", consistency=consistency)
+        assert result.ok and result.read_mode == consistency
+        latencies.append(result.latency_ms)
+    return sum(latencies) / len(latencies)
+
+
+def test_lease_read_latency_is_one_leader_round_trip():
+    dep, session = _deployment()
+    model = LeaseReadPaxosModel(dep.config.topology, write_ratio=0.5)
+    predicted = model.read_latency_ms()
+    measured = _mean_read_latency_ms(session, "lease")
+    assert predicted * 0.7 <= measured <= predicted * 1.4, (
+        f"lease read {measured:.3f}ms vs model {predicted:.3f}ms"
+    )
+
+
+def test_quorum_read_latency_pays_the_poll():
+    dep, session = _deployment()
+    model = QuorumReadPaxosModel(dep.config.topology, write_ratio=0.5)
+    predicted = model.read_latency_ms()
+    measured = _mean_read_latency_ms(session, "quorum")
+    assert predicted * 0.6 <= measured <= predicted * 1.6, (
+        f"quorum read {measured:.3f}ms vs model {predicted:.3f}ms"
+    )
+    # ...and it must be strictly dearer than a lease read but far cheaper
+    # than a full consensus round through the leader's queue.
+    lease = _mean_read_latency_ms(session, "lease")
+    assert measured > lease
+
+
+def _busy_per_read(read_mode: str, seed: int = 53):
+    """Drive a read-only closed loop and return (per-node busy seconds,
+    completed reads).  Write ratio 0 isolates the read path's work."""
+    cfg = Config.lan(1, N, seed=seed, **LEASE_PARAMS)
+    dep = Deployment(cfg).start(MultiPaxos)
+    session = dep.new_session()
+    assert session.put("k", "w0").ok
+    dep.run_for(0.3)
+    before = {
+        nid: dep.replica(nid)._server.stats.busy_seconds
+        for nid in dep.config.node_ids
+    }
+    spec = WorkloadSpec(keys=20, write_ratio=0.0, read_mode=read_mode)
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=8)
+    result = bench.run(duration=0.4, warmup=0.0, settle=0.05)
+    busy = {
+        nid: dep.replica(nid)._server.stats.busy_seconds - before[nid]
+        for nid in dep.config.node_ids
+    }
+    assert result.completed > 500
+    return busy, result.completed
+
+
+def test_lease_read_leader_work_matches_formula():
+    """Each lease read costs the leader ``read_service_time`` — one
+    incoming request, one serialized reply, two NIC transfers — and the
+    followers nothing (heartbeat renewal aside)."""
+    busy, completed = _busy_per_read("lease")
+    params = LeaseReadPaxosModel(Config.lan(1, N, seed=1).topology).params
+    predicted = read_service_time(params)
+    measured = max(busy.values()) / completed  # the leader serves them all
+    assert predicted * 0.8 <= measured <= predicted * 1.3, (
+        f"lease read leader work {measured * 1e6:.1f}us vs "
+        f"formula {predicted * 1e6:.1f}us"
+    )
+    # Followers see only heartbeats: a sliver of the leader's read work.
+    assert min(busy.values()) < 0.15 * max(busy.values())
+
+
+def test_quorum_read_total_work_matches_formula():
+    """A quorum read costs the cluster one coordination (``RoundWork`` with
+    N replaced by r) plus ``r - 1`` polled members' receive+reply."""
+    busy, completed = _busy_per_read("quorum")
+    params = QuorumReadPaxosModel(Config.lan(1, N, seed=1).topology).params
+    r = N // 2 + 1
+    predicted = (
+        quorum_read_coordinator_work(r).service_time(params)
+        + (r - 1) * quorum_read_member_work().service_time(params)
+    )
+    measured = sum(busy.values()) / completed
+    assert predicted * 0.8 <= measured <= predicted * 1.3, (
+        f"quorum read cluster work {measured * 1e6:.1f}us vs "
+        f"formula {predicted * 1e6:.1f}us"
+    )
+
+
+@pytest.mark.slow
+def test_lease_read_knee_tracks_model():
+    """The read-heavy saturation knee must land on the model's capacity
+    split — the local twin of the ``BENCH_reads.json`` CI gate."""
+    write_ratio = 0.1
+    cfg = Config.lan(3, 3, seed=61, **LEASE_PARAMS)
+    dep = Deployment(cfg).start(MultiPaxos)
+    spec = WorkloadSpec(keys=500, write_ratio=write_ratio, read_mode="lease")
+    bench = ClosedLoopBenchmark(dep, spec, concurrency=96)
+    result = bench.run(duration=0.5, warmup=0.1, settle=0.1)
+    predicted = LeaseReadPaxosModel(
+        cfg.topology, write_ratio=write_ratio
+    ).max_throughput()
+    assert predicted * 0.75 <= result.throughput <= predicted * 1.25, (
+        f"lease knee {result.throughput:.0f} ops/s vs model {predicted:.0f}"
+    )
