@@ -33,8 +33,11 @@ KINDS = ("crash", "drop", "slow", "flaky", "partition")
 #: at leader-lease safety margins), and ``lease_expiry_during_partition``
 #: isolates one node for longer than ``lease_duration`` so any lease it
 #: holds or granted expires while it is cut off — the classic stale-read
-#: window for broken lease implementations.
-ALL_KINDS = KINDS + ("reboot", "wipe", "skew", "lease_expiry_during_partition")
+#: window for broken lease implementations.  ``rebalance`` moves a random
+#: placement bucket between shards mid-run; only meaningful on a sharded
+#: cluster, where :class:`repro.shard.nemesis.ShardNemesis` draws and
+#: applies it (a plain single-group :meth:`Nemesis.unleash` skips it).
+ALL_KINDS = KINDS + ("reboot", "wipe", "skew", "lease_expiry_during_partition", "rebalance")
 
 #: Fault kinds that take a node fully out of service while they last.
 _OUTAGE_KINDS = frozenset({"crash", "reboot", "wipe"})
@@ -53,10 +56,19 @@ class FaultEvent:
     probability: float = 0.5  # flaky
     group: tuple[NodeID, ...] = ()  # partition minority
     delta: float = 0.0  # skew: clock step in seconds (may be negative)
+    shard: int | None = None  # which consensus group a fault targets
+    bucket: int | None = None  # rebalance: placement bucket to move
+    to_shard: int | None = None  # rebalance: destination group
 
     def __str__(self) -> str:
+        if self.kind == "rebalance":
+            return (
+                f"rebalance(bucket {self.bucket} -> shard {self.to_shard}) "
+                f"@{self.start:.2f}s"
+            )
         target = self.victim or (f"{self.src}->{self.dst}" if self.src else self.group)
-        return f"{self.kind}({target}) @{self.start:.2f}s for {self.duration:.2f}s"
+        where = f" [shard {self.shard}]" if self.shard is not None else ""
+        return f"{self.kind}({target}){where} @{self.start:.2f}s for {self.duration:.2f}s"
 
 
 @dataclass
@@ -157,6 +169,10 @@ class Nemesis:
                     continue
                 outages.append((start, start + duration, frozenset(minority)))
                 out.append(FaultEvent(kind, start, duration, group=minority))
+            elif kind == "rebalance":
+                # Needs placement knowledge a plain node-set schedule does
+                # not have; ShardNemesis draws these itself.
+                continue
             elif kind == "skew":
                 # A clock step is not an outage: the node keeps serving,
                 # only its lease arithmetic is (possibly) compromised.
@@ -216,6 +232,8 @@ class Nemesis:
                 )
             elif event.kind == "skew":
                 deployment.skew(event.victim, event.delta, at=start)
+            elif event.kind == "rebalance":
+                continue  # sharded-cluster fault; see repro.shard.nemesis
             else:  # partition / lease_expiry_during_partition
                 everyone = set(deployment.config.node_ids) | {
                     client.address for client in deployment.clients

@@ -1,0 +1,94 @@
+"""Analytic capacity model for a sharded (multi-group) deployment.
+
+Sharding multiplies Formula-6 capacity: each consensus group has its own
+leader bottleneck, so ``S`` independent groups sustain ``S * C1`` single-key
+operations per second — minus a coordination tax for the fraction of the
+workload that spans groups.
+
+A cross-shard transaction of ``k`` keys is client-driven two-phase commit
+(:mod:`repro.shard.txn`): per key it pays one lock CAS round, one data
+write round, and one unlock round — ``txn_rounds ~= 3`` consensus rounds
+of leader occupancy where a plain write pays one.  With a fraction ``f``
+of operations running inside such transactions, each logical operation
+costs on average ``(1 - f) + f * txn_rounds`` rounds, so
+
+    C_sharded = S * C1 / ((1 - f) + f * txn_rounds)
+
+which reduces to the ideal ``S * C1`` at ``f = 0``.  The model deliberately
+assumes uniform key placement (every group equally loaded); skewed
+placement shifts the bottleneck to the hottest group, which the simulator
+exposes but this first-order model does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ModelError
+
+
+class GroupModel(Protocol):
+    """Anything with a single-group capacity — e.g.
+    :class:`~repro.core.protocol_models.PaxosModel` or
+    :class:`~repro.core.protocol_models.BatchedPaxosModel`."""
+
+    def max_throughput(self) -> float: ...
+
+
+#: Consensus rounds a 2PC participant pays per transactional key:
+#: lock CAS + data write + lock release (see ``docs/SHARDING.md``).
+TXN_ROUNDS = 3.0
+
+
+@dataclass(frozen=True)
+class ShardedCapacityModel:
+    """Capacity of ``shards`` independent groups under a 2PC mix.
+
+    ``group_model`` supplies the single-group capacity ``C1`` (its own
+    topology/params/batching knobs apply per group — every group is a full
+    replica set).  ``cross_shard_ratio`` is ``f``, the fraction of logical
+    operations executed inside cross-shard transactions; ``txn_rounds`` is
+    the per-key round multiplier of the 2PC protocol.
+    """
+
+    group_model: GroupModel
+    shards: int
+    cross_shard_ratio: float = 0.0
+    txn_rounds: float = TXN_ROUNDS
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ModelError(f"shards must be >= 1, got {self.shards}")
+        if not 0.0 <= self.cross_shard_ratio <= 1.0:
+            raise ModelError(
+                f"cross_shard_ratio must be in [0, 1], got {self.cross_shard_ratio}"
+            )
+        if self.txn_rounds < 1.0:
+            raise ModelError(f"txn_rounds must be >= 1, got {self.txn_rounds}")
+
+    def rounds_per_op(self) -> float:
+        """Average consensus rounds per logical operation under the mix."""
+        f = self.cross_shard_ratio
+        return (1.0 - f) + f * self.txn_rounds
+
+    def max_throughput(self) -> float:
+        """Aggregate sustainable rate in logical operations per second."""
+        return self.shards * self.group_model.max_throughput() / self.rounds_per_op()
+
+    def speedup(self) -> float:
+        """Capacity relative to one group serving the same mix."""
+        return float(self.shards)
+
+    def capacity_curve(self, max_ratio: float = 0.5, points: int = 11) -> list[tuple[float, float]]:
+        """``(f, capacity)`` samples as the cross-shard fraction grows."""
+        if points < 2:
+            raise ModelError(f"points must be >= 2, got {points}")
+        out: list[tuple[float, float]] = []
+        for i in range(points):
+            f = max_ratio * i / (points - 1)
+            model = ShardedCapacityModel(
+                self.group_model, self.shards, f, self.txn_rounds
+            )
+            out.append((f, model.max_throughput()))
+        return out

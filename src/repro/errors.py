@@ -37,3 +37,76 @@ class CheckerError(ReproError):
 
 class ModelError(ReproError):
     """An analytic model was evaluated outside its domain."""
+
+
+class PlacementError(ConfigError):
+    """A key→shard placement map is malformed (overlapping or
+    non-covering ranges, bad bucket counts, leader-placement conflicts)."""
+
+
+class UnknownShardError(ConfigError):
+    """A key, range, or explicit assignment names a shard that does not
+    exist in the configured ``shards`` section."""
+
+
+class ClientError(ReproError):
+    """Base class for errors raised on the client path (sessions,
+    transactions).  Catch this to handle any client-side failure."""
+
+
+class InvalidOptions(ClientError, ValueError):
+    """Session or per-call options are malformed (unknown consistency
+    mode, conflicting targets, ...).
+
+    Also a ``ValueError`` so pre-existing callers that caught the
+    untyped raise keep working for one release.
+    """
+
+
+class RequestFailed(ClientError):
+    """An individual command failed to produce a reply."""
+
+
+class RetriesExhausted(RequestFailed):
+    """The client gave up after exhausting its retransmission budget."""
+
+
+class NoQuorum(RequestFailed):
+    """No reply arrived within the deadline — the responsible replica
+    group could not assemble a quorum (or is unreachable)."""
+
+
+class TxnError(ClientError):
+    """Base class for multi-key transaction failures."""
+
+
+class TxnAborted(TxnError):
+    """A cross-shard transaction aborted cleanly (no write applied).
+
+    ``reason`` says why — e.g. a lock conflict with a concurrent
+    transaction — so callers can distinguish retryable aborts from
+    programming errors.
+    """
+
+    def __init__(self, txn_id: str, reason: str) -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class CoordinatorCrashed(TxnError):
+    """The 2PC coordinator crashed mid-transaction (fault injection).
+
+    The outcome is *unknown* until
+    :meth:`~repro.shard.cluster.ShardedCluster.recover_txns` runs: a
+    transaction that had logged its commit decision rolls forward,
+    anything earlier aborts and releases its locks.
+    """
+
+    def __init__(self, txn_id: str, phase: str) -> None:
+        super().__init__(
+            f"coordinator crashed during transaction {txn_id} ({phase}); "
+            "outcome unknown until recovery"
+        )
+        self.txn_id = txn_id
+        self.phase = phase

@@ -19,6 +19,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         bench_batching,
         bench_faults,
         bench_reads,
+        bench_sharding,
         bench_simspeed,
         extra_availability,
         extra_dynamic,
@@ -64,6 +65,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "bench_batching": bench_batching.run,
         "bench_faults": bench_faults.run,
         "bench_reads": bench_reads.run,
+        "bench_sharding": bench_sharding.run,
         "bench_simspeed": bench_simspeed.run,
     }
 

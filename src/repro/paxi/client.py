@@ -13,7 +13,6 @@ round trip, via the network).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable
 
@@ -32,7 +31,7 @@ class _Pending:
     target: NodeID
     invoked_at: float
     on_done: OnDone | None
-    history_token: int = 0
+    history_token: int | None = None
     retries: int = 0
     retry_handle: EventHandle | None = None
 
@@ -109,12 +108,17 @@ class Client:
         command: Command,
         target: NodeID | None = None,
         on_done: OnDone | None = None,
+        record: bool = True,
     ) -> int:
         """Send ``command`` to ``target`` (default: nearest replica).
 
         Returns the request id.  ``on_done(reply, latency)`` fires when the
         reply arrives; the completed operation is also appended to the
         deployment-wide history for the checkers.
+
+        ``record=False`` skips the history: internal bookkeeping commands
+        (the 2PC layer's lock CAS traffic) must stay invisible to the
+        linearizability checker, which reasons only about application keys.
         """
         if target is None:
             if command.is_read and (
@@ -131,9 +135,10 @@ class Client:
         self._next_request_id += 1
         request_id = self._next_request_id
         pending = _Pending(command, target, self._loop.now, on_done)
-        pending.history_token = self.deployment.history.begin(
-            self.address, command.op, command.key, command.value, pending.invoked_at
-        )
+        if record:
+            pending.history_token = self.deployment.history.begin(
+                self.address, command.op, command.key, command.value, pending.invoked_at
+            )
         self._pending[request_id] = pending
         if self._tracer.enabled:
             self._tracer.begin(
@@ -142,35 +147,10 @@ class Client:
         self._transmit(request_id, pending)
         return request_id
 
-    def get(self, key: Hashable, target: NodeID | None = None, on_done: OnDone | None = None) -> int:
-        """Deprecated: use :meth:`Session.get <repro.paxi.session.Session.get>`
-        (``deployment.new_session()``), which returns a typed ``Result``
-        instead of requiring a callback.  ``invoke`` remains the supported
-        low-level entry point for load generators."""
-        warnings.warn(
-            "Client.get is deprecated; use Session.get via deployment.new_session() "
-            "(or Client.invoke for callback-driven load generation)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.invoke(Command.get(key), target, on_done)
-
-    def put(
-        self,
-        key: Hashable,
-        value: Any,
-        target: NodeID | None = None,
-        on_done: OnDone | None = None,
-    ) -> int:
-        """Deprecated: use :meth:`Session.put <repro.paxi.session.Session.put>`
-        (``deployment.new_session()``); see :meth:`get`."""
-        warnings.warn(
-            "Client.put is deprecated; use Session.put via deployment.new_session() "
-            "(or Client.invoke for callback-driven load generation)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.invoke(Command.put(key, value), target, on_done)
+    # ``Client.get`` / ``Client.put`` were removed after a deprecation
+    # cycle: use ``Session.get/put/txn`` (``deployment.new_session()``) for
+    # typed results, or ``invoke`` for callback-driven load generation.
+    # See README "Migrating from Client.get/put".
 
     def _transmit(self, request_id: int, pending: _Pending) -> None:
         request = ClientRequest(
@@ -238,7 +218,8 @@ class Client:
         self.completed += 1
         self._attempts_done[message.request_id] = pending.retries + 1
         self._tracer.end((self.address, message.request_id), now, self.address)
-        self.deployment.history.complete(pending.history_token, message.value, now)
+        if pending.history_token is not None:
+            self.deployment.history.complete(pending.history_token, message.value, now)
         if pending.on_done is not None:
             pending.on_done(message, latency)
 
@@ -256,6 +237,32 @@ class Client:
         if pending is not None:
             return pending.retries + 1
         return self._attempts_done.get(request_id, 1)
+
+    def abandon(self, request_id: int) -> None:
+        """Give up on an in-flight request: stop retrying and ignore any
+        late reply (it will look like a stale duplicate).
+
+        The shard-rebalance drain uses this to cut off stragglers bound for
+        a migrating bucket: the operation's history record stays open
+        (``returned_at = inf``), which is exactly how the linearizability
+        checker accounts for a write that may or may not have landed on the
+        source group.
+        """
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        if pending.retry_handle is not None:
+            pending.retry_handle.cancel()
+        self.failed += 1
+        self._attempts_done[request_id] = pending.retries + 1
+        self._tracer.fail((self.address, request_id), self._loop.now, self.address)
+
+    def abandoned(self, request_id: int) -> bool:
+        """True iff the client gave up on ``request_id`` after exhausting
+        its retry budget (as opposed to still waiting or having finished)."""
+        return (
+            request_id not in self._pending and request_id in self._attempts_done
+        )
 
     # ------------------------------------------------------------------
     # Fault-injection commands (paper section 4.2, "Availability")

@@ -13,14 +13,32 @@ the standard deployments (LAN grids and AWS WAN grids).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core import topology as topo
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownShardError
 from repro.paxi.ids import NodeID, grid_ids
+from repro.shard.placement import ShardSpec
 from repro.sim.server import ServiceProfile
 from repro.sim.storage import DURABILITY_MODES, DiskProfile
+
+#: Seed offset between consecutive shards' deployments (prime, so derived
+#: streams across shards never line up with each other).
+SHARD_SEED_STRIDE = 9973
+
+#: Knobs that live in the nested ``replication`` section of the JSON
+#: schema.  The flat spellings are still accepted for one release (with a
+#: DeprecationWarning) — see :meth:`Config.from_dict`.
+_REPLICATION_KEYS = (
+    "batch_window",
+    "batch_size",
+    "pipeline_depth",
+    "durability",
+    "disk",
+    "snapshot_interval",
+)
 
 
 @dataclass
@@ -62,6 +80,11 @@ class Config:
     durability: str = "none"
     disk: DiskProfile | None = None
     snapshot_interval: int | None = None
+    #: Shard layout for the multi-group runtime (``repro.shard``).  ``None``
+    #: keeps the historical single-group behavior; the topology above then
+    #: describes the (one and only) group.  With ``shards`` set, every
+    #: shard gets its *own* grid of this shape — see ``Config.for_shard``.
+    shards: ShardSpec | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_ids) != self.topology.n_nodes:
@@ -108,6 +131,23 @@ class Config:
                     f"snapshot_interval must be a positive integer number of "
                     f"slots or None, got {self.snapshot_interval!r}"
                 )
+        if self.shards is not None and not isinstance(self.shards, ShardSpec):
+            raise ConfigError(
+                f"shards must be a ShardSpec or None, got {type(self.shards).__name__} "
+                "(build one with ShardSpec(count=...) or the 'shards' JSON section)"
+            )
+        if (
+            self.shards is not None
+            and self.shards.count > 1
+            and self.shards.leaders == "spread"
+            and "leader" in self.params
+        ):
+            raise ConfigError(
+                f"leader-placement conflict: params['leader']={self.params['leader']} "
+                "pins every group's leader to one node, but shards.leaders='spread' "
+                "asks for per-shard leaders on different nodes; drop the param or "
+                "set shards.leaders='first'"
+            )
 
     @property
     def batching_enabled(self) -> bool:
@@ -157,6 +197,47 @@ class Config:
         return self.params.get(name, default)
 
     # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self.shards.count if self.shards is not None else 1
+
+    def for_shard(self, index: int) -> "Config":
+        """The per-group configuration of shard ``index``.
+
+        Each shard is an independent deployment: same topology shape and
+        service profile, but its own derived seed (so groups do not march
+        in lockstep) and — under the ``"spread"`` leader policy — a
+        rotated initial leader, mirroring how co-located groups spread
+        leader load across machines.  Shard 0 of a single-shard layout is
+        the *identical* configuration (only ``shards`` cleared), which is
+        what makes single-shard clusters byte-identical to a plain
+        deployment.
+        """
+        spec = self.shards
+        if spec is None or spec.count == 1:
+            if index != 0:
+                raise UnknownShardError(
+                    f"shard {index} does not exist: this configuration has one shard"
+                )
+            return replace(self, shards=None)
+        if not 0 <= index < spec.count:
+            raise UnknownShardError(
+                f"shard {index} does not exist: shards.count = {spec.count}"
+            )
+        params = dict(self.params)
+        if spec.leaders == "spread":
+            params["leader"] = self.node_ids[index % len(self.node_ids)]
+        return replace(
+            self,
+            shards=None,
+            seed=self.seed + index * SHARD_SEED_STRIDE,
+            params=params,
+        )
+
+    # ------------------------------------------------------------------
     # Builders matching the paper's deployments
     # ------------------------------------------------------------------
 
@@ -172,6 +253,7 @@ class Config:
         durability: str = "none",
         disk: DiskProfile | None = None,
         snapshot_interval: int | None = None,
+        shards: ShardSpec | None = None,
         **params: Any,
     ) -> "Config":
         """A single-site LAN cluster (paper section 5.2: 9 nodes).
@@ -192,6 +274,7 @@ class Config:
             durability=durability,
             disk=disk,
             snapshot_interval=snapshot_interval,
+            shards=shards,
         )
 
     @staticmethod
@@ -206,6 +289,7 @@ class Config:
         durability: str = "none",
         disk: DiskProfile | None = None,
         snapshot_interval: int | None = None,
+        shards: ShardSpec | None = None,
         **params: Any,
     ) -> "Config":
         """A multi-region WAN cluster; zone ``i`` lives in ``regions[i-1]``.
@@ -227,6 +311,7 @@ class Config:
             durability=durability,
             disk=disk,
             snapshot_interval=snapshot_interval,
+            shards=shards,
         )
 
     # ------------------------------------------------------------------
@@ -234,7 +319,13 @@ class Config:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize a standard (LAN or AWS WAN grid) deployment."""
+        """Serialize a standard (LAN or AWS WAN grid) deployment.
+
+        Emits the current nested schema: replication knobs live under
+        ``"replication"`` and the shard layout under ``"shards"``.
+        :meth:`from_dict` still reads the historical flat spellings (with a
+        deprecation warning), so old files keep loading.
+        """
         zones = self.zones
         nodes_per_zone = len(self.ids_in_zone(zones[0]))
         if self.node_ids != grid_ids(len(zones), nodes_per_zone):
@@ -253,19 +344,22 @@ class Config:
                 "default_message_bytes": self.profile.default_message_bytes,
             },
             "params": _jsonable_params(self.params),
-            "batch_window": self.batch_window,
-            "batch_size": self.batch_size,
-            "pipeline_depth": self.pipeline_depth,
-            "durability": self.durability,
-            "disk": (
-                {
-                    "fsync_latency": self.disk.fsync_latency,
-                    "write_bandwidth_bps": self.disk.write_bandwidth_bps,
-                }
-                if self.disk is not None
-                else None
-            ),
-            "snapshot_interval": self.snapshot_interval,
+            "replication": {
+                "batch_window": self.batch_window,
+                "batch_size": self.batch_size,
+                "pipeline_depth": self.pipeline_depth,
+                "durability": self.durability,
+                "disk": (
+                    {
+                        "fsync_latency": self.disk.fsync_latency,
+                        "write_bandwidth_bps": self.disk.write_bandwidth_bps,
+                    }
+                    if self.disk is not None
+                    else None
+                ),
+                "snapshot_interval": self.snapshot_interval,
+            },
+            "shards": self.shards.to_dict() if self.shards is not None else None,
         }
         return json.dumps(payload, indent=2)
 
@@ -310,7 +404,9 @@ class Config:
             )
         known = {
             "deployment", "regions", "zones", "nodes_per_zone", "seed",
-            "profile", "params", "protocol",
+            "profile", "params", "protocol", "replication", "shards",
+            # Deprecated flat spellings of the replication knobs (one
+            # release of backward compatibility; see below).
             "batch_window", "batch_size", "pipeline_depth",
             "durability", "disk", "snapshot_interval",
         }
@@ -320,6 +416,33 @@ class Config:
                 f"unknown configuration key(s) {unknown}; "
                 f"valid keys are {sorted(known)}"
             )
+
+        replication = payload.get("replication") or {}
+        if not isinstance(replication, dict):
+            raise ConfigError(
+                f"'replication' must be a mapping, got {replication!r}"
+            )
+        bad_replication = sorted(set(replication) - set(_REPLICATION_KEYS))
+        if bad_replication:
+            raise ConfigError(
+                f"unknown replication key(s) {bad_replication}; "
+                f"valid keys are {sorted(_REPLICATION_KEYS)}"
+            )
+        flat = [k for k in _REPLICATION_KEYS if k in payload]
+        if flat:
+            conflicts = sorted(set(flat) & set(replication))
+            if conflicts:
+                raise ConfigError(
+                    f"{conflicts} given both at the top level and under "
+                    "'replication'; keep only the nested spelling"
+                )
+            warnings.warn(
+                f"flat configuration key(s) {flat} are deprecated; nest them "
+                "under 'replication' (e.g. {\"replication\": {\"batch_size\": 16}})",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            replication = {**replication, **{k: payload[k] for k in flat}}
 
         deployment = payload.get("deployment", "lan")
         if deployment not in ("lan", "wan"):
@@ -374,9 +497,9 @@ class Config:
         _validate_quorum(params, n)
         _validate_lease(params)
 
-        batch_window = payload.get("batch_window")
-        batch_size = payload.get("batch_size", 1)
-        pipeline_depth = payload.get("pipeline_depth")
+        batch_window = replication.get("batch_window")
+        batch_size = replication.get("batch_size", 1)
+        pipeline_depth = replication.get("pipeline_depth")
         if batch_window is not None and not isinstance(batch_window, (int, float)):
             raise ConfigError(
                 f"batch_window must be a number of seconds or null, got {batch_window!r}"
@@ -384,14 +507,14 @@ class Config:
         for name, value in (("batch_size", batch_size), ("pipeline_depth", pipeline_depth)):
             if value is not None and (not isinstance(value, int) or isinstance(value, bool)):
                 raise ConfigError(f"{name} must be an integer, got {value!r}")
-        durability = payload.get("durability", "none")
+        durability = replication.get("durability", "none")
         if durability is None:
             durability = "none"
         if durability not in DURABILITY_MODES:
             raise ConfigError(
                 f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
             )
-        disk_dict = payload.get("disk")
+        disk_dict = replication.get("disk")
         disk = None
         if disk_dict is not None:
             if not isinstance(disk_dict, dict):
@@ -406,13 +529,15 @@ class Config:
                 disk = DiskProfile(**disk_dict)
             except Exception as exc:  # SimulationError or bad field types
                 raise ConfigError(f"invalid disk profile {disk_dict!r}: {exc}") from exc
-        snapshot_interval = payload.get("snapshot_interval")
+        snapshot_interval = replication.get("snapshot_interval")
         if snapshot_interval is not None and (
             not isinstance(snapshot_interval, int) or isinstance(snapshot_interval, bool)
         ):
             raise ConfigError(
                 f"snapshot_interval must be an integer or null, got {snapshot_interval!r}"
             )
+        shards_dict = payload.get("shards")
+        shards = ShardSpec.from_dict(shards_dict) if shards_dict is not None else None
         common = {
             "nodes_per_zone": nodes_per_zone,
             "seed": payload.get("seed", 0),
@@ -423,6 +548,7 @@ class Config:
             "durability": durability,
             "disk": disk,
             "snapshot_interval": snapshot_interval,
+            "shards": shards,
         }
         if deployment == "lan":
             return Config.lan(zones=zones, **common, **params)

@@ -13,7 +13,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.paxi.config import Config
 from repro.paxi.history import HistoryRecorder
 from repro.paxi.ids import NodeID
-from repro.sim.clock import NodeClock
+from repro.sim.clock import EventLoop, NodeClock
 from repro.sim.cluster import Cluster
 from repro.sim.network import FaultPlan
 from repro.sim.server import Server
@@ -22,7 +22,7 @@ from repro.sim.storage import Disk
 if TYPE_CHECKING:
     from repro.paxi.client import Client
     from repro.paxi.node import Replica
-    from repro.paxi.session import Session
+    from repro.paxi.session import Session, SessionOptions
 
 ReplicaFactory = Callable[["Deployment", NodeID], "Replica"]
 
@@ -34,10 +34,19 @@ def _down_sink(src: Hashable, message: object, size_bytes: int) -> None:
 class Deployment:
     """A running (simulated) cluster of protocol replicas plus clients."""
 
-    def __init__(self, config: Config, faults: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        config: Config,
+        faults: FaultPlan | None = None,
+        loop: "EventLoop | None" = None,
+    ) -> None:
         self.config = config
         self.cluster = Cluster(
-            config.topology, seed=config.seed, profile=config.profile, faults=faults
+            config.topology,
+            seed=config.seed,
+            profile=config.profile,
+            faults=faults,
+            loop=loop,
         )
         self.history = HistoryRecorder()
         self.replicas: dict[NodeID, "Replica"] = {}
@@ -53,6 +62,11 @@ class Deployment:
         self._clocks: dict[NodeID, NodeClock] = {}
         self._down: dict[NodeID, str] = {}  # node -> "reboot" | "wipe" while down
         self._restart_reason: dict[NodeID, str] = {}  # visible during rebuild
+        # Per-key version chains migrated INTO this group by a shard
+        # rebalance (repro.shard).  Kept here so replicas rebuilt after a
+        # reboot/wipe re-adopt them before replaying their own log: the
+        # migrated prefix predates every local log entry for those keys.
+        self._seeded_chains: dict[Hashable, list] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,11 +100,26 @@ class Deployment:
         if node_id in self.replicas:
             raise SimulationError(f"replica {node_id} already attached")
         self.replicas[node_id] = replica
+        for key, values in self._seeded_chains.items():
+            replica.store.adopt(key, values)
         site = self.config.site_of(node_id)
         if node_id in self.cluster.servers:
             self.cluster.replace_receiver(node_id, replica.on_network_receive)
             return self.cluster.server(node_id)
         return self.cluster.add_server(node_id, site, replica.on_network_receive)
+
+    def seed_chain(self, key: Hashable, values: list) -> None:
+        """Adopt ``key``'s committed version chain into every replica of
+        this group (and into replicas rebuilt later).
+
+        This is the receiving half of a shard rebalance: the chain was
+        decided by another consensus group, so it arrives as state, not as
+        log entries — exactly like WanKeeper token transfer / Vertical
+        Paxos reassignment splice migrated history via ``store.adopt``.
+        """
+        self._seeded_chains[key] = list(values)
+        for replica in self.replicas.values():
+            replica.store.adopt(key, values)
 
     def disk_for(self, node_id: NodeID) -> Disk | None:
         """The node's durable disk (created on first use), or None for
@@ -140,23 +169,33 @@ class Deployment:
 
     def new_session(
         self,
+        options: "SessionOptions | None" = None,
         site: str | None = None,
         zone: int | None = None,
-        max_wait: float = 5.0,
+        max_wait: float | None = None,
         consistency: str | None = None,
     ) -> "Session":
         """Create a typed :class:`~repro.paxi.session.Session` facade.
 
-        Sessions are the recommended way to issue individual commands:
+        Sessions are the only supported way to issue individual commands:
         ``session.put(k, v)`` returns a :class:`~repro.paxi.session.Result`
-        carrying the value, latency, and replying replica.  ``consistency``
-        sets the session's default read path (``"lease"``, ``"quorum"``,
-        ``"local"``, or ``None`` for the leader round) — see
-        ``docs/READS.md``.
+        carrying the value, latency, and replying replica, and
+        ``session.txn(...)`` runs a multi-key transaction.  Configure via a
+        :class:`~repro.paxi.session.SessionOptions` (or the keyword
+        shorthands, which build one) — e.g. ``consistency`` sets the
+        session's default read path (``"lease"``, ``"quorum"``, ``"local"``,
+        or ``None`` for the leader round; see ``docs/READS.md``).
         """
         from repro.paxi.session import Session
 
-        return Session(self, site=site, zone=zone, max_wait=max_wait, consistency=consistency)
+        return Session(
+            self,
+            options,
+            site=site,
+            zone=zone,
+            max_wait=max_wait,
+            consistency=consistency,
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.paxi.message import Command
+from repro.paxi.message import CAS, Command
 
 
 @dataclass(frozen=True)
@@ -21,6 +21,20 @@ class Version:
 
     number: int
     value: Any
+
+
+@dataclass(frozen=True)
+class CasFailed:
+    """Reply value for a compare-and-swap whose expectation did not hold.
+
+    Carries the value the key actually had at execution time, so the caller
+    (e.g. the 2PC lock manager) can see who holds a contended lock.  The
+    command executes deterministically — every replica computes the same
+    outcome at the same log position — so a failed CAS appends nothing and
+    state machines stay identical.
+    """
+
+    current: Any
 
 
 class MultiVersionStore:
@@ -42,6 +56,10 @@ class MultiVersionStore:
         chain = self._chains.get(command.key)
         if command.is_read:
             return chain[-1].value if chain else None
+        if command.op == CAS:
+            current = chain[-1].value if chain else None
+            if current != command.expect:
+                return CasFailed(current)
         if chain is None:
             chain = []
             self._chains[command.key] = chain

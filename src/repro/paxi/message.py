@@ -49,6 +49,7 @@ class Message:
 
 GET = "GET"
 PUT = "PUT"
+CAS = "CAS"
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +66,13 @@ class Command:
     the leader's local store while its lease is valid, ``"quorum"`` polls a
     read quorum of acceptors, and ``"local"`` serves from any replica's
     local store (bounded staleness, not linearizable).  Writes ignore it.
+
+    A ``CAS`` writes ``value`` only if the key's current value equals
+    ``expect`` (both compared at execution time inside the replicated state
+    machine, so the outcome is identical on every replica).  On mismatch it
+    returns a :class:`~repro.paxi.kvstore.CasFailed` carrying the current
+    value.  The cross-shard transaction layer builds its per-key locks out
+    of this primitive.
     """
 
     op: str
@@ -72,11 +80,12 @@ class Command:
     value: Any = None
     min_version: int = 0
     read_mode: str | None = None
+    expect: Any = None
 
     READ_MODES = (None, "lease", "quorum", "local")
 
     def __post_init__(self) -> None:
-        if self.op not in (GET, PUT):
+        if self.op not in (GET, PUT, CAS):
             raise ValueError(f"unknown op {self.op!r}")
         if self.read_mode not in self.READ_MODES:
             raise ValueError(f"unknown read_mode {self.read_mode!r}")
@@ -87,7 +96,7 @@ class Command:
 
     @property
     def is_write(self) -> bool:
-        return self.op == PUT
+        return self.op != GET
 
     def conflicts_with(self, other: "Command") -> bool:
         """Two commands interfere iff they touch the same key and at least
@@ -101,6 +110,10 @@ class Command:
     @staticmethod
     def put(key: Hashable, value: Any) -> "Command":
         return Command(PUT, key, value)
+
+    @staticmethod
+    def cas(key: Hashable, expect: Any, value: Any) -> "Command":
+        return Command(CAS, key, value, expect=expect)
 
 
 @dataclass(frozen=True, slots=True)

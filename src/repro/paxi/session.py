@@ -1,12 +1,23 @@
 """Typed, synchronous-feeling client facade over the callback `Client`.
 
-:class:`Session` is the API most callers want: ``put``/``get`` return a
-:class:`Result` dataclass (value, latency, which replica answered) instead
-of asking the caller to thread an ``on_done`` callback and drive the event
-loop by hand.  Under the hood a session still issues commands through a
+:class:`Session` is the only supported client surface: ``put``/``get``
+return a :class:`Result` dataclass (value, latency, which replica answered)
+and ``txn`` runs a multi-key transaction, instead of asking the caller to
+thread ``on_done`` callbacks and drive the event loop by hand.  Under the
+hood a session still issues commands through a
 :class:`~repro.paxi.client.Client` and advances the deployment's virtual
 clock until the reply lands (or ``max_wait`` expires), so sessions compose
 with everything else running in the simulation.
+
+Session-level knobs are consolidated into :class:`SessionOptions`; the same
+dataclass doubles as a per-call override (``session.get(k,
+opts=SessionOptions(consistency="quorum"))``).  The old per-call ``target=``
+/ ``consistency=`` keyword arguments are still accepted for one release and
+emit a :class:`DeprecationWarning`.
+
+Against a sharded cluster (:mod:`repro.shard`) the same facade routes each
+key through the placement map — see
+:class:`repro.shard.session.ShardedSession`, which subclasses this one.
 
 The paper's four fault-injection commands are methods here too, mirroring
 the Paxi client library's "RESTful" surface.
@@ -14,15 +25,73 @@ the Paxi client library's "RESTful" surface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Hashable
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping
 
+from repro.errors import InvalidOptions, NoQuorum, RetriesExhausted
 from repro.paxi.message import ClientReply, Command
 from repro.paxi.ids import NodeID
 
 if TYPE_CHECKING:
     from repro.paxi.client import Client
     from repro.paxi.deployment import Deployment
+    from repro.shard.txn import TxnResult
+
+#: Session default when ``SessionOptions.max_wait`` is left unset.
+DEFAULT_MAX_WAIT = 5.0
+
+
+@dataclass(frozen=True)
+class SessionOptions:
+    """Consolidated knobs for a session, or overrides for a single call.
+
+    Every field defaults to "inherit": a ``None`` (or ``False`` for
+    ``strict``) falls back to the session's options, which in turn fall
+    back to the documented global defaults.  That makes one dataclass
+    serve both roles — ``new_session(options=...)`` configures a session,
+    ``session.get(k, opts=...)`` overrides one call.
+
+    - ``site`` / ``zone`` — where the session's client(s) are co-located;
+    - ``max_wait`` — virtual seconds to wait for each reply (default 5.0);
+    - ``consistency`` — default read path (``None`` = leader round,
+      ``"lease"``, ``"quorum"``, or ``"local"`` — see ``docs/READS.md``);
+    - ``target`` — pin commands to one replica instead of nearest/leader
+      routing (single-group deployments only);
+    - ``strict`` — raise :class:`~repro.errors.NoQuorum` /
+      :class:`~repro.errors.RetriesExhausted` instead of returning a
+      ``Result`` with ``ok=False``.
+    """
+
+    site: str | None = None
+    zone: int | None = None
+    max_wait: float | None = None
+    consistency: str | None = None
+    target: NodeID | None = None
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.consistency not in Command.READ_MODES:
+            raise InvalidOptions(
+                f"unknown consistency {self.consistency!r}; "
+                f"expected one of {Command.READ_MODES}"
+            )
+        if self.max_wait is not None and self.max_wait <= 0:
+            raise InvalidOptions(
+                f"max_wait must be a positive number of seconds, got {self.max_wait!r}"
+            )
+
+    def merged_over(self, base: "SessionOptions") -> "SessionOptions":
+        """Field-wise overlay: any field set here wins over ``base``."""
+        updates: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "strict":
+                if value:
+                    updates[f.name] = True
+            elif value is not None:
+                updates[f.name] = value
+        return replace(base, **updates) if updates else base
 
 
 @dataclass(frozen=True)
@@ -66,55 +135,132 @@ class Session:
     def __init__(
         self,
         deployment: "Deployment",
+        options: SessionOptions | None = None,
         site: str | None = None,
         zone: int | None = None,
-        max_wait: float = 5.0,
+        max_wait: float | None = None,
         consistency: str | None = None,
     ) -> None:
-        if consistency not in Command.READ_MODES:
-            raise ValueError(f"unknown consistency {consistency!r}")
+        options = _fold_legacy(options, site, zone, max_wait, consistency)
+        self.options = options
         self.deployment = deployment
-        self.client: "Client" = deployment.new_client(site=site, zone=zone)
-        self.max_wait = max_wait
-        #: Default read path for this session's GETs (None = leader round).
-        self.consistency = consistency
+        self.client: "Client" = deployment.new_client(
+            site=options.site, zone=options.zone
+        )
+        self._txn_runtime = None
+
+    # Resolved session defaults ----------------------------------------
+
+    @property
+    def max_wait(self) -> float:
+        return (
+            self.options.max_wait
+            if self.options.max_wait is not None
+            else DEFAULT_MAX_WAIT
+        )
+
+    @property
+    def consistency(self) -> str | None:
+        """Default read path for this session's GETs (None = leader round)."""
+        return self.options.consistency
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
-    def put(self, key: Hashable, value: Any, target: NodeID | None = None) -> Result:
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        opts: SessionOptions | None = None,
+        target: NodeID | None = None,
+    ) -> Result:
         """Write ``key = value`` and wait for the committed reply."""
-        return self.execute(Command.put(key, value), target)
+        opts = _fold_call_kwargs(opts, target=target)
+        return self.execute(Command.put(key, value), opts)
 
     def get(
         self,
         key: Hashable,
+        opts: SessionOptions | None = None,
         target: NodeID | None = None,
         consistency: str | None = None,
     ) -> Result:
-        """Read ``key`` and wait for the reply.  ``consistency`` overrides
-        the session default read path for this one read."""
-        mode = self.consistency if consistency is None else consistency
-        return self.execute(Command.get(key, read_mode=mode), target)
+        """Read ``key`` and wait for the reply.  ``opts`` overrides the
+        session options for this one read (e.g. a different read path)."""
+        opts = _fold_call_kwargs(opts, target=target, consistency=consistency)
+        resolved = opts.merged_over(self.options) if opts else self.options
+        return self.execute(
+            Command.get(key, read_mode=resolved.consistency), opts
+        )
 
-    def execute(self, command: Command, target: NodeID | None = None) -> Result:
+    def txn(
+        self,
+        writes: Mapping[Hashable, Any] | None = None,
+        reads: Iterable[Hashable] | None = None,
+    ) -> "TxnResult":
+        """Atomically apply ``writes`` and read ``reads`` across shards.
+
+        Single-key sessions route everything through one consensus group;
+        a :class:`~repro.shard.session.ShardedSession` spreads the keys
+        over their shards and runs two-phase commit on top of the groups
+        (see ``docs/SHARDING.md``).  Raises
+        :class:`~repro.errors.TxnAborted` on a lock conflict and
+        :class:`~repro.errors.NoQuorum` if a participant group is
+        unreachable; on success returns a
+        :class:`~repro.shard.txn.TxnResult` with the values read.
+        """
+        runtime = self._txn_backend()
+        return runtime.run(dict(writes or {}), list(reads or []))
+
+    def _txn_backend(self):
+        if self._txn_runtime is None:
+            from repro.shard.txn import SingleGroupTxnRuntime
+
+            self._txn_runtime = SingleGroupTxnRuntime(
+                self.deployment, site=self.options.site, zone=self.options.zone
+            )
+        return self._txn_runtime
+
+    def execute(
+        self,
+        command: Command,
+        opts: SessionOptions | None = None,
+        target: NodeID | None = None,
+    ) -> Result:
         """Issue ``command`` and run the simulation until it resolves."""
+        opts = _fold_call_kwargs(opts, target=target)
+        resolved = opts.merged_over(self.options) if opts else self.options
+        max_wait = (
+            resolved.max_wait if resolved.max_wait is not None else DEFAULT_MAX_WAIT
+        )
         outcome: dict[str, Any] = {}
 
         def on_done(reply: ClientReply, latency: float) -> None:
             outcome["reply"] = reply
             outcome["latency"] = latency
 
+        client = self._client_for(command)
         started = self.deployment.now
-        request_id = self.client.invoke(command, target, on_done)
-        deadline = started + self.max_wait
+        request_id = client.invoke(command, resolved.target, on_done)
+        deadline = started + max_wait
         while "reply" not in outcome and self.deployment.now < deadline:
             self.deployment.run_for(min(self._STEP, deadline - self.deployment.now))
         reply = outcome.get("reply")
-        attempts = self.client.attempts(request_id)
+        attempts = client.attempts(request_id)
         read_mode = command.read_mode if command.is_read else None
         if reply is None:
+            if resolved.strict:
+                waited = self.deployment.now - started
+                if client.abandoned(request_id):
+                    raise RetriesExhausted(
+                        f"{command.op}({command.key!r}) abandoned after "
+                        f"{attempts} transmissions"
+                    )
+                raise NoQuorum(
+                    f"{command.op}({command.key!r}) got no reply within "
+                    f"{waited:.3f}s of virtual time"
+                )
             return Result(
                 ok=False,
                 value=None,
@@ -134,6 +280,12 @@ class Session:
             attempts=attempts,
             read_mode=read_mode,
         )
+
+    def _client_for(self, command: Command) -> "Client":
+        """The client that should carry ``command``.  The single-group
+        session always answers with its one client; the sharded session
+        overrides this to route by the command's key."""
+        return self.client
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,3 +328,60 @@ class Session:
     ) -> None:
         """Randomly drop messages from ``src`` to ``dst``."""
         self.deployment.flaky(src, dst, duration, probability)
+
+
+def _fold_legacy(
+    options: SessionOptions | None,
+    site: str | None,
+    zone: int | None,
+    max_wait: float | None,
+    consistency: str | None,
+) -> SessionOptions:
+    """Merge constructor keyword shorthands into a ``SessionOptions``.
+
+    ``new_session(site=..., consistency=...)`` remains the documented
+    convenience spelling; mixing it with an explicit ``options`` object
+    that sets the same field is ambiguous and rejected.
+    """
+    if options is None:
+        return SessionOptions(
+            site=site, zone=zone, max_wait=max_wait, consistency=consistency
+        )
+    for name, value in (
+        ("site", site),
+        ("zone", zone),
+        ("max_wait", max_wait),
+        ("consistency", consistency),
+    ):
+        if value is not None:
+            if getattr(options, name) is not None:
+                raise InvalidOptions(
+                    f"{name} given both in options and as a keyword; pick one"
+                )
+            options = replace(options, **{name: value})
+    return options
+
+
+def _fold_call_kwargs(
+    opts: SessionOptions | None,
+    target: NodeID | None = None,
+    consistency: str | None = None,
+) -> SessionOptions | None:
+    """Fold the deprecated per-call ``target=`` / ``consistency=`` keyword
+    arguments into a per-call ``SessionOptions`` overlay."""
+    legacy = {}
+    if target is not None:
+        legacy["target"] = target
+    if consistency is not None:
+        legacy["consistency"] = consistency
+    if not legacy:
+        return opts
+    warnings.warn(
+        f"per-call {sorted(legacy)} keyword(s) are deprecated; pass "
+        "opts=SessionOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if opts is None:
+        return SessionOptions(**legacy)
+    return replace(opts, **legacy)

@@ -1,0 +1,56 @@
+"""Multi-group (sharded) runtime: N consensus groups behind one key space.
+
+``repro.shard`` scales the single-group runtime horizontally: a
+:class:`~repro.shard.cluster.ShardedCluster` instantiates one
+:class:`~repro.paxi.deployment.Deployment` per shard, routes every command
+through a pluggable key→shard :mod:`placement <repro.shard.placement>` map,
+and layers two-phase commit over the groups for cross-shard multi-key
+transactions (:mod:`repro.shard.txn`).  See ``docs/SHARDING.md``.
+
+Only :mod:`repro.shard.placement` is imported eagerly — it is a leaf module
+that ``repro.paxi.config`` depends on for the ``Config.shards`` schema; the
+runtime modules import ``repro.paxi`` back and therefore load lazily.
+"""
+
+from __future__ import annotations
+
+from repro.shard.placement import (  # noqa: F401  (re-exported)
+    HashPlacement,
+    OwnershipPlacement,
+    PlacementMap,
+    RangePlacement,
+    ShardSpec,
+    lock_key,
+    routing_key,
+)
+
+_LAZY = {
+    "ShardedCluster": ("repro.shard.cluster", "ShardedCluster"),
+    "ShardedSession": ("repro.shard.session", "ShardedSession"),
+    "TxnResult": ("repro.shard.txn", "TxnResult"),
+    "ShardNemesis": ("repro.shard.nemesis", "ShardNemesis"),
+}
+
+__all__ = [
+    "HashPlacement",
+    "OwnershipPlacement",
+    "PlacementMap",
+    "RangePlacement",
+    "ShardSpec",
+    "ShardedCluster",
+    "ShardedSession",
+    "ShardNemesis",
+    "TxnResult",
+    "lock_key",
+    "routing_key",
+]
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

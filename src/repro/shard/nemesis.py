@@ -1,0 +1,101 @@
+"""Chaos for sharded clusters: per-group faults plus bucket rebalances.
+
+A :class:`ShardNemesis` composes one seeded
+:class:`~repro.bench.nemesis.Nemesis` per consensus group — each group gets
+its own quorum-preserving schedule, so every group stays able to make
+progress while still suffering crashes, partitions, and link faults — and
+adds the one fault class only a sharded cluster has: moving a placement
+bucket between groups mid-run (``rebalance`` in
+:data:`repro.bench.nemesis.ALL_KINDS`).
+
+Rebalances exercise the drain/copy/flip path of
+:meth:`repro.shard.cluster.ShardedCluster.rebalance` while transactions and
+single-key traffic are in flight; the linearizability and 2PC-atomicity
+checkers then audit the merged history as usual.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.bench.nemesis import KINDS, FaultEvent, Nemesis
+from repro.paxi.ids import NodeID
+from repro.shard.placement import HashPlacement
+
+if TYPE_CHECKING:
+    from repro.shard.cluster import ShardedCluster
+
+
+@dataclass
+class ShardNemesis:
+    """Draws and applies a fault schedule across every group of a cluster.
+
+    ``events`` faults are drawn *per group* (each group seeded
+    independently from ``seed``), plus ``rebalances`` bucket moves spread
+    over the horizon.  Every returned event carries its ``shard`` (or
+    ``bucket``/``to_shard`` for rebalances) so a failing schedule replays
+    exactly from the seed.
+    """
+
+    seed: int = 0
+    horizon: float = 1.0
+    events: int = 2
+    rebalances: int = 1
+    kinds: Sequence[str] = KINDS
+    spare: Sequence[NodeID] = ()
+    max_partition_size: int = 2
+    max_duration: float = 0.4
+    preserve_quorum: bool = True
+    drain_timeout: float = 0.25
+
+    def _group_nemesis(self, shard: int) -> Nemesis:
+        return Nemesis(
+            seed=self.seed + 7919 * (shard + 1),
+            horizon=self.horizon,
+            events=self.events,
+            kinds=self.kinds,
+            spare=self.spare,
+            max_partition_size=self.max_partition_size,
+            max_duration=self.max_duration,
+            preserve_quorum=self.preserve_quorum,
+        )
+
+    def schedule_rebalances(self, cluster: "ShardedCluster") -> list[FaultEvent]:
+        """Draw the bucket moves (without applying them).  Empty when the
+        cluster has one group or a non-hash placement."""
+        placement = cluster.placement
+        if cluster.shard_count < 2 or not isinstance(placement, HashPlacement):
+            return []
+        rng = random.Random(self.seed * 6007 + 13)
+        out: list[FaultEvent] = []
+        for _ in range(self.rebalances):
+            bucket = rng.randrange(cluster.spec.buckets)
+            current = placement.shard_of_bucket(bucket)
+            dst = (current + 1 + rng.randrange(cluster.shard_count - 1)) % cluster.shard_count
+            start = rng.uniform(0.0, self.horizon)
+            out.append(
+                FaultEvent("rebalance", start, 0.0, bucket=bucket, to_shard=dst)
+            )
+        out.sort(key=lambda e: e.start)
+        return out
+
+    def unleash(self, cluster: "ShardedCluster", at: float | None = None) -> list[FaultEvent]:
+        """Inject the full schedule into ``cluster``; returns the applied
+        events (all groups merged, sorted by start time)."""
+        base = cluster.now if at is None else at
+        applied: list[FaultEvent] = []
+        for shard, group in enumerate(cluster.groups):
+            events = self._group_nemesis(shard).unleash(group, at=base)
+            applied.extend(replace(event, shard=shard) for event in events)
+        for event in self.schedule_rebalances(cluster):
+            cluster.rebalance(
+                event.bucket,
+                event.to_shard,
+                at=base + event.start,
+                drain_timeout=self.drain_timeout,
+            )
+            applied.append(event)
+        applied.sort(key=lambda e: e.start)
+        return applied

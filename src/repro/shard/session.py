@@ -1,0 +1,58 @@
+"""Session facade over a sharded cluster.
+
+A :class:`ShardedSession` *is* a :class:`~repro.paxi.session.Session` —
+same ``put``/``get``/``txn``/``execute`` surface, same
+:class:`~repro.paxi.session.SessionOptions` — except its client is the
+cluster's routing facade, so every command lands on its key's consensus
+group, and ``txn`` runs two-phase commit across groups instead of through
+one log.  Code written against the Session API moves to a sharded cluster
+by changing only the constructor:
+
+    session = ShardedCluster(config).start(MultiPaxos).new_session()
+
+``SessionOptions.target`` still pins a replica, interpreted *within the
+key's group* (every group shares the same node-ID scheme).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.paxi.session import Session, SessionOptions
+
+if TYPE_CHECKING:
+    from repro.shard.cluster import ShardedCluster
+
+
+class ShardedSession(Session):
+    """The Session API, routed across a :class:`ShardedCluster`."""
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        options: SessionOptions | None = None,
+        site: str | None = None,
+        zone: int | None = None,
+        max_wait: float | None = None,
+        consistency: str | None = None,
+    ) -> None:
+        # Session.__init__ calls ``cluster.new_client(...)``, which hands
+        # back the routing facade; everything else composes unchanged.
+        super().__init__(
+            cluster,
+            options,
+            site=site,
+            zone=zone,
+            max_wait=max_wait,
+            consistency=consistency,
+        )
+        self.cluster: "ShardedCluster" = cluster
+
+    def _txn_backend(self):
+        if self._txn_runtime is None:
+            from repro.shard.txn import ShardedTxnRuntime
+
+            self._txn_runtime = ShardedTxnRuntime(
+                self.cluster, site=self.options.site, zone=self.options.zone
+            )
+        return self._txn_runtime

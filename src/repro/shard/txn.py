@@ -1,0 +1,434 @@
+"""Cross-shard transactions: client-driven two-phase commit over groups.
+
+Each consensus group is linearizable on its own; multi-key atomicity across
+groups is layered on top, Percolator-style, by the **client** acting as the
+2PC coordinator:
+
+1. **Lock** — acquire a per-key lock with a CAS through each key's own
+   consensus log (``lock_key(k)`` routes to ``k``'s group, so the lock and
+   the data are ordered by the same log).  Locks cover every key the
+   transaction touches and are taken one at a time in a global deterministic
+   order — ``(shard, repr(key))`` — so two transactions contending for
+   overlapping key sets cannot deadlock.
+2. **Read** — with all locks held, read the snapshot.
+3. **Commit** — write a COMMIT record to the coordinator's write-ahead log
+   (the decision point), then apply every write through its group and
+   release the locks.
+
+A coordinator that dies mid-protocol leaves its locks held; recovery
+(:func:`recover_transactions`, surfaced as
+``ShardedCluster.recover_txns()``) replays the WAL: no COMMIT record means
+the transaction aborts and its locks are released; a COMMIT record without
+END is rolled forward — writes whose INVOKED record exists are re-applied
+*without* re-recording them in the operation history (the original in-flight
+invocation, with its open response interval, already accounts for them to
+the linearizability checker), writes never invoked are applied and recorded
+normally.
+
+Lock traffic itself is invoked with ``record=False``: the linearizability
+checker reasons about application keys, and the lock CAS round-trips are
+protocol internals, exactly like a protocol's own leader-election messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping
+
+from repro.errors import NoQuorum, TxnAborted
+from repro.paxi.kvstore import CasFailed
+from repro.paxi.message import Command
+from repro.shard.placement import lock_key
+
+if TYPE_CHECKING:
+    from repro.paxi.deployment import Deployment
+    from repro.shard.cluster import ShardedCluster
+
+#: Coordinator-crash points a chaos plan can request, in protocol order.
+CRASH_POINTS = (
+    "after_first_lock",  # one lock held, the rest never acquired
+    "after_locks",       # all locks held, nothing read or decided
+    "before_commit",     # reads done, decision never logged -> must abort
+    "after_commit",      # decision logged, no write applied -> roll forward
+    "after_first_write", # decision logged, one write in flight
+    "before_end",        # all writes applied, locks never released
+)
+
+#: How long a synchronous ``run()`` drives the simulation per step.
+_STEP = 0.005
+
+
+@dataclass
+class TxnResult:
+    """Outcome of one cross-shard transaction."""
+
+    ok: bool
+    txn_id: str
+    values: dict[Hashable, Any] = field(default_factory=dict)
+    latency_ms: float = 0.0
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+#: issue(command, on_done, record) -> request id, through some client.
+Issuer = Callable[..., int]
+
+
+class TxnCoordinator:
+    """The 2PC state machine, driven entirely by reply callbacks.
+
+    Asynchronous by construction so the benchmarker can keep many
+    transactions in flight; :class:`SingleGroupTxnRuntime` /
+    :class:`ShardedTxnRuntime` wrap it synchronously for sessions.
+
+    ``crash_at`` (one of :data:`CRASH_POINTS`) makes the coordinator die at
+    that point in the protocol: it stops reacting to replies, leaving locks
+    and the WAL exactly as a real client crash would.
+    """
+
+    def __init__(
+        self,
+        issue: Issuer,
+        wal_append: Callable[[tuple], None],
+        shard_of: Callable[[Hashable], int],
+        now: Callable[[], float],
+        txn_id: str,
+        writes: Mapping[Hashable, Any],
+        reads: Iterable[Hashable],
+        on_done: Callable[[TxnResult], None] | None = None,
+        crash_at: str | None = None,
+    ) -> None:
+        if crash_at is not None and crash_at not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {crash_at!r}; expected one of {CRASH_POINTS}"
+            )
+        self._issue = issue
+        self._wal = wal_append
+        self._now = now
+        self.txn_id = txn_id
+        self.writes = dict(writes)
+        self.reads = list(reads)
+        self._on_done = on_done
+        self.crash_at = crash_at
+        # Global deterministic lock order: two transactions with overlapping
+        # key sets acquire their common keys in the same order, so one of
+        # them loses the CAS and aborts instead of deadlocking.
+        self._lock_order = sorted(
+            set(self.writes) | set(self.reads), key=lambda k: (shard_of(k), repr(k))
+        )
+        self._locked: list[Hashable] = []
+        self._values: dict[Hashable, Any] = {}
+        self._started = now()
+        self.dead = False  # set by a crash plan: all callbacks go inert
+        self.finished: TxnResult | None = None
+
+    # ------------------------------------------------------------------
+    # Protocol phases
+    # ------------------------------------------------------------------
+
+    def start(self) -> "TxnCoordinator":
+        self._wal(("begin", self.txn_id, dict(self.writes), list(self.reads),
+                   list(self._lock_order)))
+        self._lock_next(0)
+        return self
+
+    def _crashed(self, point: str) -> bool:
+        if self.crash_at == point:
+            self.dead = True
+            return True
+        return False
+
+    def _lock_next(self, index: int) -> None:
+        if index == len(self._lock_order):
+            if self._crashed("after_locks"):
+                return
+            self._read_phase()
+            return
+        key = self._lock_order[index]
+
+        def on_reply(reply: Any, _latency: float) -> None:
+            if self.dead:
+                return
+            if isinstance(reply.value, CasFailed):
+                self._abort(f"lock-conflict:{key!r}:held-by:{reply.value.current!r}")
+                return
+            self._wal(("locked", key))
+            self._locked.append(key)
+            if index == 0 and self._crashed("after_first_lock"):
+                return
+            self._lock_next(index + 1)
+
+        self._issue(Command.cas(lock_key(key), None, self.txn_id), on_reply, record=False)
+
+    def _read_phase(self) -> None:
+        if not self.reads:
+            self._commit()
+            return
+        remaining = {"n": len(self.reads)}
+        for key in self.reads:
+
+            def on_reply(reply: Any, _latency: float, key: Hashable = key) -> None:
+                if self.dead:
+                    return
+                self._values[key] = reply.value
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    self._commit()
+
+            self._issue(Command.get(key), on_reply, record=True)
+
+    def _commit(self) -> None:
+        if self._crashed("before_commit"):
+            return
+        self._wal(("commit",))
+        if self._crashed("after_commit"):
+            return
+        if not self.writes:
+            self._release(ok=True)
+            return
+        items = sorted(self.writes.items(), key=lambda kv: repr(kv[0]))
+        remaining = {"n": len(items)}
+
+        def on_reply(_reply: Any, _latency: float) -> None:
+            if self.dead:
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._release(ok=True)
+
+        for index, (key, value) in enumerate(items):
+            self._wal(("invoked", key))
+            self._issue(Command.put(key, value), on_reply, record=True)
+            if index == 0 and self._crashed("after_first_write"):
+                return
+
+    def _release(self, ok: bool, reason: str | None = None) -> None:
+        if ok and self._crashed("before_end"):
+            return
+        if not self._locked:
+            self._finish(ok, reason)
+            return
+        remaining = {"n": len(self._locked)}
+
+        def on_reply(_reply: Any, _latency: float) -> None:
+            # A CasFailed here means the lock was already released or
+            # re-taken (recovery racing a slow reply): nothing to do.
+            if self.dead:
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._finish(ok, reason)
+
+        for key in self._locked:
+            self._issue(
+                Command.cas(lock_key(key), self.txn_id, None), on_reply, record=False
+            )
+
+    def _abort(self, reason: str) -> None:
+        self._wal(("abort", reason))
+        self._release(ok=False, reason=reason)
+
+    def _finish(self, ok: bool, reason: str | None) -> None:
+        self._wal(("end",))
+        self.finished = TxnResult(
+            ok=ok,
+            txn_id=self.txn_id,
+            values=dict(self._values),
+            latency_ms=(self._now() - self._started) * 1e3,
+            reason=reason,
+        )
+        if self._on_done is not None:
+            self._on_done(self.finished)
+
+
+# ----------------------------------------------------------------------
+# Synchronous runtimes (Session.txn backends)
+# ----------------------------------------------------------------------
+
+
+class _SyncRuntime:
+    """Shared synchronous driver: begin a coordinator, run the simulation
+    until it resolves, translate failures into typed exceptions."""
+
+    def run(
+        self,
+        writes: Mapping[Hashable, Any],
+        reads: Iterable[Hashable],
+        max_wait: float = 5.0,
+    ) -> TxnResult:
+        machine = self.begin(writes, reads)
+        deadline = self._now() + max_wait
+        while machine.finished is None and self._now() < deadline:
+            self._run_for(min(_STEP, deadline - self._now()))
+        if machine.finished is None:
+            raise NoQuorum(
+                f"transaction {machine.txn_id} did not resolve within "
+                f"{max_wait}s of virtual time (participant group unreachable?)"
+            )
+        result = machine.finished
+        if not result.ok:
+            raise TxnAborted(result.txn_id, result.reason or "aborted")
+        return result
+
+    def begin(self, writes, reads, on_done=None, crash_at=None) -> TxnCoordinator:
+        raise NotImplementedError
+
+    def _now(self) -> float:
+        raise NotImplementedError
+
+    def _run_for(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SingleGroupTxnRuntime(_SyncRuntime):
+    """``Session.txn`` backend for a plain (unsharded) deployment.
+
+    Runs the identical coordinator state machine with every key on "shard
+    0" — multi-key writes through one group still need the lock phase to be
+    atomic, since other clients' commands interleave in the same log
+    between the transaction's writes.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self, deployment: "Deployment", site: str | None = None, zone: int | None = None
+    ) -> None:
+        self.deployment = deployment
+        self.client = deployment.new_client(site=site, zone=zone)
+        #: txn_id -> list of WAL records (the coordinator's durable log).
+        self.wal: dict[str, list[tuple]] = {}
+
+    def begin(self, writes, reads, on_done=None, crash_at=None) -> TxnCoordinator:
+        txn_id = f"txn-g{next(self._ids)}"
+        records = self.wal.setdefault(txn_id, [])
+
+        def issue(command: Command, cb, record: bool = True) -> int:
+            return self.client.invoke(command, on_done=cb, record=record)
+
+        return TxnCoordinator(
+            issue,
+            records.append,
+            shard_of=lambda _key: 0,
+            now=lambda: self.deployment.now,
+            txn_id=txn_id,
+            writes=writes,
+            reads=reads,
+            on_done=on_done,
+            crash_at=crash_at,
+        ).start()
+
+    def _now(self) -> float:
+        return self.deployment.now
+
+    def _run_for(self, seconds: float) -> None:
+        self.deployment.run_for(seconds)
+
+
+class ShardedTxnRuntime(_SyncRuntime):
+    """``Session.txn`` backend over a :class:`ShardedCluster`: keys spread
+    across their groups, the coordinator WAL lives on the cluster so
+    ``recover_txns()`` can finish orphans after a coordinator crash."""
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        site: str | None = None,
+        zone: int | None = None,
+        client=None,
+    ) -> None:
+        self.cluster = cluster
+        # The benchmarker passes its driver's routing client so a closed
+        # loop's transactions share that driver's retry budget and site.
+        self.client = client if client is not None else cluster.new_client(site=site, zone=zone)
+
+    def begin(self, writes, reads, on_done=None, crash_at=None) -> TxnCoordinator:
+        txn_id = self.cluster.next_txn_id()
+        records = self.cluster.txn_wal[txn_id]
+
+        def issue(command: Command, cb, record: bool = True) -> int:
+            return self.client.invoke(command, on_done=cb, record=record)
+
+        return TxnCoordinator(
+            issue,
+            records.append,
+            shard_of=self.cluster.shard_of,
+            now=lambda: self.cluster.now,
+            txn_id=txn_id,
+            writes=writes,
+            reads=reads,
+            on_done=on_done,
+            crash_at=crash_at,
+        ).start()
+
+    def _now(self) -> float:
+        return self.cluster.now
+
+    def _run_for(self, seconds: float) -> None:
+        self.cluster.run_for(seconds)
+
+
+# ----------------------------------------------------------------------
+# Coordinator-crash recovery
+# ----------------------------------------------------------------------
+
+
+def recover_transactions(
+    wal: Mapping[str, list[tuple]],
+    issue: Issuer,
+    run_for: Callable[[float], None],
+    now: Callable[[], float],
+    max_wait: float = 5.0,
+) -> list[tuple[str, str]]:
+    """Finish every transaction whose WAL has no END record.
+
+    Returns ``[(txn_id, "rolled-forward" | "aborted"), ...]``.  Appends the
+    records recovery writes (ABORT/END) to each transaction's WAL in place,
+    so a second recovery pass is a no-op.
+    """
+    actions: list[tuple[str, str]] = []
+
+    def sync(command: Command, record: bool) -> Any:
+        done: dict[str, Any] = {}
+        issue(command, lambda reply, _lat: done.setdefault("reply", reply), record=record)
+        deadline = now() + max_wait
+        while "reply" not in done and now() < deadline:
+            run_for(min(_STEP, deadline - now()))
+        if "reply" not in done:
+            raise NoQuorum(
+                f"recovery of {command.op}({command.key!r}) got no reply within "
+                f"{max_wait}s of virtual time"
+            )
+        return done["reply"]
+
+    for txn_id, records in wal.items():
+        kinds = [r[0] for r in records]
+        if "end" in kinds:
+            continue
+        begin = records[0]
+        assert begin[0] == "begin", f"corrupt WAL for {txn_id}: {records[0]!r}"
+        writes: dict = begin[2]
+        locked = [r[1] for r in records if r[0] == "locked"]
+        invoked = {r[1] for r in records if r[0] == "invoked"}
+        if "commit" in kinds:
+            # The decision was logged: roll the writes forward.  A write
+            # whose INVOKED record exists may already have landed (its
+            # original invocation is an open-interval history op), so the
+            # re-apply stays out of the history; a never-invoked write is
+            # applied and recorded like any fresh write.
+            for key in sorted(writes, key=repr):
+                sync(Command.put(key, writes[key]), record=key not in invoked)
+            outcome = "rolled-forward"
+        else:
+            records.append(("abort", "coordinator-crash"))
+            outcome = "aborted"
+        for key in locked:
+            # Expect-mismatch (already released / re-taken) is fine; the
+            # CAS reply just carries CasFailed and nothing is appended.
+            sync(Command.cas(lock_key(key), txn_id, None), record=False)
+        records.append(("end",))
+        actions.append((txn_id, outcome))
+    return actions

@@ -213,6 +213,19 @@ class EventLoop:
             self._events_fired += fired
             EventLoop.total_events_fired += fired
 
+    def next_time(self) -> float | None:
+        """Virtual time of the earliest live event, or None if the heap is
+        drained.  Pops cancelled heads on the way, so repeated peeks stay
+        O(1) amortized.  The conservative lockstep scheduler in
+        :mod:`repro.shard.cluster` uses this to decide which of several
+        loops holds the globally-next event.
+        """
+        heap = self._heap
+        while heap and heap[0][3] is _CANCELLED:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
+
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) events still queued."""
         return len(self._heap)

@@ -28,9 +28,13 @@ class Cluster:
         seed: int = 0,
         profile: ServiceProfile | None = None,
         faults: FaultPlan | None = None,
+        loop: EventLoop | None = None,
     ) -> None:
         self.topology = topology
-        self.loop = EventLoop()
+        # A sharded cluster (repro.shard) passes one shared loop to every
+        # group so all groups advance on a single virtual-time axis; a
+        # standalone cluster owns its own.
+        self.loop = loop if loop is not None else EventLoop()
         self.streams = RandomStreams(seed)
         self.faults = faults if faults is not None else FaultPlan()
         # Metrics are always on (cheap counters); tracing stays off unless

@@ -18,8 +18,9 @@ from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.history import Operation
 from repro.paxi.ids import NodeID
-from repro.paxi.message import ClientReply, ClientRequest, Message
+from repro.paxi.message import ClientReply, ClientRequest, Command, Message
 from repro.paxi.node import Replica
+from repro.paxi.session import SessionOptions
 from repro.protocols.paxos import MultiPaxos
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -72,11 +73,11 @@ def test_linearizability_checker_catches_stale_reads():
     reader = dep.new_client()
     # Write through the primary, then immediately read from a follower
     # before lazy replication lands.
-    writer.put("k", "v1", target=NodeID(1, 1))
+    writer.invoke(Command.put("k", "v1"), target=NodeID(1, 1))
     dep.run_for(0.002)
-    writer.put("k", "v2", target=NodeID(1, 1))
+    writer.invoke(Command.put("k", "v2"), target=NodeID(1, 1))
     dep.run_for(0.002)
-    reader.get("k", target=NodeID(1, 3))
+    reader.invoke(Command.get("k"), target=NodeID(1, 3))
     dep.run_for(0.1)
     result = check_history(dep.history.snapshot())
     assert not result.ok
@@ -106,8 +107,8 @@ def test_consensus_checker_catches_divergent_histories():
     a = dep.new_client()
     b = dep.new_client()
     # Two clients write the same key at different replicas.
-    a.put("k", "from-a", target=NodeID(1, 1))
-    b.put("k", "from-b", target=NodeID(1, 2))
+    a.invoke(Command.put("k", "from-a"), target=NodeID(1, 1))
+    b.invoke(Command.put("k", "from-b"), target=NodeID(1, 2))
     dep.run_for(0.05)
     result = check_deployment(dep)
     assert not result.ok
@@ -122,11 +123,11 @@ def test_consensus_can_pass_while_linearizability_fails():
     dep = Deployment(Config.lan(1, 3, seed=3)).start(UnsafePrimary)
     writer = dep.new_client()
     reader = dep.new_client()
-    writer.put("k", "v1", target=NodeID(1, 1))
+    writer.invoke(Command.put("k", "v1"), target=NodeID(1, 1))
     dep.run_for(0.002)
-    writer.put("k", "v2", target=NodeID(1, 1))
+    writer.invoke(Command.put("k", "v2"), target=NodeID(1, 1))
     dep.run_for(0.002)
-    reader.get("k", target=NodeID(1, 3))
+    reader.invoke(Command.get("k"), target=NodeID(1, 3))
     dep.run_for(0.2)  # lazy replication catches up
     assert check_deployment(dep).ok  # same write order everywhere
     assert not check_history(dep.history.snapshot()).ok  # but reads were stale
@@ -251,8 +252,8 @@ def _expired_lease_scenario(factory):
     new_leader = next(
         r.id for r in dep.replicas.values() if r.active and r.id != OLD_LEADER
     )
-    assert writer.put("k", "v2", target=new_leader).ok
-    read = reader.get("k", target=OLD_LEADER)
+    assert writer.put("k", "v2", opts=SessionOptions(target=new_leader)).ok
+    read = reader.get("k", opts=SessionOptions(target=OLD_LEADER))
     return dep, read
 
 

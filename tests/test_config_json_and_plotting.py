@@ -8,6 +8,7 @@ from repro.experiments.plotting import ascii_chart, plot_result
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.paxos import MultiPaxos
 from repro.sim.server import ServiceProfile
 
@@ -47,7 +48,7 @@ class TestConfigJson:
         client = dep.new_client()
         seen = []
         dep.run_for(0.01)
-        client.put("k", 1, on_done=lambda r, l: seen.append(r.value))
+        client.invoke(Command.put("k", 1), on_done=lambda r, l: seen.append(r.value))
         dep.run_for(0.05)
         assert seen == [1]
 
@@ -61,9 +62,9 @@ class TestDeploymentVerify:
         dep = Deployment(Config.lan(1, 3, seed=1)).start(MultiPaxos)
         client = dep.new_client()
         dep.run_for(0.01)
-        client.put("k", "v")
+        client.invoke(Command.put("k", "v"))
         dep.run_for(0.05)
-        client.get("k")
+        client.invoke(Command.get("k"))
         dep.run_for(0.05)
         assert dep.verify() == (True, True)
 

@@ -36,6 +36,7 @@ EXPECTED_IDS = {
     "bench_batching",
     "bench_faults",
     "bench_reads",
+    "bench_sharding",
     "bench_simspeed",
 }
 

@@ -6,6 +6,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.raft import LEADER, Raft
 
@@ -43,7 +44,7 @@ def test_paxos_leader_in_minority_stalls_until_heal():
     dep = Deployment(cfg).start(MultiPaxos)
     client = dep.new_client()
     dep.run_for(0.05)
-    client.put("k", "before")
+    client.invoke(Command.put("k", "before"))
     dep.run_for(0.05)
     # Leader 1.1 and the client alone on one side.
     minority = [NodeID(1, 1)]
@@ -54,7 +55,7 @@ def test_paxos_leader_in_minority_stalls_until_heal():
         at=dep.now,
     )
     done = []
-    client.put("k", "during", on_done=lambda r, l: done.append(r.value))
+    client.invoke(Command.put("k", "during"), on_done=lambda r, l: done.append(r.value))
     dep.run_for(0.3)
     assert done == []  # no majority, no commit
     dep.run_for(1.0)  # heal: the accept finally gathers its quorum
@@ -70,7 +71,7 @@ def test_wpaxos_owner_recovers_after_partition():
     cfg = Config.lan(3, 3, seed=64)
     dep = Deployment(cfg).start(WPaxos)
     client = dep.new_client()
-    client.put("obj", "seed", target=NodeID(1, 1))
+    client.invoke(Command.put("obj", "seed"), target=NodeID(1, 1))
     dep.run_for(0.05)
     # Cut the owner off from everyone (its fz=0 quorum needs a zone-mate).
     everyone = set(dep.config.node_ids) | {client.address}
@@ -80,7 +81,7 @@ def test_wpaxos_owner_recovers_after_partition():
         at=dep.now,
     )
     done = []
-    client.put("obj", "during", target=NodeID(1, 1), on_done=lambda r, l: done.append(r.value))
+    client.invoke(Command.put("obj", "during"), target=NodeID(1, 1), on_done=lambda r, l: done.append(r.value))
     dep.run_for(0.3)
     assert done == []
     dep.run_for(1.5)  # heal; retransmission completes the round

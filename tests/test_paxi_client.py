@@ -5,7 +5,7 @@ import pytest
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
-from repro.paxi.message import ClientReply, ClientRequest
+from repro.paxi.message import ClientReply, ClientRequest, Command
 from repro.paxi.node import Replica
 
 
@@ -39,7 +39,7 @@ def test_retry_rotates_to_next_replica():
     first = client._preferred[0]
     dep.drop(client.address, first, duration=0.2, at=0.0)
     done = []
-    client.put("k", 1, on_done=lambda r, l: done.append(r.replied_by))
+    client.invoke(Command.put("k", 1), on_done=lambda r, l: done.append(r.replied_by))
     dep.run_for(0.3)
     assert done and done[0] != first  # failed over to another node
     assert client.completed == 1
@@ -51,7 +51,7 @@ def test_gives_up_after_max_retries():
     client = dep.new_client()
     client.retry_timeout = 0.02
     client.max_retries = 3
-    client.put("k", 1)
+    client.invoke(Command.put("k", 1))
     dep.run_for(1.0)
     assert client.failed == 1
     assert client.outstanding == 0
@@ -64,7 +64,7 @@ def test_stale_reply_after_retry_is_ignored():
     client = dep.new_client()
     client.retry_timeout = 0.0005  # shorter than one network delay
     done = []
-    client.put("k", 1, on_done=lambda r, l: done.append(r.replied_by))
+    client.invoke(Command.put("k", 1), on_done=lambda r, l: done.append(r.replied_by))
     dep.run_for(0.5)
     # Both the original and the retry may execute, but exactly one
     # completion is reported.
@@ -78,7 +78,7 @@ def test_sticky_hint_cleared_on_timeout():
     client.retry_timeout = 0.05
     client._sticky = NodeID(1, 2)
     dep.drop(client.address, NodeID(1, 2), duration=0.2, at=0.0)
-    client.put("k", 1)
+    client.invoke(Command.put("k", 1))
     dep.run_for(0.3)
     assert client._sticky is None or client._sticky != NodeID(1, 2) or client.completed == 1
 
@@ -86,7 +86,7 @@ def test_sticky_hint_cleared_on_timeout():
 def test_no_retry_by_default():
     dep = Deployment(Config.lan(1, 2, seed=5)).start(Mute)
     client = dep.new_client()
-    client.put("k", 1)
+    client.invoke(Command.put("k", 1))
     dep.run_for(0.5)
     assert client.outstanding == 1  # waits forever, never fails
     assert client.failed == 0
@@ -111,7 +111,7 @@ def test_explicit_target_overrides_preference():
     dep = Deployment(Config.lan(1, 3, seed=7)).start(Echo)
     client = dep.new_client()
     target = NodeID(1, 3)
-    client.put("k", 1, target=target)
+    client.invoke(Command.put("k", 1), target=target)
     dep.run_for(0.05)
     assert dep.replicas[target].served == 1
 
@@ -119,5 +119,5 @@ def test_explicit_target_overrides_preference():
 def test_request_ids_monotone():
     dep = Deployment(Config.lan(1, 1, seed=8)).start(Echo)
     client = dep.new_client()
-    ids = [client.put("k", i) for i in range(5)]
+    ids = [client.invoke(Command.put("k", i)) for i in range(5)]
     assert ids == sorted(ids) and len(set(ids)) == 5

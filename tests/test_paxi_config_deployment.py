@@ -6,7 +6,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID, grid_ids
-from repro.paxi.message import ClientReply, ClientRequest
+from repro.paxi.message import ClientReply, ClientRequest, Command
 from repro.paxi.node import Replica
 from repro.core import topology as topo
 
@@ -76,7 +76,7 @@ class TestDeployment:
         dep = Deployment(Config.lan(1, 3)).start(Echo)
         client = dep.new_client()
         replies = []
-        client.put("k", "v", on_done=lambda r, lat: replies.append((r.value, lat)))
+        client.invoke(Command.put("k", "v"), on_done=lambda r, lat: replies.append((r.value, lat)))
         dep.run_for(0.05)
         assert len(replies) == 1
         value, latency = replies[0]
@@ -113,7 +113,7 @@ class TestDeployment:
             dep = Deployment(Config.lan(1, 3, seed=seed)).start(Echo)
             client = dep.new_client()
             for i in range(5):
-                client.put("k", f"v{i}")
+                client.invoke(Command.put("k", f"v{i}"))
             dep.run_for(0.1)
             return [(op.value, op.returned_at) for op in dep.history.operations]
 

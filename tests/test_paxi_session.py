@@ -1,20 +1,22 @@
-"""The typed Session facade and the deprecated Client shims.
+"""The typed Session facade — the only supported client surface.
 
 ``deployment.new_session()`` is the supported way to issue individual
 commands: ``put``/``get`` return a :class:`~repro.paxi.session.Result`
-with the value, latency, and replying replica.  ``Client.get``/``put``
-remain as deprecated shims over ``invoke``.
+with the value, latency, and replying replica.  The old
+``Client.get``/``put`` shims were removed after their deprecation cycle;
+callback-driven load generation goes through ``Client.invoke``.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.errors import InvalidOptions, NoQuorum
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
 from repro.paxi.message import Command
-from repro.paxi.session import Result, Session
+from repro.paxi.session import Result, Session, SessionOptions
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.raft import Raft
 
@@ -64,7 +66,7 @@ def test_session_timeout_returns_failed_result():
     deployment.crash(victim, 10.0)
     deployment.run_for(0.01)
     session = deployment.new_session(max_wait=0.05)
-    result = session.execute(Command.get("x"), target=victim)
+    result = session.execute(Command.get("x"), opts=SessionOptions(target=victim))
     assert isinstance(result, Result)
     assert not result.ok and not bool(result)
     assert result.replica is None and result.value is None
@@ -82,15 +84,55 @@ def test_session_fault_commands_delegate():
     assert session.put("y", 1).ok
 
 
-def test_client_get_put_are_deprecated_but_work():
+def test_client_get_put_shims_are_gone():
+    """The deprecation cycle is over: callback load generation goes through
+    ``Client.invoke``; typed calls go through the Session facade."""
     deployment = _deployment()
     client = deployment.new_client()
+    assert not hasattr(client, "put") and not hasattr(client, "get")
     seen = {}
-    with pytest.deprecated_call():
-        client.put("k", 7, on_done=lambda reply, latency: seen.setdefault("put", reply))
+    client.invoke(Command.put("k", 7), on_done=lambda r, l: seen.setdefault("put", r))
     deployment.run_for(0.1)
-    with pytest.deprecated_call():
-        client.get("k", on_done=lambda reply, latency: seen.setdefault("get", reply))
+    client.invoke(Command.get("k"), on_done=lambda r, l: seen.setdefault("get", r))
     deployment.run_for(0.1)
     assert seen["put"].ok and seen["get"].value == 7
     assert client.completed == 2
+
+
+def test_session_per_call_kwargs_deprecated_but_work():
+    """``target=`` / ``consistency=`` per-call keywords fold into a
+    SessionOptions overlay for one release, with a DeprecationWarning."""
+    deployment = _deployment()
+    session = deployment.new_session()
+    with pytest.deprecated_call():
+        assert session.put("k", 1, target=NodeID(1, 1)).ok
+    with pytest.deprecated_call():
+        got = session.get("k", target=NodeID(1, 1))
+    assert got.ok and got.value == 1
+
+
+def test_session_options_validation_and_strict_mode():
+    with pytest.raises(InvalidOptions):
+        SessionOptions(consistency="bogus")
+    with pytest.raises(InvalidOptions):
+        SessionOptions(max_wait=-1.0)
+    with pytest.raises(InvalidOptions):
+        # same knob in options and keyword shorthand is ambiguous
+        Session(_deployment(), SessionOptions(max_wait=1.0), max_wait=2.0)
+    deployment = _deployment()
+    victim = NodeID(3, 3)
+    deployment.crash(victim, 10.0)
+    deployment.run_for(0.01)
+    strict = deployment.new_session(
+        options=SessionOptions(max_wait=0.05, strict=True)
+    )
+    with pytest.raises(NoQuorum):
+        strict.execute(Command.get("x"), opts=SessionOptions(target=victim))
+
+
+def test_session_options_merged_over_inherits_unset_fields():
+    base = SessionOptions(site="VA", max_wait=2.0, consistency="lease")
+    overlay = SessionOptions(consistency="quorum", strict=True)
+    merged = overlay.merged_over(base)
+    assert merged.site == "VA" and merged.max_wait == 2.0
+    assert merged.consistency == "quorum" and merged.strict

@@ -7,6 +7,7 @@ from repro.bench.benchmarker import ClosedLoopBenchmark
 from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.message import Command
 from repro.protocols import PROTOCOLS
 
 from tests.conftest import assert_correct
@@ -23,9 +24,9 @@ def test_single_client_reads_its_own_writes(name):
     dep.run_for(0.2)
     observed = []
     for i in range(8):
-        client.put("k", f"v{i}")
+        client.invoke(Command.put("k", f"v{i}"))
         dep.run_for(0.3)
-        client.get("k", on_done=lambda r, l: observed.append(r.value))
+        client.invoke(Command.get("k"), on_done=lambda r, l: observed.append(r.value))
         dep.run_for(0.3)
     assert observed == [f"v{i}" for i in range(8)], name
 
@@ -36,12 +37,12 @@ def test_write_visible_from_every_entry_point(name):
     dep = Deployment(Config.lan(3, 3, seed=202)).start(PROTOCOLS[name])
     writer = dep.new_client()
     dep.run_for(0.2)
-    writer.put("shared", "committed")
+    writer.invoke(Command.put("shared", "committed"))
     dep.run_for(0.5)
     observed = []
     for target in dep.config.node_ids:
         reader = dep.new_client()
-        reader.get("shared", target=target, on_done=lambda r, l: observed.append(r.value))
+        reader.invoke(Command.get("shared"), target=target, on_done=lambda r, l: observed.append(r.value))
         dep.run_for(0.5)
     assert observed == ["committed"] * 9, name
 
@@ -68,8 +69,8 @@ def test_interleaved_writers_serialize(name):
     b = dep.new_client()
     dep.run_for(0.2)
     for i in range(5):
-        a.put("k", f"a{i}")
-        b.put("k", f"b{i}")
+        a.invoke(Command.put("k", f"a{i}"))
+        b.invoke(Command.put("k", f"b{i}"))
         dep.run_for(0.3)
     dep.run_for(0.5)
     histories = [r.store.history("k") for r in dep.replicas.values()]

@@ -7,6 +7,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.epaxos import COMMITTED, EXECUTED, EPaxos
 
 from tests.conftest import assert_correct, run_protocol
@@ -16,7 +17,7 @@ def test_single_command_commits_everywhere(lan9):
     dep = Deployment(lan9).start(EPaxos)
     client = dep.new_client()
     seen = []
-    client.put("x", "v", on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("x", "v"), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == ["v"]
     executed = [
@@ -30,7 +31,7 @@ def test_any_node_can_lead(lan9):
     seen = []
     for i, target in enumerate(dep.config.node_ids):
         client = dep.new_client()
-        client.put(f"k{i}", i, target=target, on_done=lambda r, l: seen.append(r.value))
+        client.invoke(Command.put(f"k{i}", i), target=target, on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.1)
     assert sorted(seen) == list(range(9))
 
@@ -104,9 +105,9 @@ def test_reads_see_writes(lan9):
     client_a = dep.new_client()
     client_b = dep.new_client()
     seen = []
-    client_a.put("k", "first", target=NodeID(1, 1))
+    client_a.invoke(Command.put("k", "first"), target=NodeID(1, 1))
     dep.run_for(0.05)
-    client_b.get("k", target=NodeID(3, 3), on_done=lambda r, l: seen.append(r.value))
+    client_b.invoke(Command.get("k"), target=NodeID(3, 3), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == ["first"]
 

@@ -5,6 +5,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.mencius import Mencius
 
 from tests.conftest import assert_correct, run_protocol
@@ -25,7 +26,7 @@ def test_any_node_commits_in_one_round(lan9):
     seen = []
     for i, target in enumerate(dep.config.node_ids):
         client = dep.new_client()
-        client.put(f"k{i}", i, target=target, on_done=lambda r, l: seen.append(r.value))
+        client.invoke(Command.put(f"k{i}", i), target=target, on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.2)
     assert sorted(seen) == list(range(9))
     assert_correct(dep)
@@ -38,7 +39,7 @@ def test_idle_nodes_skip_their_slots(lan9):
     client = dep.new_client()
     done = []
     for i in range(10):
-        client.put("k", i, target=NodeID(1, 1), on_done=lambda r, l: done.append(l * 1e3))
+        client.invoke(Command.put("k", i), target=NodeID(1, 1), on_done=lambda r, l: done.append(l * 1e3))
         dep.run_for(0.1)
     assert len(done) == 10
     assert max(done) < 10  # every commit near-local despite idle peers
@@ -94,7 +95,7 @@ def test_retransmission_recovers_from_drops(lan9):
     dep.drop(NodeID(1, 1), NodeID(2, 2), duration=0.2, at=0.0)
     client = dep.new_client()
     done = []
-    client.put("k", "v", target=NodeID(1, 1), on_done=lambda r, l: done.append(r.value))
+    client.invoke(Command.put("k", "v"), target=NodeID(1, 1), on_done=lambda r, l: done.append(r.value))
     dep.run_for(1.5)
     assert done == ["v"]
     assert_correct(dep)

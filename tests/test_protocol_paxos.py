@@ -7,6 +7,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.fpaxos import FPaxos
 from repro.protocols.paxos import MultiPaxos
 
@@ -18,9 +19,9 @@ def test_basic_write_read(lan9):
     client = dep.new_client()
     seen = []
     dep.run_for(0.01)
-    client.put("x", 1, on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("x", 1), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
-    client.get("x", on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.get("x"), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == [1, 1]
 
@@ -47,11 +48,11 @@ def test_forwarding_and_sticky_leader(lan9):
     # Force the first request to a follower; the reply's leader hint must
     # redirect subsequent traffic straight to the leader.
     follower = NodeID(3, 3)
-    client.put("k", 1, target=follower)
+    client.invoke(Command.put("k", 1), target=follower)
     dep.run_for(0.05)
     assert client._sticky == NodeID(1, 1)
     latencies = []
-    client.put("k", 2, on_done=lambda r, l: latencies.append(l))
+    client.invoke(Command.put("k", 2), on_done=lambda r, l: latencies.append(l))
     dep.run_for(0.05)
     assert latencies and latencies[0] < 0.0015  # no forwarding hop any more
 

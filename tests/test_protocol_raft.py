@@ -7,6 +7,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.raft import LEADER, Raft
 
 from tests.conftest import assert_correct, run_protocol
@@ -24,9 +25,9 @@ def test_write_read_roundtrip(lan9):
     dep.run_for(0.05)
     client = dep.new_client()
     seen = []
-    client.put("x", "v1", on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("x", "v1"), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
-    client.get("x", on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.get("x"), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == ["v1", "v1"]
 
@@ -80,7 +81,7 @@ def test_vote_denied_to_stale_log():
     dep.run_for(0.05)
     client = dep.new_client()
     for i in range(5):
-        client.put("k", f"v{i}")
+        client.invoke(Command.put("k", f"v{i}"))
     dep.run_for(0.1)
     a, b, c = dep.config.node_ids
     # Node c misses everything from now on, then campaigns.

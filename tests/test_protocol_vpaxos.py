@@ -5,6 +5,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.vpaxos import VPaxos
 
 from tests.conftest import assert_correct, run_protocol
@@ -20,7 +21,7 @@ def test_first_access_assigns_to_requesting_zone():
     dep = Deployment(wan_cfg()).start(VPaxos)
     client = dep.new_client(site="CA")
     seen = []
-    client.put("k", "v", target=NodeID(3, 1), on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("k", "v"), target=NodeID(3, 1), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.5)
     assert seen == ["v"]
     assert "k" in dep.replicas[NodeID(3, 1)].owned
@@ -32,10 +33,10 @@ def test_remote_access_forwards_to_owner():
     dep = Deployment(wan_cfg()).start(VPaxos)
     ca = dep.new_client(site="CA")
     va = dep.new_client(site="VA")
-    ca.put("k", "ca", target=NodeID(3, 1))
+    ca.invoke(Command.put("k", "ca"), target=NodeID(3, 1))
     dep.run_for(0.5)
     seen = []
-    va.get("k", target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
+    va.invoke(Command.get("k"), target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.5)
     assert seen == ["ca"]
     assert "k" in dep.replicas[NodeID(3, 1)].owned  # one access: no move yet
@@ -45,10 +46,10 @@ def test_owner_side_three_consecutive_reassignment():
     dep = Deployment(wan_cfg()).start(VPaxos)
     ca = dep.new_client(site="CA")
     va = dep.new_client(site="VA")
-    ca.put("k", "seed", target=NodeID(3, 1))
+    ca.invoke(Command.put("k", "seed"), target=NodeID(3, 1))
     dep.run_for(0.5)
     for i in range(4):
-        va.put("k", f"va{i}", target=NodeID(1, 1))
+        va.invoke(Command.put("k", f"va{i}"), target=NodeID(1, 1))
         dep.run_for(0.5)
     assert "k" in dep.replicas[NodeID(1, 1)].owned
     assert "k" not in dep.replicas[NodeID(3, 1)].owned
@@ -64,12 +65,12 @@ def test_interleaved_owner_accesses_prevent_reassignment():
     dep = Deployment(wan_cfg()).start(VPaxos)
     ca = dep.new_client(site="CA")
     va = dep.new_client(site="VA")
-    ca.put("k", "seed", target=NodeID(3, 1))
+    ca.invoke(Command.put("k", "seed"), target=NodeID(3, 1))
     dep.run_for(0.5)
     for i in range(4):
-        va.put("k", f"va{i}", target=NodeID(1, 1))
+        va.invoke(Command.put("k", f"va{i}"), target=NodeID(1, 1))
         dep.run_for(0.3)
-        ca.put("k", f"ca{i}", target=NodeID(3, 1))
+        ca.invoke(Command.put("k", f"ca{i}"), target=NodeID(3, 1))
         dep.run_for(0.3)
     assert "k" in dep.replicas[NodeID(3, 1)].owned
     assert_correct(dep)
@@ -81,9 +82,9 @@ def test_master_never_executes_commands():
     va = dep.new_client(site="VA")
     ca = dep.new_client(site="CA")
     # Contended key, but owned by VA: the master only mediates.
-    va.put("k", "a", target=NodeID(1, 1))
+    va.invoke(Command.put("k", "a"), target=NodeID(1, 1))
     dep.run_for(0.5)
-    ca.put("k", "b", target=NodeID(3, 1))
+    ca.invoke(Command.put("k", "b"), target=NodeID(3, 1))
     dep.run_for(0.5)
     master = dep.replicas[NodeID(2, 1)]
     assert master.store.read("k") is None  # never executed at the master zone
@@ -110,7 +111,7 @@ def test_locality_workload_balances_regions():
 def test_conflict_key_stays_with_owner_region():
     dep = Deployment(wan_cfg(seed=3)).start(VPaxos)
     oh = dep.new_client(site="OH")
-    oh.put(777, "prime", target=NodeID(2, 1))
+    oh.invoke(Command.put(777, "prime"), target=NodeID(2, 1))
     dep.run_for(0.5)
     spec = {
         site: WorkloadSpec(keys=50, min_key=1000 * i, conflict_ratio=0.5, conflict_key=777)

@@ -5,6 +5,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.wankeeper import MASTER, WanKeeper
 
 from tests.conftest import assert_correct, run_protocol
@@ -28,7 +29,7 @@ def test_master_executes_first_access(lan9):
     dep = Deployment(Config.lan(3, 3, seed=1)).start(WanKeeper)
     client = dep.new_client()
     seen = []
-    client.put("k", "v", target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("k", "v"), target=NodeID(1, 1), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.1)
     assert seen == ["v"]
     master = dep.replicas[NodeID(2, 1)]
@@ -41,7 +42,7 @@ def test_token_granted_after_consecutive_zone_accesses():
     client = dep.new_client(site="VA")
     latencies = []
     for i in range(6):
-        client.put("k", i, target=NodeID(1, 1), on_done=lambda r, l: latencies.append(l * 1e3))
+        client.invoke(Command.put("k", i), target=NodeID(1, 1), on_done=lambda r, l: latencies.append(l * 1e3))
         dep.run_for(0.3)
     leader = dep.replicas[NodeID(1, 1)]
     assert "k" in leader.tokens  # granted after 3 consecutive VA accesses
@@ -56,10 +57,10 @@ def test_contention_retracts_token_to_master():
     va = dep.new_client(site="VA")
     ca = dep.new_client(site="CA")
     for i in range(4):  # grant to VA
-        va.put("k", f"va{i}", target=NodeID(1, 1))
+        va.invoke(Command.put("k", f"va{i}"), target=NodeID(1, 1))
         dep.run_for(0.3)
     assert "k" in dep.replicas[NodeID(1, 1)].tokens
-    ca.put("k", "ca0", target=NodeID(3, 1))
+    ca.invoke(Command.put("k", "ca0"), target=NodeID(3, 1))
     dep.run_for(0.5)
     master = dep.replicas[NodeID(2, 1)]
     assert master._token_table["k"].holder == MASTER

@@ -7,6 +7,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.wpaxos import WPaxos
 
 from tests.conftest import assert_correct, run_protocol
@@ -16,7 +17,7 @@ def test_first_access_steals_unowned_object(lan9):
     dep = Deployment(lan9).start(WPaxos)
     client = dep.new_client()
     seen = []
-    client.put("obj", 1, target=NodeID(2, 1), on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("obj", 1), target=NodeID(2, 1), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == [1]
     assert dep.replicas[NodeID(2, 1)].objects["obj"].active
@@ -26,7 +27,7 @@ def test_non_leader_forwards_to_zone_leader(lan9):
     dep = Deployment(lan9).start(WPaxos)
     client = dep.new_client()
     seen = []
-    client.put("obj", 1, target=NodeID(2, 3), on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.put("obj", 1), target=NodeID(2, 3), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.05)
     assert seen == [1]
     assert dep.replicas[NodeID(2, 1)].objects["obj"].active  # zone leader owns
@@ -35,18 +36,18 @@ def test_non_leader_forwards_to_zone_leader(lan9):
 def test_remote_requests_forward_until_steal_threshold(lan9):
     dep = Deployment(lan9).start(WPaxos)
     owner_client = dep.new_client()
-    owner_client.put("obj", 0, target=NodeID(1, 1))
+    owner_client.invoke(Command.put("obj", 0), target=NodeID(1, 1))
     dep.run_for(0.05)
     remote = dep.new_client()
     # Two remote accesses: still forwarded (threshold is 3).
-    remote.put("obj", 1, target=NodeID(2, 1))
+    remote.invoke(Command.put("obj", 1), target=NodeID(2, 1))
     dep.run_for(0.05)
-    remote.put("obj", 2, target=NodeID(2, 1))
+    remote.invoke(Command.put("obj", 2), target=NodeID(2, 1))
     dep.run_for(0.05)
     assert dep.replicas[NodeID(1, 1)].objects["obj"].active
     assert not dep.replicas[NodeID(2, 1)].objects["obj"].active
     # Third consecutive access triggers the steal.
-    remote.put("obj", 3, target=NodeID(2, 1))
+    remote.invoke(Command.put("obj", 3), target=NodeID(2, 1))
     dep.run_for(0.1)
     assert dep.replicas[NodeID(2, 1)].objects["obj"].active
     assert not dep.replicas[NodeID(1, 1)].objects["obj"].active
@@ -57,12 +58,12 @@ def test_interleaved_access_resets_streak(lan9):
     dep = Deployment(lan9).start(WPaxos)
     owner = dep.new_client()
     remote = dep.new_client()
-    owner.put("obj", 0, target=NodeID(1, 1))
+    owner.invoke(Command.put("obj", 0), target=NodeID(1, 1))
     dep.run_for(0.05)
     for i in range(4):
-        remote.put("obj", f"r{i}", target=NodeID(2, 1))
+        remote.invoke(Command.put("obj", f"r{i}"), target=NodeID(2, 1))
         dep.run_for(0.05)
-        owner.put("obj", f"o{i}", target=NodeID(1, 1))
+        owner.invoke(Command.put("obj", f"o{i}"), target=NodeID(1, 1))
         dep.run_for(0.05)
     # Ownership never moved: the owner's own accesses broke every streak.
     assert dep.replicas[NodeID(1, 1)].objects["obj"].active
@@ -73,9 +74,9 @@ def test_immediate_steal_policy():
     cfg = Config.lan(3, 3, seed=1, steal_threshold=1)
     dep = Deployment(cfg).start(WPaxos)
     a, b = dep.new_client(), dep.new_client()
-    a.put("obj", 1, target=NodeID(1, 1))
+    a.invoke(Command.put("obj", 1), target=NodeID(1, 1))
     dep.run_for(0.05)
-    b.put("obj", 2, target=NodeID(3, 1))
+    b.invoke(Command.put("obj", 2), target=NodeID(3, 1))
     dep.run_for(0.1)
     assert dep.replicas[NodeID(3, 1)].objects["obj"].active
     assert_correct(dep)
@@ -86,10 +87,10 @@ def test_fz0_commits_inside_zone_in_wan():
     dep = Deployment(cfg).start(WPaxos)
     client = dep.new_client(site="VA")
     latencies = []
-    client.put("k", 0)
+    client.invoke(Command.put("k", 0))
     dep.run_for(1.0)  # ownership settles at the VA leader
     for i in range(20):
-        client.put("k", i + 1, on_done=lambda r, l: latencies.append(l * 1e3))
+        client.invoke(Command.put("k", i + 1), on_done=lambda r, l: latencies.append(l * 1e3))
         dep.run_for(0.2)
     assert latencies
     assert sum(latencies) / len(latencies) < 5  # local commit, no WAN leg
@@ -101,10 +102,10 @@ def test_fz1_pays_nearest_zone():
     dep = Deployment(cfg).start(WPaxos)
     client = dep.new_client(site="VA")
     latencies = []
-    client.put("k", 0)
+    client.invoke(Command.put("k", 0))
     dep.run_for(1.0)
     for i in range(20):
-        client.put("k", i + 1, on_done=lambda r, l: latencies.append(l * 1e3))
+        client.invoke(Command.put("k", i + 1), on_done=lambda r, l: latencies.append(l * 1e3))
         dep.run_for(0.2)
     mean = sum(latencies) / len(latencies)
     assert 8 < mean < 25  # dominated by the VA-OH 11 ms RTT
@@ -115,11 +116,11 @@ def test_object_history_survives_migration(lan9):
     dep = Deployment(lan9).start(WPaxos)
     a = dep.new_client()
     for i in range(3):
-        a.put("obj", f"a{i}", target=NodeID(1, 1))
+        a.invoke(Command.put("obj", f"a{i}"), target=NodeID(1, 1))
         dep.run_for(0.05)
     b = dep.new_client()
     for i in range(4):
-        b.put("obj", f"b{i}", target=NodeID(2, 1))
+        b.invoke(Command.put("obj", f"b{i}"), target=NodeID(2, 1))
         dep.run_for(0.05)
     dep.run_for(0.2)
     new_owner = dep.replicas[NodeID(2, 1)]
@@ -166,7 +167,7 @@ def test_losing_steal_candidacy_reroutes_buffered_requests():
     # Fire dueling steals for the same cold object from all three regions
     # simultaneously; every request must still complete.
     for i, client in enumerate(clients):
-        client.put("contested", i, target=NodeID(i + 1, 1), on_done=lambda r, l: done.append(r.value))
+        client.invoke(Command.put("contested", i), target=NodeID(i + 1, 1), on_done=lambda r, l: done.append(r.value))
     dep.run_for(3.0)
     assert sorted(done) == [0, 1, 2]
     owners = [z for z in (1, 2, 3) if dep.replicas[NodeID(z, 1)].objects["contested"].active]

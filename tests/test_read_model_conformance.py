@@ -31,6 +31,7 @@ from repro.core.reads import (
 )
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.session import SessionOptions
 from repro.protocols.paxos import MultiPaxos
 
 N = 5
@@ -49,7 +50,7 @@ def _deployment(seed: int = 47):
 def _mean_read_latency_ms(session, consistency: str, reads: int = 40) -> float:
     latencies = []
     for _ in range(reads):
-        result = session.get("k", consistency=consistency)
+        result = session.get("k", opts=SessionOptions(consistency=consistency))
         assert result.ok and result.read_mode == consistency
         latencies.append(result.latency_ms)
     return sum(latencies) / len(latencies)

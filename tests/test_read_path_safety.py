@@ -31,6 +31,7 @@ from repro.checkers.linearizability import check_history
 from repro.checkers.staleness import check_bounded_staleness
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
+from repro.paxi.session import SessionOptions
 from repro.protocols.fpaxos import FPaxos
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.raft import Raft
@@ -120,7 +121,7 @@ class TestReadModesServe:
         assert session.put("k", "v0").ok
         dep.run_for(0.3)  # leases granted, commit applied everywhere
         for mode in (None, "lease", "quorum", "local"):
-            result = session.get("k", consistency=mode)
+            result = session.get("k", opts=SessionOptions(consistency=mode))
             assert result.ok and result.value == "v0", (name, mode)
             assert result.read_mode == mode
         assert_correct(dep)

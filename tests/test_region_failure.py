@@ -11,6 +11,7 @@ from repro.bench.workload import WorkloadSpec
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.paxos import MultiPaxos
 from repro.protocols.wpaxos import WPaxos
 
@@ -30,12 +31,12 @@ def test_wpaxos_fz1_survives_region_outage():
     cfg = Config.wan(REGIONS, 3, seed=21, fz=1)
     dep = Deployment(cfg).start(WPaxos)
     client = dep.new_client(site="VA")
-    client.put("k", 0)
+    client.invoke(Command.put("k", 0))
     dep.run_for(1.0)
     _crash_region(dep, 3, duration=2.0, at=dep.now)
     done = []
     for i in range(10):
-        client.put("k", i + 1, on_done=lambda r, l: done.append(l * 1e3))
+        client.invoke(Command.put("k", i + 1), on_done=lambda r, l: done.append(l * 1e3))
         dep.run_for(0.15)
     assert len(done) == 10
     assert max(done) < 30  # VA-OH quorum: ~11 ms RTT, CA's death unnoticed
@@ -46,14 +47,14 @@ def test_wpaxos_fz0_stalls_on_owner_region_outage_until_thaw():
     cfg = Config.wan(REGIONS, 3, seed=22, fz=0, steal_threshold=100)
     dep = Deployment(cfg).start(WPaxos)
     va_client = dep.new_client(site="VA")
-    va_client.put("k", 0)
+    va_client.invoke(Command.put("k", 0))
     dep.run_for(1.0)
     # The whole VA region freezes; an OH client's requests for the
     # VA-owned object forward into the void.
     _crash_region(dep, 1, duration=1.0, at=dep.now)
     oh_client = dep.new_client(site="OH")
     done = []
-    oh_client.put("k", "during", on_done=lambda r, l: done.append(l * 1e3))
+    oh_client.invoke(Command.put("k", "during"), on_done=lambda r, l: done.append(l * 1e3))
     dep.run_for(0.5)
     assert done == []  # stalled while the owner region is down
     dep.run_for(2.0)  # VA thaws and processes the queued request

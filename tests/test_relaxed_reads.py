@@ -10,6 +10,7 @@ from repro.checkers.staleness import check_bounded_staleness, check_session
 from repro.paxi.config import Config
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
+from repro.paxi.message import Command
 from repro.protocols.paxos import MultiPaxos
 
 REGIONS = ("VA", "OH", "CA")
@@ -69,9 +70,9 @@ def test_session_read_waits_for_own_write():
     client.session_reads = True
     dep.run_for(0.5)
     seen = []
-    client.put("k", "mine")
+    client.invoke(Command.put("k", "mine"))
     dep.run_for(0.3)
-    client.get("k", on_done=lambda r, l: seen.append(r.value))
+    client.invoke(Command.get("k"), on_done=lambda r, l: seen.append(r.value))
     dep.run_for(0.5)
     assert seen == ["mine"]
 

@@ -1,0 +1,152 @@
+"""Chaos soak for the sharded runtime (slow tier).
+
+Three stressors the ISSUE names explicitly — coordinator crashes between
+prepare and commit, shard rebalances mid-transaction, zipfian key skew —
+plus the seeded ShardNemesis soak.  Every scenario must end with a
+linearizable merged history, per-group consensus invariants intact, and
+zero 2PC atomicity violations.
+
+The CI chaos matrix shards extra seeds across jobs via ``CHAOS_SEEDS``
+and records applied schedules to ``CHAOS_ARTIFACTS`` for replay.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.shard_bench import ShardedClosedLoopBenchmark
+from repro.bench.workload import WorkloadSpec
+from repro.checkers.txn import check_txn_atomicity
+from repro.paxi.config import Config
+from repro.protocols.paxos import MultiPaxos
+from repro.shard.cluster import ShardedCluster
+from repro.shard.nemesis import ShardNemesis
+from repro.shard.placement import ShardSpec
+from repro.shard.txn import ShardedTxnRuntime
+
+pytestmark = pytest.mark.slow
+
+SOAK_SEEDS = (
+    [int(s) for s in os.environ["CHAOS_SEEDS"].split(",") if s.strip()]
+    if os.environ.get("CHAOS_SEEDS")
+    else [7, 19, 101]
+)
+
+
+def make_cluster(seed, count=3, buckets=24):
+    cluster = ShardedCluster(
+        Config.lan(3, 3, seed=seed, shards=ShardSpec(count=count, buckets=buckets))
+    ).start(MultiPaxos)
+    cluster.run_for(0.3)
+    return cluster
+
+
+def record_schedule(label, seed, events):
+    directory = os.environ.get("CHAOS_ARTIFACTS")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"schedule-{label}-seed{seed}.txt"), "w") as f:
+        f.write(
+            f"# replay: ShardNemesis(seed={seed}) over "
+            f"Config.lan(3, 3, seed={seed}, shards=ShardSpec(count=3, buckets=24))\n"
+        )
+        for event in events:
+            f.write(str(event) + "\n")
+
+
+def assert_all_clear(cluster, label):
+    cluster.run_for(0.5)
+    history_ok, groups_ok = cluster.verify()
+    assert history_ok, f"{label}: merged history not linearizable"
+    assert groups_ok, f"{label}: per-group consensus invariants broken"
+    check = check_txn_atomicity(cluster)
+    assert check.ok, f"{label}: {check.violations[:5]}"
+
+
+class TestRebalanceMidTransaction:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_rebalance_during_2pc_traffic_stays_atomic(self, seed):
+        cluster = make_cluster(seed)
+        bench = ShardedClosedLoopBenchmark(
+            cluster,
+            WorkloadSpec(keys=200, write_ratio=0.5),
+            concurrency=6,
+            retry_timeout=0.3,
+            txn_ratio=0.3,
+        )
+        # Move a bucket every 0.2s while transactions are in flight.
+        for i in range(5):
+            bucket = (seed + i * 5) % cluster.spec.buckets
+            dst = (cluster.placement.shard_of_bucket(bucket) + 1) % cluster.shard_count
+            cluster.rebalance(bucket, dst, at=cluster.now + 0.1 + 0.2 * i)
+        bench.run(duration=1.2, warmup=0.0, settle=0.0)
+        assert bench.txns_committed > 0
+        assert len(cluster.rebalances) == 5
+        cluster.recover_txns()
+        assert_all_clear(cluster, f"rebalance-mid-txn seed={seed}")
+
+    def test_forced_drain_abandons_stragglers_soundly(self):
+        cluster = make_cluster(seed=43)
+        bench = ShardedClosedLoopBenchmark(
+            cluster,
+            WorkloadSpec(keys=50, write_ratio=0.8),
+            concurrency=8,
+            retry_timeout=0.3,
+        )
+        # A drain window shorter than a commit round forces abandonment.
+        for bucket in range(0, 24, 3):
+            dst = (cluster.placement.shard_of_bucket(bucket) + 1) % cluster.shard_count
+            cluster.rebalance(bucket, dst, at=cluster.now + 0.2, drain_timeout=1e-4)
+        bench.run(duration=0.8, warmup=0.0, settle=0.0)
+        assert len(cluster.rebalances) == 8
+        assert_all_clear(cluster, "forced-drain")
+
+
+class TestZipfianSkew:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_skewed_keys_with_txn_mix(self, seed):
+        cluster = make_cluster(seed + 1000, count=4, buckets=16)
+        bench = ShardedClosedLoopBenchmark(
+            cluster,
+            WorkloadSpec(keys=100, write_ratio=0.5, distribution="zipfian"),
+            concurrency=8,
+            retry_timeout=0.3,
+            txn_ratio=0.2,
+        )
+        result = bench.run(duration=1.0, warmup=0.1, settle=0.0)
+        assert result.completed > 0
+        # Zipfian overlap means real lock contention: aborts are expected,
+        # committed work must still exist.
+        assert bench.txns_committed > 0
+        cluster.recover_txns()
+        assert_all_clear(cluster, f"zipfian seed={seed}")
+
+
+class TestShardNemesisSoak:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_full_soak_faults_plus_rebalances(self, seed):
+        cluster = make_cluster(seed)
+        nemesis = ShardNemesis(
+            seed=seed,
+            horizon=1.0,
+            events=2,
+            rebalances=2,
+            kinds=("crash", "drop", "slow", "flaky"),
+        )
+        events = nemesis.unleash(cluster)
+        record_schedule("shard-soak", seed, events)
+        assert any(e.kind == "rebalance" for e in events)
+        bench = ShardedClosedLoopBenchmark(
+            cluster,
+            WorkloadSpec(keys=150, write_ratio=0.5),
+            concurrency=6,
+            retry_timeout=0.3,
+            txn_ratio=0.2,
+        )
+        result = bench.run(duration=1.4, warmup=0.0, settle=0.0)
+        assert result.completed > 0
+        cluster.run_for(1.0)  # faults expire, groups re-elect
+        recovered = cluster.recover_txns()
+        record_schedule("shard-soak-recovery", seed, recovered)
+        assert_all_clear(cluster, f"nemesis seed={seed}")

@@ -1,0 +1,148 @@
+"""Placement maps and the ShardSpec schema (repro.shard.placement)."""
+
+import pytest
+
+from repro.errors import PlacementError, UnknownShardError
+from repro.shard.placement import (
+    HashPlacement,
+    OwnershipPlacement,
+    RangePlacement,
+    ShardSpec,
+    lock_key,
+    routing_key,
+    stable_bucket,
+)
+
+
+class TestShardSpecValidation:
+    def test_defaults_are_single_shard_hash(self):
+        spec = ShardSpec()
+        assert spec.count == 1 and spec.placement == "hash"
+
+    @pytest.mark.parametrize("count", [0, -1, 1.5, True, "4"])
+    def test_bad_count_rejected(self, count):
+        with pytest.raises(PlacementError, match="count"):
+            ShardSpec(count=count)
+
+    def test_unknown_placement_names_valid_ones(self):
+        with pytest.raises(PlacementError, match="hash"):
+            ShardSpec(placement="consistent")
+
+    def test_fewer_buckets_than_shards_rejected_with_fix(self):
+        with pytest.raises(PlacementError, match="raise buckets to >= 8"):
+            ShardSpec(count=8, buckets=4)
+
+    def test_range_placement_requires_ranges(self):
+        with pytest.raises(PlacementError, match="ranges"):
+            ShardSpec(count=2, placement="range")
+
+    def test_ranges_must_cover_the_line(self):
+        with pytest.raises(PlacementError, match="unbounded below"):
+            ShardSpec(count=2, placement="range", ranges=((0, 10, 0), (10, None, 1)))
+        with pytest.raises(PlacementError, match="unbounded above"):
+            ShardSpec(count=2, placement="range", ranges=((None, 10, 0), (10, 20, 1)))
+
+    def test_ranges_may_not_gap_or_overlap(self):
+        with pytest.raises(PlacementError, match="meet exactly"):
+            ShardSpec(
+                count=2, placement="range", ranges=((None, 10, 0), (11, None, 1))
+            )
+
+    def test_range_naming_missing_shard_is_actionable(self):
+        with pytest.raises(UnknownShardError, match="only shards 0..1"):
+            ShardSpec(count=2, placement="range", ranges=((None, 0, 0), (0, None, 7)))
+
+    def test_ranges_only_for_range_placement(self):
+        with pytest.raises(PlacementError, match="placement='range'"):
+            ShardSpec(count=2, ranges=((None, None, 0),))
+
+    def test_assignments_only_for_ownership(self):
+        with pytest.raises(PlacementError, match="ownership"):
+            ShardSpec(count=2, assignments=(("hot", 1),))
+
+    def test_roundtrip_through_dict(self):
+        spec = ShardSpec(
+            count=3, placement="ownership", buckets=16, assignments=(("hot", 2),)
+        )
+        assert ShardSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(PlacementError, match="unknown shards key"):
+            ShardSpec.from_dict({"count": 2, "shard_count": 2})
+
+
+class TestLockKeyRouting:
+    def test_lock_key_routes_with_its_data_key(self):
+        assert routing_key(lock_key("user:7")) == "user:7"
+        placement = ShardSpec(count=4, buckets=16).build()
+        for key in ["a", "b", ("t", 1), 42]:
+            assert placement.shard_of(lock_key(key)) == placement.shard_of(key)
+
+    def test_stable_bucket_is_process_independent(self):
+        # CRC of the repr, not hash(): fixed values pin the contract.
+        assert stable_bucket("k1", 64) == stable_bucket("k1", 64)
+        assert 0 <= stable_bucket(("compound", 3), 8) < 8
+
+
+class TestHashPlacement:
+    def test_buckets_spread_round_robin(self):
+        placement = ShardSpec(count=4, buckets=8).build()
+        assert isinstance(placement, HashPlacement)
+        assert [placement.shard_of_bucket(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_move_bucket_rehomes_every_key_in_it(self):
+        placement = ShardSpec(count=2, buckets=4).build()
+        keys = [f"k{i}" for i in range(50)]
+        bucket = placement.bucket_of("k0")
+        src = placement.shard_of("k0")
+        placement.move_bucket(bucket, 1 - src)
+        for key in keys:
+            expected = 1 - src if placement.bucket_of(key) == bucket else None
+            if expected is not None:
+                assert placement.shard_of(key) == expected
+
+    def test_move_bucket_bounds_checked(self):
+        placement = ShardSpec(count=2, buckets=4).build()
+        with pytest.raises(PlacementError, match="ring has 4 buckets"):
+            placement.move_bucket(9, 0)
+        with pytest.raises(UnknownShardError, match="shards.count = 2"):
+            placement.move_bucket(0, 5)
+
+
+class TestRangePlacement:
+    def test_lookup_honors_half_open_ranges(self):
+        placement = ShardSpec(
+            count=3,
+            placement="range",
+            ranges=((None, 0, 0), (0, 100, 1), (100, None, 2)),
+        ).build()
+        assert isinstance(placement, RangePlacement)
+        assert placement.shard_of(-5) == 0
+        assert placement.shard_of(0) == 1
+        assert placement.shard_of(99) == 1
+        assert placement.shard_of(100) == 2
+
+    def test_non_integer_key_is_an_error(self):
+        placement = ShardSpec(count=1, placement="range", ranges=((None, None, 0),)).build()
+        with pytest.raises(UnknownShardError, match="integer keys"):
+            placement.shard_of("name")
+
+    def test_no_runtime_rebalance(self):
+        placement = ShardSpec(count=1, placement="range", ranges=((None, None, 0),)).build()
+        with pytest.raises(PlacementError, match="static"):
+            placement.move_bucket(0, 0)
+
+
+class TestOwnershipPlacement:
+    def test_assignment_overrides_hash_and_move_key_rehomes(self):
+        spec = ShardSpec(
+            count=2, placement="ownership", buckets=8, assignments=(("hot", 1),)
+        )
+        placement = spec.build()
+        assert isinstance(placement, OwnershipPlacement)
+        assert placement.shard_of("hot") == 1
+        assert placement.shard_of(lock_key("hot")) == 1
+        placement.move_key("hot", 0)
+        assert placement.shard_of("hot") == 0
+        with pytest.raises(UnknownShardError):
+            placement.move_key("hot", 3)
