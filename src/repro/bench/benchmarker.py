@@ -160,7 +160,15 @@ class ClosedLoopBenchmark:
 
 
 class OpenLoopBenchmark:
-    """Poisson arrivals at ``rate`` requests per virtual second."""
+    """Poisson arrivals at ``rate`` requests per virtual second.
+
+    A thin facade over :class:`repro.bench.openloop.OpenLoopEngine` with
+    the engine's defaults (memoryless arrivals, no patience timeout, no
+    retries) — kept because "Poisson at rate R" is the shape the model
+    cross-validation (Figure 4) and most call sites want.  The richer
+    arrival processes, robustness knobs, and goodput accounting live on
+    the engine itself.
+    """
 
     def __init__(
         self,
@@ -169,56 +177,16 @@ class OpenLoopBenchmark:
         rate: float,
         sites: list[str] | None = None,
     ) -> None:
-        if rate <= 0:
-            raise WorkloadError(f"arrival rate must be positive, got {rate}")
+        from repro.bench.openloop import OpenLoopEngine, PoissonArrivals
+
         self.deployment = deployment
         self.rate = rate
-        self._state = _RunState()
-        self._arrival_rng = deployment.cluster.streams.stream("open-loop-arrivals")
-        chosen_sites = sites if sites is not None else list(deployment.config.topology.sites)
-        streams = deployment.cluster.streams
-        self._drivers = []
-        for index, site in enumerate(chosen_sites):
-            client = deployment.new_client(site=site)
-            generator = WorkloadGenerator(
-                _spec_for_site(spec, site),
-                streams.stream(f"workload-{index}"),
-                name=f"o{index}",
-            )
-            self._drivers.append((client, generator))
-        self._next_driver = 0
+        self._engine = OpenLoopEngine(
+            deployment, spec, PoissonArrivals(rate), sites=sites
+        )
 
     def run(self, duration: float = 1.0, warmup: float = 0.2, settle: float = 0.5) -> BenchmarkResult:
-        deployment = self.deployment
-        deployment.run_for(settle)
-        start = deployment.now
-        warmup_end = start + warmup
-        end = start + warmup + duration
-        self._state.end_time = end
-        observation = _arm_observation(deployment, warmup_end, end)
-        self._schedule_arrival()
-        deployment.run_until(end)
-        failed = sum(client.failed for client, _gen in self._drivers)
-        result = self._state.result(warmup_end, end, failed)
-        result.metrics = observation.snapshot()
-        return result
-
-    def _schedule_arrival(self) -> None:
-        gap = self._arrival_rng.expovariate(self.rate)
-        self.deployment.cluster.loop.call_after(gap, self._arrive)
-
-    def _arrive(self) -> None:
-        if self.deployment.now >= self._state.end_time:
-            return
-        client, generator = self._drivers[self._next_driver]
-        self._next_driver = (self._next_driver + 1) % len(self._drivers)
-        command = generator.next_command(self.deployment.now)
-
-        def done(_reply, latency: float) -> None:
-            self._state.records.append((self.deployment.now, latency, client.site))
-
-        client.invoke(command, on_done=done)
-        self._schedule_arrival()
+        return self._engine.run(duration, warmup, settle)
 
 
 def run_closed_loop(

@@ -37,7 +37,19 @@ KINDS = ("crash", "drop", "slow", "flaky", "partition")
 #: placement bucket between shards mid-run; only meaningful on a sharded
 #: cluster, where :class:`repro.shard.nemesis.ShardNemesis` draws and
 #: applies it (a plain single-group :meth:`Nemesis.unleash` skips it).
-ALL_KINDS = KINDS + ("reboot", "wipe", "skew", "lease_expiry_during_partition", "rebalance")
+#: ``burst`` multiplies the arrival rate of every registered open-loop
+#: workload engine (``Deployment.rate_controllers``) by a seeded
+#: ``multiplier`` over its window — the load-side fault that triggers
+#: retry storms and metastable collapse; it is not an outage, so it
+#: composes freely with ``preserve_quorum=True``.
+ALL_KINDS = KINDS + (
+    "reboot",
+    "wipe",
+    "skew",
+    "lease_expiry_during_partition",
+    "rebalance",
+    "burst",
+)
 
 #: Fault kinds that take a node fully out of service while they last.
 _OUTAGE_KINDS = frozenset({"crash", "reboot", "wipe"})
@@ -59,12 +71,18 @@ class FaultEvent:
     shard: int | None = None  # which consensus group a fault targets
     bucket: int | None = None  # rebalance: placement bucket to move
     to_shard: int | None = None  # rebalance: destination group
+    multiplier: float = 1.0  # burst: arrival-rate scale over the window
 
     def __str__(self) -> str:
         if self.kind == "rebalance":
             return (
                 f"rebalance(bucket {self.bucket} -> shard {self.to_shard}) "
                 f"@{self.start:.2f}s"
+            )
+        if self.kind == "burst":
+            return (
+                f"burst(x{self.multiplier:.2f}) "
+                f"@{self.start:.2f}s for {self.duration:.2f}s"
             )
         target = self.victim or (f"{self.src}->{self.dst}" if self.src else self.group)
         where = f" [shard {self.shard}]" if self.shard is not None else ""
@@ -116,11 +134,18 @@ class Nemesis:
     #: Set it above the deployment's ``max_clock_skew`` to probe outside
     #: the lease safety envelope.
     skew_magnitude: float = 0.05
+    #: ``burst`` draws multiply the open-loop arrival rate by a uniform
+    #: value in [burst_min, burst_max] over the event window.
+    burst_min: float = 1.5
+    burst_max: float = 4.0
 
     def __post_init__(self) -> None:
         unknown = set(self.kinds) - set(ALL_KINDS)
         if unknown:
-            raise ValueError(f"unknown fault kinds {unknown!r}")
+            raise ValueError(
+                f"unknown fault kinds {sorted(unknown)!r}; "
+                f"valid kinds are {list(ALL_KINDS)}"
+            )
 
     def schedule(self, nodes: Sequence[NodeID]) -> list[FaultEvent]:
         """Draw the fault schedule for ``nodes`` without applying it."""
@@ -173,6 +198,11 @@ class Nemesis:
                 # Needs placement knowledge a plain node-set schedule does
                 # not have; ShardNemesis draws these itself.
                 continue
+            elif kind == "burst":
+                # A load surge is not an outage: no node goes down, so it
+                # never interacts with the quorum-preservation bookkeeping.
+                multiplier = rng.uniform(self.burst_min, self.burst_max)
+                out.append(FaultEvent(kind, start, duration, multiplier=multiplier))
             elif kind == "skew":
                 # A clock step is not an outage: the node keeps serving,
                 # only its lease arithmetic is (possibly) compromised.
@@ -234,6 +264,11 @@ class Nemesis:
                 deployment.skew(event.victim, event.delta, at=start)
             elif event.kind == "rebalance":
                 continue  # sharded-cluster fault; see repro.shard.nemesis
+            elif event.kind == "burst":
+                # Applied to whatever open-loop engines registered with the
+                # deployment; a closed-loop run has none and skips it.
+                for controller in deployment.rate_controllers:
+                    controller.apply_burst(start, event.duration, event.multiplier)
             else:  # partition / lease_expiry_during_partition
                 everyone = set(deployment.config.node_ids) | {
                     client.address for client in deployment.clients

@@ -82,6 +82,90 @@ def closed_loop_sweep(
     return run_grid(jobs, workers=workers)
 
 
+@dataclass(frozen=True)
+class OpenLoopPoint:
+    """One point of an offered-load-vs-goodput curve."""
+
+    offered_rate: float  # requests injected per virtual second (nominal)
+    goodput: float  # successful completions per virtual second
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    completed: int
+    offered: int
+    rejected: int
+    overloaded: int
+    abandoned: int
+
+
+def _open_loop_point(
+    make_deployment: Callable[[], Deployment],
+    spec: SpecBySite,
+    rate: float,
+    duration: float,
+    warmup: float,
+    settle: float,
+    sites: list[str] | None,
+    engine_kwargs: dict,
+) -> OpenLoopPoint:
+    """One fresh deployment + one open-loop run (module-level so it can
+    ship to a :func:`repro.bench.parallel.run_grid` worker process)."""
+    from repro.bench.openloop import OpenLoopEngine, PoissonArrivals
+
+    deployment = make_deployment()
+    engine = OpenLoopEngine(
+        deployment, spec, PoissonArrivals(rate), sites=sites, **engine_kwargs
+    )
+    result = engine.run(duration, warmup, settle)
+    return OpenLoopPoint(
+        offered_rate=rate,
+        goodput=result.goodput,
+        mean_latency_ms=result.latency.mean,
+        p50_latency_ms=result.latency.p50,
+        p99_latency_ms=result.latency.p99,
+        completed=result.completed,
+        offered=result.offered,
+        rejected=result.rejected,
+        overloaded=result.overloaded,
+        abandoned=result.abandoned,
+    )
+
+
+def open_loop_sweep(
+    make_deployment: Callable[[], Deployment],
+    spec: SpecBySite,
+    rates: Sequence[float],
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    settle: float = 0.5,
+    sites: list[str] | None = None,
+    workers: int = 1,
+    **engine_kwargs,
+) -> list[OpenLoopPoint]:
+    """Goodput vs offered load: one fresh deployment + Poisson run per rate.
+
+    The open-loop counterpart of :func:`closed_loop_sweep`: rather than
+    adding clients until saturation, it pushes fixed arrival rates — which
+    may exceed capacity — and reports what survives.  Extra keyword
+    arguments (``request_timeout``, ``retry_timeout``, ``max_attempts``,
+    ``retry_budget``, ``breaker_threshold``, ...) are forwarded to
+    :class:`repro.bench.openloop.OpenLoopEngine`, so the same grid can be
+    run with and without client-side overload defenses.  Parallelism rules
+    match :func:`closed_loop_sweep` (``make_deployment`` must be picklable
+    for ``workers > 1``).
+    """
+    from repro.bench.parallel import run_grid
+
+    jobs = [
+        (
+            _open_loop_point,
+            (make_deployment, spec, rate, duration, warmup, settle, sites, engine_kwargs),
+        )
+        for rate in rates
+    ]
+    return run_grid(jobs, workers=workers)
+
+
 def max_throughput(points: Sequence[SweepPoint]) -> float:
     """The highest observed throughput across the sweep."""
     return max((p.throughput for p in points), default=0.0)

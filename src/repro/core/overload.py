@@ -1,0 +1,188 @@
+"""Analytic overload models: what happens *past* the knee.
+
+The paper's queueing models (``repro.core.queueing``) stop at ρ -> 1:
+an infinite-buffer M/D/1's expected wait diverges there, which is exactly
+where overload engineering begins.  This module extends the analytic
+prong beyond saturation with two standard tools:
+
+- :class:`FiniteQueueModel` — a server with a *bounded* queue (capacity
+  ``K`` waiting slots plus the one in service) that sheds arrivals when
+  full.  Loss follows the M/M/1/K truncated-geometric formula, a close
+  (and conservative) approximation for the simulator's near-deterministic
+  service times; goodput ``λ(1 - P_loss)`` rises to the knee then
+  *plateaus at capacity* instead of collapsing — the graceful-degradation
+  curve that admission control buys.
+
+- :class:`RetryAmplificationModel` — the metastable-failure mechanism.
+  With clients that retry up to ``max_attempts`` times, the *effective*
+  arrival rate is the fixed point of ``x = λ · A(p(x))`` where ``A(p) =
+  (1 - p^k)/(1 - p)`` is the expected attempts per request at failure
+  probability ``p``, and ``p(x) ≈ max(0, 1 - µ/x)`` is the loss a server
+  at offered rate ``x`` inflicts.  Above :meth:`hysteresis_bound` ``λ* =
+  µ/k``, a transient burst can push the system into a self-sustaining
+  retry storm that persists after the burst ends — goodput collapses and
+  *stays* collapsed (Bronson et al.'s "metastable failure" state).
+
+Both are validated against the simulator in
+``repro.experiments.bench_overload``; see ``docs/OVERLOAD.md`` for the
+narrative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["FiniteQueueModel", "RetryAmplificationModel"]
+
+
+@dataclass(frozen=True)
+class FiniteQueueModel:
+    """A single server with service rate ``mu`` and ``capacity`` total
+    slots (queue + in service) that rejects arrivals when full.
+
+    Uses the M/M/1/K blocking probability: with ``ρ = λ/µ`` and ``K =
+    capacity``, the stationary probability an arrival finds the system
+    full is ``P_K = ρ^K (1 - ρ) / (1 - ρ^{K+1})`` (and ``1/(K+1)`` at the
+    removable singularity ρ = 1).  Unlike the infinite-queue models, every
+    quantity stays finite at and beyond saturation — that is the point.
+    """
+
+    mu: float
+    capacity: int
+    name: str = "M/M/1/K"
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ModelError(f"service rate must be positive, got {self.mu}")
+        if self.capacity < 1:
+            raise ModelError(f"capacity must be >= 1, got {self.capacity}")
+
+    def loss(self, arrival_rate: float) -> float:
+        """P(arrival is shed), in [0, 1)."""
+        if arrival_rate <= 0:
+            raise ModelError(f"arrival rate must be positive, got {arrival_rate}")
+        rho = arrival_rate / self.mu
+        k = self.capacity
+        if abs(rho - 1.0) < 1e-9:
+            return 1.0 / (k + 1)
+        return (rho**k) * (1.0 - rho) / (1.0 - rho ** (k + 1))
+
+    def goodput(self, arrival_rate: float) -> float:
+        """Admitted (= eventually served) requests per second: λ(1 - P_K).
+
+        Monotonically increasing in λ and bounded by ``mu`` — the shape of
+        a well-defended server: linear below the knee, flat above it.
+        """
+        return arrival_rate * (1.0 - self.loss(arrival_rate))
+
+    def curve(self, rates: list[float]) -> list[tuple[float, float]]:
+        """(offered, goodput) pairs for plotting against the simulator."""
+        return [(rate, self.goodput(rate)) for rate in rates]
+
+
+@dataclass(frozen=True)
+class RetryAmplificationModel:
+    """Fixed-point model of client retry storms against a server of
+    capacity ``mu``, with each request attempted at most ``max_attempts``
+    times (1 original + up to ``max_attempts - 1`` retries).
+
+    The feedback loop: failures beget retries, retries raise the offered
+    rate, a higher offered rate begets more failures.  The effective
+    attempt rate ``x`` solves::
+
+        x = lam * A(p(x)),   A(p) = (1 - p^k) / (1 - p),   p(x) = max(0, 1 - mu/x)
+
+    ``A`` is the expected number of attempts per request when each fails
+    independently with probability ``p`` (a geometric series truncated at
+    ``k = max_attempts``).  Below the knee the only fixed point is ``x =
+    lam`` (no failures); past it, ``x`` inflates toward ``k * lam``.
+    """
+
+    mu: float
+    max_attempts: int
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ModelError(f"service rate must be positive, got {self.mu}")
+        if self.max_attempts < 1:
+            raise ModelError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def expected_attempts(self, failure_probability: float) -> float:
+        """A(p): mean attempts per request at per-attempt failure rate p."""
+        p = failure_probability
+        if not 0.0 <= p <= 1.0:
+            raise ModelError(f"failure probability {p} outside [0, 1]")
+        k = self.max_attempts
+        if p >= 1.0:
+            return float(k)
+        return (1.0 - p**k) / (1.0 - p)
+
+    def failure_probability(self, attempt_rate: float) -> float:
+        """p(x): the loss a server of rate mu inflicts at offered rate x.
+
+        The fluid-limit approximation: no loss below capacity, and the
+        excess fraction ``1 - mu/x`` above it (any work beyond ``mu``
+        attempts/second must be shed or time out).
+        """
+        if attempt_rate <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.mu / attempt_rate)
+
+    def effective_attempt_rate(
+        self, offered: float, iterations: int = 200
+    ) -> float:
+        """Solve the fixed point x = offered * A(p(x)) by iteration.
+
+        The map is monotone and bounded by ``offered * max_attempts``, so
+        simple iteration from the optimistic end converges; we damp each
+        step to keep the oscillatory regime (k large, offered >> mu)
+        stable.
+        """
+        if offered <= 0:
+            raise ModelError(f"offered rate must be positive, got {offered}")
+        x = offered
+        for _ in range(iterations):
+            target = offered * self.expected_attempts(self.failure_probability(x))
+            x = 0.5 * (x + target)
+        return x
+
+    def goodput(self, offered: float) -> float:
+        """Requests completing *in time* per second at this offered rate,
+        once retry amplification reaches its fixed point.
+
+        The server still serves ``mu`` attempts/second in the storm, but a
+        served attempt only counts if its client is still waiting — in the
+        fluid limit that fraction is ``mu/x`` (queueing delay scales with
+        ``x/mu`` while client patience is fixed, so served-too-late work is
+        pure waste).  Below the knee ``x = offered`` and everything lands;
+        past it goodput is ``mu²/x``, which *decreases* as retries inflate
+        ``x`` — the metastable collapse, not a plateau.
+        """
+        x = self.effective_attempt_rate(offered)
+        if x <= self.mu:
+            return offered
+        return self.mu * (self.mu / x)
+
+    def hysteresis_bound(self) -> float:
+        """λ* = µ / max_attempts: the largest offered load guaranteed to
+        recover after an arbitrarily bad burst.
+
+        In the fully-degraded state every request burns all ``k``
+        attempts, so the attempt rate is ``k·λ``.  If ``k·λ > µ`` the
+        storm is self-sustaining — the server stays saturated with
+        doomed retries even after the original trigger clears.  Keeping
+        offered load below ``µ/k`` (or capping ``k``, or spending a retry
+        *budget* instead of a per-request cap) breaks the loop.
+        """
+        return self.mu / self.max_attempts
+
+    def is_metastable(self, offered: float) -> bool:
+        """True when a burst at this offered load can leave the system in
+        a persistent collapsed state (offered > hysteresis bound) even
+        though the load itself is below capacity (offered < mu)."""
+        return self.hysteresis_bound() < offered < self.mu

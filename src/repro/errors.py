@@ -76,6 +76,17 @@ class NoQuorum(RequestFailed):
     group could not assemble a quorum (or is unreachable)."""
 
 
+class Overloaded(RequestFailed):
+    """The cluster shed this request instead of queueing it (an explicit
+    ``Rejected`` reply from admission control), or the client's own
+    overload defenses — retry budget, circuit breaker — refused to keep
+    transmitting into a saturated cluster.
+
+    Always a *clean* failure: the command was never executed anywhere, so
+    callers may safely retry later without risking a duplicate write.
+    """
+
+
 class TxnError(ClientError):
     """Base class for multi-key transaction failures."""
 

@@ -18,6 +18,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
     from repro.experiments import (
         bench_batching,
         bench_faults,
+        bench_overload,
         bench_reads,
         bench_sharding,
         bench_simspeed,
@@ -64,6 +65,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "extra_mencius": extra_mencius.run,
         "bench_batching": bench_batching.run,
         "bench_faults": bench_faults.run,
+        "bench_overload": bench_overload.run,
         "bench_reads": bench_reads.run,
         "bench_sharding": bench_sharding.run,
         "bench_simspeed": bench_simspeed.run,

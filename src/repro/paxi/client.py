@@ -19,10 +19,23 @@ from typing import Any, Callable, Hashable
 from repro.errors import SimulationError
 from repro.paxi.deployment import Deployment
 from repro.paxi.ids import NodeID
-from repro.paxi.message import ClientReply, ClientRequest, Command
+from repro.paxi.message import ClientReply, ClientRequest, Command, Rejected
 from repro.sim.clock import EventHandle
 
 OnDone = Callable[[ClientReply, float], None]
+#: ``on_fail(reason, elapsed)`` — fired when a request concludes *without*
+#: a reply.  ``reason`` is one of ``FAILURE_REASONS``.
+OnFail = Callable[[str, float], None]
+
+#: Typed failure taxonomy surfaced through ``failure_reason()`` and
+#: :attr:`repro.paxi.session.Result.failure`:
+#:
+#: - ``"rejected"`` — a replica's admission control shed the request;
+#: - ``"overloaded"`` — the client's own defenses (retry budget, circuit
+#:   breaker) stopped transmitting into a saturated cluster;
+#: - ``"retries_exhausted"`` — ``max_retries`` / ``max_attempts`` ran out;
+#: - ``"abandoned"`` — the issuer gave up via :meth:`Client.abandon`.
+FAILURE_REASONS = ("rejected", "overloaded", "retries_exhausted", "abandoned")
 
 
 @dataclass
@@ -34,6 +47,8 @@ class _Pending:
     history_token: int | None = None
     retries: int = 0
     retry_handle: EventHandle | None = None
+    on_fail: OnFail | None = None
+    deadline: float | None = None
 
 
 class Client:
@@ -57,9 +72,38 @@ class Client:
         self.retry_backoff: float = 2.0
         self.retry_cap: float = 1.0
         self.max_retries: int = 8
+        #: Hard ceiling on *transmissions* per request (1 = never
+        #: retransmit).  ``None`` keeps the historical behavior where only
+        #: ``max_retries`` bounds the retry loop — so soak tests against a
+        #: dead quorum can opt into terminating with a typed failure.
+        self.max_attempts: int | None = None
+        #: Token-bucket retry budget: at most ``retry_budget`` retransmit
+        #: tokens, refilled at ``retry_refill_rate`` per second.  ``None``
+        #: disables the budget.  When a retransmission finds the bucket
+        #: empty the request fails typed ``"overloaded"`` — the defense
+        #: that breaks the retry-storm → metastable-failure loop.
+        self.retry_budget: float | None = None
+        self.retry_refill_rate: float = 10.0
+        #: Circuit breaker: after ``breaker_threshold`` *consecutive*
+        #: failures the client fails new requests fast (no transmission)
+        #: for ``breaker_cooldown`` seconds, then lets one probe through;
+        #: the probe's outcome closes or re-opens the circuit.  ``None``
+        #: disables the breaker.
+        self.breaker_threshold: int | None = None
+        self.breaker_cooldown: float = 1.0
         self.completed = 0
         self.failed = 0
+        #: Requests shed by a replica (explicit ``Rejected`` replies).
+        self.rejected = 0
+        #: Requests the client's own defenses concluded ``"overloaded"``.
+        self.overloaded = 0
         self._attempts_done: dict[int, int] = {}
+        self._failure_reasons: dict[int, str] = {}
+        self._retry_tokens: float | None = None  # lazily seeded from retry_budget
+        self._budget_at = 0.0
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
+        self._breaker_probe: int | None = None
         self._retry_rng = deployment.cluster.streams.stream(f"client-retry-{address}")
         self._tracer = deployment.cluster.obs.tracer
         deployment.cluster.add_lightweight_endpoint(address, site, self._on_receive)
@@ -109,6 +153,8 @@ class Client:
         target: NodeID | None = None,
         on_done: OnDone | None = None,
         record: bool = True,
+        on_fail: OnFail | None = None,
+        deadline: float | None = None,
     ) -> int:
         """Send ``command`` to ``target`` (default: nearest replica).
 
@@ -119,7 +165,26 @@ class Client:
         ``record=False`` skips the history: internal bookkeeping commands
         (the 2PC layer's lock CAS traffic) must stay invisible to the
         linearizability checker, which reasons only about application keys.
+
+        ``on_fail(reason, elapsed)`` fires instead of ``on_done`` when the
+        request concludes without a reply (see ``FAILURE_REASONS``).
+        ``deadline`` (absolute virtual time) rides on the wire so replicas
+        running ``shed_policy="deadline"`` can drop doomed work early.
+
+        With the circuit breaker open, the request fails fast as
+        ``"overloaded"`` without transmitting anything — and without ever
+        entering the history (a clean, known-not-executed failure).
         """
+        if self._breaker_blocks():
+            self._next_request_id += 1
+            request_id = self._next_request_id
+            self.failed += 1
+            self.overloaded += 1
+            self._attempts_done[request_id] = 0
+            self._failure_reasons[request_id] = "overloaded"
+            if on_fail is not None:
+                on_fail("overloaded", 0.0)
+            return request_id
         if target is None:
             if command.is_read and (
                 self.local_reads or command.read_mode in ("quorum", "local")
@@ -134,7 +199,12 @@ class Client:
             command = replace(command, min_version=self._key_versions.get(command.key, 0))
         self._next_request_id += 1
         request_id = self._next_request_id
-        pending = _Pending(command, target, self._loop.now, on_done)
+        pending = _Pending(
+            command, target, self._loop.now, on_done, on_fail=on_fail, deadline=deadline
+        )
+        if self.breaker_threshold is not None and self._breaker_failures >= self.breaker_threshold:
+            # Cooldown just expired: this request is the half-open probe.
+            self._breaker_probe = request_id
         if record:
             pending.history_token = self.deployment.history.begin(
                 self.address, command.op, command.key, command.value, pending.invoked_at
@@ -154,7 +224,10 @@ class Client:
 
     def _transmit(self, request_id: int, pending: _Pending) -> None:
         request = ClientRequest(
-            command=pending.command, client=self.address, request_id=request_id
+            command=pending.command,
+            client=self.address,
+            request_id=request_id,
+            deadline=pending.deadline,
         )
         self._network.transit(self.address, pending.target, request, ClientRequest.SIZE_BYTES)
         if self.retry_timeout is not None:
@@ -162,19 +235,34 @@ class Client:
                 self._retry_delay(pending.retries), self._on_timeout, request_id
             )
 
+    @property
+    def effective_retry_cap(self) -> float:
+        """The backoff ceiling `_retry_delay` actually applies:
+        ``max(retry_cap, retry_timeout)``.
+
+        The clamp lives here, in exactly one place: a ``retry_cap`` below
+        the base ``retry_timeout`` would make retry *k* wait less than the
+        first transmission did, so the base timeout is a floor.  With the
+        defaults (``retry_cap=1.0``) the configured cap only takes effect
+        when ``retry_timeout < 1.0``; for larger base timeouts the cap is
+        silently the base timeout itself.
+        """
+        assert self.retry_timeout is not None
+        return max(self.retry_cap, self.retry_timeout)
+
     def _retry_delay(self, retries: int) -> float:
         """Capped exponential backoff with deterministic jitter.
 
         The first transmission (``retries == 0``) waits exactly
         ``retry_timeout``; retry ``k`` waits ``retry_timeout * backoff**k``
-        capped at ``retry_cap``, stretched by up to 25% drawn from the
-        deployment's seeded streams.
+        capped at :attr:`effective_retry_cap` (NOT raw ``retry_cap``: caps
+        below the base timeout are clamped up to it), stretched by up to
+        25% drawn from the deployment's seeded streams.
         """
         assert self.retry_timeout is not None
         if retries == 0:
             return self.retry_timeout
-        cap = max(self.retry_cap, self.retry_timeout)
-        delay = min(self.retry_timeout * self.retry_backoff**retries, cap)
+        delay = min(self.retry_timeout * self.retry_backoff**retries, self.effective_retry_cap)
         return delay * (1.0 + 0.25 * self._retry_rng.random())
 
     def _on_timeout(self, request_id: int) -> None:
@@ -183,11 +271,20 @@ class Client:
             return
         pending.retries += 1
         self._sticky = None  # the cached leader may be the failed node
-        if pending.retries > self.max_retries:
+        out_of_attempts = pending.retries > self.max_retries or (
+            self.max_attempts is not None and pending.retries + 1 > self.max_attempts
+        )
+        if out_of_attempts:
             del self._pending[request_id]
-            self.failed += 1
-            self._attempts_done[request_id] = pending.retries  # = transmissions made
-            self._tracer.fail((self.address, request_id), self._loop.now, self.address)
+            # attempts = pending.retries = transmissions made
+            self._conclude_failure(
+                request_id, pending, "retries_exhausted", pending.retries
+            )
+            return
+        if self.retry_budget is not None and not self._take_retry_token():
+            del self._pending[request_id]
+            self.overloaded += 1
+            self._conclude_failure(request_id, pending, "overloaded", pending.retries)
             return
         # Rotate to the next-nearest replica, the Paxi client's failover.
         ring = self._preferred
@@ -196,11 +293,72 @@ class Client:
         self._tracer.event((self.address, request_id), "retry", self._loop.now, self.address)
         self._transmit(request_id, pending)
 
+    def _take_retry_token(self) -> bool:
+        """Draw one token from the retry budget (True = may retransmit)."""
+        assert self.retry_budget is not None
+        now = self._loop.now
+        tokens = self._retry_tokens if self._retry_tokens is not None else self.retry_budget
+        tokens = min(self.retry_budget, tokens + (now - self._budget_at) * self.retry_refill_rate)
+        self._budget_at = now
+        if tokens >= 1.0:
+            self._retry_tokens = tokens - 1.0
+            return True
+        self._retry_tokens = tokens
+        return False
+
+    def _breaker_blocks(self) -> bool:
+        """True while the circuit is open (and no probe slot is free)."""
+        if self.breaker_threshold is None or self._breaker_failures < self.breaker_threshold:
+            return False
+        if self._loop.now < self._breaker_open_until:
+            return True
+        # Cooldown elapsed: half-open.  One probe flies; everyone else
+        # keeps failing fast until its outcome is known.
+        return self._breaker_probe is not None and self._breaker_probe in self._pending
+
+    def _note_breaker_failure(self) -> None:
+        if self.breaker_threshold is None:
+            return
+        self._breaker_failures += 1
+        if self._breaker_failures >= self.breaker_threshold:
+            self._breaker_open_until = self._loop.now + self.breaker_cooldown
+            self._breaker_probe = None
+
+    def _conclude_failure(
+        self,
+        request_id: int,
+        pending: _Pending,
+        reason: str,
+        attempts: int,
+        discard_history: bool = False,
+    ) -> None:
+        """Shared end-of-life path for requests that will never get a reply.
+
+        ``discard_history=True`` removes the operation from the recorder —
+        only sound when *no* transmitted copy could have been executed
+        (first-attempt rejection); otherwise the open record stays, and the
+        linearizability checker treats a pending write as maybe-applied.
+        """
+        if pending.retry_handle is not None:
+            pending.retry_handle.cancel()
+        self.failed += 1
+        self._attempts_done[request_id] = attempts
+        self._failure_reasons[request_id] = reason
+        self._note_breaker_failure()
+        if discard_history and pending.history_token is not None:
+            self.deployment.history.discard(pending.history_token)
+        self._tracer.fail((self.address, request_id), self._loop.now, self.address)
+        if pending.on_fail is not None:
+            pending.on_fail(reason, self._loop.now - pending.invoked_at)
+
     # ------------------------------------------------------------------
     # Replies
     # ------------------------------------------------------------------
 
     def _on_receive(self, src: Hashable, message: Any, size_bytes: int) -> None:
+        if type(message) is Rejected:
+            self._on_rejected(message)
+            return
         if not isinstance(message, ClientReply):
             raise SimulationError(f"client got unexpected {type(message).__name__}")
         pending = self._pending.pop(message.request_id, None)
@@ -208,6 +366,9 @@ class Client:
             return  # stale reply after a retry already completed
         if pending.retry_handle is not None:
             pending.retry_handle.cancel()
+        if self.breaker_threshold is not None:
+            self._breaker_failures = 0  # any success closes the circuit
+            self._breaker_probe = None
         if message.leader_hint is not None:
             self._sticky = message.leader_hint
         if message.version:
@@ -222,6 +383,30 @@ class Client:
             self.deployment.history.complete(pending.history_token, message.value, now)
         if pending.on_done is not None:
             pending.on_done(message, latency)
+
+    def _on_rejected(self, message: Rejected) -> None:
+        """A replica's admission control bounced this request.
+
+        Rejection is honored, not fought: the request concludes with a
+        typed ``"rejected"`` failure instead of instantly retransmitting
+        (instant retry-on-reject would defeat the shedding it reports).
+        A first-attempt rejection is *provably* unexecuted — the rejecting
+        replica never processed it — so the operation is discarded from
+        the history as a clean failure.  After a retransmission, an older
+        copy may still be in flight, so the maybe-applied record stays.
+        """
+        pending = self._pending.pop(message.request_id, None)
+        if pending is None:
+            return  # stale rejection: a retransmitted copy already won
+        self.rejected += 1
+        self._sticky = None  # the shedding node may be a dying leader
+        self._conclude_failure(
+            message.request_id,
+            pending,
+            "rejected",
+            pending.retries + 1,
+            discard_history=pending.retries == 0,
+        )
 
     @property
     def outstanding(self) -> int:
@@ -251,11 +436,7 @@ class Client:
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return
-        if pending.retry_handle is not None:
-            pending.retry_handle.cancel()
-        self.failed += 1
-        self._attempts_done[request_id] = pending.retries + 1
-        self._tracer.fail((self.address, request_id), self._loop.now, self.address)
+        self._conclude_failure(request_id, pending, "abandoned", pending.retries + 1)
 
     def abandoned(self, request_id: int) -> bool:
         """True iff the client gave up on ``request_id`` after exhausting
@@ -263,6 +444,12 @@ class Client:
         return (
             request_id not in self._pending and request_id in self._attempts_done
         )
+
+    def failure_reason(self, request_id: int) -> str | None:
+        """How ``request_id`` failed (one of ``FAILURE_REASONS``), or None
+        while it is in flight / after it succeeded.  Sessions surface this
+        as :attr:`repro.paxi.session.Result.failure`."""
+        return self._failure_reasons.get(request_id)
 
     # ------------------------------------------------------------------
     # Fault-injection commands (paper section 4.2, "Availability")

@@ -40,6 +40,12 @@ _REPLICATION_KEYS = (
     "snapshot_interval",
 )
 
+#: Admission-control knobs live in the nested ``admission`` JSON section.
+_ADMISSION_KEYS = ("max_inflight", "queue_limit", "shed_policy")
+
+#: What a replica does with a client request it will not queue.
+SHED_POLICIES = ("reject", "drop_oldest", "deadline")
+
 
 @dataclass
 class Config:
@@ -80,6 +86,22 @@ class Config:
     durability: str = "none"
     disk: DiskProfile | None = None
     snapshot_interval: int | None = None
+    #: Admission control / load shedding (strictly opt-in; the defaults
+    #: keep the unbounded-queue seed behavior byte-identical):
+    #:
+    #: - ``queue_limit`` — max jobs a replica's CPU+NIC queue may hold when
+    #:   a new client request arrives; beyond it the request is shed
+    #:   (``None`` = unbounded, the historical behavior);
+    #: - ``max_inflight`` — max distinct admitted-but-unanswered client
+    #:   requests per replica (``None`` = unbounded);
+    #: - ``shed_policy`` — what shedding does: ``"reject"`` bounces the new
+    #:   arrival, ``"drop_oldest"`` bounces the oldest *queued* client
+    #:   request instead (fresher work is likelier to meet its deadline),
+    #:   ``"deadline"`` additionally sheds any request whose propagated
+    #:   deadline cannot be met given the current backlog.
+    max_inflight: int | None = None
+    queue_limit: int | None = None
+    shed_policy: str = "reject"
     #: Shard layout for the multi-group runtime (``repro.shard``).  ``None``
     #: keeps the historical single-group behavior; the topology above then
     #: describes the (one and only) group.  With ``shards`` set, every
@@ -131,6 +153,22 @@ class Config:
                     f"snapshot_interval must be a positive integer number of "
                     f"slots or None, got {self.snapshot_interval!r}"
                 )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
+            )
+        for name, value in (
+            ("queue_limit", self.queue_limit),
+            ("max_inflight", self.max_inflight),
+        ):
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise ConfigError(
+                    f"{name} must be a positive integer or None, got {value!r}: "
+                    "a replica needs room for at least one request "
+                    f"(use {name}=None for the historical unbounded behavior)"
+                )
         if self.shards is not None and not isinstance(self.shards, ShardSpec):
             raise ConfigError(
                 f"shards must be a ShardSpec or None, got {type(self.shards).__name__} "
@@ -152,6 +190,12 @@ class Config:
     @property
     def batching_enabled(self) -> bool:
         return self.batch_size > 1 or self.batch_window is not None
+
+    @property
+    def admission_enabled(self) -> bool:
+        """True iff any admission gate is configured.  When False, replicas
+        take the historical zero-overhead ingress path."""
+        return self.queue_limit is not None or self.max_inflight is not None
 
     @property
     def durable(self) -> bool:
@@ -254,6 +298,9 @@ class Config:
         disk: DiskProfile | None = None,
         snapshot_interval: int | None = None,
         shards: ShardSpec | None = None,
+        max_inflight: int | None = None,
+        queue_limit: int | None = None,
+        shed_policy: str = "reject",
         **params: Any,
     ) -> "Config":
         """A single-site LAN cluster (paper section 5.2: 9 nodes).
@@ -275,6 +322,9 @@ class Config:
             disk=disk,
             snapshot_interval=snapshot_interval,
             shards=shards,
+            max_inflight=max_inflight,
+            queue_limit=queue_limit,
+            shed_policy=shed_policy,
         )
 
     @staticmethod
@@ -290,6 +340,9 @@ class Config:
         disk: DiskProfile | None = None,
         snapshot_interval: int | None = None,
         shards: ShardSpec | None = None,
+        max_inflight: int | None = None,
+        queue_limit: int | None = None,
+        shed_policy: str = "reject",
         **params: Any,
     ) -> "Config":
         """A multi-region WAN cluster; zone ``i`` lives in ``regions[i-1]``.
@@ -312,6 +365,9 @@ class Config:
             disk=disk,
             snapshot_interval=snapshot_interval,
             shards=shards,
+            max_inflight=max_inflight,
+            queue_limit=queue_limit,
+            shed_policy=shed_policy,
         )
 
     # ------------------------------------------------------------------
@@ -359,6 +415,15 @@ class Config:
                 ),
                 "snapshot_interval": self.snapshot_interval,
             },
+            "admission": (
+                {
+                    "max_inflight": self.max_inflight,
+                    "queue_limit": self.queue_limit,
+                    "shed_policy": self.shed_policy,
+                }
+                if self.admission_enabled
+                else None
+            ),
             "shards": self.shards.to_dict() if self.shards is not None else None,
         }
         return json.dumps(payload, indent=2)
@@ -404,7 +469,7 @@ class Config:
             )
         known = {
             "deployment", "regions", "zones", "nodes_per_zone", "seed",
-            "profile", "params", "protocol", "replication", "shards",
+            "profile", "params", "protocol", "replication", "admission", "shards",
             # Deprecated flat spellings of the replication knobs (one
             # release of backward compatibility; see below).
             "batch_window", "batch_size", "pipeline_depth",
@@ -536,6 +601,15 @@ class Config:
             raise ConfigError(
                 f"snapshot_interval must be an integer or null, got {snapshot_interval!r}"
             )
+        admission = payload.get("admission") or {}
+        if not isinstance(admission, dict):
+            raise ConfigError(f"'admission' must be a mapping, got {admission!r}")
+        bad_admission = sorted(set(admission) - set(_ADMISSION_KEYS))
+        if bad_admission:
+            raise ConfigError(
+                f"unknown admission key(s) {bad_admission}; "
+                f"valid keys are {sorted(_ADMISSION_KEYS)}"
+            )
         shards_dict = payload.get("shards")
         shards = ShardSpec.from_dict(shards_dict) if shards_dict is not None else None
         common = {
@@ -549,6 +623,9 @@ class Config:
             "disk": disk,
             "snapshot_interval": snapshot_interval,
             "shards": shards,
+            "max_inflight": admission.get("max_inflight"),
+            "queue_limit": admission.get("queue_limit"),
+            "shed_policy": admission.get("shed_policy") or "reject",
         }
         if deployment == "lan":
             return Config.lan(zones=zones, **common, **params)

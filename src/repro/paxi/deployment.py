@@ -51,6 +51,11 @@ class Deployment:
         self.history = HistoryRecorder()
         self.replicas: dict[NodeID, "Replica"] = {}
         self.clients: list["Client"] = []
+        #: Open-loop workload engines driving this deployment register here
+        #: so rate-affecting faults find them: a Nemesis ``"burst"`` event
+        #: calls ``apply_burst(at, duration, multiplier)`` on each entry
+        #: (no-op when empty, e.g. under closed-loop load).
+        self.rate_controllers: list = []
         self._client_seq = 0
         self._pending_attach: NodeID | None = None
         self._factory: ReplicaFactory | None = None

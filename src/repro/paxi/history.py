@@ -79,6 +79,20 @@ class HistoryRecorder:
         self._operations.append(operation)
         return operation
 
+    def discard(self, token: int) -> None:
+        """Drop a pending invocation that is *known* never to have taken
+        effect anywhere — a first-transmission request answered with an
+        explicit ``Rejected`` before any replica processed it, or one a
+        circuit breaker failed fast without transmitting.
+
+        This is what makes shedding sound for the checkers: a cleanly
+        rejected request leaves no trace in the history (rejected ≠ lost),
+        whereas :meth:`snapshot` must keep a *maybe-applied* write open
+        forever.  Never call this for a request that was retransmitted —
+        an earlier copy may still be in flight and could land.
+        """
+        self._pending.pop(token, None)
+
     @property
     def operations(self) -> list[Operation]:
         """Completed operations only."""

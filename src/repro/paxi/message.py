@@ -148,13 +148,42 @@ class Batch:
 
 @dataclass(frozen=True, slots=True)
 class ClientRequest(Message):
-    """A client-originated request for one command."""
+    """A client-originated request for one command.
+
+    ``deadline`` is the absolute virtual time after which the reply is
+    useless to the issuer (propagated from ``Session(max_wait=)`` or the
+    open-loop engine's request timeout).  Replicas running the
+    ``"deadline"`` shed policy drop requests whose deadline cannot be met
+    before spending leader CPU on them; ``None`` means "no deadline" and
+    is the default everywhere.
+    """
 
     SIZE_BYTES = 120
 
     command: Command = field(default_factory=lambda: Command(GET, 0))
     client: Hashable = None
     request_id: int = 0
+    deadline: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Rejected(Message):
+    """Admission control refused a :class:`ClientRequest`.
+
+    Sent straight from the NIC path (it bypasses the replica's CPU queue —
+    the whole point of shedding is to spend ~nothing on the request), so it
+    is only charged to the wire model.  ``reason`` says which gate fired:
+    ``"queue_full"``, ``"inflight"``, or ``"deadline"``.  A rejection is a
+    guarantee: the command was not (and will never be) executed by the
+    rejecting replica, which is what lets a first-attempt client discard
+    the operation from the linearizability history as a clean failure.
+    """
+
+    SIZE_BYTES = 40  # header-only: no command payload travels back
+
+    request_id: int = 0
+    replied_by: Hashable = None
+    reason: str = "queue_full"
 
 
 @dataclass(frozen=True, slots=True)

@@ -18,12 +18,13 @@ for each of their message dataclasses, and use ``send`` / ``broadcast`` /
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.errors import ProtocolError
 from repro.paxi.ids import NodeID
 from repro.paxi.kvstore import MultiVersionStore
-from repro.paxi.message import Batch, ClientReply, ClientRequest
+from repro.paxi.message import Batch, ClientReply, ClientRequest, Rejected
 from repro.sim.clock import EventHandle
 from repro.sim.storage import WAL_RECORD_BYTES, Snapshot, WalRecord, WalWriter
 
@@ -147,6 +148,25 @@ class Batcher:
         return group
 
 
+class _AdmissionState:
+    """Per-replica admission-control bookkeeping (exists only when the
+    config enables a gate, so the default ingress path stays untouched)."""
+
+    __slots__ = ("queue_limit", "max_inflight", "policy", "inflight", "shed", "shed_by_reason")
+
+    def __init__(self, queue_limit: int | None, max_inflight: int | None, policy: str) -> None:
+        self.queue_limit = queue_limit
+        self.max_inflight = max_inflight
+        self.policy = policy
+        #: Admitted-but-unanswered client requests: (client, request_id) ->
+        #: deadline (inf when the request carries none).  Entries clear when
+        #: the reply (or a forward to another replica) leaves this node, or
+        #: lazily once their deadline passes.
+        self.inflight: dict[tuple, float] = {}
+        self.shed = 0
+        self.shed_by_reason: dict[str, int] = {}
+
+
 class Replica:
     """Base class for protocol replicas."""
 
@@ -175,6 +195,15 @@ class Replica:
             else None
         )
         self._snapshot_inflight = False
+        # Admission control / load shedding: None unless the config sets a
+        # gate, so the hot receive path pays one attribute test.
+        self._admission = (
+            _AdmissionState(
+                self.config.queue_limit, self.config.max_inflight, self.config.shed_policy
+            )
+            if self.config.admission_enabled
+            else None
+        )
         #: Why this incarnation exists: None for a fresh start,
         #: "reboot" (disk intact) or "wipe" (disk lost) after a restart.
         self.restart_reason = deployment.restart_context(node_id)
@@ -213,6 +242,9 @@ class Replica:
         """Entry point from the network: charge the queue, then dispatch."""
         if self._halted:
             return  # a dead incarnation's NIC: packets fall on the floor
+        if self._admission is not None and type(message) is ClientRequest:
+            if not self._admit(message):
+                return
         weight = _class_traits(type(message))[0]
         cost = self._profile.incoming_cost(size_bytes, weight)
         if self._tracer.enabled and type(message) is ClientRequest:
@@ -239,11 +271,98 @@ class Replica:
         handler(src, message)
 
     # ------------------------------------------------------------------
+    # Admission control / load shedding
+    # ------------------------------------------------------------------
+
+    def _admit(self, message: ClientRequest) -> bool:
+        """Gate a client request at the NIC, before any CPU is spent on it.
+
+        Rejections bypass the server queue entirely: the :class:`Rejected`
+        reply is pushed straight onto the wire, which is what makes
+        shedding cheap — a melting-down replica must not pay ``t_in`` +
+        ``t_out`` per request it refuses.  (SYN-cookie-style early demux;
+        the NIC hardware can classify and bounce without waking the CPU.)
+        """
+        adm = self._admission
+        now = self.loop.now
+        server = self._server
+        if (
+            adm.policy == "deadline"
+            and message.deadline is not None
+            and now + server.backlog_seconds > message.deadline
+        ):
+            # The reply could not possibly make it back in time: the
+            # issuer's patience is already consumed by queued work.
+            self._reject(message, "deadline")
+            return False
+        limit = adm.queue_limit
+        if limit is not None and server.queue_length >= limit:
+            if adm.policy == "drop_oldest":
+                evicted = server.evict_oldest(self._is_client_request_job)
+                if evicted is not None:
+                    victim: ClientRequest = evicted[3][1]
+                    adm.inflight.pop((victim.client, victim.request_id), None)
+                    self._reject(victim, "queue_full")
+                    # fall through: the fresh arrival takes the freed slot
+                else:
+                    self._reject(message, "queue_full")
+                    return False
+            else:
+                self._reject(message, "queue_full")
+                return False
+        if adm.max_inflight is not None:
+            inflight = adm.inflight
+            key = (message.client, message.request_id)
+            if len(inflight) >= adm.max_inflight and key not in inflight:
+                # Purge slots whose issuer has given up before refusing new
+                # work for their sake.
+                expired = [k for k, d in inflight.items() if d < now]
+                for k in expired:
+                    del inflight[k]
+                if len(inflight) >= adm.max_inflight:
+                    self._reject(message, "inflight")
+                    return False
+            inflight[key] = message.deadline if message.deadline is not None else math.inf
+        return True
+
+    def _is_client_request_job(self, fn: Callable[..., Any], args: tuple) -> bool:
+        """Eviction predicate: a queued-but-unserved client request job."""
+        # Bound-method access creates a fresh object, so compare the
+        # underlying function, not the wrapper's identity.
+        func = getattr(fn, "__func__", None)
+        return (
+            (func is Replica._dispatch or func is Replica._dispatch_traced)
+            and getattr(fn, "__self__", None) is self
+            and type(args[1]) is ClientRequest
+        )
+
+    def _reject(self, request: ClientRequest, reason: str) -> None:
+        adm = self._admission
+        adm.shed += 1
+        adm.shed_by_reason[reason] = adm.shed_by_reason.get(reason, 0) + 1
+        reply = Rejected(request_id=request.request_id, replied_by=self.id, reason=reason)
+        self._network.transit(self.id, request.client, reply, Rejected.SIZE_BYTES)
+
+    @property
+    def shed_count(self) -> int:
+        """Client requests this replica refused via admission control."""
+        return self._admission.shed if self._admission is not None else 0
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
     def send(self, dst: Hashable, message: Any) -> None:
         """Send one message; charges ``t_out`` + one NIC transmission."""
+        if self._admission is not None and self._admission.max_inflight is not None:
+            # Whatever leaves this node on a request's behalf frees its
+            # admission slot: the reply ends it here, a forward makes it the
+            # next replica's problem.
+            mtype = type(message)
+            if mtype is ClientReply:
+                self._admission.inflight.pop((dst, message.request_id), None)
+            elif mtype is ClientRequest:
+                self._admission.inflight.pop((message.client, message.request_id), None)
         weight, size, has_wire = _class_traits(type(message))
         if has_wire:
             size = message.wire_size()

@@ -29,7 +29,7 @@ import warnings
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping
 
-from repro.errors import InvalidOptions, NoQuorum, RetriesExhausted
+from repro.errors import InvalidOptions, NoQuorum, Overloaded, RetriesExhausted
 from repro.paxi.message import ClientReply, Command
 from repro.paxi.ids import NodeID
 
@@ -58,9 +58,14 @@ class SessionOptions:
       ``"lease"``, ``"quorum"``, or ``"local"`` — see ``docs/READS.md``);
     - ``target`` — pin commands to one replica instead of nearest/leader
       routing (single-group deployments only);
+    - ``max_attempts`` — hard ceiling on transmissions per command
+      (``None`` inherits the client default: retries bounded only by its
+      ``max_retries``); surfaces as :attr:`Result.attempts` /
+      :attr:`Result.failure`;
     - ``strict`` — raise :class:`~repro.errors.NoQuorum` /
-      :class:`~repro.errors.RetriesExhausted` instead of returning a
-      ``Result`` with ``ok=False``.
+      :class:`~repro.errors.RetriesExhausted` /
+      :class:`~repro.errors.Overloaded` instead of returning a ``Result``
+      with ``ok=False``.
     """
 
     site: str | None = None
@@ -68,6 +73,7 @@ class SessionOptions:
     max_wait: float | None = None
     consistency: str | None = None
     target: NodeID | None = None
+    max_attempts: int | None = None
     strict: bool = False
 
     def __post_init__(self) -> None:
@@ -79,6 +85,12 @@ class SessionOptions:
         if self.max_wait is not None and self.max_wait <= 0:
             raise InvalidOptions(
                 f"max_wait must be a positive number of seconds, got {self.max_wait!r}"
+            )
+        if self.max_attempts is not None and (
+            not isinstance(self.max_attempts, int) or self.max_attempts < 1
+        ):
+            raise InvalidOptions(
+                f"max_attempts must be a positive integer or None, got {self.max_attempts!r}"
             )
 
     def merged_over(self, base: "SessionOptions") -> "SessionOptions":
@@ -105,6 +117,12 @@ class Result:
     ``read_mode`` echoes the read path the command was issued with
     (``None`` for writes and default leader reads), so traces and tests
     can split retry/latency stats per read path.
+
+    ``failure`` types the failure when ``ok`` is False: ``"rejected"``
+    (admission control shed it — a *clean* failure, safe to retry),
+    ``"overloaded"`` (the client's retry budget / circuit breaker gave
+    up), ``"retries_exhausted"``, ``"abandoned"``, or ``"timeout"`` (no
+    reply, outcome unknown).  ``None`` when ``ok``.
     """
 
     ok: bool
@@ -115,6 +133,7 @@ class Result:
     version: int = 0
     attempts: int = 1
     read_mode: str | None = None
+    failure: str | None = None
 
     def __bool__(self) -> bool:
         return self.ok
@@ -241,17 +260,39 @@ class Session:
             outcome["latency"] = latency
 
         client = self._client_for(command)
+        if resolved.max_attempts is not None:
+            # Sticky on the session's client: the ceiling applies to this
+            # and every later command the session issues.
+            client.max_attempts = resolved.max_attempts
         started = self.deployment.now
-        request_id = client.invoke(command, resolved.target, on_done)
+        request_id = client.invoke(
+            command,
+            resolved.target,
+            on_done,
+            # The session's patience IS the request's deadline; replicas
+            # running shed_policy="deadline" drop work that cannot meet it.
+            deadline=started + max_wait,
+        )
         deadline = started + max_wait
-        while "reply" not in outcome and self.deployment.now < deadline:
+        while (
+            "reply" not in outcome
+            and client.failure_reason(request_id) is None
+            and self.deployment.now < deadline
+        ):
             self.deployment.run_for(min(self._STEP, deadline - self.deployment.now))
         reply = outcome.get("reply")
         attempts = client.attempts(request_id)
         read_mode = command.read_mode if command.is_read else None
         if reply is None:
+            failure = client.failure_reason(request_id) or "timeout"
             if resolved.strict:
                 waited = self.deployment.now - started
+                if failure in ("rejected", "overloaded"):
+                    raise Overloaded(
+                        f"{command.op}({command.key!r}) {failure} after "
+                        f"{attempts} transmissions (clean typed failure; "
+                        "the cluster or client shed it under load)"
+                    )
                 if client.abandoned(request_id):
                     raise RetriesExhausted(
                         f"{command.op}({command.key!r}) abandoned after "
@@ -269,6 +310,7 @@ class Session:
                 request_id=request_id,
                 attempts=attempts,
                 read_mode=read_mode,
+                failure=failure,
             )
         return Result(
             ok=reply.ok,

@@ -60,9 +60,10 @@ class _RoutedClient:
         self._issued: dict[int, tuple["Client", int]] = {}
         self._next_request_id = 0
         self._retry_timeout: float | None = None
+        self._max_attempts: int | None = None
 
-    # Retry knob: the benchmarker sets it once; forward to every per-shard
-    # client, including ones opened later.
+    # Retry knobs: the benchmarker/session set them once; forward to every
+    # per-shard client, including ones opened later.
     @property
     def retry_timeout(self) -> float | None:
         return self._retry_timeout
@@ -73,11 +74,22 @@ class _RoutedClient:
         for client in self._per_shard.values():
             client.retry_timeout = value
 
+    @property
+    def max_attempts(self) -> int | None:
+        return self._max_attempts
+
+    @max_attempts.setter
+    def max_attempts(self, value: int | None) -> None:
+        self._max_attempts = value
+        for client in self._per_shard.values():
+            client.max_attempts = value
+
     def client_for_shard(self, shard: int) -> "Client":
         client = self._per_shard.get(shard)
         if client is None:
             client = self.cluster.group(shard).new_client(site=self.site)
             client.retry_timeout = self._retry_timeout
+            client.max_attempts = self._max_attempts
             self._per_shard[shard] = client
         return client
 
@@ -87,10 +99,14 @@ class _RoutedClient:
         target: "NodeID | None" = None,
         on_done=None,
         record: bool = True,
+        on_fail=None,
+        deadline: float | None = None,
     ) -> int:
         self._next_request_id += 1
         request_id = self._next_request_id
-        self.cluster._route_invoke(self, request_id, command, target, on_done, record)
+        self.cluster._route_invoke(
+            self, request_id, command, target, on_done, record, on_fail, deadline
+        )
         return request_id
 
     def attempts(self, request_id: int) -> int:
@@ -106,6 +122,13 @@ class _RoutedClient:
             return False
         client, underlying = issued
         return client.abandoned(underlying)
+
+    def failure_reason(self, request_id: int) -> str | None:
+        issued = self._issued.get(request_id)
+        if issued is None:
+            return None  # still deferred behind a migrating bucket
+        client, underlying = issued
+        return client.failure_reason(underlying)
 
     @property
     def completed(self) -> int:
@@ -310,7 +333,10 @@ class ShardedCluster:
     # Routing (with migration freeze/defer)
     # ------------------------------------------------------------------
 
-    def _route_invoke(self, rc, request_id, command, target, on_done, record) -> None:
+    def _route_invoke(
+        self, rc, request_id, command, target, on_done, record,
+        on_fail=None, deadline=None,
+    ) -> None:
         if self._migrations:
             migration = self._migrations.get(self.placement.bucket_of(command.key))
             if migration is not None:
@@ -318,16 +344,21 @@ class ShardedCluster:
                 # flip, then replay in arrival order.  Costs latency, never
                 # correctness.
                 migration.deferred.append(
-                    (rc, request_id, command, target, on_done, record)
+                    (rc, request_id, command, target, on_done, record, on_fail, deadline)
                 )
                 return
-        self._issue(rc, request_id, command, target, on_done, record)
+        self._issue(rc, request_id, command, target, on_done, record, on_fail, deadline)
 
-    def _issue(self, rc, request_id, command, target, on_done, record) -> None:
+    def _issue(
+        self, rc, request_id, command, target, on_done, record,
+        on_fail=None, deadline=None,
+    ) -> None:
         shard = self.placement.shard_of(command.key)
         client = rc.client_for_shard(shard)
         if not self._track:
-            underlying = client.invoke(command, target, on_done, record)
+            underlying = client.invoke(
+                command, target, on_done, record, on_fail=on_fail, deadline=deadline
+            )
             rc._issued[request_id] = (client, underlying)
             return
         bucket = self.placement.bucket_of(command.key)
@@ -341,7 +372,17 @@ class ShardedCluster:
             if migration is not None and not self._inflight.get(bucket):
                 self._finish_rebalance(bucket)
 
-        underlying = client.invoke(command, target, done, record)
+        def failed(reason, latency):
+            self._inflight.get(bucket, set()).discard((entry[0], entry[1]))
+            if on_fail is not None:
+                on_fail(reason, latency)
+            migration = self._migrations.get(bucket)
+            if migration is not None and not self._inflight.get(bucket):
+                self._finish_rebalance(bucket)
+
+        underlying = client.invoke(
+            command, target, done, record, on_fail=failed, deadline=deadline
+        )
         entry[1] = underlying
         rc._issued[request_id] = (client, underlying)
         self._inflight.setdefault(bucket, set()).add((client, underlying))
@@ -441,8 +482,8 @@ class ShardedCluster:
                 forced=migration.forced,
             )
         )
-        for rc, request_id, command, target, on_done, record in migration.deferred:
-            self._route_invoke(rc, request_id, command, target, on_done, record)
+        for deferred in migration.deferred:
+            self._route_invoke(*deferred)
 
     # ------------------------------------------------------------------
     # Transactions

@@ -114,6 +114,10 @@ class Server:
         self._frozen_until = 0.0
         self._epoch = 0  # bumped by power_off to orphan in-service jobs
         self._area_at = loop.now
+        # Sum of the costs of all *queued* (not in-service) jobs: the time a
+        # new arrival would wait behind the backlog.  Maintained
+        # incrementally so admission control can read it in O(1).
+        self._queued_cost = 0.0
         self.stats = ServerStats()
 
     @property
@@ -123,6 +127,14 @@ class Server:
     @property
     def frozen(self) -> bool:
         return self._loop.now < self._frozen_until
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Seconds of queued (not yet in service) work a new arrival would
+        wait behind.  The in-service job's remaining time is not included,
+        so this slightly underestimates true wait — good enough for
+        deadline-based admission control, and O(1) to read."""
+        return self._queued_cost
 
     def touch_queue_area(self) -> None:
         """Accrue the queue-length time-integral up to the current instant.
@@ -144,6 +156,7 @@ class Server:
         stats.queue_area += queued * (now - self._area_at)
         self._area_at = now
         self._queue.append((now, cost, fn, args))
+        self._queued_cost += cost
         queued += 1
         if queued > stats.max_queue_length:
             stats.max_queue_length = queued
@@ -176,6 +189,7 @@ class Server:
         """
         self.touch_queue_area()
         self._queue.clear()
+        self._queued_cost = 0.0
         self._epoch += 1
         self._busy = False
         self._frozen_until = math.inf
@@ -194,9 +208,33 @@ class Server:
                 loop.call_at(self._frozen_until, self._maybe_start)
             return
         enqueued_at, cost, fn, args = self._queue.popleft()
+        self._queued_cost -= cost
+        if not self._queue:
+            self._queued_cost = 0.0  # re-zero so float drift never accumulates
         self._busy = True
         self.stats.wait_seconds += loop.now - enqueued_at
         loop.call_after(cost, self._complete, self._epoch, cost, fn, args)
+
+    def evict_oldest(
+        self, match: Callable[[Callable[..., Any], tuple], bool]
+    ) -> tuple[float, float, Callable[..., Any], tuple] | None:
+        """Remove and return the oldest queued job satisfying ``match(fn,
+        args)``, or None if no queued job matches.  The in-service job is
+        never evicted (its completion event is already scheduled).
+
+        This is the ``shed_policy="drop_oldest"`` primitive: O(queue) scan,
+        but it only runs when the queue is over its admission limit, i.e.
+        exactly when the node is otherwise about to melt down.
+        """
+        for index, job in enumerate(self._queue):
+            if match(job[2], job[3]):
+                self.touch_queue_area()
+                del self._queue[index]
+                self._queued_cost -= job[1]
+                if not self._queue:
+                    self._queued_cost = 0.0
+                return job
+        return None
 
     def _complete(self, epoch: int, cost: float, fn: Callable[..., Any], args: tuple) -> None:
         if epoch != self._epoch:

@@ -1,0 +1,225 @@
+"""Tests for admission control: bounded ingress queues, shed policies,
+explicit Rejected replies, and the rejected-is-not-lost guarantee."""
+
+import pytest
+
+from repro.errors import ConfigError, Overloaded
+from repro.paxi.config import SHED_POLICIES, Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.message import ClientReply, ClientRequest, Command
+from repro.paxi.node import Replica
+from repro.paxi.session import SessionOptions
+from repro.protocols.paxos import MultiPaxos
+
+from tests.conftest import assert_correct
+
+
+class Echo(Replica):
+    def __init__(self, deployment, node_id):
+        super().__init__(deployment, node_id)
+        self.register(ClientRequest, self.on_request)
+
+    def on_request(self, src, m):
+        value = self.store.execute(m.command)
+        self.send(
+            m.client,
+            ClientReply(request_id=m.request_id, ok=True, value=value, replied_by=self.id),
+        )
+
+
+class Mute(Replica):
+    """Never replies — admitted requests hold their inflight slot forever."""
+
+    def __init__(self, deployment, node_id):
+        super().__init__(deployment, node_id)
+        self.register(ClientRequest, lambda src, m: None)
+
+
+def _single(factory=Echo, **admission):
+    dep = Deployment(Config.lan(1, 1, seed=9, **admission)).start(factory)
+    return dep, next(iter(dep.replicas.values()))
+
+
+class TestConfigSurface:
+    def test_shed_policy_validated(self):
+        with pytest.raises(ConfigError):
+            Config.lan(1, 3, queue_limit=8, shed_policy="yolo")
+        for policy in SHED_POLICIES:
+            Config.lan(1, 3, queue_limit=8, shed_policy=policy)
+
+    def test_limits_must_be_positive_ints(self):
+        with pytest.raises(ConfigError):
+            Config.lan(1, 3, queue_limit=0)
+        with pytest.raises(ConfigError):
+            Config.lan(1, 3, max_inflight=-4)
+        with pytest.raises(ConfigError):
+            Config.lan(1, 3, queue_limit=2.5)
+
+    def test_admission_enabled_property(self):
+        assert not Config.lan(1, 3).admission_enabled
+        assert Config.lan(1, 3, queue_limit=8).admission_enabled
+        assert Config.lan(1, 3, max_inflight=64).admission_enabled
+
+    def test_json_round_trip(self):
+        config = Config.lan(
+            1, 3, seed=4, queue_limit=16, max_inflight=64, shed_policy="drop_oldest"
+        )
+        restored = Config.from_json(config.to_json())
+        assert restored.queue_limit == 16
+        assert restored.max_inflight == 64
+        assert restored.shed_policy == "drop_oldest"
+
+    def test_json_omits_admission_when_disabled(self):
+        import json
+        assert json.loads(Config.lan(1, 3).to_json()).get("admission") is None
+
+    def test_no_admission_no_state(self):
+        dep, replica = _single()
+        assert replica._admission is None
+        assert replica.shed_count == 0
+
+
+class TestQueueLimit:
+    def _backlogged(self, **admission):
+        """One Echo node whose server is hogged by a long foreign job, so
+        client requests pile up in its queue deterministically."""
+        dep, replica = _single(**admission)
+        client = dep.new_client()
+        replica._server.submit(10.0, lambda: None)  # occupies the CPU
+        return dep, replica, client
+
+    def test_reject_sheds_beyond_limit(self):
+        dep, replica, client = self._backlogged(queue_limit=2, shed_policy="reject")
+        for i in range(5):
+            client.invoke(Command.put("k", i))
+        dep.run_for(0.1)
+        # The hog is in service (queue_length 1); one request fits under
+        # the limit of 2, the rest bounce with an explicit reply.
+        assert client.rejected == 4
+        assert replica.shed_count == 4
+        assert replica._admission.shed_by_reason == {"queue_full": 4}
+        assert client.outstanding == 1  # the admitted one, still queued
+
+    def test_first_attempt_rejection_leaves_history_clean(self):
+        dep, replica, client = self._backlogged(queue_limit=1, shed_policy="reject")
+        client.invoke(Command.put("k", 1))
+        dep.run_for(0.1)
+        assert client.rejected == 1
+        assert client.failure_reason(1) == "rejected"
+        # Provably unexecuted: the write must not haunt the checker as a
+        # maybe-applied pending operation.
+        assert dep.history.in_flight == 0
+
+    def test_drop_oldest_evicts_queued_request_for_fresh_one(self):
+        dep, replica, client = self._backlogged(queue_limit=2, shed_policy="drop_oldest")
+        ids = [client.invoke(Command.put("k", i)) for i in range(4)]
+        dep.run_for(0.1)
+        # Each newcomer evicts the previously queued request: three bounce,
+        # the freshest one keeps the slot.
+        assert client.rejected == 3
+        assert replica._admission.shed_by_reason == {"queue_full": 3}
+        assert client.outstanding == 1
+        for request_id in ids[:3]:
+            assert client.failure_reason(request_id) == "rejected"
+        assert client.failure_reason(ids[3]) is None
+
+    def test_drop_oldest_without_evictable_job_rejects_newcomer(self):
+        # The queue is full of non-client work: nothing to evict, so the
+        # arriving request itself is refused.
+        dep, replica = _single(queue_limit=1, shed_policy="drop_oldest")
+        client = dep.new_client()
+        replica._server.submit(10.0, lambda: None)  # in service
+        replica._server.submit(10.0, lambda: None)  # queued: length hits limit
+        client.invoke(Command.put("k", 1))
+        dep.run_for(0.1)
+        assert client.rejected == 1
+
+    def test_rejected_reply_is_cheap(self):
+        # Shedding must not consume the melting replica's CPU: the hog job
+        # is still in service, yet rejections already came back.
+        dep, replica, client = self._backlogged(queue_limit=1, shed_policy="reject")
+        client.invoke(Command.put("k", 1))
+        dep.run_for(0.05)
+        assert client.rejected == 1
+        assert replica._server.stats.jobs_completed == 0
+
+
+class TestDeadlinePolicy:
+    def test_doomed_requests_shed_early(self):
+        dep, replica = _single(queue_limit=1000, shed_policy="deadline")
+        client = dep.new_client()
+        replica._server.submit(10.0, lambda: None)  # in service: not backlog
+        replica._server.submit(10.0, lambda: None)  # queued: 10s of backlog
+        hopeless = client.invoke(Command.put("k", 1), deadline=dep.now + 1.0)
+        patient = client.invoke(Command.put("k", 2), deadline=dep.now + 60.0)
+        undated = client.invoke(Command.put("k", 3))
+        dep.run_for(0.1)
+        assert client.failure_reason(hopeless) == "rejected"
+        assert replica._admission.shed_by_reason == {"deadline": 1}
+        assert client.failure_reason(patient) is None
+        assert client.failure_reason(undated) is None  # no deadline: never shed
+
+
+class TestMaxInflight:
+    def test_inflight_cap_rejects_excess(self):
+        dep, replica = _single(Mute, max_inflight=2)
+        client = dep.new_client()
+        for i in range(3):
+            client.invoke(Command.put("k", i))
+        dep.run_for(0.1)
+        assert client.rejected == 1
+        assert replica._admission.shed_by_reason == {"inflight": 1}
+        assert len(replica._admission.inflight) == 2
+
+    def test_expired_slots_are_purged(self):
+        dep, replica = _single(Mute, max_inflight=2)
+        client = dep.new_client()
+        client.invoke(Command.put("k", 1), deadline=dep.now + 0.05)
+        client.invoke(Command.put("k", 2), deadline=dep.now + 0.05)
+        dep.run_for(0.2)  # both issuers' patience has long expired
+        client.invoke(Command.put("k", 3))
+        dep.run_for(0.1)
+        assert client.rejected == 0  # dead slots made room
+        assert len(replica._admission.inflight) == 1
+
+    def test_reply_releases_slot(self):
+        dep, replica = _single(Echo, max_inflight=1)
+        client = dep.new_client()
+        client.invoke(Command.put("k", 1))
+        dep.run_for(0.1)  # round trip completes, slot freed
+        client.invoke(Command.put("k", 2))
+        dep.run_for(0.1)
+        assert client.rejected == 0
+        assert client.completed == 2
+        assert replica._admission.inflight == {}
+
+
+class TestEndToEnd:
+    def test_rejected_is_not_lost_under_paxos(self):
+        """Overdriving an admission-controlled Paxos cluster: shed requests
+        are clean failures, and the surviving history stays linearizable."""
+        dep = Deployment(Config.lan(1, 3, seed=13, queue_limit=4)).start(MultiPaxos)
+        dep.run_for(0.2)  # leader election
+        client = dep.new_client()
+        for i in range(400):
+            client.invoke(Command.put(f"k{i % 7}", i))
+        dep.run_for(2.0)
+        assert client.rejected > 0, "the burst should overflow queue_limit=4"
+        assert client.completed > 0
+        assert client.rejected + client.completed == 400
+        assert_correct(dep)
+
+    def test_session_surfaces_rejection(self):
+        dep, replica = _single(queue_limit=1, shed_policy="reject")
+        replica._server.submit(10.0, lambda: None)
+        session = dep.new_session()
+        result = session.put("k", 1)
+        assert not result.ok
+        assert result.failure == "rejected"
+
+    def test_strict_session_raises_overloaded(self):
+        dep, replica = _single(queue_limit=1, shed_policy="reject")
+        replica._server.submit(10.0, lambda: None)
+        session = dep.new_session(options=SessionOptions(strict=True))
+        with pytest.raises(Overloaded):
+            session.put("k", 1)

@@ -1,0 +1,108 @@
+"""Tests for the analytic overload models (finite queues, retry storms)."""
+
+import math
+
+import pytest
+
+from repro.core.overload import FiniteQueueModel, RetryAmplificationModel
+from repro.errors import ModelError
+
+
+class TestFiniteQueue:
+    def test_loss_negligible_far_below_knee(self):
+        model = FiniteQueueModel(mu=1000.0, capacity=32)
+        assert model.loss(100.0) < 1e-9
+
+    def test_loss_at_exact_saturation_is_one_over_k_plus_one(self):
+        model = FiniteQueueModel(mu=1000.0, capacity=10)
+        assert model.loss(1000.0) == pytest.approx(1.0 / 11.0)
+
+    def test_loss_monotone_in_offered_load(self):
+        model = FiniteQueueModel(mu=1000.0, capacity=16)
+        losses = [model.loss(rate) for rate in (200, 600, 1000, 1500, 3000)]
+        assert losses == sorted(losses)
+        assert all(0.0 <= p < 1.0 for p in losses)
+
+    def test_goodput_bounded_by_capacity_and_by_offered(self):
+        model = FiniteQueueModel(mu=1000.0, capacity=32)
+        for rate in (100.0, 900.0, 1000.0, 2000.0, 10000.0):
+            goodput = model.goodput(rate)
+            assert goodput <= min(rate, 1000.0) + 1e-9
+
+    def test_goodput_plateaus_past_knee(self):
+        # The graceful-degradation shape: 2x overload loses almost nothing.
+        model = FiniteQueueModel(mu=1000.0, capacity=32)
+        assert model.goodput(2000.0) > 0.99 * 1000.0
+
+    def test_deep_queue_converges_to_infinite_queue_below_knee(self):
+        shallow = FiniteQueueModel(mu=1000.0, capacity=4)
+        deep = FiniteQueueModel(mu=1000.0, capacity=512)
+        assert deep.loss(900.0) < shallow.loss(900.0)
+        assert deep.loss(900.0) < 1e-12
+
+    def test_curve_helper_matches_pointwise(self):
+        model = FiniteQueueModel(mu=500.0, capacity=8)
+        rates = [100.0, 500.0, 900.0]
+        assert model.curve(rates) == [(r, model.goodput(r)) for r in rates]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FiniteQueueModel(mu=0.0, capacity=8)
+        with pytest.raises(ModelError):
+            FiniteQueueModel(mu=100.0, capacity=0)
+        with pytest.raises(ModelError):
+            FiniteQueueModel(mu=100.0, capacity=8).loss(0.0)
+
+
+class TestRetryAmplification:
+    def test_expected_attempts_limits(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=5)
+        assert model.expected_attempts(0.0) == 1.0
+        assert model.expected_attempts(1.0) == 5.0
+        # Geometric series: p=0.5, k=5 -> (1 - 1/32) / 0.5
+        assert model.expected_attempts(0.5) == pytest.approx((1 - 0.5**5) / 0.5)
+
+    def test_no_amplification_below_knee(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=10)
+        assert model.effective_attempt_rate(500.0) == pytest.approx(500.0)
+        assert model.goodput(500.0) == pytest.approx(500.0)
+
+    def test_amplification_inflates_past_knee(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=10)
+        x = model.effective_attempt_rate(1500.0)
+        assert x > 1500.0  # retries add attempts...
+        assert x <= 10 * 1500.0 + 1e-6  # ...bounded by k per request
+
+    def test_goodput_collapses_under_amplification(self):
+        # Offered load slightly past the knee with aggressive retries:
+        # goodput lands well below the knee, the metastable signature.
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=100)
+        assert model.goodput(1200.0) < 500.0
+
+    def test_hysteresis_bound(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=50)
+        assert model.hysteresis_bound() == pytest.approx(20.0)
+        assert model.is_metastable(500.0)  # bound < 500 < mu
+        assert not model.is_metastable(10.0)  # below the bound: recovers
+        assert not model.is_metastable(2000.0)  # above mu: plain overload
+
+    def test_single_attempt_cannot_amplify(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=1)
+        assert model.effective_attempt_rate(5000.0) == pytest.approx(5000.0)
+        assert model.hysteresis_bound() == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RetryAmplificationModel(mu=-1.0, max_attempts=3)
+        with pytest.raises(ModelError):
+            RetryAmplificationModel(mu=100.0, max_attempts=0)
+        with pytest.raises(ModelError):
+            RetryAmplificationModel(mu=100.0, max_attempts=3).expected_attempts(1.5)
+        with pytest.raises(ModelError):
+            RetryAmplificationModel(mu=100.0, max_attempts=3).effective_attempt_rate(0.0)
+
+    def test_failure_probability_fluid_limit(self):
+        model = RetryAmplificationModel(mu=1000.0, max_attempts=3)
+        assert model.failure_probability(500.0) == 0.0
+        assert model.failure_probability(2000.0) == pytest.approx(0.5)
+        assert model.failure_probability(-5.0) == 0.0

@@ -50,6 +50,22 @@ def test_default_mode_read_path_is_opt_in():
         assert fresh[facet] == golden[facet], f"default-mode {facet} diverged"
 
 
+def test_default_mode_overload_machinery_is_opt_in():
+    """The overload stack (admission control, retry budgets, circuit
+    breakers, the open-loop engine refactor — see docs/OVERLOAD.md) must
+    be provably opt-in: with no admission fields configured and no client
+    defenses armed, a default scenario still reproduces the golden
+    fingerprint recorded before any of it existed — bit-identical wire
+    traffic, spans, and latency series.  Kept out of the slow lane so
+    tier-1 runs always pin it."""
+    scenario = next(s for s in SCENARIOS if s.name == "paxos:memory:faulty")
+    fresh = run_scenario(scenario)
+    golden = GOLDEN[scenario.name]
+    assert sorted(fresh) == sorted(golden)
+    for facet in golden:
+        assert fresh[facet] == golden[facet], f"default-mode {facet} diverged"
+
+
 @pytest.mark.slow
 def test_back_to_back_runs_are_bit_identical():
     """The guard itself must be deterministic: two fresh runs of the same

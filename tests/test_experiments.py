@@ -35,6 +35,7 @@ EXPECTED_IDS = {
     "extra_mencius",
     "bench_batching",
     "bench_faults",
+    "bench_overload",
     "bench_reads",
     "bench_sharding",
     "bench_simspeed",

@@ -99,6 +99,78 @@ class TestScheduling:
                 exceeded = True
         assert exceeded  # unguarded schedules do break the majority
 
+    def test_unknown_kind_error_lists_all_valid_kinds(self):
+        from repro.bench.nemesis import ALL_KINDS
+
+        with pytest.raises(ValueError) as excinfo:
+            Nemesis(kinds=("meteor", "crash"))
+        message = str(excinfo.value)
+        assert "meteor" in message
+        for kind in ALL_KINDS:
+            assert kind in message
+
+
+class TestBurst:
+    def test_burst_is_opt_in(self):
+        # Like reboot/wipe: never drawn by default, so historical seeds
+        # replay byte-identical schedules.
+        from repro.bench.nemesis import ALL_KINDS, KINDS
+
+        assert "burst" not in KINDS
+        assert "burst" in ALL_KINDS
+
+    def test_burst_schedule_deterministic_and_bounded(self):
+        nemesis = Nemesis(
+            seed=17, events=12, kinds=("burst",), burst_min=1.5, burst_max=4.0
+        )
+        events = nemesis.schedule(NODES)
+        replay = Nemesis(
+            seed=17, events=12, kinds=("burst",), burst_min=1.5, burst_max=4.0
+        ).schedule(NODES)
+        assert events == replay
+        assert {e.kind for e in events} == {"burst"}
+        for e in events:
+            assert 1.5 <= e.multiplier <= 4.0
+            assert e.duration > 0
+            assert e.victim is None and not e.group  # load fault, no outage
+
+    def test_burst_composes_with_preserve_quorum(self):
+        # A surge is not an outage: it never occupies an outage slot, so a
+        # quorum-preserving schedule can overlap bursts with a crash freely.
+        for seed in range(6):
+            events = Nemesis(
+                seed=seed,
+                events=30,
+                kinds=("crash", "burst"),
+                horizon=0.5,
+                preserve_quorum=True,
+            ).schedule(NODES)
+            down = [e for e in events if e.kind == "crash"]
+            assert TestScheduling._max_simultaneous_down(down) <= (len(NODES) - 1) // 2
+            assert any(e.kind == "burst" for e in events)
+
+    def test_burst_event_str_shows_multiplier(self):
+        event = FaultEvent("burst", 0.5, 0.2, multiplier=2.5)
+        assert "burst" in str(event) and "2.5" in str(event)
+
+    def test_unleash_drives_registered_rate_controllers(self):
+        class RecordingController:
+            def __init__(self):
+                self.calls = []
+
+            def apply_burst(self, at, duration, multiplier):
+                self.calls.append((at, duration, multiplier))
+
+        dep = Deployment(Config.lan(1, 3, seed=3)).start(MultiPaxos)
+        controller = RecordingController()
+        dep.rate_controllers.append(controller)
+        events = Nemesis(seed=17, events=4, kinds=("burst",)).unleash(dep, at=0.25)
+        assert len(controller.calls) == len(events)
+        for event, (at, duration, multiplier) in zip(events, controller.calls):
+            assert at == pytest.approx(0.25 + event.start)
+            assert duration == pytest.approx(event.duration)
+            assert multiplier == pytest.approx(event.multiplier)
+
 
 @pytest.mark.slow
 class TestChaosSoak:

@@ -1,0 +1,123 @@
+"""Overload chaos suite: safety and liveness under load shedding, retry
+storms, and seeded arrival bursts (the "burst" nemesis kind)."""
+
+import pytest
+
+from repro.bench.nemesis import Nemesis
+from repro.bench.openloop import OpenLoopEngine, PoissonArrivals
+from repro.bench.workload import WorkloadSpec
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.protocols.paxos import MultiPaxos
+from repro.protocols.raft import Raft
+from repro.sim.server import ServiceProfile
+
+from tests.conftest import assert_correct
+
+#: Slowed nodes (knee ~1,900/s on 3 nodes) so overload is reachable with
+#: small event counts.
+SLOW = ServiceProfile(t_in=100e-6, t_out=100e-6)
+
+
+def _overdrive(dep, rate, seed_burst=None, duration=0.8, **engine_kwargs):
+    engine = OpenLoopEngine(
+        dep, WorkloadSpec(keys=20), PoissonArrivals(rate), sites=["LAN"], **engine_kwargs
+    )
+    if seed_burst is not None:
+        Nemesis(
+            seed=seed_burst, kinds=("burst",), events=2, horizon=0.5,
+            burst_min=2.0, burst_max=3.0,
+        ).unleash(dep, at=0.3)
+    return engine.run(duration=duration, warmup=0.1, settle=0.2)
+
+
+def test_shedding_cluster_stays_linearizable_at_2x_knee():
+    """Rejected != lost: overdriving an admission-controlled cluster to 2x
+    its knee sheds thousands of requests, and every checker still passes."""
+    dep = Deployment(
+        Config.lan(1, 3, seed=21, profile=SLOW, queue_limit=16)
+    ).start(MultiPaxos)
+    result = _overdrive(dep, rate=4000.0, request_timeout=0.1)
+    assert result.rejected > 0
+    assert result.completed > 0
+    assert_correct(dep)
+
+
+def test_shedding_plus_burst_nemesis_stays_linearizable():
+    """Admission control + a seeded arrival burst + patience timeouts: the
+    full overload defense stack under chaos, still zero anomalies."""
+    dep = Deployment(
+        Config.lan(1, 3, seed=22, profile=SLOW, queue_limit=16)
+    ).start(MultiPaxos)
+    result = _overdrive(dep, rate=2500.0, seed_burst=5, request_timeout=0.1)
+    assert result.offered > 0
+    assert_correct(dep)
+
+
+def test_drop_oldest_policy_stays_linearizable():
+    dep = Deployment(
+        Config.lan(1, 3, seed=23, profile=SLOW, queue_limit=16,
+                   shed_policy="drop_oldest")
+    ).start(MultiPaxos)
+    result = _overdrive(dep, rate=4000.0, request_timeout=0.1)
+    assert result.rejected > 0
+    assert_correct(dep)
+
+
+def test_deadline_policy_stays_linearizable():
+    dep = Deployment(
+        Config.lan(1, 3, seed=24, profile=SLOW, queue_limit=64,
+                   shed_policy="deadline")
+    ).start(MultiPaxos)
+    result = _overdrive(dep, rate=4000.0, request_timeout=0.05)
+    assert result.rejected > 0, "10s+ of backlog against 50ms deadlines"
+    assert_correct(dep)
+
+
+def test_defended_clients_with_retries_stay_linearizable():
+    """Clients that DO retry (budgeted, capped) against a shedding cluster:
+    retransmissions + rejections together must not corrupt the history."""
+    dep = Deployment(
+        Config.lan(1, 3, seed=25, profile=SLOW, queue_limit=16)
+    ).start(MultiPaxos)
+    result = _overdrive(
+        dep,
+        rate=3000.0,
+        retry_timeout=0.05,
+        max_attempts=3,
+        retry_budget=20.0,
+        request_timeout=0.2,
+    )
+    assert result.offered > 0
+    assert_correct(dep)
+
+
+@pytest.mark.slow
+def test_soak_burst_composes_with_outage_chaos():
+    """The burst kind rides along a full chaos schedule (crashes, drops,
+    partitions) with quorum preservation: liveness degrades, safety never."""
+    for seed in (31, 32):
+        dep = Deployment(
+            Config.lan(3, 3, seed=seed, profile=SLOW, queue_limit=32,
+                       election_timeout=0.08)
+        ).start(Raft)
+        engine = OpenLoopEngine(
+            dep,
+            WorkloadSpec(keys=15),
+            PoissonArrivals(1500.0),
+            request_timeout=0.3,
+            retry_timeout=0.2,
+            max_attempts=2,
+        )
+        nemesis = Nemesis(
+            seed=seed,
+            horizon=0.8,
+            events=5,
+            kinds=("crash", "drop", "partition", "burst"),
+            max_partition_size=3,
+        )
+        events = nemesis.unleash(dep, at=0.3)
+        assert events
+        engine.run(duration=1.2, warmup=0.0, settle=0.05)
+        dep.run_for(2.0)
+        assert_correct(dep)

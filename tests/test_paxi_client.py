@@ -121,3 +121,136 @@ def test_request_ids_monotone():
     client = dep.new_client()
     ids = [client.invoke(Command.put("k", i)) for i in range(5)]
     assert ids == sorted(ids) and len(set(ids)) == 5
+
+
+class TestRetryCapSemantics:
+    def test_effective_cap_is_max_of_cap_and_base_timeout(self):
+        dep = Deployment(Config.lan(1, 2, seed=6)).start(Echo)
+        client = dep.new_client()
+        client.retry_timeout = 0.05
+        client.retry_cap = 1.0
+        assert client.effective_retry_cap == 1.0
+        # A cap below the base timeout is clamped up: retry k must never
+        # wait less than the first transmission did.
+        client.retry_cap = 0.01
+        assert client.effective_retry_cap == 0.05
+        client.retry_timeout = 2.0
+        client.retry_cap = 1.0
+        assert client.effective_retry_cap == 2.0
+
+    def test_backoff_delays_respect_effective_cap(self):
+        dep = Deployment(Config.lan(1, 2, seed=6)).start(Echo)
+        client = dep.new_client()
+        client.retry_timeout = 0.1
+        client.retry_backoff = 4.0
+        client.retry_cap = 0.2
+        assert client._retry_delay(0) == 0.1  # first transmission: exact
+        for k in range(1, 6):
+            delay = client._retry_delay(k)
+            # <= cap stretched by at most 25% jitter, >= base timeout.
+            assert delay <= client.effective_retry_cap * 1.25 + 1e-12
+            assert delay >= client.retry_timeout
+
+
+class TestMaxAttempts:
+    def test_max_attempts_caps_transmissions(self):
+        dep = Deployment(Config.lan(1, 2, seed=7)).start(Mute)
+        client = dep.new_client()
+        client.retry_timeout = 0.02
+        client.max_retries = 50
+        client.max_attempts = 3
+        request_id = client.invoke(Command.put("k", 1))
+        dep.run_for(2.0)
+        assert client.failed == 1
+        assert client.failure_reason(request_id) == "retries_exhausted"
+        assert client.attempts(request_id) == 3
+
+    def test_unset_max_attempts_keeps_historical_behavior(self):
+        dep = Deployment(Config.lan(1, 2, seed=7)).start(Mute)
+        client = dep.new_client()
+        client.retry_timeout = 0.02
+        client.max_retries = 5
+        request_id = client.invoke(Command.put("k", 1))
+        dep.run_for(2.0)
+        assert client.attempts(request_id) == 6  # 1 original + max_retries
+
+
+class TestRetryBudget:
+    def test_exhausted_budget_fails_typed_overloaded(self):
+        dep = Deployment(Config.lan(1, 2, seed=8)).start(Mute)
+        client = dep.new_client()
+        client.retry_timeout = 0.02
+        client.max_retries = 50
+        client.retry_budget = 2.0
+        client.retry_refill_rate = 0.0
+        ids = [client.invoke(Command.put("k", i)) for i in range(2)]
+        dep.run_for(2.0)
+        assert client.overloaded == 2
+        for request_id in ids:
+            assert client.failure_reason(request_id) == "overloaded"
+        # Two tokens were spent across the pair before the bucket dried up.
+        total = sum(client.attempts(i) - 1 for i in ids)
+        assert total == 2
+
+    def test_budget_refills_over_time(self):
+        dep = Deployment(Config.lan(1, 2, seed=8)).start(Mute)
+        client = dep.new_client()
+        client.retry_timeout = 0.05
+        client.max_retries = 2
+        client.retry_budget = 1.0
+        client.retry_refill_rate = 100.0  # refills far faster than retries
+        request_id = client.invoke(Command.put("k", 1))
+        dep.run_for(2.0)
+        # Never starved: the request used its full retry allowance.
+        assert client.failure_reason(request_id) == "retries_exhausted"
+        assert client.attempts(request_id) == 3
+
+
+class TestCircuitBreaker:
+    def _muted_client(self, threshold=2, cooldown=0.5):
+        dep = Deployment(Config.lan(1, 2, seed=9)).start(Mute)
+        client = dep.new_client()
+        client.retry_timeout = 0.02
+        client.max_retries = 0  # each invoke = one transmission, one failure
+        client.breaker_threshold = threshold
+        client.breaker_cooldown = cooldown
+        return dep, client
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        dep, client = self._muted_client()
+        for i in range(2):
+            client.invoke(Command.put("k", i))
+            dep.run_for(0.1)
+        assert client._breaker_failures == 2
+        # Open circuit: new invokes fail fast without touching the wire.
+        request_id = client.invoke(Command.put("k", 99))
+        assert client.failure_reason(request_id) == "overloaded"
+        assert client.outstanding == 0
+
+    def test_half_open_probe_after_cooldown(self):
+        dep, client = self._muted_client(cooldown=0.2)
+        for i in range(2):
+            client.invoke(Command.put("k", i))
+            dep.run_for(0.1)
+        dep.run_for(0.3)  # cooldown elapses: half-open
+        probe = client.invoke(Command.put("k", 100))
+        assert client.failure_reason(probe) is None  # the probe flies
+        # While the probe is outstanding, everyone else still fails fast.
+        blocked = client.invoke(Command.put("k", 101))
+        assert client.failure_reason(blocked) == "overloaded"
+
+    def test_success_closes_breaker(self):
+        dep = Deployment(Config.lan(1, 2, seed=10)).start(Echo)
+        client = dep.new_client()
+        client.breaker_threshold = 2
+        client._breaker_failures = 2  # pretend the circuit just tripped
+        client._breaker_open_until = 0.0  # cooldown already over
+        probe = client.invoke(Command.put("k", 1))
+        dep.run_for(0.2)
+        assert client.failure_reason(probe) is None
+        assert client.completed == 1
+        assert client._breaker_failures == 0  # success closed the circuit
+        follow_up = client.invoke(Command.put("k", 2))
+        dep.run_for(0.2)
+        assert client.failure_reason(follow_up) is None
+        assert client.completed == 2
