@@ -41,7 +41,14 @@ KINDS = ("crash", "drop", "slow", "flaky", "partition")
 #: workload engine (``Deployment.rate_controllers``) by a seeded
 #: ``multiplier`` over its window — the load-side fault that triggers
 #: retry storms and metastable collapse; it is not an outage, so it
-#: composes freely with ``preserve_quorum=True``.
+#: composes freely with ``preserve_quorum=True``.  ``fail_slow`` degrades
+#: one node (CPU service-rate multiplier plus optional NIC loss/jitter)
+#: without taking it down — the gray failure that feeds every fixed
+#: timeout just in time; it is not an outage either.
+#: ``partial_partition`` is the asymmetric network fault: a subset of
+#: peers loses the path *to* the victim while the victim's outbound
+#: traffic still flows; conservatively bookkept as an outage of the
+#: victim so ``preserve_quorum`` stays honest.
 ALL_KINDS = KINDS + (
     "reboot",
     "wipe",
@@ -49,6 +56,8 @@ ALL_KINDS = KINDS + (
     "lease_expiry_during_partition",
     "rebalance",
     "burst",
+    "fail_slow",
+    "partial_partition",
 )
 
 #: Fault kinds that take a node fully out of service while they last.
@@ -72,8 +81,21 @@ class FaultEvent:
     bucket: int | None = None  # rebalance: placement bucket to move
     to_shard: int | None = None  # rebalance: destination group
     multiplier: float = 1.0  # burst: arrival-rate scale over the window
+    cpu_factor: float = 1.0  # fail_slow: service-cost multiplier
+    nic_loss: float = 0.0  # fail_slow: per-packet drop probability
+    nic_jitter: float = 0.0  # fail_slow: mean extra per-packet delay (s)
 
     def __str__(self) -> str:
+        if self.kind == "fail_slow":
+            return (
+                f"fail_slow({self.victim}, cpu x{self.cpu_factor:.1f}, "
+                f"loss {self.nic_loss:.2f}) @{self.start:.2f}s for {self.duration:.2f}s"
+            )
+        if self.kind == "partial_partition":
+            return (
+                f"partial_partition({list(self.group)} -/-> {self.victim}) "
+                f"@{self.start:.2f}s for {self.duration:.2f}s"
+            )
         if self.kind == "rebalance":
             return (
                 f"rebalance(bucket {self.bucket} -> shard {self.to_shard}) "
@@ -138,6 +160,12 @@ class Nemesis:
     #: value in [burst_min, burst_max] over the event window.
     burst_min: float = 1.5
     burst_max: float = 4.0
+    #: ``fail_slow`` draws degrade the victim's CPU by a uniform factor in
+    #: [fail_slow_min, fail_slow_max] and drop its packets with a uniform
+    #: probability in [0, fail_slow_loss].
+    fail_slow_min: float = 3.0
+    fail_slow_max: float = 10.0
+    fail_slow_loss: float = 0.15
 
     def __post_init__(self) -> None:
         unknown = set(self.kinds) - set(ALL_KINDS)
@@ -209,6 +237,39 @@ class Nemesis:
                 victim = rng.choice(eligible)
                 delta = rng.uniform(-self.skew_magnitude, self.skew_magnitude)
                 out.append(FaultEvent(kind, start, 0.0, victim=victim, delta=delta))
+            elif kind == "fail_slow":
+                # A gray failure is not an outage: the victim keeps serving
+                # (and heartbeating), just slowly, so quorum bookkeeping
+                # never sees it — which is precisely what makes it nasty.
+                victim = rng.choice(eligible)
+                cpu_factor = rng.uniform(self.fail_slow_min, self.fail_slow_max)
+                nic_loss = rng.uniform(0.0, self.fail_slow_loss)
+                out.append(
+                    FaultEvent(
+                        kind,
+                        start,
+                        duration,
+                        victim=victim,
+                        cpu_factor=cpu_factor,
+                        nic_loss=nic_loss,
+                    )
+                )
+            elif kind == "partial_partition":
+                victim = rng.choice(eligible)
+                others = [n for n in nodes if n != victim]
+                size = rng.randint(1, min(self.max_partition_size, len(others)))
+                sources = tuple(rng.sample(others, size))
+                # One-way cut, but bookkept as an outage of the victim: if
+                # the unreachable subset mattered for quorum the victim is
+                # effectively down, so stay conservative.
+                if self.preserve_quorum and breaks_quorum(
+                    start, start + duration, {victim}
+                ):
+                    continue
+                outages.append((start, start + duration, frozenset({victim})))
+                out.append(
+                    FaultEvent(kind, start, duration, victim=victim, group=sources)
+                )
             elif kind == "lease_expiry_during_partition":
                 victim = rng.choice(eligible)
                 duration = self.lease_duration * rng.uniform(1.5, 2.5)
@@ -262,6 +323,19 @@ class Nemesis:
                 )
             elif event.kind == "skew":
                 deployment.skew(event.victim, event.delta, at=start)
+            elif event.kind == "fail_slow":
+                deployment.fail_slow(
+                    event.victim,
+                    event.duration,
+                    cpu_factor=event.cpu_factor,
+                    nic_loss=event.nic_loss,
+                    nic_jitter=event.nic_jitter,
+                    at=start,
+                )
+            elif event.kind == "partial_partition":
+                deployment.partial_partition(
+                    event.victim, event.group, event.duration, at=start
+                )
             elif event.kind == "rebalance":
                 continue  # sharded-cluster fault; see repro.shard.nemesis
             elif event.kind == "burst":

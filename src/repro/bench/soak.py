@@ -29,18 +29,35 @@ from repro.protocols.paxos import MultiPaxos
 from repro.protocols.raft import Raft
 
 PROTOCOLS = {"paxos": MultiPaxos, "fpaxos": FPaxos, "raft": Raft}
-KINDS = ("crash", "reboot", "wipe", "drop", "slow", "flaky", "partition")
+#: The full fault matrix, gray failures included: ``fail_slow`` degrades a
+#: node (CPU/disk/NIC) without killing it and ``partial_partition`` cuts
+#: an asymmetric subset of links — the faults the φ-accrual detector and
+#: planned handoff exist for.
+KINDS = (
+    "crash",
+    "reboot",
+    "wipe",
+    "drop",
+    "slow",
+    "flaky",
+    "partition",
+    "fail_slow",
+    "partial_partition",
+)
 DEFAULT_SEEDS = (7, 19, 101)
 
 
 def _durable_lan(seed: int) -> Config:
+    # detector=True: failover runs on the φ-accrual detector with the
+    # adaptive election timeout, and planned handoff is armed — so the
+    # soak exercises the gray-failure reaction path, not just elections.
     return Config.lan(
         3,
         3,
         seed=seed,
         durability="fsync",
         snapshot_interval=25,
-        election_timeout=0.15,
+        detector=True,
         catchup_snapshot_gap=16,
     )
 

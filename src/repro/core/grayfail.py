@@ -1,0 +1,166 @@
+"""Gray-failure capacity and detection models.
+
+The paper's performance model (sections 3.2-3.3) assumes every node runs
+at the same service rate.  A *gray* failure breaks exactly that premise:
+one node keeps participating while running k times slower (CPU throttling,
+a dying disk, a lossy NIC).  These models predict the two first-order
+consequences the ``bench_grayfail`` experiment measures, plus the
+detection latency of the φ-accrual/slowdown detector that triggers the
+planned leader handoff (``repro.paxi.detector``):
+
+- **Degraded leader.**  The leader serializes O(N) work per round, so the
+  whole group's capacity tracks the leader's service rate: a k-times
+  slower leader caps throughput at ``C / k``
+  (:func:`degraded_leader_capacity`).  This is the paper's
+  leader-bottleneck argument run in reverse.
+
+- **Degraded follower.**  The leader waits for the ``(Q-1)``-th fastest of
+  ``N - 1`` follower replies.  While at least ``Q - 1`` *healthy*
+  followers remain, the quorum forms entirely on the healthy side and the
+  degraded node is simply never waited for — capacity is (to first order)
+  unchanged, though the quorum wait rises slightly because the order
+  statistic now draws from a smaller pool
+  (:func:`quorum_wait_with_stragglers`).  Only once the stragglers intrude
+  into every quorum does the group slow to their pace.  This asymmetry —
+  leader degradation is catastrophic, follower degradation is nearly free
+  — is why the reaction to a degraded *leader* is a handoff rather than
+  tolerance.
+
+- **Detection latency.**  φ-accrual converts silence into suspicion:
+  :func:`phi_detection_time` inverts Hayashibara's definition to the
+  silence needed to reach a threshold.  The slowdown channel detects
+  *stretch* instead: :func:`slowdown_detection_heartbeats` counts how many
+  stretched samples the fast EWMA needs before the ratio test fires.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.order_stats import expected_kth_normal_blom, normal_quantile
+from repro.errors import ModelError
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ModelError(f"{name} must be positive, got {value!r}")
+
+
+def degraded_leader_capacity(healthy_capacity: float, slow_factor: float) -> float:
+    """Group capacity with the leader's service rate divided by
+    ``slow_factor``.  The leader is the paper's bottleneck (it handles
+    O(N) messages per round), so the group inherits its slowdown whole."""
+    _check_positive("healthy_capacity", healthy_capacity)
+    if slow_factor < 1.0:
+        raise ModelError(f"slow_factor must be >= 1, got {slow_factor!r}")
+    return healthy_capacity / slow_factor
+
+
+def degraded_follower_capacity(
+    healthy_capacity: float,
+    n: int,
+    quorum: int,
+    slow_factor: float,
+    degraded: int = 1,
+) -> float:
+    """Group capacity with ``degraded`` followers running ``slow_factor``
+    times slower.  The leader self-votes and needs ``quorum - 1`` of the
+    ``n - 1`` follower replies: while enough healthy followers remain the
+    stragglers are never on the critical path; past that every quorum
+    includes one and the group runs at the stragglers' pace."""
+    _check_positive("healthy_capacity", healthy_capacity)
+    if slow_factor < 1.0:
+        raise ModelError(f"slow_factor must be >= 1, got {slow_factor!r}")
+    if not 0 <= degraded <= n - 1:
+        raise ModelError(f"degraded={degraded} outside [0, {n - 1}]")
+    if not 2 <= quorum <= n:
+        raise ModelError(f"quorum={quorum} outside [2, {n}]")
+    healthy_followers = (n - 1) - degraded
+    if healthy_followers >= quorum - 1:
+        return healthy_capacity
+    return healthy_capacity / slow_factor
+
+
+def quorum_wait_with_stragglers(
+    n: int,
+    quorum: int,
+    mu: float,
+    sigma: float,
+    slow_factor: float = 1.0,
+    degraded: int = 0,
+) -> float:
+    """Expected quorum wait with ``degraded`` follower RTTs stretched by
+    ``slow_factor``: the paper's k-order-statistic quorum delay (section
+    3.3) with a contaminated sample.
+
+    While the healthy pool still covers the quorum, the wait is the
+    ``(quorum-1)``-th order statistic of the *smaller* healthy pool —
+    slightly above the uncontaminated value, which is the model's way of
+    saying a degraded follower is almost (not exactly) free.  Once the
+    quorum must include stragglers, the wait jumps to an order statistic
+    of the stretched distribution.
+    """
+    if not 2 <= quorum <= n:
+        raise ModelError(f"quorum={quorum} outside [2, {n}]")
+    if not 0 <= degraded <= n - 1:
+        raise ModelError(f"degraded={degraded} outside [0, {n - 1}]")
+    if slow_factor < 1.0:
+        raise ModelError(f"slow_factor must be >= 1, got {slow_factor!r}")
+    _check_positive("mu", mu)
+    _check_positive("sigma", sigma)
+    need = quorum - 1  # the leader self-votes
+    healthy = (n - 1) - degraded
+    if healthy >= need:
+        return expected_kth_normal_blom(need, healthy, mu, sigma)
+    # Every healthy reply arrives (in expectation) before any stretched
+    # one; the quorum completes on the (need - healthy)-th straggler.
+    k = need - healthy
+    return expected_kth_normal_blom(
+        k, degraded, slow_factor * mu, slow_factor * sigma
+    )
+
+
+def phi_detection_time(mu: float, sigma: float, phi_threshold: float) -> float:
+    """Silence (since the last heartbeat) at which φ reaches the
+    threshold, for a peer whose inter-arrivals are Normal(mu, sigma).
+
+    Inverts Hayashibara's ``φ(t) = -log10 P(arrival later than t)``:
+    φ >= φ* exactly when the survival probability drops below
+    ``10^-φ*``, i.e. at ``mu + sigma * Φ⁻¹(1 - 10^-φ*)``.  Worst-case
+    crash-detection latency is this plus one heartbeat interval (the
+    crash can happen right after an arrival).
+    """
+    _check_positive("mu", mu)
+    _check_positive("sigma", sigma)
+    _check_positive("phi_threshold", phi_threshold)
+    p_silence = 10.0 ** (-phi_threshold)
+    return mu + sigma * normal_quantile(1.0 - p_silence)
+
+
+def slowdown_detection_heartbeats(
+    slow_factor: float, slow_ratio: float, fast_alpha: float = 0.25
+) -> int:
+    """Stretched heartbeats until the detector's fast EWMA crosses
+    ``slow_ratio`` times the frozen healthy baseline.
+
+    The EWMA relaxes from the baseline ``b`` toward the stretched value
+    ``f*b`` as ``f + (1 - f)(1 - α)^j`` after ``j`` samples; solving for
+    the crossing of ``r`` gives ``j = ln((f - r)/(f - 1)) / ln(1 - α)``.
+    Multiply by the (stretched) heartbeat interval for wall-clock
+    detection latency.  Degradations at or below the ratio are never
+    detected by this channel — the function raises instead of returning
+    infinity so callers confront the miss.
+    """
+    if slow_ratio <= 1.0:
+        raise ModelError(f"slow_ratio must exceed 1.0, got {slow_ratio!r}")
+    if not 0.0 < fast_alpha < 1.0:
+        raise ModelError(f"fast_alpha must be in (0, 1), got {fast_alpha!r}")
+    if slow_factor <= slow_ratio:
+        raise ModelError(
+            f"slow_factor {slow_factor!r} at or below slow_ratio {slow_ratio!r}: "
+            "the slowdown channel never fires for such a mild degradation"
+        )
+    j = math.log((slow_factor - slow_ratio) / (slow_factor - 1.0)) / math.log(
+        1.0 - fast_alpha
+    )
+    return max(1, math.ceil(j))

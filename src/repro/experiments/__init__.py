@@ -18,6 +18,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
     from repro.experiments import (
         bench_batching,
         bench_faults,
+        bench_grayfail,
         bench_overload,
         bench_reads,
         bench_sharding,
@@ -65,6 +66,7 @@ def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
         "extra_mencius": extra_mencius.run,
         "bench_batching": bench_batching.run,
         "bench_faults": bench_faults.run,
+        "bench_grayfail": bench_grayfail.run,
         "bench_overload": bench_overload.run,
         "bench_reads": bench_reads.run,
         "bench_sharding": bench_sharding.run,

@@ -17,7 +17,7 @@ from repro.sim.clock import EventLoop, NodeClock
 from repro.sim.cluster import Cluster
 from repro.sim.network import FaultPlan
 from repro.sim.server import Server
-from repro.sim.storage import Disk
+from repro.sim.storage import Disk, DiskProfile
 
 if TYPE_CHECKING:
     from repro.paxi.client import Client
@@ -319,6 +319,93 @@ class Deployment:
             self._factory(self, node_id)
         finally:
             self._restart_reason.pop(node_id, None)
+
+    def fail_slow(
+        self,
+        node_id: NodeID,
+        duration: float,
+        cpu_factor: float = 1.0,
+        disk_profile: DiskProfile | None = None,
+        nic_loss: float = 0.0,
+        nic_jitter: float = 0.0,
+        at: float | None = None,
+    ) -> None:
+        """Degrade ``node_id`` without taking it down — the *gray failure*
+        crash-stop testing never exercises.  The node keeps serving (and
+        heartbeating), just badly, for ``duration`` seconds:
+
+        - ``cpu_factor`` multiplies the service cost of every job on the
+          node's CPU+NIC queue (a straggling core, a noisy neighbor);
+        - ``disk_profile`` temporarily replaces the node's disk profile (a
+          degraded volume: fsync latency spikes, bandwidth collapse) —
+          ignored for in-memory deployments;
+        - ``nic_loss`` drops each packet to/from the node with the given
+          probability; ``nic_jitter`` adds a lognormal-ish extra delay of
+          that mean to every surviving packet (a flapping NIC).
+
+        Not an outage: the node never counts against quorum bookkeeping,
+        which is exactly what makes fail-slow nodes hard — every fixed
+        timeout keeps being fed just in time.
+        """
+        if node_id not in self.config.node_ids:
+            raise ConfigError(f"{node_id} is not in the configuration")
+        if duration <= 0:
+            raise SimulationError(f"fail_slow needs a positive duration, got {duration!r}")
+        if cpu_factor <= 0:
+            raise SimulationError(f"cpu_factor must be positive, got {cpu_factor!r}")
+        if not 0.0 <= nic_loss < 1.0:
+            raise SimulationError(f"nic_loss must be in [0, 1), got {nic_loss!r}")
+        start = self.now if at is None else at
+        loop = self.cluster.loop
+        if cpu_factor != 1.0:
+            server = self.cluster.server(node_id)
+            loop.call_at(start, server.set_slow_factor, cpu_factor)
+            loop.call_at(start + duration, server.set_slow_factor, 1.0)
+        if disk_profile is not None and self.config.durable:
+            loop.call_at(start, self._swap_disk_profile, node_id, disk_profile)
+            loop.call_at(
+                start + duration,
+                self._swap_disk_profile,
+                node_id,
+                self.config.disk_profile,
+            )
+        if nic_loss > 0.0:
+            self.cluster.flaky(node_id, None, duration, nic_loss, at=start)
+            self.cluster.flaky(None, node_id, duration, nic_loss, at=start)
+        if nic_jitter > 0.0:
+            for src, dst in ((node_id, None), (None, node_id)):
+                self.cluster.faults.slow(
+                    src, dst, start, duration, nic_jitter, nic_jitter / 4.0
+                )
+
+    def _swap_disk_profile(self, node_id: NodeID, profile: DiskProfile) -> None:
+        disk = self.disk_for(node_id)
+        if disk is not None:
+            disk.profile = profile
+
+    def partial_partition(
+        self,
+        victim: NodeID,
+        sources,
+        duration: float,
+        at: float | None = None,
+    ) -> None:
+        """Asymmetric (one-way) link failure: traffic from every address in
+        ``sources`` to ``victim`` is dropped; ``victim``'s own outbound
+        traffic still flows.  This is the classic gray-failure network
+        fault — the victim believes the cluster is healthy (its sends
+        succeed) while part of the cluster can no longer reach it.
+        """
+        if victim not in self.config.node_ids:
+            raise ConfigError(f"{victim} is not in the configuration")
+        if duration <= 0:
+            raise SimulationError(
+                f"partial_partition needs a positive duration, got {duration!r}"
+            )
+        for src in sources:
+            if src == victim:
+                continue
+            self.cluster.drop(src, victim, duration, at)
 
     def skew(self, node_id: NodeID, delta: float, at: float | None = None) -> None:
         """Jump ``node_id``'s local clock by ``delta`` seconds (may be

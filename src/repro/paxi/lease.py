@@ -131,3 +131,11 @@ class FollowerGrant:
             and self.holder != candidate
             and self.clock.now < self.until
         )
+
+    def releases(self, owner: Hashable) -> bool:
+        """True when ``owner`` is the recorded grant holder and may
+        therefore release this grant early (a planned leader handoff: the
+        leaseholder's consent travels with the successor's campaign).  The
+        post-restart :data:`UNKNOWN` sentinel never matches — a node that
+        forgot who it granted to must sit out the full window."""
+        return owner is not UNKNOWN and self.holder == owner

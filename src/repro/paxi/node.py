@@ -204,6 +204,11 @@ class Replica:
             if self.config.admission_enabled
             else None
         )
+        # Priority lane (params: priority_lanes=True): protocol-internal
+        # messages drain before queued client requests, so a saturated
+        # replica still answers heartbeats / Phase-1 / catch-up promptly
+        # instead of starving them behind the data-plane backlog.
+        self._priority_lanes = bool(self.config.param("priority_lanes", False))
         #: Why this incarnation exists: None for a fresh start,
         #: "reboot" (disk intact) or "wipe" (disk lost) after a restart.
         self.restart_reason = deployment.restart_context(node_id)
@@ -247,6 +252,13 @@ class Replica:
                 return
         weight = _class_traits(type(message))[0]
         cost = self._profile.incoming_cost(size_bytes, weight)
+        if self._priority_lanes and not isinstance(message, ClientRequest):
+            # Everything that is not client ingress is the control plane
+            # relative to admission: it was already paid for upstream, and
+            # delaying it (heartbeats, votes, commits, catch-up) turns an
+            # overloaded replica into a falsely-suspected one.
+            self._server.submit_priority(cost, self._dispatch, src, message)
+            return
         if self._tracer.enabled and type(message) is ClientRequest:
             span_key = (message.client, message.request_id)
             self._tracer.event(span_key, "server_enqueue", self.now, self.id)

@@ -36,6 +36,12 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
+from repro.paxi.detector import (
+    DEGRADED,
+    HEALTHY,
+    AdaptiveTimeout,
+    NodeHealthMonitor,
+)
 from repro.paxi.ids import NodeID
 from repro.paxi.lease import FollowerGrant, LeaderLease
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
@@ -66,10 +72,17 @@ EntrySnapshot = tuple[int, Ballot, EntryCommand, Any, bool]
 
 @dataclass(frozen=True, slots=True)
 class P1a(Message):
-    """Phase-1a: ``lead with ballot b?`` plus the candidate's commit frontier."""
+    """Phase-1a: ``lead with ballot b?`` plus the candidate's commit frontier.
+
+    ``handoff_from`` is only set when the campaign was solicited by a
+    planned leader handoff: it names the old leader, whose released lease
+    lets followers promise immediately instead of waiting out their grant
+    window (see :meth:`repro.paxi.lease.FollowerGrant.releases`).
+    """
 
     ballot: Ballot = ZERO
     commit_upto: int = 0
+    handoff_from: NodeID | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,6 +135,13 @@ class Commit(Message):
     ballot: Ballot = ZERO
     commit_upto: int = 0
     lease_seq: int = 0  # nonzero: also renews the leader lease
+    #: Leader-clock stamp at heartbeat-timer fire, set only when the φ
+    #: detector is on (0.0 otherwise, keeping default traffic identical).
+    #: Receipt time minus this exposes the *emission* delay — a heartbeat
+    #: queued behind a degraded leader's data plane arrives late even
+    #: though the timer keeps its cadence, which is exactly the gray-
+    #: failure signature interval statistics alone cannot see.
+    sent_at: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,6 +164,32 @@ class ReadReply(Message):
     """Quorum read: the acceptor's highest accepted slot."""
 
     rid: int = 0
+    frontier: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffRequest(Message):
+    """Follower -> leader: "you look degraded; consider handing off".
+
+    Sent (rate-limited) by a follower whose φ-accrual monitor classifies
+    the leader as *degraded* — alive, heartbeating, but stretched well
+    past its healthy cadence.  The sender implicitly volunteers as the
+    successor: its request arriving at all is evidence it is reachable.
+    """
+
+    SIZE_BYTES = 40
+
+    ballot: Ballot = ZERO
+
+
+@dataclass(frozen=True, slots=True)
+class Handoff(Message):
+    """Old leader -> successor: "I have stopped; the log ends at
+    ``frontier``; campaign now with my consent"."""
+
+    SIZE_BYTES = 60
+
+    ballot: Ballot = ZERO
     frontier: int = 0
 
 
@@ -192,7 +238,24 @@ class MultiPaxos(Protocol):
       force (see :mod:`repro.paxi.lease` and ``docs/READS.md``);
     - ``max_clock_skew``: bound on per-node clock drift the lease math
       discounts (default 0.0; a ``skew`` fault larger than this voids the
-      lease safety argument — by design, for the adversarial tests).
+      lease safety argument — by design, for the adversarial tests);
+    - ``detector``: enable the φ-accrual failure detector (default False).
+      Followers grade the leader's heartbeat cadence; elections switch
+      from the fixed ``election_timeout`` to a Jacobson adaptive timeout
+      (and are armed even when ``election_timeout`` is unset), a spurious
+      expiry is vetoed while φ still reads healthy, and a *degraded*
+      (alive-but-slow) leader is handed off without an availability gap;
+    - ``phi_threshold``: suspicion level at which a silent leader counts
+      as failed (default 8.0 — a 1-in-10^8 silence);
+    - ``slow_ratio``: heartbeat-cadence stretch (recent mean over frozen
+      healthy baseline) at which the leader counts as degraded and a
+      handoff is solicited (default 2.5);
+    - ``handoff``: allow the planned-handoff reaction (default True when
+      the detector is on; False detects but never reacts);
+    - ``handoff_votes``: distinct followers that must report degradation
+      within ``handoff_vote_window`` seconds before the leader steps
+      aside (default 2, so one follower behind a bad link cannot trigger
+      a handoff on its own).
 
     Per-command read paths (``Command.read_mode``, reachable through
     ``Session(consistency=...)``): ``"lease"`` as above (falls back to a
@@ -266,6 +329,44 @@ class MultiPaxos(Protocol):
         self._rinse_waiters: list[list] = []  # [frontier, request]
         self._read_rng = None  # lazily created: default runs never draw from it
 
+        # Gray-failure detection and planned handoff (strictly opt-in:
+        # with ``detector`` unset nothing below allocates a timer, sends a
+        # message, or draws a random number).
+        self.detector_enabled: bool = bool(params.get("detector", False))
+        self.phi_threshold: float = params.get("phi_threshold", 8.0)
+        self.slow_ratio: float = params.get("slow_ratio", 2.5)
+        self.handoff_enabled: bool = bool(params.get("handoff", True))
+        self.handoff_votes_needed: int = params.get("handoff_votes", 2)
+        self.handoff_vote_window: float = params.get("handoff_vote_window", 0.5)
+        self.handoff_cooldown: float = params.get("handoff_cooldown", 1.0)
+        if self.detector_enabled:
+            self._monitor: NodeHealthMonitor | None = NodeHealthMonitor(
+                phi_threshold=self.phi_threshold,
+                slow_ratio=self.slow_ratio,
+                window=params.get("phi_window", 64),
+                min_samples=params.get("detector_min_samples", 8),
+            )
+            hb = self.heartbeat_interval or 0.02
+            self._adaptive: AdaptiveTimeout | None = AdaptiveTimeout(
+                initial=self.election_timeout or 0.15,
+                floor=2.0 * hb,
+                ceiling=params.get("adaptive_ceiling", 2.0),
+            )
+            self.adaptive_multiplier: float = params.get("adaptive_multiplier", 4.0)
+        else:
+            self._monitor = None
+            self._adaptive = None
+        self._handing_off = False  # leader: drain in progress
+        self._handoff_point = 0  # leader: commit frontier the drain waits for
+        self._handoff_successor: NodeID | None = None
+        self._handoff_votes: dict[NodeID, float] = {}  # suspecting follower -> at
+        self._handoff_cooldown_until = 0.0
+        self._handoff_request_after = 0.0  # follower-side solicit rate limit
+        self._handoff_grant: NodeID | None = None  # consent token for next campaign
+        self.handoffs_completed = 0  # old-leader side
+        self.handoffs_received = 0  # successor side
+        self.handoff_requests_sent = 0
+
         self.batcher = self.make_batcher(self.propose_batch)
         self.pipeline_depth: int | None = self.config.pipeline_depth
         self._proposal_queue: deque[list[ClientRequest]] = deque()
@@ -280,6 +381,8 @@ class MultiPaxos(Protocol):
         self.register(ReadReply, self.on_read_reply)
         self.register(FillRequest, self.on_fill_request)
         self.register(FillReply, self.on_fill_reply)
+        self.register(HandoffRequest, self.on_handoff_request)
+        self.register(Handoff, self.on_handoff)
         self.register(CatchupRequest, self.on_catchup_request)
         self.register(CatchupReply, self.on_catchup_reply)
 
@@ -294,8 +397,14 @@ class MultiPaxos(Protocol):
             self._recover()
         elif self.id == self.initial_leader:
             self.set_timer(0.0, self.start_phase1)
-        elif self.election_timeout is not None:
+        elif self._failover_enabled:
             self._reset_election_timer()
+
+    @property
+    def _failover_enabled(self) -> bool:
+        """Whether this replica arms election timers at all: a fixed
+        ``election_timeout``, or the detector's adaptive timeout."""
+        return self.election_timeout is not None or self._monitor is not None
 
     # ------------------------------------------------------------------
     # Quorum construction (overridden by FPaxos)
@@ -342,13 +451,19 @@ class MultiPaxos(Protocol):
             self._become_leader()
             return
         # The campaign ballot is a promise to ourselves: make it durable
-        # before anyone can learn about it.
+        # before anyone can learn about it.  A pending handoff consent
+        # token rides on the P1a so follower grant windows release early.
         ballot = self.ballot
+        token, self._handoff_grant = self._handoff_grant, None
         self.persist(
             "promise",
             ballot,
             then=lambda: self.broadcast(
-                P1a(ballot=ballot, commit_upto=self.log.commit_upto())
+                P1a(
+                    ballot=ballot,
+                    commit_upto=self.log.commit_upto(),
+                    handoff_from=token,
+                )
             ),
         )
 
@@ -373,6 +488,10 @@ class MultiPaxos(Protocol):
         bound when we stepped down follow them to the new leader."""
         if self.active or self.leader_hint == self.id:
             return
+        if self._handing_off:
+            # Deposed mid-handoff by a competing ballot: the drain is moot.
+            self._handing_off = False
+            self._handoff_successor = None
         pending: list[ClientRequest] = (
             self.batcher.drain() if self.batcher is not None else []
         )
@@ -389,13 +508,22 @@ class MultiPaxos(Protocol):
         for m in pending:
             self.send(self.leader_hint, m)
 
-    def _lease_blocks_promise(self, candidate: NodeID) -> bool:
+    def _lease_blocks_promise(
+        self, candidate: NodeID, released_by: NodeID | None = None
+    ) -> bool:
         """A live lease forbids promising to ``candidate``: either this
         node granted someone else and the grant hasn't expired on its own
         clock, or this node is the leaseholder itself and the counted
-        grants (send time + duration, un-discounted) are still in force."""
+        grants (send time + duration, un-discounted) are still in force.
+
+        ``released_by`` is a planned-handoff consent token: a grant held
+        by exactly that node releases early, because the holder stopped
+        serving lease reads before it signed the successor's campaign.
+        The leaseholder-side window never releases this way — only its
+        owner knows when it truly stopped serving."""
         if self._grant is not None and self._grant.blocks(candidate):
-            return True
+            if released_by is None or not self._grant.releases(released_by):
+                return True
         return (
             self._lease is not None
             and candidate != self.id
@@ -405,7 +533,7 @@ class MultiPaxos(Protocol):
     def on_p1a(self, src: Hashable, m: P1a) -> None:
         if self.recovering:
             return  # a learner's promise history is gone; abstain
-        if self._lease_blocks_promise(m.ballot.owner):
+        if self._lease_blocks_promise(m.ballot.owner, released_by=m.handoff_from):
             self.send(src, P1b(ballot=self.promised, ok=False))
             return
         if m.ballot > self.promised:
@@ -569,6 +697,12 @@ class MultiPaxos(Protocol):
                 self._buffered.append((src, m))
             return
         if self.active:
+            if self._handing_off:
+                # Mid-handoff drain: no new slots past the transfer point.
+                # The request follows the successor on completion (or is
+                # replayed here if the handoff aborts).
+                self._buffered.append((src, m))
+                return
             if key in self._inflight:
                 return  # duplicate while the original is still committing
             self._inflight.add(key)
@@ -848,6 +982,12 @@ class MultiPaxos(Protocol):
         if self.active:
             self._release_pipeline()
         self._advance_execution()
+        if (
+            self._handing_off
+            and self.active
+            and self.log.commit_upto() >= self._handoff_point
+        ):
+            self._complete_handoff()
 
     # ------------------------------------------------------------------
     # Commit propagation and execution
@@ -861,6 +1001,9 @@ class MultiPaxos(Protocol):
                 self.promised = m.ballot
                 self.persist("promise", m.ballot)
             self.leader_hint = m.ballot.owner
+            if self._monitor is not None and src != self.id:
+                delay = self.clock.now - m.sent_at if m.sent_at > 0.0 else None
+                self._observe_leader(src, m.ballot, delay)
             if m.lease_seq and self._grant is not None:
                 self._grant.grant(m.ballot.owner)
                 self.send(src, LeaseGrant(ballot=m.ballot, seq=m.lease_seq))
@@ -970,6 +1113,7 @@ class MultiPaxos(Protocol):
                 ballot=self.ballot,
                 commit_upto=self.log.commit_upto(),
                 lease_seq=self._lease_stamp(),
+                sent_at=self.clock.now if self.detector_enabled else 0.0,
             )
         )
         self._retransmit_uncommitted()
@@ -1005,12 +1149,22 @@ class MultiPaxos(Protocol):
                 )
 
     def _reset_election_timer(self) -> None:
-        if self.election_timeout is None:
+        if not self._failover_enabled:
             return
         if self._election_handle is not None:
             self._election_handle.cancel()
-        delay = self.election_timeout * (1.0 + self._rng.random())
+        delay = self._election_delay() * (1.0 + self._rng.random())
         self._election_handle = self.set_timer(delay, self._election_expired)
+
+    def _election_delay(self) -> float:
+        """Base follower timeout before campaigning.  With the detector on
+        this is the Jacobson estimate over observed heartbeat cadence (so
+        it self-tunes to the topology instead of being hand-set); the
+        fixed ``election_timeout`` otherwise."""
+        adaptive = self._adaptive
+        if adaptive is not None and adaptive.samples >= 4:
+            return adaptive.timeout * self.adaptive_multiplier
+        return self.election_timeout if self.election_timeout is not None else 0.15
 
     def _election_expired(self) -> None:
         if self.active or self.recovering:
@@ -1020,8 +1174,165 @@ class MultiPaxos(Protocol):
             # be refused anyway, so wait out the window instead.
             self._reset_election_timer()
             return
+        if self._monitor is not None:
+            leader = self.leader_hint
+            if (
+                leader != self.id
+                and self._monitor.samples(leader) > 0
+                and self._monitor.assess(leader, self.clock.now) == HEALTHY
+            ):
+                # φ veto: the timer fired but the accrual evidence says the
+                # leader is fine (an unlucky jitter streak, not a failure).
+                # Degraded and silent leaders fall through to the campaign.
+                self._reset_election_timer()
+                return
         self.start_phase1()
         self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Gray-failure detection and planned leader handoff
+    # ------------------------------------------------------------------
+
+    def _observe_leader(
+        self, src: NodeID, ballot: Ballot, delay: float | None = None
+    ) -> None:
+        """Heartbeat receipt: feed the φ-accrual monitor and the adaptive
+        timeout, then grade the leader.  A *degraded* verdict (alive but
+        stretched past ``slow_ratio``) solicits a planned handoff instead
+        of waiting for a disruptive election that may never trigger."""
+        interval = self._monitor.observe(src, self.clock.now, delay=delay)
+        if interval is not None and self._adaptive is not None:
+            self._adaptive.observe(interval)
+        if not self.handoff_enabled or self.active or self.recovering:
+            return
+        if self.now < self._handoff_request_after:
+            return
+        if self._monitor.assess(src, self.clock.now) != DEGRADED:
+            return
+        self._handoff_request_after = self.now + self.handoff_vote_window / 2.0
+        self.handoff_requests_sent += 1
+        self.send(src, HandoffRequest(ballot=ballot))
+
+    def on_handoff_request(self, src: Hashable, m: HandoffRequest) -> None:
+        """Leader side: tally degradation reports; once enough distinct
+        followers agree within the vote window, hand off to the latest
+        reporter (its request arriving proves it is reachable)."""
+        if (
+            not self.active
+            or self.recovering
+            or self._handing_off
+            or m.ballot != self.ballot
+            or not self.handoff_enabled
+        ):
+            return
+        now = self.now
+        if now < self._handoff_cooldown_until:
+            return
+        horizon = now - self.handoff_vote_window
+        self._handoff_votes = {
+            peer: at for peer, at in self._handoff_votes.items() if at >= horizon
+        }
+        self._handoff_votes[src] = now
+        if len(self._handoff_votes) >= self.handoff_votes_needed:
+            self._begin_handoff(src)
+
+    def _begin_handoff(self, successor: NodeID) -> None:
+        """Handoff phase 1: stop proposing and drain to a transfer point.
+
+        The transfer point is the current log frontier — everything at or
+        below it must commit before leadership moves, so no slot this
+        leader may already have answered a client for can be lost in the
+        transition.  Requests arriving during the drain buffer and follow
+        the successor once it takes over."""
+        self._handing_off = True
+        self._handoff_successor = successor
+        self._handoff_votes = {}
+        self._handoff_cooldown_until = self.now + self.handoff_cooldown
+        if self.batcher is not None:
+            self.batcher.flush()
+        while self._proposal_queue:
+            self._propose_group(self._proposal_queue.popleft())
+        self._handoff_point = self.log.next_slot - 1
+        if self.log.commit_upto() >= self._handoff_point:
+            self._complete_handoff()
+            return
+        # Liveness fallback: if the drain cannot finish (lost acks, a
+        # crashed follower holding a slot open), resume normal leadership
+        # rather than wedging the group in a half-handoff.
+        successor_token = self._handoff_successor
+        self.set_timer(
+            self.retransmit_timeout,
+            lambda: self._handoff_drain_expired(successor_token),
+        )
+
+    def _handoff_drain_expired(self, successor: NodeID) -> None:
+        if self._handing_off and self._handoff_successor == successor:
+            self._handing_off = False
+            self._handoff_successor = None
+            # Still the leader: requests parked during the drain resume.
+            buffered, self._buffered = self._buffered, []
+            for src, request in buffered:
+                self.on_request(src, request)
+
+    def _complete_handoff(self) -> None:
+        """Handoff phase 2: release the lease, step down, and solicit the
+        successor's campaign.  Ordering matters: our own validity window
+        dies *before* the Handoff leaves, so by the time the successor's
+        consent-bearing P1a releases the followers' grant windows this
+        node can no longer serve a lease read."""
+        successor = self._handoff_successor
+        self._handing_off = False
+        self._handoff_successor = None
+        if successor is None or not self.active:
+            return
+        if self._lease is not None:
+            self._lease.valid_until = float("-inf")
+            # Clears in-flight grant rounds too, so a straggling grant
+            # reply cannot resurrect the window we just released.
+            self._lease.reset()
+        self.active = False
+        self.leader_hint = successor
+        self.handoffs_completed += 1
+        ballot = self.ballot
+        self.send(
+            successor,
+            Handoff(ballot=ballot, frontier=self.log.next_slot - 1),
+        )
+        self.set_timer(
+            self.retransmit_timeout,
+            lambda: self._retransmit_handoff(successor, ballot, 3),
+        )
+        self._drain_buffered()
+        self._reset_election_timer()
+
+    def _retransmit_handoff(
+        self, successor: NodeID, ballot: Ballot, attempts: int
+    ) -> None:
+        """Liveness: the Handoff travels over the same lossy network as
+        everything else.  Re-send until the successor's campaign shows up
+        (our promise advances past the handed-off ballot); the ordinary
+        election timer is the ultimate fallback."""
+        if self.active or self.recovering or self.promised > ballot or attempts <= 0:
+            return
+        self.send(
+            successor, Handoff(ballot=ballot, frontier=self.log.next_slot - 1)
+        )
+        self.set_timer(
+            self.retransmit_timeout,
+            lambda: self._retransmit_handoff(successor, ballot, attempts - 1),
+        )
+
+    def on_handoff(self, src: Hashable, m: Handoff) -> None:
+        """Successor side: campaign immediately, carrying the old leader's
+        consent so follower grant windows release instead of stalling the
+        election for a lease duration."""
+        if self.recovering or self.active:
+            return
+        if m.ballot < self.promised and m.ballot.owner != self.promised.owner:
+            return  # a newer leader already exists; stale handoff
+        self.handoffs_received += 1
+        self._handoff_grant = m.ballot.owner
+        self.start_phase1()
 
     # ------------------------------------------------------------------
     # Crash recovery: WAL replay, catch-up, and state transfer
@@ -1070,7 +1381,7 @@ class MultiPaxos(Protocol):
         self.recovering = self.restart_reason == "wipe" or not had_state
         if not self.recovering:
             self.leader_hint = self.promised.owner if self.promised != ZERO else self.initial_leader
-            if self.election_timeout is not None:
+            if self._failover_enabled:
                 self._reset_election_timer()
             elif self.id == self.initial_leader:
                 # Static-leader deployments: re-campaign; the P1b suffixes
@@ -1173,7 +1484,7 @@ class MultiPaxos(Protocol):
             self._snapshot_inflight = True
             cost = self.disk.profile.sync_cost(size)
             self._server.submit(cost, self._install_snapshot, Snapshot(upto, payload, size))
-        if self.election_timeout is not None:
+        if self._failover_enabled:
             self._reset_election_timer()
         elif was_recovering and self.id == self.initial_leader and not self.active:
             self.set_timer(0.0, self.start_phase1)

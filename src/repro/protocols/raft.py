@@ -28,6 +28,12 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.paxi.deployment import Deployment
+from repro.paxi.detector import (
+    DEGRADED,
+    HEALTHY,
+    AdaptiveTimeout,
+    NodeHealthMonitor,
+)
 from repro.paxi.ids import NodeID
 from repro.paxi.lease import FollowerGrant, LeaderLease
 from repro.paxi.message import Batch, ClientReply, ClientRequest, Command, Message
@@ -48,6 +54,10 @@ class RequestVote(Message):
     term: int = 0
     last_log_index: int = 0
     last_log_term: int = 0
+    #: Planned-handoff consent token: the old leader's id, set only on the
+    #: campaign a Handoff solicited.  Lets followers release a lease grant
+    #: held by exactly that node instead of stalling the election.
+    handoff_from: NodeID | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +76,11 @@ class AppendEntries(Message):
     entries: tuple[tuple[int, LogRecord], ...] = ()  # (index, record)
     leader_commit: int = 0
     lease_seq: int = 0  # leader-lease grant round (0 = leases off)
+    #: Leader-clock stamp at heartbeat-timer fire, set on empty-entries
+    #: heartbeats only when the φ detector is on (0.0 otherwise).  Receipt
+    #: time minus this exposes the emission delay — the gray-failure
+    #: signal a steady heartbeat timer hides from interval statistics.
+    sent_at: float = 0.0
 
     def wire_size(self) -> int:
         # Batched records fatten the message; plain records keep the
@@ -84,6 +99,27 @@ class AppendReply(Message):
     success: bool = False
     match_index: int = 0
     lease_seq: int = 0  # echoed grant round (the reply IS the grant ack)
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffRequest(Message):
+    """Follower → leader: 'your heartbeats read degraded; hand off to me'.
+    The sender volunteers as successor — its request arriving at all
+    proves it is reachable from the leader."""
+
+    SIZE_BYTES = 40
+
+    term: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Handoff(Message):
+    """Old leader → successor: leadership transferred; campaign now.  The
+    sender has stopped replicating, released its lease, and stepped down."""
+
+    SIZE_BYTES = 60
+
+    term: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,7 +171,20 @@ class Raft(Protocol):
       ReadIndex: served locally by the leader after its term-start no-op
       barrier is applied, no quorum round);
     - ``max_clock_skew``: bound on per-node clock drift assumed by the
-      lease safety argument (see ``repro.paxi.lease``).
+      lease safety argument (see ``repro.paxi.lease``);
+    - ``detector``: enable the φ-accrual gray-failure detector
+      (``repro.paxi.detector``): followers grade the leader from
+      sender-stamped heartbeats, the election timeout becomes a
+      Jacobson-adaptive estimate over the observed cadence, and a
+      degraded-but-alive leader is replaced by a planned handoff (see
+      ``handoff``) instead of being tolerated forever;
+    - ``phi_threshold`` (8.0) / ``slow_ratio`` (2.5): suspicion level for
+      *failed* and emission-delay stretch for *degraded* verdicts;
+    - ``handoff`` (True, needs ``detector``): when ``handoff_votes``
+      distinct followers report the leader degraded within
+      ``handoff_vote_window`` seconds, the leader drains to its log
+      frontier, waits for the successor to match it, releases its lease,
+      and steps down with zero availability gap.
 
     Per-command read paths (``Command.read_mode``): ``"lease"`` as above,
     ``"quorum"`` polls a majority for the max log frontier and serves
@@ -177,6 +226,42 @@ class Raft(Protocol):
         self._election_handle = None
         self._rng = deployment.cluster.streams.stream(f"raft-{node_id}")
 
+        # Gray-failure detection and planned handoff (opt-in; see the
+        # class docstring and repro.paxi.detector).
+        self.detector_enabled: bool = bool(params.get("detector", False))
+        self.handoff_enabled: bool = bool(params.get("handoff", True))
+        self.handoff_votes_needed: int = params.get("handoff_votes", 2)
+        self.handoff_vote_window: float = params.get("handoff_vote_window", 0.5)
+        self.handoff_cooldown: float = params.get("handoff_cooldown", 1.0)
+        self.handoff_retransmit: float = params.get("handoff_retransmit", 0.3)
+        if self.detector_enabled:
+            self._monitor: NodeHealthMonitor | None = NodeHealthMonitor(
+                phi_threshold=params.get("phi_threshold", 8.0),
+                slow_ratio=params.get("slow_ratio", 2.5),
+                window=params.get("phi_window", 64),
+                min_samples=params.get("detector_min_samples", 8),
+            )
+            self._adaptive: AdaptiveTimeout | None = AdaptiveTimeout(
+                initial=self.election_timeout,
+                floor=2.0 * self.heartbeat_interval,
+                ceiling=params.get("adaptive_ceiling", 2.0),
+            )
+            self.adaptive_multiplier: float = params.get("adaptive_multiplier", 4.0)
+        else:
+            self._monitor = None
+            self._adaptive = None
+        self._handing_off = False
+        self._handoff_point = 0
+        self._handoff_successor: NodeID | None = None
+        self._handoff_votes: dict[NodeID, float] = {}
+        self._handoff_cooldown_until = 0.0
+        self._handoff_request_after = 0.0
+        self._handoff_buffer: list[ClientRequest] = []
+        self._handoff_grant: NodeID | None = None
+        self.handoffs_completed = 0
+        self.handoffs_received = 0
+        self.handoff_requests_sent = 0
+
         self.batcher = self.make_batcher(self.propose_batch)
         self.pipeline_depth: int | None = self.config.pipeline_depth
         self._proposal_queue: deque[list[ClientRequest]] = deque()
@@ -214,6 +299,8 @@ class Raft(Protocol):
         self.register(AppendEntries, self.on_append_entries)
         self.register(AppendReply, self.on_append_reply)
         self.register(InstallSnapshot, self.on_install_snapshot)
+        self.register(HandoffRequest, self.on_handoff_request)
+        self.register(Handoff, self.on_handoff)
         self.register(ReadQuery, self.on_read_query)
         self.register(ReadReply, self.on_read_reply)
 
@@ -261,8 +348,17 @@ class Raft(Protocol):
     def _reset_election_timer(self) -> None:
         if self._election_handle is not None:
             self._election_handle.cancel()
-        delay = self.election_timeout * (1.0 + self._rng.random())
+        delay = self._election_delay() * (1.0 + self._rng.random())
         self._election_handle = self.set_timer(delay, self._election_expired)
+
+    def _election_delay(self) -> float:
+        """Base follower timeout before campaigning: the Jacobson estimate
+        over observed heartbeat cadence with the detector on (self-tuning
+        to the topology), the fixed ``election_timeout`` otherwise."""
+        adaptive = self._adaptive
+        if adaptive is not None and adaptive.samples >= 4:
+            return adaptive.timeout * self.adaptive_multiplier
+        return self.election_timeout
 
     def _election_expired(self) -> None:
         if (
@@ -271,9 +367,24 @@ class Raft(Protocol):
             # A live lease grant forbids campaigning: our RequestVote
             # would be refused anyway, so wait out the window instead.
             and not (self._grant is not None and self._grant.blocks(self.id))
+            # φ veto: don't campaign against a leader the accrual evidence
+            # says is fine (an unlucky jitter streak, not a failure).
+            # Degraded and silent leaders fall through to the campaign.
+            and not self._leader_reads_healthy()
         ):
             self._start_election()
         self._reset_election_timer()
+
+    def _leader_reads_healthy(self) -> bool:
+        if self._monitor is None:
+            return False
+        leader = self.leader_hint
+        return (
+            leader is not None
+            and leader != self.id
+            and self._monitor.samples(leader) > 0
+            and self._monitor.assess(leader, self.clock.now) == HEALTHY
+        )
 
     def _start_election(self) -> None:
         self.term += 1
@@ -285,11 +396,15 @@ class Raft(Protocol):
             self._become_leader()
             return
         # Our own vote must survive a reboot before anyone can count it.
+        # A pending handoff consent token rides on the RequestVote so
+        # follower grant windows release early.
         term = self.term
+        token, self._handoff_grant = self._handoff_grant, None
         request = RequestVote(
             term=term,
             last_log_index=self.last_log_index,
             last_log_term=self.last_log_term,
+            handoff_from=token,
         )
         self.persist(
             "term", (term, self.id), then=lambda: self._campaign(term, request)
@@ -300,13 +415,22 @@ class Raft(Protocol):
             return  # superseded while the vote record was syncing
         self.broadcast(request)
 
-    def _lease_blocks_vote(self, candidate: Hashable) -> bool:
+    def _lease_blocks_vote(
+        self, candidate: Hashable, released_by: NodeID | None = None
+    ) -> bool:
         """Voting for ``candidate`` would break a lease this node is party
         to — either a grant it gave someone else, or (as leader) its own
         lease, skew-padded because granters run their refusal windows on
-        their own clocks."""
+        their own clocks.
+
+        ``released_by`` is a planned-handoff consent token: a grant held
+        by exactly that node releases early, because the holder stopped
+        serving lease reads before it signed the successor's campaign.
+        The leaseholder-side window never releases this way — only its
+        owner knows when it truly stopped serving."""
         if self._grant is not None and self._grant.blocks(candidate):
-            return True
+            if released_by is None or not self._grant.releases(released_by):
+                return True
         return (
             self._lease is not None
             and candidate != self.id
@@ -314,7 +438,7 @@ class Raft(Protocol):
         )
 
     def on_request_vote(self, src: Hashable, m: RequestVote) -> None:
-        if self._lease_blocks_vote(src):
+        if self._lease_blocks_vote(src, released_by=m.handoff_from):
             # Refuse without adopting the term: a partitioned candidate
             # must not depose a live leaseholder by term inflation alone.
             self.send(src, VoteReply(term=self.term, granted=False))
@@ -393,6 +517,10 @@ class Raft(Protocol):
         self.term = term
         self.state = FOLLOWER
         self.voted_for = None
+        if self._handing_off:
+            # Deposed mid-handoff by a competing term: the drain is moot.
+            self._handing_off = False
+            self._handoff_successor = None
         self.persist("term", (term, None))  # nothing waits on this record
         # Requests caught mid-batch or behind the pipeline bound chase the
         # new leader (or are dropped for the client's retry to find it).
@@ -401,6 +529,8 @@ class Raft(Protocol):
         )
         while self._proposal_queue:
             pending.extend(self._proposal_queue.popleft())
+        pending.extend(self._handoff_buffer)
+        self._handoff_buffer = []
         for m in pending:
             if self.leader_hint is not None and self.leader_hint != self.id:
                 self.send(self.leader_hint, m)
@@ -439,6 +569,12 @@ class Raft(Protocol):
             if self.leader_hint is not None and self.leader_hint != self.id:
                 self.send(self.leader_hint, m)
             # else: drop; the client's retry will find the new leader
+            return
+        if self._handing_off:
+            # Mid-handoff drain: no new records past the transfer point.
+            # The request follows the successor on completion (or is
+            # replayed here if the handoff aborts).
+            self._handoff_buffer.append(m)
             return
         if self.batcher is not None:
             self.batcher.add(m)
@@ -681,6 +817,9 @@ class Raft(Protocol):
             return
         self.state = FOLLOWER
         self.leader_hint = src
+        if self._monitor is not None and not m.entries and m.sent_at > 0.0:
+            # Sender-stamped heartbeat: feed the gray-failure detector.
+            self._observe_leader(src, self.clock.now - m.sent_at)
         # Granting is independent of log consistency: the promise not to
         # vote for others holds even while our log is being repaired.
         lease_seq = m.lease_seq if self._grant is not None else 0
@@ -814,6 +953,8 @@ class Raft(Protocol):
                 self._apply()
                 self._release_pipeline()
                 break
+        if self._handing_off:
+            self._maybe_complete_handoff()
 
     def _apply(self) -> None:
         while self.last_applied < self.commit_index:
@@ -968,5 +1109,159 @@ class Raft(Protocol):
                 entries=(),
                 leader_commit=self.commit_index,
                 lease_seq=self._lease.stamp() if self._lease is not None else 0,
+                sent_at=self.clock.now if self.detector_enabled else 0.0,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Gray-failure detection and planned leader handoff
+    # ------------------------------------------------------------------
+
+    def _observe_leader(self, src: NodeID, delay: float) -> None:
+        """Heartbeat receipt: feed the φ-accrual monitor and the adaptive
+        timeout, then grade the leader.  A *degraded* verdict (alive but
+        its emission delay stretched past ``slow_ratio``) solicits a
+        planned handoff instead of waiting for an election that a
+        still-heartbeating leader will never trigger."""
+        now = self.clock.now
+        interval = self._monitor.observe(src, now, delay=delay)
+        if interval is not None and self._adaptive is not None:
+            self._adaptive.observe(interval)
+        if not self.handoff_enabled or self.state == LEADER or self.recovering:
+            return
+        if self.now < self._handoff_request_after:
+            return
+        if self._monitor.assess(src, now) != DEGRADED:
+            return
+        self._handoff_request_after = self.now + self.handoff_vote_window / 2.0
+        self.handoff_requests_sent += 1
+        self.send(src, HandoffRequest(term=self.term))
+
+    def on_handoff_request(self, src: Hashable, m: HandoffRequest) -> None:
+        """Leader side: tally degradation reports; once enough distinct
+        followers agree within the vote window, hand off to the latest
+        reporter."""
+        if (
+            self.state != LEADER
+            or self.recovering
+            or self._handing_off
+            or m.term != self.term
+            or not self.handoff_enabled
+        ):
+            return
+        now = self.now
+        if now < self._handoff_cooldown_until:
+            return
+        horizon = now - self.handoff_vote_window
+        self._handoff_votes = {
+            peer: at for peer, at in self._handoff_votes.items() if at >= horizon
+        }
+        self._handoff_votes[src] = now
+        if len(self._handoff_votes) >= self.handoff_votes_needed:
+            self._begin_handoff(src)
+
+    def _begin_handoff(self, successor: NodeID) -> None:
+        """Handoff phase 1: stop appending and drain to a transfer point.
+
+        The transfer point is the current log frontier: leadership moves
+        only once everything at or below it has committed AND the
+        successor's matchIndex has reached it — Raft's extra obligation,
+        because a successor missing entries could not win the election
+        the handoff solicits (the up-to-date check would refuse it)."""
+        self._handing_off = True
+        self._handoff_successor = successor
+        self._handoff_votes = {}
+        self._handoff_cooldown_until = self.now + self.handoff_cooldown
+        if self.batcher is not None:
+            self.batcher.flush()
+        while self._proposal_queue:
+            self._append_group(self._proposal_queue.popleft())
+        self._handoff_point = self.last_log_index
+        if not self._maybe_complete_handoff():
+            # Liveness fallback: if the drain cannot finish (lost acks, a
+            # crashed successor), resume normal leadership rather than
+            # wedging the group in a half-handoff.
+            self.set_timer(
+                self.handoff_retransmit,
+                lambda: self._handoff_drain_expired(successor),
+            )
+
+    def _handoff_drain_expired(self, successor: NodeID) -> None:
+        if self._handing_off and self._handoff_successor == successor:
+            self._handing_off = False
+            self._handoff_successor = None
+            # Still the leader: requests parked during the drain resume.
+            buffered, self._handoff_buffer = self._handoff_buffer, []
+            for m in buffered:
+                self.on_request(m.client, m)
+
+    def _maybe_complete_handoff(self) -> bool:
+        successor = self._handoff_successor
+        if (
+            successor is None
+            or self.commit_index < self._handoff_point
+            or self._match_index.get(successor, 0) < self._handoff_point
+        ):
+            return False
+        self._complete_handoff(successor)
+        return True
+
+    def _complete_handoff(self, successor: NodeID) -> None:
+        """Handoff phase 2: release the lease, step to follower, and
+        solicit the successor's campaign.  Ordering matters: our own
+        validity window dies *before* the Handoff leaves, so by the time
+        the successor's consent-bearing RequestVote releases the
+        followers' grant windows this node can no longer serve a lease
+        read."""
+        self._handing_off = False
+        self._handoff_successor = None
+        if self._lease is not None:
+            self._lease.valid_until = float("-inf")
+            # Clears in-flight grant rounds too, so a straggling grant
+            # echo cannot resurrect the window we just released.
+            self._lease.reset()
+        self.state = FOLLOWER
+        self.leader_hint = successor
+        self.handoffs_completed += 1
+        term = self.term
+        self.send(successor, Handoff(term=term))
+        self.set_timer(
+            self.handoff_retransmit,
+            lambda: self._retransmit_handoff(successor, term, 3),
+        )
+        buffered, self._handoff_buffer = self._handoff_buffer, []
+        for m in buffered:
+            self.send(successor, m)
+        self._reset_election_timer()
+
+    def _retransmit_handoff(
+        self, successor: NodeID, term: int, attempts: int
+    ) -> None:
+        """Liveness: the Handoff travels over the same lossy network as
+        everything else.  Re-send until the successor's campaign shows up
+        (our term advances past the handed-off one); the ordinary
+        election timer is the ultimate fallback."""
+        if (
+            self.state == LEADER
+            or self.recovering
+            or self.term > term
+            or attempts <= 0
+        ):
+            return
+        self.send(successor, Handoff(term=term))
+        self.set_timer(
+            self.handoff_retransmit,
+            lambda: self._retransmit_handoff(successor, term, attempts - 1),
+        )
+
+    def on_handoff(self, src: Hashable, m: Handoff) -> None:
+        """Successor side: campaign immediately, carrying the old leader's
+        consent so follower grant windows release instead of stalling the
+        election for a lease duration."""
+        if self.recovering or self.state == LEADER:
+            return
+        if m.term < self.term:
+            return  # a newer term already exists; stale handoff
+        self.handoffs_received += 1
+        self._handoff_grant = src
+        self._start_election()

@@ -21,6 +21,19 @@ is harsher: :meth:`Server.power_off` kills queued and in-service jobs
 outright (their completions never fire), and :meth:`Server.power_on`
 resumes with an empty queue — volatile state does not survive; only
 :mod:`repro.sim.storage` contents do.
+
+Gray failures: :meth:`Server.set_slow_factor` multiplies the service cost
+of every subsequently submitted job — the node is alive (heartbeats still
+flow, timers still fire) but drains its queue at ``1/factor`` of the
+healthy rate.  This is the *fail-slow* CPU fault that crash-stop testing
+never exercises.  A factor of ``1.0`` (the default) is bit-identical to
+the pre-fault code path.
+
+Priority lane: :meth:`Server.submit_priority` enqueues onto a separate
+control-plane queue drained strictly before the FIFO data queue, so
+protocol-internal traffic (heartbeats, elections, catch-up) is never stuck
+behind a saturated client backlog.  Unused, the lane costs one empty-deque
+check per job start and changes no accounting.
 """
 
 from __future__ import annotations
@@ -110,8 +123,14 @@ class Server:
         self._loop = loop
         self.name = name
         self._queue: deque[tuple[float, float, Callable[..., Any], tuple]] = deque()
+        # Control-plane lane, drained strictly before ``_queue``; empty (and
+        # cost-free) unless submit_priority is ever used.
+        self._priority: deque[tuple[float, float, Callable[..., Any], tuple]] = deque()
         self._busy = False
         self._frozen_until = 0.0
+        # Fail-slow degradation: every submitted job's cost is multiplied by
+        # this factor.  1.0 (healthy) leaves the hot path untouched.
+        self._slow_factor = 1.0
         self._epoch = 0  # bumped by power_off to orphan in-service jobs
         self._area_at = loop.now
         # Sum of the costs of all *queued* (not in-service) jobs: the time a
@@ -122,7 +141,24 @@ class Server:
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue) + (1 if self._busy else 0)
+        return len(self._queue) + len(self._priority) + (1 if self._busy else 0)
+
+    @property
+    def slow_factor(self) -> float:
+        """Current fail-slow service-cost multiplier (1.0 = healthy)."""
+        return self._slow_factor
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Degrade (or restore) the node's service rate.
+
+        Every job submitted while the factor is ``f`` costs ``f`` times its
+        healthy service time; jobs already queued keep the cost they were
+        charged on arrival.  The factor survives freezes and reboots — a
+        fail-slow machine stays slow until the fault is lifted.
+        """
+        if factor <= 0:
+            raise SimulationError(f"slow factor must be positive, got {factor!r}")
+        self._slow_factor = factor
 
     @property
     def frozen(self) -> bool:
@@ -147,15 +183,43 @@ class Server:
         """Enqueue a job costing ``cost`` seconds, completing with ``fn``."""
         if cost < 0:
             raise SimulationError(f"negative job cost {cost!r}")
+        if self._slow_factor != 1.0:
+            cost *= self._slow_factor
         # Inlined touch_queue_area + max-depth update: submit runs for
         # every message hop, so the hot path avoids the extra calls and
         # property lookups.
         now = self._loop.now
         stats = self.stats
-        queued = len(self._queue) + (1 if self._busy else 0)
+        queued = len(self._queue) + len(self._priority) + (1 if self._busy else 0)
         stats.queue_area += queued * (now - self._area_at)
         self._area_at = now
         self._queue.append((now, cost, fn, args))
+        self._queued_cost += cost
+        queued += 1
+        if queued > stats.max_queue_length:
+            stats.max_queue_length = queued
+        if not self._busy:
+            self._maybe_start()
+
+    def submit_priority(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Enqueue a control-plane job onto the priority lane.
+
+        Priority jobs share the single server (one job in service at a
+        time, full cost charged) but are drained strictly before the FIFO
+        data queue, so a heartbeat arriving behind 10k queued client
+        requests is answered after at most one in-service job, not after
+        the whole backlog.
+        """
+        if cost < 0:
+            raise SimulationError(f"negative job cost {cost!r}")
+        if self._slow_factor != 1.0:
+            cost *= self._slow_factor
+        now = self._loop.now
+        stats = self.stats
+        queued = len(self._queue) + len(self._priority) + (1 if self._busy else 0)
+        stats.queue_area += queued * (now - self._area_at)
+        self._area_at = now
+        self._priority.append((now, cost, fn, args))
         self._queued_cost += cost
         queued += 1
         if queued > stats.max_queue_length:
@@ -189,6 +253,7 @@ class Server:
         """
         self.touch_queue_area()
         self._queue.clear()
+        self._priority.clear()
         self._queued_cost = 0.0
         self._epoch += 1
         self._busy = False
@@ -200,16 +265,17 @@ class Server:
         self._maybe_start()
 
     def _maybe_start(self) -> None:
-        if self._busy or not self._queue:
+        if self._busy or not (self._queue or self._priority):
             return
         loop = self._loop
         if loop.now < self._frozen_until:
             if not math.isinf(self._frozen_until):
                 loop.call_at(self._frozen_until, self._maybe_start)
             return
-        enqueued_at, cost, fn, args = self._queue.popleft()
+        lane = self._priority if self._priority else self._queue
+        enqueued_at, cost, fn, args = lane.popleft()
         self._queued_cost -= cost
-        if not self._queue:
+        if not self._queue and not self._priority:
             self._queued_cost = 0.0  # re-zero so float drift never accumulates
         self._busy = True
         self.stats.wait_seconds += loop.now - enqueued_at
@@ -241,11 +307,11 @@ class Server:
             return  # job belonged to a powered-off incarnation
         now = self._loop.now
         stats = self.stats
-        stats.queue_area += (len(self._queue) + 1) * (now - self._area_at)
+        stats.queue_area += (len(self._queue) + len(self._priority) + 1) * (now - self._area_at)
         self._area_at = now
         self._busy = False
         stats.jobs_completed += 1
         stats.busy_seconds += cost
         fn(*args)
-        if self._queue:
+        if self._queue or self._priority:
             self._maybe_start()

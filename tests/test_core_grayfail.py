@@ -1,0 +1,173 @@
+"""Unit tests for the gray-failure capacity and detection models."""
+
+import math
+
+import pytest
+
+from repro.core.grayfail import (
+    degraded_follower_capacity,
+    degraded_leader_capacity,
+    phi_detection_time,
+    quorum_wait_with_stragglers,
+    slowdown_detection_heartbeats,
+)
+from repro.core.order_stats import expected_kth_normal_blom
+from repro.errors import ModelError
+
+
+class TestDegradedLeader:
+    def test_leader_slowdown_caps_group(self):
+        assert degraded_leader_capacity(6000.0, 6.0) == pytest.approx(1000.0)
+
+    def test_unit_factor_is_identity(self):
+        assert degraded_leader_capacity(1234.5, 1.0) == pytest.approx(1234.5)
+
+    def test_validates(self):
+        with pytest.raises(ModelError):
+            degraded_leader_capacity(0.0, 2.0)
+        with pytest.raises(ModelError):
+            degraded_leader_capacity(100.0, 0.5)
+
+
+class TestDegradedFollower:
+    def test_single_slow_follower_is_free_with_majority_quorum(self):
+        # 5 nodes, quorum 3: leader needs 2 of 4 follower replies and
+        # 3 healthy followers remain -- the straggler never matters.
+        assert degraded_follower_capacity(5000.0, 5, 3, 6.0) == 5000.0
+
+    def test_capacity_drops_once_quorum_needs_a_straggler(self):
+        # 3 nodes, quorum 3 (e.g. a FPaxos phase-1-heavy config): both
+        # follower replies are required, so one straggler gates the group.
+        assert degraded_follower_capacity(3000.0, 3, 3, 6.0) == pytest.approx(500.0)
+
+    def test_boundary_exactly_enough_healthy(self):
+        # 5 nodes, quorum 4, 1 degraded: 3 healthy followers == Q-1.
+        assert degraded_follower_capacity(1000.0, 5, 4, 3.0, degraded=1) == 1000.0
+        # One more degraded follower tips it over.
+        assert degraded_follower_capacity(1000.0, 5, 4, 3.0, degraded=2) == pytest.approx(
+            1000.0 / 3.0
+        )
+
+    def test_asymmetry_vs_leader(self):
+        # The headline gray-failure asymmetry: same fault, opposite cost.
+        cap = 2000.0
+        assert degraded_follower_capacity(cap, 5, 3, 8.0) == cap
+        assert degraded_leader_capacity(cap, 8.0) == pytest.approx(250.0)
+
+    def test_validates(self):
+        with pytest.raises(ModelError):
+            degraded_follower_capacity(1000.0, 5, 3, 2.0, degraded=5)
+        with pytest.raises(ModelError):
+            degraded_follower_capacity(1000.0, 5, 1, 2.0)
+        with pytest.raises(ModelError):
+            degraded_follower_capacity(1000.0, 5, 3, 0.9)
+
+
+class TestQuorumWait:
+    def test_no_stragglers_matches_plain_order_statistic(self):
+        want = expected_kth_normal_blom(2, 4, 1e-3, 1e-4)
+        got = quorum_wait_with_stragglers(5, 3, 1e-3, 1e-4)
+        assert got == pytest.approx(want)
+
+    def test_straggler_off_critical_path_costs_little(self):
+        clean = quorum_wait_with_stragglers(5, 3, 1e-3, 1e-4)
+        one_slow = quorum_wait_with_stragglers(5, 3, 1e-3, 1e-4, 6.0, degraded=1)
+        # Smaller healthy pool -> strictly larger order statistic...
+        assert one_slow > clean
+        # ...but nowhere near the 6x stretch of the degraded node.
+        assert one_slow < 1.5 * clean
+
+    def test_straggler_on_critical_path_dominates(self):
+        clean = quorum_wait_with_stragglers(3, 3, 1e-3, 1e-4)
+        forced = quorum_wait_with_stragglers(3, 3, 1e-3, 1e-4, 6.0, degraded=1)
+        assert forced > 4.0 * clean
+
+    def test_wait_monotone_in_degraded_count(self):
+        waits = [
+            quorum_wait_with_stragglers(7, 4, 1e-3, 1e-4, 5.0, degraded=d)
+            for d in range(0, 6)
+        ]
+        assert waits == sorted(waits)
+
+    def test_validates(self):
+        with pytest.raises(ModelError):
+            quorum_wait_with_stragglers(5, 6, 1e-3, 1e-4)
+        with pytest.raises(ModelError):
+            quorum_wait_with_stragglers(5, 3, -1.0, 1e-4)
+        with pytest.raises(ModelError):
+            quorum_wait_with_stragglers(5, 3, 1e-3, 1e-4, 0.5, degraded=1)
+
+
+class TestPhiDetectionTime:
+    def test_threshold_one_is_90th_percentile_silence(self):
+        # phi = 1 means P(silence) = 10%: about mu + 1.28 sigma.
+        t = phi_detection_time(0.02, 0.002, 1.0)
+        assert t == pytest.approx(0.02 + 0.002 * 1.2816, rel=1e-3)
+
+    def test_monotone_in_threshold(self):
+        times = [phi_detection_time(0.02, 0.002, p) for p in (1.0, 4.0, 8.0, 12.0)]
+        assert times == sorted(times)
+        assert times[0] > 0.02
+
+    def test_tighter_distribution_detects_sooner(self):
+        assert phi_detection_time(0.02, 0.001, 8.0) < phi_detection_time(
+            0.02, 0.01, 8.0
+        )
+
+    def test_default_deployment_detects_within_a_second(self):
+        # The stock detector config: 20 ms heartbeats, LAN jitter, phi=8.
+        t = phi_detection_time(0.02, 0.002, 8.0)
+        assert 0.02 < t < 1.0
+
+    def test_validates(self):
+        with pytest.raises(ModelError):
+            phi_detection_time(0.0, 0.002, 8.0)
+        with pytest.raises(ModelError):
+            phi_detection_time(0.02, 0.002, 0.0)
+
+
+class TestSlowdownDetection:
+    def test_strong_degradation_detected_quickly(self):
+        # 6x slowdown against the stock 2.5x ratio fires within a handful
+        # of heartbeats.
+        n = slowdown_detection_heartbeats(6.0, 2.5)
+        assert 1 <= n <= 10
+
+    def test_ewma_crossing_is_exact(self):
+        # Verify against a direct simulation of the fast EWMA.
+        factor, ratio, alpha = 6.0, 2.5, 0.25
+        n = slowdown_detection_heartbeats(factor, ratio, alpha)
+        level = 1.0
+        steps = 0
+        while level < ratio:
+            level += alpha * (factor - level)
+            steps += 1
+        assert n == steps
+
+    def test_milder_degradation_takes_longer(self):
+        assert slowdown_detection_heartbeats(3.0, 2.5) > slowdown_detection_heartbeats(
+            8.0, 2.5
+        )
+
+    def test_subthreshold_degradation_raises(self):
+        with pytest.raises(ModelError):
+            slowdown_detection_heartbeats(2.0, 2.5)
+        with pytest.raises(ModelError):
+            slowdown_detection_heartbeats(2.5, 2.5)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ModelError):
+            slowdown_detection_heartbeats(6.0, 1.0)
+        with pytest.raises(ModelError):
+            slowdown_detection_heartbeats(6.0, 2.5, fast_alpha=1.0)
+
+
+def test_wall_clock_detection_budget_composes():
+    # End-to-end sanity: with 20 ms heartbeats a 6x-degraded leader is
+    # flagged by the slowdown channel well before phi would ever accrue
+    # (heartbeats keep arriving), and the whole budget stays under 1 s --
+    # the premise behind the bench_grayfail recovery gate.
+    hb = 0.02
+    n = slowdown_detection_heartbeats(6.0, 2.5)
+    assert n * hb < 1.0
+    assert not math.isnan(phi_detection_time(hb, 0.002, 8.0))

@@ -1,0 +1,189 @@
+"""Unit tests for the φ-accrual detector and adaptive timeouts."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.paxi.detector import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    PHI_CAP,
+    AdaptiveTimeout,
+    NodeHealthMonitor,
+    PhiAccrualDetector,
+)
+
+
+def _feed_regular(detector, start, interval, count, jitter=0.0, rng=None):
+    now = start
+    for _ in range(count):
+        detector.observe(now)
+        step = interval
+        if jitter:
+            step += rng.uniform(-jitter, jitter)
+        now += step
+    return now
+
+
+class TestPhiAccrual:
+    def test_unseen_peer_is_not_suspect(self):
+        detector = PhiAccrualDetector()
+        assert detector.phi(100.0) == 0.0
+
+    def test_phi_low_right_after_heartbeat(self):
+        detector = PhiAccrualDetector()
+        now = _feed_regular(detector, 0.0, 0.02, 50)
+        assert detector.phi(now - 0.02 + 0.001) < 1.0
+
+    def test_phi_rises_with_silence(self):
+        detector = PhiAccrualDetector()
+        now = _feed_regular(detector, 0.0, 0.02, 50)
+        last = now - 0.02
+        phis = [detector.phi(last + t) for t in (0.02, 0.05, 0.1, 0.3)]
+        assert phis == sorted(phis)
+        assert phis[-1] >= 8.0
+
+    def test_phi_capped(self):
+        detector = PhiAccrualDetector()
+        _feed_regular(detector, 0.0, 0.02, 50)
+        assert detector.phi(1e6) == PHI_CAP
+
+    def test_adapts_to_jittery_links(self):
+        # The same silence is far less suspicious on a noisy link: that is
+        # the whole point of accrual detection vs a fixed timeout.
+        rng = random.Random(7)
+        quiet = PhiAccrualDetector(min_stddev=1e-4)
+        noisy = PhiAccrualDetector(min_stddev=1e-4)
+        quiet_end = _feed_regular(quiet, 0.0, 0.02, 200, jitter=0.0005, rng=rng)
+        noisy_end = _feed_regular(noisy, 0.0, 0.02, 200, jitter=0.015, rng=rng)
+        silence = 0.06
+        assert quiet.phi(quiet_end - 0.02 + silence) > noisy.phi(
+            noisy_end - 0.02 + silence
+        )
+
+    def test_slowdown_tracks_degradation_and_does_not_renormalize(self):
+        detector = PhiAccrualDetector()
+        now = _feed_regular(detector, 0.0, 0.02, 100)
+        assert detector.slowdown() == pytest.approx(1.0, abs=0.01)
+        # The peer degrades 6x: intervals stretch from 20 ms to 120 ms.
+        _feed_regular(detector, now, 0.12, 100)
+        assert detector.slowdown() > 2.5
+
+    def test_backwards_clock_step_does_not_poison_window(self):
+        detector = PhiAccrualDetector()
+        now = _feed_regular(detector, 0.0, 0.02, 20)
+        detector.observe(now - 5.0)  # skew fault stepped the clock back
+        assert detector.mean() == pytest.approx(0.02, rel=0.01)
+
+    def test_reset(self):
+        detector = PhiAccrualDetector()
+        _feed_regular(detector, 0.0, 0.02, 20)
+        detector.reset()
+        assert detector.samples == 0
+        assert detector.phi(100.0) == 0.0
+
+    def test_window_bounds_memory(self):
+        detector = PhiAccrualDetector(window=16)
+        _feed_regular(detector, 0.0, 0.02, 100)
+        assert detector.samples == 16
+
+
+class TestAdaptiveTimeout:
+    def test_initial_before_samples(self):
+        timeout = AdaptiveTimeout(initial=0.33)
+        assert timeout.timeout == 0.33
+
+    def test_converges_to_srtt_plus_4_rttvar(self):
+        timeout = AdaptiveTimeout(floor=0.001, ceiling=10.0)
+        rng = random.Random(3)
+        for _ in range(500):
+            timeout.observe(0.05 + rng.uniform(-0.005, 0.005))
+        assert 0.05 < timeout.timeout < 0.09
+        assert timeout.srtt == pytest.approx(0.05, rel=0.05)
+
+    def test_spike_widens_then_recovers(self):
+        timeout = AdaptiveTimeout(floor=0.001, ceiling=10.0)
+        for _ in range(50):
+            timeout.observe(0.02)
+        settled = timeout.timeout
+        timeout.observe(0.5)  # one outlier
+        assert timeout.timeout > settled
+        for _ in range(200):
+            timeout.observe(0.02)
+        assert timeout.timeout < 2 * settled
+
+    def test_floor_and_ceiling_clamp(self):
+        timeout = AdaptiveTimeout(floor=0.05, ceiling=0.2)
+        for _ in range(100):
+            timeout.observe(1e-6)
+        assert timeout.timeout == 0.05
+        for _ in range(100):
+            timeout.observe(5.0)
+        assert timeout.timeout == 0.2
+
+    def test_negative_samples_ignored(self):
+        timeout = AdaptiveTimeout()
+        timeout.observe(-1.0)
+        assert timeout.samples == 0
+
+    def test_validates_bounds(self):
+        with pytest.raises(SimulationError):
+            AdaptiveTimeout(floor=0.5, ceiling=0.1)
+
+
+class TestNodeHealthMonitor:
+    def _warm(self, monitor, peer, start=0.0, interval=0.02, count=60):
+        now = start
+        for _ in range(count):
+            monitor.observe(peer, now)
+            now += interval
+        return now
+
+    def test_healthy_peer(self):
+        monitor = NodeHealthMonitor()
+        now = self._warm(monitor, "a")
+        assert monitor.assess("a", now - 0.02 + 0.001) == HEALTHY
+
+    def test_unknown_peer_is_healthy(self):
+        monitor = NodeHealthMonitor()
+        assert monitor.assess("ghost", 10.0) == HEALTHY
+
+    def test_too_few_samples_suppresses_degraded_not_failed(self):
+        monitor = NodeHealthMonitor(min_samples=8)
+        monitor.observe("a", 0.0)
+        monitor.observe("a", 0.02)
+        # Shortly after the last heartbeat: not enough evidence to grade.
+        assert monitor.assess("a", 0.03) == HEALTHY
+        # Long silence is conclusive even with a thin sample window.
+        assert monitor.assess("a", 50.0) == FAILED
+
+    def test_silent_peer_fails(self):
+        monitor = NodeHealthMonitor(phi_threshold=8.0)
+        now = self._warm(monitor, "a")
+        assert monitor.assess("a", now + 1.0) == FAILED
+
+    def test_stretched_heartbeats_read_degraded(self):
+        monitor = NodeHealthMonitor(slow_ratio=2.5)
+        now = self._warm(monitor, "a")
+        # 6x degradation: heartbeats keep coming, so φ never accrues far,
+        # but the slowdown ratio flags it.
+        for _ in range(40):
+            monitor.observe("a", now)
+            now += 0.12
+        verdict = monitor.assess("a", now + 0.01)
+        assert verdict == DEGRADED
+        assert monitor.slowdown("a") > 2.5
+
+    def test_forget(self):
+        monitor = NodeHealthMonitor()
+        now = self._warm(monitor, "a")
+        monitor.forget("a")
+        assert monitor.assess("a", now + 10.0) == HEALTHY
+
+    def test_validates_thresholds(self):
+        with pytest.raises(SimulationError):
+            NodeHealthMonitor(phi_threshold=0.0)
+        with pytest.raises(SimulationError):
+            NodeHealthMonitor(slow_ratio=1.0)

@@ -35,6 +35,7 @@ EXPECTED_IDS = {
     "extra_mencius",
     "bench_batching",
     "bench_faults",
+    "bench_grayfail",
     "bench_overload",
     "bench_reads",
     "bench_sharding",
@@ -145,6 +146,55 @@ def test_bench_faults_recovery_gate(tmp_path):
             check_recovered(str(path))
     with pytest.raises(SystemExit, match="not found"):
         check_recovered(str(tmp_path / "missing.json"))
+
+
+def test_bench_grayfail_regression_gate(tmp_path):
+    """The gray-failure gate fails on false-positive handoffs, a missing
+    collapse, a failed recovery, or a safety violation (the driver itself
+    runs in the bench-grayfail CI job)."""
+    import json
+
+    from repro.experiments.bench_grayfail import check_no_regression
+
+    path = tmp_path / "BENCH_grayfail.json"
+    cell = {"linearizable": True, "consensus_ok": True, "handoffs": 0}
+    good = {
+        "gates": {
+            "undetected_ceiling": 0.40,
+            "recovered_floor": 0.85,
+            "max_clean_handoffs": 0,
+            "model_band": 0.25,
+        },
+        "protocols": {
+            "multipaxos": {
+                "knee": 1400.0,
+                "clean": dict(cell),
+                "undetected": {**cell, "over_knee": 0.33, "model_error": 0.04},
+                "detected": {**cell, "over_knee": 0.95, "handoffs": 1},
+            }
+        },
+    }
+    path.write_text(json.dumps(good))
+    check_no_regression(str(path))  # no raise
+
+    matrix = good["protocols"]["multipaxos"]
+    for patch, match in (
+        ({"clean": {**cell, "handoffs": 2}}, "healthy cluster"),
+        ({"undetected": {**matrix["undetected"], "over_knee": 0.8}}, "not reproduced"),
+        ({"undetected": {**matrix["undetected"], "model_error": 0.5}}, "capacity model"),
+        ({"detected": {**matrix["detected"], "over_knee": 0.5}}, "recovered only"),
+        ({"detected": {**matrix["detected"], "handoffs": 0}}, "no planned handoff"),
+        ({"detected": {**matrix["detected"], "linearizable": False}}, "safety violation"),
+    ):
+        bad = {**good, "protocols": {"multipaxos": {**matrix, **patch}}}
+        path.write_text(json.dumps(bad))
+        with pytest.raises(SystemExit, match=match):
+            check_no_regression(str(path))
+    path.write_text(json.dumps({**good, "protocols": {}}))
+    with pytest.raises(SystemExit, match="multipaxos matrix missing"):
+        check_no_regression(str(path))
+    with pytest.raises(SystemExit, match="not found"):
+        check_no_regression(str(tmp_path / "missing.json"))
 
 
 def test_bench_simspeed_regression_gate(tmp_path):

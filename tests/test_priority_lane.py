@@ -1,0 +1,191 @@
+"""Tests for the protocol-traffic priority lane.
+
+Under admission control, shed-able work is only ever *client* ingress —
+but a saturated replica's FIFO queue can still starve protocol-internal
+messages behind thousands of queued client requests, turning an
+overloaded node into a falsely-suspected one.  The priority lane
+(``params: priority_lanes=True``) drains control-plane messages first:
+heartbeats, votes, commits, and catch-up are answered after at most one
+in-service job, no matter the data-plane backlog.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.paxi.config import Config
+from repro.paxi.deployment import Deployment
+from repro.paxi.ids import NodeID
+from repro.paxi.message import ClientRequest, Command, Message
+from repro.paxi.node import Replica
+from repro.paxi.detector import FAILED
+from repro.protocols.paxos import MultiPaxos
+from repro.sim.clock import EventLoop
+from repro.sim.server import Server, ServiceProfile
+
+
+# ----------------------------------------------------------------------
+# Server level: the lane itself
+# ----------------------------------------------------------------------
+
+
+def make() -> tuple[EventLoop, Server]:
+    loop = EventLoop()
+    return loop, Server(loop)
+
+
+def test_priority_jobs_overtake_fifo_backlog():
+    loop, server = make()
+    done = []
+    for i in range(5):
+        server.submit(1.0, lambda i=i: done.append(("data", i, loop.now)))
+    server.submit_priority(0.5, lambda: done.append(("ctrl", loop.now)))
+    loop.run()
+    # The first data job was already in service; the control job runs
+    # right after it, ahead of the four still-queued data jobs.
+    assert done[1] == ("ctrl", 1.5)
+    assert [d[0] for d in done] == ["data", "ctrl", "data", "data", "data", "data"]
+
+
+def test_priority_lane_is_fifo_among_itself():
+    loop, server = make()
+    done = []
+    server.submit(1.0, lambda: done.append("data"))
+    server.submit_priority(0.1, lambda: done.append("a"))
+    server.submit_priority(0.1, lambda: done.append("b"))
+    loop.run()
+    assert done == ["data", "a", "b"]
+
+
+def test_priority_on_idle_server_runs_immediately():
+    loop, server = make()
+    done = []
+    server.submit_priority(0.25, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [0.25]
+
+
+def test_priority_negative_cost_rejected():
+    _loop, server = make()
+    with pytest.raises(SimulationError):
+        server.submit_priority(-0.1, lambda: None)
+
+
+def test_priority_jobs_share_stats_accounting():
+    loop, server = make()
+    server.submit(1.0, lambda: None)
+    server.submit_priority(0.5, lambda: None)
+    loop.run()
+    assert server.stats.jobs_completed == 2
+    assert server.stats.busy_seconds == pytest.approx(1.5)
+    assert server.stats.max_queue_length == 2
+
+
+def test_priority_respects_slow_factor():
+    loop, server = make()
+    server.set_slow_factor(4.0)
+    done = []
+    server.submit_priority(0.5, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [2.0]
+
+
+# ----------------------------------------------------------------------
+# Replica level: routing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Ping(Message):
+    SIZE_BYTES = 40
+
+
+class PingEcho(Replica):
+    """Executes client requests; records when each Ping handler ran.
+    (No replies: the flood source is a bare address, not a session.)"""
+
+    def __init__(self, deployment, node_id):
+        super().__init__(deployment, node_id)
+        self.ping_times: list[float] = []
+        self.register(ClientRequest, lambda src, m: self.store.execute(m.command))
+        self.register(Ping, lambda src, m: self.ping_times.append(self.now))
+
+
+#: Heavy per-message CPU so a small flood builds a long backlog.
+SLOW = ServiceProfile(t_in=0.01, t_out=1e-6)
+
+
+def _flooded_replica(**params) -> tuple[Deployment, PingEcho]:
+    dep = Deployment(Config.lan(1, 1, seed=3, profile=SLOW, **params)).start(PingEcho)
+    replica = next(iter(dep.replicas.values()))
+    for i in range(100):
+        request = ClientRequest(
+            client="c", request_id=i, command=Command.put(f"k{i}", i)
+        )
+        replica.on_network_receive("c", request, 100)
+    replica.on_network_receive("peer", Ping(), 40)
+    dep.cluster.loop.run()
+    return dep, replica
+
+
+def test_ping_overtakes_client_backlog_with_lanes():
+    _dep, replica = _flooded_replica(priority_lanes=True)
+    # ~1s of queued client work; the ping clears after roughly one job.
+    assert replica.ping_times and replica.ping_times[0] < 0.1
+
+
+def test_ping_waits_behind_backlog_without_lanes():
+    _dep, replica = _flooded_replica()
+    assert replica.ping_times and replica.ping_times[0] > 0.9
+
+
+def test_client_requests_stay_on_the_data_lane():
+    dep, replica = _flooded_replica(priority_lanes=True)
+    # All 100 requests were still served (the lane reorders, never sheds).
+    assert replica.store.version("k99") == 1
+    assert dep.cluster.loop.now == pytest.approx(100 * 0.01, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# The regression the lane exists for: a saturated follower still hears
+# the leader's heartbeats, so the detector never falsely suspects it.
+# ----------------------------------------------------------------------
+
+LEADER = NodeID(1, 1)
+
+
+def _saturated_follower(**params) -> tuple[Deployment, MultiPaxos, MultiPaxos]:
+    dep = Deployment(
+        Config.lan(1, 3, seed=7, detector=True, **params)
+    ).start(MultiPaxos)
+    dep.run_until(0.5)  # leader elected, monitors warm
+    leader = dep.replicas[LEADER]
+    follower = next(r for r in dep.replicas.values() if not r.active)
+    # 0.5 s of bulk CPU work lands on the follower all at once (snapshot
+    # install, compaction, a forwarded batch -- anything data-plane).
+    for _ in range(100):
+        follower._server.submit(0.005, lambda: None)
+    dep.run_until(0.9)  # backlog still draining until ~1.0
+    return dep, leader, follower
+
+
+def test_saturated_follower_keeps_hearing_heartbeats_with_lanes():
+    _dep, leader, follower = _saturated_follower(priority_lanes=True)
+    assert leader.active
+    # Heartbeats kept flowing through the lane: no accrued silence, so no
+    # false FAILED verdict and no election against the healthy leader.
+    # (A transient DEGRADED reading is tolerable -- one vote can never
+    # trigger a handoff -- what must not happen is failure suspicion.)
+    verdict = follower._monitor.assess(LEADER, follower.clock.now)
+    assert verdict != FAILED
+    assert leader.handoffs_completed == 0
+
+
+def test_saturated_follower_falsely_suspects_without_lanes():
+    _dep, _leader, follower = _saturated_follower()
+    # Heartbeats are queued behind the backlog: 0.4 s of apparent silence
+    # against a 20 ms cadence reads as node death.  This is the false
+    # positive the priority lane eliminates.
+    verdict = follower._monitor.assess(LEADER, follower.clock.now)
+    assert verdict == FAILED
